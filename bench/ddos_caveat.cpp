@@ -1,0 +1,117 @@
+// The paper's §3.5 caveat, measured: "if a service is DDoS-attacked, its
+// service switch will be inundated with requests, affecting other virtual
+// service nodes in the same HUP host and therefore violating the service
+// isolation."
+//
+// The channel is host CPU outside any service's share: the inundated
+// switch's forwarding work and the host kernel's inbound packet processing
+// (interrupt/softirq context in 2.4-era Linux) are host-side work that the
+// per-service proportional-share scheduler cannot constrain. This bench
+// puts a bystander service, a victim's switch, and the host's
+// packet-processing work on one CPU and measures the bystander's share and
+// effective request-processing time before and during a flood — under both
+// host OS variants.
+//
+// Note the flow-level network is deliberately not the channel here: max-min
+// sharing self-limits the flood at the victim's own access-link cap, just
+// as a switched LAN would. The violation the paper concedes comes from the
+// un-schedulable kernel work.
+#include <cstdio>
+
+#include "sched/cpu_sim.hpp"
+#include "util/table.hpp"
+
+using namespace soda;
+
+namespace {
+
+struct PhaseResult {
+  double bystander_share;
+  double softirq_share;
+};
+
+/// One HUP host CPU: the bystander's httpd workers, the victim's switch
+/// process, and the host kernel's packet processing. `flooded` turns the
+/// kernel work and the switch from background noise into a firehose.
+PhaseResult run_phase(std::unique_ptr<sched::CpuScheduler> policy,
+                      bool flooded) {
+  sched::CpuSimulator sim(std::move(policy));
+  // Bystander: overloaded httpd workers wanting ~ their full share.
+  for (int i = 0; i < 2; ++i) {
+    sim.add_thread("svc-bystander", sched::DemandPattern::io_cycle(
+                                        sim::SimTime::milliseconds(10),
+                                        sim::SimTime::milliseconds(1)));
+  }
+  // Victim's switch process: light forwarding normally, saturated when
+  // inundated with junk connections.
+  sim.add_thread("svc-victim",
+                 flooded ? sched::DemandPattern::cpu_bound()
+                         : sched::DemandPattern::io_cycle(
+                               sim::SimTime::milliseconds(1),
+                               sim::SimTime::milliseconds(9)));
+  // Host kernel packet processing: interrupt/softirq work serving the
+  // flood's packet rate. It preempts everything — no service share covers
+  // it, which we model as a service with overwhelming weight. The flood
+  // keeps it ~80% busy (it still yields between packet bursts).
+  sim.add_thread("host-softirq",
+                 flooded ? sched::DemandPattern::io_cycle(
+                               sim::SimTime::milliseconds(8),
+                               sim::SimTime::milliseconds(2))
+                         : sched::DemandPattern::io_cycle(
+                               sim::SimTime::milliseconds(1),
+                               sim::SimTime::milliseconds(19)));
+  sim.set_weight("svc-bystander", 1.0);
+  sim.set_weight("svc-victim", 1.0);
+  sim.set_weight("host-softirq", 100.0);  // kernel context: effectively above shares
+
+  const auto result = sim.run(sim::SimTime::seconds(30));
+  double total = 0;
+  for (const auto& [uid, seconds] : result.total_cpu_s) total += seconds;
+  return PhaseResult{result.total_cpu_s.at("svc-bystander") / total,
+                     result.total_cpu_s.at("host-softirq") / total};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== DDoS on a co-hosted service's switch: the bystander pays "
+              "(paper §3.5 caveat) ==\n\n");
+  struct Row {
+    const char* host_os;
+    std::unique_ptr<sched::CpuScheduler> (*make)();
+  };
+  const Row rows[] = {
+      {"unmodified Linux", [] { return sched::make_timeshare_scheduler(); }},
+      {"SODA proportional-share", [] { return sched::make_proportional_scheduler(); }},
+  };
+
+  util::AsciiTable table({"host OS", "bystander share (quiet)",
+                          "bystander share (flood)", "softirq share (flood)",
+                          "processing slow-down"});
+  table.set_alignment({util::Align::kLeft, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight});
+  bool caveat_reproduced = true;
+  for (const auto& row : rows) {
+    const auto quiet = run_phase(row.make(), /*flooded=*/false);
+    const auto flood = run_phase(row.make(), /*flooded=*/true);
+    char c1[16], c2[16], c3[16], c4[16];
+    std::snprintf(c1, sizeof c1, "%.3f", quiet.bystander_share);
+    std::snprintf(c2, sizeof c2, "%.3f", flood.bystander_share);
+    std::snprintf(c3, sizeof c3, "%.3f", flood.softirq_share);
+    std::snprintf(c4, sizeof c4, "%.1fx",
+                  quiet.bystander_share / flood.bystander_share);
+    table.add_row({row.host_os, c1, c2, c3, c4});
+    caveat_reproduced &=
+        flood.bystander_share < 0.6 * quiet.bystander_share;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "the flood's packet processing runs in kernel context outside every "
+      "service's share, so even\nSODA's proportional-share host OS cannot "
+      "protect the bystander: its CPU share collapses and\nits per-request "
+      "processing time inflates accordingly. Isolation is violated — exactly "
+      "the\nlimitation the paper concedes (and why it calls SODA's isolation "
+      "\"not absolute\").\n");
+  return caveat_reproduced ? 0 : 1;
+}

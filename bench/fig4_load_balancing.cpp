@@ -1,0 +1,191 @@
+// Reproduces Figure 4: average request response time of the web content
+// service achieved by its two virtual service nodes — seattle carrying 2M,
+// tacoma carrying 1M — under the default weighted-round-robin switching
+// policy, across six dataset sizes (request rate decreasing as the dataset
+// grows, as in the paper). The expected shape: the seattle node serves
+// about twice as many requests, yet both nodes see approximately the same
+// response time.
+//
+// An extended series repeats the largest dataset under the ablation
+// policies (plain round-robin, random, least-connections) to show why the
+// capacity-aware default is the right one.
+//
+// Responses cross each node's outbound traffic shaper, whose limit the
+// SODA Daemon set proportional to the node's capacity (2M -> 2x the
+// bandwidth share): proportional shares are what keep the per-request
+// response time equal while seattle carries twice the requests.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/hup.hpp"
+#include "image/image.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/siege.hpp"
+#include "workload/webservice.hpp"
+
+using namespace soda;
+
+namespace {
+
+host::MachineConfig fig2_unit() {
+  host::MachineConfig m;
+  m.cpu_mhz = 860;
+  m.memory_mb = 192;
+  m.disk_mb = 2048;
+  m.bandwidth_mbps = 20;
+  return m;
+}
+
+struct Deployment {
+  std::unique_ptr<core::Hup> hup;
+  net::NodeId client;
+  core::ServiceSwitch* sw = nullptr;
+  std::vector<std::unique_ptr<workload::WebContentServer>> servers;
+  std::vector<core::NodeDescriptor> nodes;
+  net::NodeId switch_node;
+};
+
+Deployment deploy() {
+  auto tb = core::Hup::paper_testbed();
+  Deployment d;
+  d.hup = std::move(tb.hup);
+  d.client = tb.client;
+  d.hup->agent().register_asp("asp", "key");
+  const auto loc =
+      must(tb.repo->publish(image::web_content_image(16 * 1024 * 1024)));
+  core::ServiceCreationRequest request;
+  request.credentials = {"asp", "key"};
+  request.service_name = "web-content";
+  request.image_location = loc;
+  request.requirement = {3, fig2_unit()};
+  d.hup->agent().service_creation(request, [](auto reply, sim::SimTime) {
+    must(std::move(reply));
+  });
+  d.hup->engine().run();
+  d.sw = d.hup->master().find_switch("web-content");
+  const auto* record = d.hup->master().find_service("web-content");
+  d.nodes = record->nodes;
+  for (const auto& node : d.nodes) {
+    auto* daemon = d.hup->find_daemon(node.host_name);
+    auto* vsn = daemon->find_node(node.node_name);
+    std::vector<net::LinkId> outbound;
+    if (auto link = d.hup->find_shaper(node.host_name)->link_for(vsn->address())) {
+      outbound.push_back(*link);
+    }
+    d.servers.push_back(std::make_unique<workload::WebContentServer>(
+        d.hup->engine(), d.hup->network(), vsn->net_node(),
+        vm::ExecMode::kUmlTraced, daemon->host().spec().cpu_ghz,
+        2 * node.capacity_units, std::move(outbound)));
+    if (node.address == d.sw->listen_address()) d.switch_node = vsn->net_node();
+  }
+  return d;
+}
+
+struct SeriesPoint {
+  std::uint64_t served[2];
+  double mean_ms[2];
+};
+
+SeriesPoint run_point(std::int64_t dataset_bytes, std::uint64_t requests,
+                      std::unique_ptr<core::SwitchPolicy> policy = nullptr) {
+  Deployment d = deploy();
+  if (policy) d.sw->set_policy(std::move(policy));
+  workload::SiegeConfig cfg;
+  cfg.concurrency = 6;
+  // The paper reduces the arrival rate as the dataset grows; in closed loop
+  // the think time plays that role.
+  cfg.think_time = sim::SimTime::milliseconds(
+      20 + dataset_bytes / (64 * 1024));
+  cfg.response_bytes = dataset_bytes;
+  cfg.max_requests = requests;
+  cfg.switch_delay =
+      workload::switch_forward_cost(2.6, vm::ExecMode::kUmlTraced);
+  workload::SiegeClient siege(d.hup->engine(), d.hup->network(), d.client,
+                              d.sw, d.switch_node, cfg);
+  for (std::size_t i = 0; i < d.nodes.size(); ++i) {
+    siege.register_backend(d.nodes[i].address, d.servers[i].get(),
+                           d.servers[i]->node());
+  }
+  siege.start();
+  d.hup->engine().run();
+
+  SeriesPoint point{};
+  for (std::size_t i = 0; i < 2; ++i) {
+    point.served[i] = siege.completed_by(d.nodes[i].address);
+    point.mean_ms[i] = siege.response_times_for(d.nodes[i].address).mean() * 1e3;
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  util::global_logger().set_level(util::LogLevel::kOff);
+  std::printf("== Figure 4: per-node response time under weighted "
+              "round-robin (2:1 capacities) ==\n\n");
+
+  const std::int64_t kKiB = 1024;
+  const std::int64_t sizes[] = {64 * kKiB,  128 * kKiB, 256 * kKiB,
+                                512 * kKiB, 1024 * kKiB, 2048 * kKiB};
+
+  util::AsciiTable table({"Dataset size", "req (seattle)", "req (tacoma)",
+                          "RT seattle (ms)", "RT tacoma (ms)", "RT ratio"});
+  table.set_alignment({util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight});
+  for (const auto size : sizes) {
+    const auto point = run_point(size, 300);
+    char rt1[32], rt2[32], ratio[16];
+    std::snprintf(rt1, sizeof rt1, "%.1f", point.mean_ms[0]);
+    std::snprintf(rt2, sizeof rt2, "%.1f", point.mean_ms[1]);
+    std::snprintf(ratio, sizeof ratio, "%.2f",
+                  point.mean_ms[1] > 0 ? point.mean_ms[0] / point.mean_ms[1] : 0);
+    table.add_row({util::format_bytes(size), std::to_string(point.served[0]),
+                   std::to_string(point.served[1]), rt1, rt2, ratio});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape: seattle serves ~2x the requests of tacoma at every "
+              "size; the two response times stay\napproximately equal "
+              "(ratio ~1), which is the paper's load-balancing claim.\n\n");
+
+  // ---- Ablation: switching policies at the largest dataset ----
+  std::printf("== Ablation: switching policy at %s ==\n\n",
+              util::format_bytes(sizes[5]).c_str());
+  util::AsciiTable ab({"Policy", "req (seattle)", "req (tacoma)",
+                       "RT seattle (ms)", "RT tacoma (ms)"});
+  ab.set_alignment({util::Align::kLeft, util::Align::kRight,
+                    util::Align::kRight, util::Align::kRight,
+                    util::Align::kRight});
+  struct PolicyRow {
+    const char* name;
+    std::unique_ptr<core::SwitchPolicy> policy;
+  };
+  PolicyRow policies[] = {
+      {"weighted-rr (default)", nullptr},
+      {"plain round-robin", core::make_plain_round_robin()},
+      {"random", core::make_random_policy(7)},
+      {"least-connections", core::make_least_connections()},
+      {"fastest-response (EWMA)", core::make_fastest_response()},
+  };
+  for (auto& row : policies) {
+    const auto point = run_point(sizes[5], 300, std::move(row.policy));
+    char rt1[32], rt2[32];
+    std::snprintf(rt1, sizeof rt1, "%.1f", point.mean_ms[0]);
+    std::snprintf(rt2, sizeof rt2, "%.1f", point.mean_ms[1]);
+    ab.add_row({row.name, std::to_string(point.served[0]),
+                std::to_string(point.served[1]), rt1, rt2});
+  }
+  std::printf("%s\n", ab.render().c_str());
+  std::printf(
+      "capacity-blind policies (plain RR, random) push half the load onto the "
+      "smaller tacoma node\nand its response time explodes. Least-connections "
+      "tracks the 2:1 capacities almost exactly —\nqueue depth is honest "
+      "feedback. Greedy latency routing (fastest-response) HERDS: with "
+      "closed-loop\nfeedback delayed by seconds-long transfers, its stale "
+      "estimates pin nearly all load on one node.\nThe paper's default — WRR "
+      "over declared capacities — is both stable and balanced.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Figure 5: CPU shares over time of three virtual service nodes
+// on one host — `web` (overloaded httpd workers), `comp` (infinite
+// arithmetic loop), `log` (continuous disk writes) — each entitled to an
+// equal share but offering more load than its share.
+//
+//   (a) host OS = unmodified Linux (per-thread time sharing): comp grabs the
+//       CPU, the others starve.
+//   (b) host OS = Linux + SODA's CPU proportional-share scheduler: all three
+//       hold ~1/3.
+//
+// Extra series (design ablation): stride and lottery scheduling at the
+// service level.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "sched/cpu_sim.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/apps.hpp"
+
+using namespace soda;
+
+namespace {
+
+const char* kServices[] = {"svc-web", "svc-comp", "svc-log"};
+
+sched::CpuSimResult run_policy(std::unique_ptr<sched::CpuScheduler> policy,
+                               sim::SimTime duration) {
+  auto sim = workload::make_fig5_scenario(std::move(policy));
+  return sim.run(duration, sim::SimTime::seconds(1));
+}
+
+void print_series(const char* title, const sched::CpuSimResult& result,
+                  std::size_t seconds) {
+  std::printf("--- %s ---\n", title);
+  util::CsvWriter csv({"t(s)", "web", "comp", "log"});
+  for (std::size_t i = 0; i < seconds; ++i) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (const char* uid : kServices) {
+      char cell[16];
+      std::snprintf(cell, sizeof cell, "%.3f",
+                    result.shares.at(uid).points()[i].value);
+      row.push_back(cell);
+    }
+    csv.add_row(std::move(row));
+  }
+  std::printf("%s", csv.render().c_str());
+  double total = 0;
+  for (const char* uid : kServices) total += result.total_cpu_s.at(uid);
+  std::printf("mean shares: web %.3f  comp %.3f  log %.3f   "
+              "max |share-1/3|: %.3f\n\n",
+              result.total_cpu_s.at("svc-web") / total,
+              result.total_cpu_s.at("svc-comp") / total,
+              result.total_cpu_s.at("svc-log") / total,
+              std::max({result.shares.at("svc-web").max_abs_deviation(1.0 / 3),
+                        result.shares.at("svc-comp").max_abs_deviation(1.0 / 3),
+                        result.shares.at("svc-log").max_abs_deviation(1.0 / 3)}));
+}
+
+}  // namespace
+
+int main() {
+  const auto duration = sim::SimTime::seconds(30);
+  std::printf("== Figure 5: CPU shares of web/comp/log (equal entitlements, "
+              "all overloaded) ==\n\n");
+
+  print_series("(a) host OS: unmodified Linux (per-thread time sharing)",
+               run_policy(sched::make_timeshare_scheduler(), duration), 30);
+  print_series("(b) host OS: Linux + SODA CPU proportional-share scheduler",
+               run_policy(sched::make_proportional_scheduler(), duration), 30);
+
+  std::printf("== Ablation: alternative service-level schedulers ==\n\n");
+  util::AsciiTable summary({"Scheduler", "web share", "comp share", "log share",
+                            "max |share-1/3| per window"});
+  summary.set_alignment({util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+  struct Row {
+    const char* name;
+    std::function<std::unique_ptr<sched::CpuScheduler>()> make;
+  };
+  const Row rows[] = {
+      {"timeshare (vanilla)", [] { return sched::make_timeshare_scheduler(); }},
+      {"proportional (SODA)", [] { return sched::make_proportional_scheduler(); }},
+      {"stride", [] { return sched::make_stride_scheduler(); }},
+      {"lottery", [] { return sched::make_lottery_scheduler(0xF16); }},
+  };
+  for (const auto& row : rows) {
+    const auto result = run_policy(row.make(), duration);
+    double total = 0;
+    for (const char* uid : kServices) total += result.total_cpu_s.at(uid);
+    double worst = 0;
+    for (const char* uid : kServices) {
+      worst = std::max(worst, result.shares.at(uid).max_abs_deviation(1.0 / 3));
+    }
+    char web[16], comp[16], log[16], dev[16];
+    std::snprintf(web, sizeof web, "%.3f", result.total_cpu_s.at("svc-web") / total);
+    std::snprintf(comp, sizeof comp, "%.3f",
+                  result.total_cpu_s.at("svc-comp") / total);
+    std::snprintf(log, sizeof log, "%.3f", result.total_cpu_s.at("svc-log") / total);
+    std::snprintf(dev, sizeof dev, "%.3f", worst);
+    summary.add_row({row.name, web, comp, log, dev});
+  }
+  std::printf("%s\n", summary.render().c_str());
+  std::printf(
+      "shape: under vanilla time sharing `comp` dominates. SFQ and stride pin "
+      "all three nodes near 1/3.\nMemoryless lottery drifts toward whoever is "
+      "runnable when the ticket is drawn — it cannot\ncompensate services "
+      "that block briefly, which is why SODA's scheduler keeps history.\n");
+  return 0;
+}

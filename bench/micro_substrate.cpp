@@ -1,0 +1,110 @@
+// google-benchmark micro-benchmarks of the substrate itself: event queue
+// throughput, flow-network reallocation, switch routing, Master planning,
+// rootfs assembly, and the syscall cost model. These guard against
+// accidental slowdowns in the simulator that would make the paper-scale
+// experiments unpleasant to run.
+#include <benchmark/benchmark.h>
+
+#include "core/hup.hpp"
+#include "core/switch.hpp"
+#include "image/image.hpp"
+#include "net/flow_network.hpp"
+#include "os/rootfs.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "util/log.hpp"
+#include "vm/syscall.hpp"
+
+using namespace soda;
+
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < n; ++i) {
+      queue.schedule(sim::SimTime::nanoseconds(rng.uniform_int(0, 1'000'000)),
+                     [] {});
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop().time.ns());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_FlowNetworkReallocate(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    net::FlowNetwork network(engine);
+    const auto sw = network.add_node("sw");
+    std::vector<net::NodeId> hosts;
+    for (int i = 0; i < 8; ++i) {
+      hosts.push_back(network.add_node("h"));
+      network.add_duplex_link(hosts.back(), sw, 100, sim::SimTime::zero());
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < flows; ++i) {
+      // Every start_flow triggers a full max-min reallocation.
+      benchmark::DoNotOptimize(network.start_flow(
+          hosts[i % 8], hosts[(i + 3) % 8], 1'000'000, [](sim::SimTime) {}));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flows) * state.iterations());
+}
+BENCHMARK(BM_FlowNetworkReallocate)->Arg(16)->Arg(64);
+
+void BM_SwitchRouteWrr(benchmark::State& state) {
+  core::ServiceSwitch sw("svc", net::Ipv4Address(10, 0, 0, 1), 80);
+  for (int i = 0; i < 8; ++i) {
+    must(sw.add_backend(core::BackEndEntry{
+        net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)), 80,
+        1 + i % 3}));
+  }
+  for (auto _ : state) {
+    auto backend = sw.route();
+    benchmark::DoNotOptimize(backend);
+    sw.on_request_complete(backend.value().address);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchRouteWrr);
+
+void BM_MasterPlanAllocation(benchmark::State& state) {
+  util::global_logger().set_level(util::LogLevel::kOff);
+  auto tb = core::Hup::paper_testbed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tb.hup->master().plan_allocation("svc", {3, {}}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MasterPlanAllocation);
+
+void BM_RootfsBuildAndCustomize(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rootfs = os::build_rootfs(os::RootFsTemplate::kRh72Server);
+    auto customized = os::customize_rootfs(rootfs, {"httpd", "syslog"});
+    benchmark::DoNotOptimize(customized.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RootfsBuildAndCustomize);
+
+void BM_SyscallCostModel(benchmark::State& state) {
+  const vm::SyscallCostModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vm::static_request_cost(model, 256 * 1024).slowdown());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyscallCostModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Reproduces Table 4: system-call completion cost (clock cycles) inside a
+// UML guest versus directly on the host OS — the "source" of the guest/host
+// slow-down. Paper values: dup2 27276/1208, getpid 26648/1064, geteuid
+// 26904/1084, mmap 27864/1208, mmap_munmap 27044/1200, gettimeofday
+// 37004/1368.
+#include <cstdio>
+
+#include "util/table.hpp"
+#include "vm/syscall.hpp"
+
+using namespace soda;
+
+int main() {
+  const vm::SyscallCostModel model;
+  const struct {
+    vm::Syscall call;
+    unsigned paper_uml;
+    unsigned paper_host;
+  } rows[] = {
+      {vm::Syscall::kDup2, 27276, 1208},
+      {vm::Syscall::kGetpid, 26648, 1064},
+      {vm::Syscall::kGeteuid, 26904, 1084},
+      {vm::Syscall::kMmap, 27864, 1208},
+      {vm::Syscall::kMmapMunmap, 27044, 1200},
+      {vm::Syscall::kGettimeofday, 37004, 1368},
+  };
+
+  std::printf("== Table 4: slow-down at system call level (clock cycles) ==\n\n");
+  util::AsciiTable table({"System call", "in UML", "in host OS", "slow-down",
+                          "paper UML", "paper host"});
+  table.set_alignment({util::Align::kLeft, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight});
+  for (const auto& row : rows) {
+    char slow[16];
+    std::snprintf(slow, sizeof slow, "%.1fx", model.slowdown(row.call));
+    table.add_row(
+        {std::string(vm::syscall_name(row.call)),
+         std::to_string(model.cycles(row.call, vm::ExecMode::kUmlTraced)),
+         std::to_string(model.cycles(row.call, vm::ExecMode::kHostNative)),
+         slow, std::to_string(row.paper_uml), std::to_string(row.paper_host)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("fixed tracing overhead per call: %llu cycles "
+              "(4 ptrace context switches)\n",
+              static_cast<unsigned long long>(model.trace_overhead_cycles()));
+  return 0;
+}

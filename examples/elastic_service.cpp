@@ -1,0 +1,94 @@
+// Elastic hosting: a bioinformatics institute outsources its genome
+// matching service to the HUP (the paper's §1 motivating example), then
+// grows it with SODA_service_resizing when demand rises, shrinks it back at
+// night, and finally tears it down — with the bill tracking every step.
+//
+//   ./build/examples/elastic_service
+#include <cstdio>
+
+#include "core/hup.hpp"
+#include "image/image.hpp"
+#include "util/log.hpp"
+
+using namespace soda;
+
+namespace {
+
+void show(core::Hup& hup, const char* when) {
+  const auto* record = hup.master().find_service("genome-matching");
+  std::printf("\n[%s] <n=%d, M>:\n", when, record->requirement.n);
+  for (const auto& node : record->nodes) {
+    std::printf("  %-20s on %-8s ip %-14s capacity %dM\n",
+                node.node_name.c_str(), node.host_name.c_str(),
+                node.address.to_string().c_str(), node.capacity_units);
+  }
+  std::printf("  switch config:\n%s",
+              hup.master().find_switch("genome-matching")->config_text().c_str());
+  const auto avail = hup.master().hup_available();
+  std::printf("  HUP spare: %s\n", avail.to_string().c_str());
+}
+
+void resize_to(core::Hup& hup, int n) {
+  hup.agent().service_resizing(
+      core::ServiceResizingRequest{{"bioinfo", "key"}, "genome-matching", n},
+      [n](core::ApiResult<core::ServiceResizingReply> reply, sim::SimTime t) {
+        if (reply.ok()) {
+          std::printf("[t=%6.2fs] resized to <%d, M>\n", t.to_seconds(), n);
+        } else {
+          std::printf("[t=%6.2fs] resize to %d failed: %s\n", t.to_seconds(), n,
+                      reply.error().to_string().c_str());
+        }
+      });
+  hup.engine().run();
+}
+
+}  // namespace
+
+int main() {
+  util::global_logger().set_level(util::LogLevel::kWarn);
+  auto tb = core::Hup::paper_testbed();
+  core::Hup& hup = *tb.hup;
+  hup.agent().register_asp("bioinfo", "key");
+  const auto loc = must(tb.repo->publish(image::genome_matching_image()));
+  std::printf("image published at %s (%.1f MB packaged)\n", loc.url().c_str(),
+              static_cast<double>(image::genome_matching_image().packaged_bytes()) /
+                  (1024 * 1024));
+
+  // Day 1: start small.
+  core::ServiceCreationRequest request;
+  request.credentials = {"bioinfo", "key"};
+  request.service_name = "genome-matching";
+  request.image_location = loc;
+  request.requirement = {1, host::MachineConfig::table1_example()};
+  hup.agent().service_creation(
+      request, [](core::ApiResult<core::ServiceCreationReply> reply,
+                  sim::SimTime t) {
+        must(std::move(reply));
+        std::printf("[t=%6.2fs] genome-matching created\n", t.to_seconds());
+      });
+  hup.engine().run();
+  show(hup, "after creation, <1, M>");
+
+  // A conference deadline approaches: grow to 4 machine instances.
+  resize_to(hup, 4);
+  show(hup, "after growth to <4, M>");
+
+  // Ask for more than the HUP can give — rejected, service untouched.
+  resize_to(hup, 50);
+
+  // Night: shrink back to 2.
+  resize_to(hup, 2);
+  show(hup, "after shrink to <2, M>");
+
+  // Retire the service.
+  must(hup.agent().service_teardown(
+      core::ServiceTeardownRequest{{"bioinfo", "key"}, "genome-matching"}));
+  std::printf("\n[t=%6.2fs] torn down. final invoice (at 0.25 per "
+              "machine-instance-hour):\n\n%s",
+              hup.engine().now().to_seconds(),
+              hup.agent()
+                  .billing()
+                  .render_invoice("bioinfo", hup.engine().now(), 0.25)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "core/api.hpp"
+
+namespace soda::core {
+
+std::string_view api_error_name(ApiErrorCode code) noexcept {
+  switch (code) {
+    case ApiErrorCode::kAuthenticationFailed: return "authentication-failed";
+    case ApiErrorCode::kInvalidRequest:       return "invalid-request";
+    case ApiErrorCode::kInsufficientResources: return "insufficient-resources";
+    case ApiErrorCode::kImageNotFound:        return "image-not-found";
+    case ApiErrorCode::kNoSuchService:        return "no-such-service";
+    case ApiErrorCode::kServiceExists:        return "service-exists";
+    case ApiErrorCode::kPrimingFailed:        return "priming-failed";
+    case ApiErrorCode::kInternal:             return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace soda::core

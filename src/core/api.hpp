@@ -1,0 +1,89 @@
+// The SODA API (paper §4.1): SODA_service_creation, SODA_service_teardown,
+// SODA_service_resizing. ASPs call the SODA Agent with these request types;
+// replies describe the virtual service nodes created for the service.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "host/resources.hpp"
+#include "image/repository.hpp"
+#include "net/address.hpp"
+
+namespace soda::core {
+
+/// Why an API call failed.
+enum class ApiErrorCode {
+  kAuthenticationFailed,
+  kInvalidRequest,
+  kInsufficientResources,
+  kImageNotFound,
+  kNoSuchService,
+  kServiceExists,
+  kPrimingFailed,
+  kInternal,
+};
+
+std::string_view api_error_name(ApiErrorCode code) noexcept;
+
+struct ApiError {
+  ApiErrorCode code = ApiErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(api_error_name(code)) + ": " + message;
+  }
+};
+
+/// ASP credentials presented on every call.
+struct Credentials {
+  std::string asp_id;   // e.g. "bioinfo-institute"
+  std::string api_key;  // shared secret registered with the Agent
+};
+
+/// SODA_service_creation(name, image location, <n, M>).
+struct ServiceCreationRequest {
+  Credentials credentials;
+  std::string service_name;
+  image::ImageLocation image_location;
+  host::ResourceRequirement requirement;
+};
+
+/// One virtual service node as reported back to the ASP.
+struct NodeDescriptor {
+  std::string node_name;   // HUP-wide unique, e.g. "web-content/0"
+  std::string host_name;   // which HUP host carries the slice
+  net::Ipv4Address address;
+  int port = 0;
+  int capacity_units = 1;  // multiples of M (Table 3's Capacity column)
+  std::string component;   // partitioned services only; empty = replicated
+};
+
+/// Reply to a successful creation: the nodes and where the switch listens.
+struct ServiceCreationReply {
+  std::string service_name;
+  std::vector<NodeDescriptor> nodes;
+  net::Ipv4Address switch_address;
+  int switch_port = 0;
+};
+
+/// SODA_service_teardown(name).
+struct ServiceTeardownRequest {
+  Credentials credentials;
+  std::string service_name;
+};
+
+/// SODA_service_resizing(name, <n_new, M>). M must equal the creation-time
+/// configuration (the paper resizes node count/capacity, not the unit).
+struct ServiceResizingRequest {
+  Credentials credentials;
+  std::string service_name;
+  int n_new = 1;
+};
+
+struct ServiceResizingReply {
+  std::string service_name;
+  std::vector<NodeDescriptor> nodes;  // post-resize set
+};
+
+}  // namespace soda::core

@@ -1,0 +1,60 @@
+// The service configuration file (paper §3.4, Table 3). The SODA Master
+// creates and maintains one inside each service switch; each BackEnd row
+// records a virtual service node's IP address, port, and relative capacity:
+//
+//   BackEnd 128.10.9.125 8080 2
+//   BackEnd 128.10.9.126 8080 1
+//
+// Resizing rewrites rows in place; the switch re-reads weights from here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/result.hpp"
+
+namespace soda::core {
+
+/// One row of the configuration file. `component` is empty for a fully
+/// replicated service; partitioned services (§3.5 extension) tag each row
+/// with the component its node runs.
+struct BackEndEntry {
+  net::Ipv4Address address;
+  int port = 0;
+  int capacity = 1;
+  std::string component;
+
+  friend bool operator==(const BackEndEntry&, const BackEndEntry&) = default;
+};
+
+/// In-memory representation with the paper's on-disk text format.
+class ServiceConfigFile {
+ public:
+  /// Adds a row; fails if the (address, port) pair is already present.
+  Status add(const BackEndEntry& entry);
+
+  /// Removes the row for `address`; fails if absent.
+  Status remove(net::Ipv4Address address);
+
+  /// Updates the capacity of an existing row; fails if absent.
+  Status set_capacity(net::Ipv4Address address, int capacity);
+
+  [[nodiscard]] const std::vector<BackEndEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] int total_capacity() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Renders the Table 3 text format (one "BackEnd <ip> <port> <capacity>"
+  /// line per entry, with a trailing component tag for partitioned rows).
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses the text format; ignores blank lines and '#' comments.
+  static Result<ServiceConfigFile> parse(std::string_view text);
+
+ private:
+  std::vector<BackEndEntry> entries_;
+};
+
+}  // namespace soda::core

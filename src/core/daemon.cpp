@@ -1,0 +1,292 @@
+#include "core/daemon.hpp"
+
+#include <utility>
+
+#include "os/rootfs.hpp"
+#include "util/contract.hpp"
+#include "util/log.hpp"
+
+namespace soda::core {
+
+namespace {
+
+const sim::SimTime kBridgeLatency = sim::SimTime::microseconds(20);
+
+// CPU cost of tailoring the rootfs: dependency walks plus file pruning,
+// roughly proportional to the number of candidate services.
+constexpr double kCustomizePerServiceGhzS = 0.02;
+
+}  // namespace
+
+std::string_view address_mode_name(AddressMode mode) noexcept {
+  switch (mode) {
+    case AddressMode::kBridging: return "bridging";
+    case AddressMode::kProxying: return "proxying";
+  }
+  return "unknown";
+}
+
+SodaDaemon::SodaDaemon(sim::Engine& engine, net::FlowNetwork& network,
+                       host::HupHost& host, net::TrafficShaper& shaper)
+    : engine_(engine),
+      network_(network),
+      host_(host),
+      shaper_(shaper),
+      downloader_(engine, network, host.lan_node()) {}
+
+void SodaDaemon::prime_node(PrimeCommand command, PrimeCallback done) {
+  SODA_EXPECTS(done != nullptr);
+  SODA_EXPECTS(command.repository != nullptr);
+  SODA_EXPECTS(command.capacity_units >= 1);
+  auto& log = util::global_logger();
+  const std::string tag = "daemon@" + host_.name();
+
+  if (nodes_.count(command.node_name) > 0) {
+    done(Error{"node already exists: " + command.node_name}, engine_.now());
+    return;
+  }
+
+  // 1. Reserve the slice. Everything later rolls this back on failure.
+  auto slice = host_.reserve(command.service_name, command.reserve);
+  if (!slice.ok()) {
+    done(slice.error(), engine_.now());
+    return;
+  }
+  log.info(tag, "reserved slice for " + command.node_name + " (" +
+                    command.reserve.to_string() + ")");
+  if (trace_) {
+    trace_->record(engine_.now(), TraceKind::kPrimingStarted,
+                   "daemon@" + host_.name(), command.node_name,
+                   command.reserve.to_string());
+  }
+
+  // 2. Download the service image from the ASP's repository. Copy the
+  //    arguments out first: `command` moves into the callback, and argument
+  //    evaluation order would otherwise race the move.
+  const sim::SimTime download_started = engine_.now();
+  const image::ImageRepository& repository = *command.repository;
+  const image::ImageLocation location = command.location;
+  downloader_.download(
+      repository, location,
+      [this, command = std::move(command), slice = slice.value(),
+       download_started,
+       done = std::move(done)](Result<image::ServiceImage> image,
+                               sim::SimTime now) mutable {
+        if (!image.ok()) {
+          must(host_.release(slice));
+          done(Error{"image download failed: " + image.error().message}, now);
+          return;
+        }
+        if (trace_) {
+          trace_->record(now, TraceKind::kImageDownloaded,
+                         "daemon@" + host_.name(), command.node_name,
+                         std::to_string(image.value().packaged_bytes()) +
+                             " bytes");
+        }
+        continue_priming(std::move(command), std::move(image).value(), slice,
+                         download_started, now, std::move(done));
+      });
+}
+
+void SodaDaemon::continue_priming(PrimeCommand command,
+                                  image::ServiceImage image,
+                                  host::SliceId slice,
+                                  sim::SimTime download_started,
+                                  sim::SimTime downloaded_at,
+                                  PrimeCallback done) {
+  auto& log = util::global_logger();
+  const std::string tag = "daemon@" + host_.name();
+  auto fail = [&](std::string message) {
+    must(host_.release(slice));
+    done(Error{std::move(message)}, engine_.now());
+  };
+
+  // Effective application parameters: the component's when this node runs
+  // one component of a partitioned service, the image's otherwise.
+  const std::vector<std::string>& required_services =
+      command.component ? command.component->required_services
+                        : image.required_services;
+  const std::string entry_command =
+      command.component ? command.component->entry_command : image.entry_command;
+  const double app_start_ghz_s =
+      command.component ? command.component->app_start_ghz_s
+                        : image.app_start_ghz_s;
+  const std::int64_t app_memory_mb =
+      command.component ? command.component->app_memory_mb : image.app_memory_mb;
+  const int listen_port =
+      command.component ? command.component->listen_port : command.listen_port;
+
+  // 3. Build the guest root filesystem: template, optional tailoring, then
+  //    merge the application image into the root (the service image is part
+  //    of the root file system, §4.3).
+  os::RootFs rootfs = os::build_rootfs(image.rootfs_template);
+  sim::SimTime customize_time = sim::SimTime::zero();
+  if (command.customize_rootfs) {
+    auto customized = os::customize_rootfs(rootfs, required_services);
+    if (!customized.ok()) {
+      fail("rootfs customization failed: " + customized.error().message);
+      return;
+    }
+    const std::size_t candidates = rootfs.enabled_services.size();
+    customize_time = sim::SimTime::seconds(
+        kCustomizePerServiceGhzS * static_cast<double>(candidates) /
+        host_.spec().cpu_ghz);
+    rootfs = std::move(customized).value();
+  }
+  if (auto merged = rootfs.fs.copy_from(image.payload, "/", "/"); !merged.ok()) {
+    fail("image merge failed: " + merged.error().message);
+    return;
+  }
+
+  // 4. Create the UML with the slice's memory as its usage limit.
+  const std::int64_t memory_mb = command.reserve.memory_mb;
+  if (memory_mb <= vm::UserModeLinux::kKernelMemoryMb + app_memory_mb) {
+    fail("slice memory too small for guest kernel + application");
+    return;
+  }
+  auto uml = std::make_unique<vm::UserModeLinux>(std::move(rootfs), memory_mb);
+  const vm::BootReport boot_plan = uml->plan_boot(host_.spec());
+  const sim::SimTime app_start_time =
+      sim::SimTime::seconds(app_start_ghz_s / host_.spec().cpu_ghz);
+
+  // 5. Networking: IP from the host pool, a network port for the VM, the
+  //    bridge mapping, and the outbound bandwidth share in the shaper.
+  auto address = host_.ip_pool().allocate();
+  if (!address.ok()) {
+    fail("no free IP on " + host_.name() + ": " + address.error().message);
+    return;
+  }
+  const net::Ipv4Address ip = address.value();
+  const net::NodeId vm_node = network_.add_node(command.node_name);
+  // The VM's hop through the host runs at UML's effective NIC rate —
+  // tracing every frame costs about half the host's line rate.
+  network_.add_duplex_link(vm_node, host_.lan_node(),
+                           vm::uml_effective_nic_mbps(host_.spec().nic_mbps),
+                           kBridgeLatency);
+  int public_port = 0;
+  if (command.address_mode == AddressMode::kBridging) {
+    if (auto attached = host_.bridge().attach(ip, vm_node); !attached.ok()) {
+      host_.ip_pool().release(ip);
+      fail(attached.error().message);
+      return;
+    }
+  } else {
+    // Proxying: the node keeps its reserved address; clients reach it via a
+    // forwarded port on the host's public address.
+    auto forwarded =
+        host_.proxy().forward(net::ProxyTarget{ip, listen_port});
+    if (!forwarded.ok()) {
+      host_.ip_pool().release(ip);
+      fail(forwarded.error().message);
+      return;
+    }
+    public_port = forwarded.value();
+  }
+  // The shaper enforces the *un-inflated* bandwidth share the service paid
+  // for; the inflation headroom absorbs virtualization overhead.
+  shaper_.configure(
+      ip, command.unit.bandwidth_mbps * command.capacity_units);
+
+  auto node = std::make_unique<vm::VirtualServiceNode>(
+      vm::NodeName{command.node_name}, command.service_name, host_.name(), slice,
+      ip, vm_node, command.capacity_units, std::move(uml));
+  node->set_service_port(listen_port);
+  if (command.component) node->set_component(command.component->name);
+  if (command.address_mode == AddressMode::kProxying) {
+    node->set_public_endpoint(
+        vm::PublicEndpoint{host_.public_address(), public_port});
+  }
+  vm::VirtualServiceNode* node_ptr = node.get();
+
+  NodeRecord record;
+  record.node = std::move(node);
+  record.address_mode = command.address_mode;
+  record.public_port = public_port;
+  record.report.download_time = downloaded_at - download_started;
+  record.report.customize_time = customize_time;
+  record.report.boot = boot_plan;
+  record.report.app_start_time = app_start_time;
+  record.report.image_bytes = image.packaged_bytes();
+  record.report.rootfs_bytes = node_ptr->uml().rootfs().image_bytes();
+  record.unit = command.unit;
+  nodes_.emplace(command.node_name, std::move(record));
+
+  // 6. Boot the guest, then start the application inside it.
+  must(node_ptr->uml().begin_boot(engine_.now()));
+  const sim::SimTime ready_in = customize_time + boot_plan.total() + app_start_time;
+  log.info(tag, command.node_name + ": priming, ip " + ip.to_string() +
+                    ", boot plan " + std::to_string(ready_in.to_seconds()) + "s" +
+                    (boot_plan.used_ram_disk ? " (ram disk)" : " (disk)"));
+  engine_.schedule_after(
+      ready_in, [this, node_ptr, entry = entry_command, app_mem = app_memory_mb,
+                 done = std::move(done)] {
+        must(node_ptr->uml().finish_boot(engine_.now()));
+        const std::string uid = "svc-" + node_ptr->service_name();
+        must(node_ptr->uml().spawn_process(entry, uid, engine_.now()));
+        must(node_ptr->uml().allocate_memory(app_mem));
+        if (trace_) {
+          trace_->record(engine_.now(), TraceKind::kNodeBooted,
+                         "daemon@" + host_.name(), node_ptr->name().value,
+                         "ip " + node_ptr->address().to_string() + " runs " +
+                             entry);
+        }
+        done(node_ptr, engine_.now());
+      });
+}
+
+Status SodaDaemon::teardown_node(const std::string& node_name) {
+  auto it = nodes_.find(node_name);
+  if (it == nodes_.end()) {
+    return Error{"daemon@" + host_.name() + ": no node " + node_name};
+  }
+  vm::VirtualServiceNode& node = *it->second.node;
+  node.uml().shutdown();
+  if (it->second.address_mode == AddressMode::kBridging) {
+    must(host_.bridge().detach(node.address()));
+  } else {
+    host_.proxy().remove(it->second.public_port);
+  }
+  shaper_.remove(node.address());
+  host_.ip_pool().release(node.address());
+  must(host_.release(node.slice()));
+  nodes_.erase(it);
+  // The VM's flow-network port remains in the topology (links cannot be
+  // removed), but nothing routes to it once the bridge entry is gone.
+  return {};
+}
+
+Status SodaDaemon::resize_node(const std::string& node_name, int new_units,
+                               const host::ResourceVector& new_reserve) {
+  SODA_EXPECTS(new_units >= 1);
+  auto it = nodes_.find(node_name);
+  if (it == nodes_.end()) {
+    return Error{"daemon@" + host_.name() + ": no node " + node_name};
+  }
+  vm::VirtualServiceNode& node = *it->second.node;
+  if (auto resized = host_.resize(node.slice(), new_reserve); !resized.ok()) {
+    return resized;
+  }
+  node.set_capacity_units(new_units);
+  shaper_.configure(node.address(),
+                    it->second.unit.bandwidth_mbps * new_units);
+  return {};
+}
+
+vm::VirtualServiceNode* SodaDaemon::find_node(const std::string& node_name) {
+  auto it = nodes_.find(node_name);
+  return it == nodes_.end() ? nullptr : it->second.node.get();
+}
+
+const vm::VirtualServiceNode* SodaDaemon::find_node(
+    const std::string& node_name) const {
+  auto it = nodes_.find(node_name);
+  return it == nodes_.end() ? nullptr : it->second.node.get();
+}
+
+const PrimingReport* SodaDaemon::priming_report(
+    const std::string& node_name) const {
+  auto it = nodes_.find(node_name);
+  return it == nodes_.end() ? nullptr : &it->second.report;
+}
+
+}  // namespace soda::core

@@ -1,0 +1,146 @@
+// The SODA Daemon (paper §3.3, §4.3): a host-OS process on every HUP host.
+// It reports resource availability to the Master and performs service
+// priming at the Master's command: reserve a slice, download the service
+// image over HTTP/1.1, tailor the guest root filesystem to the services the
+// application needs, boot the UML, assign an IP address from the host's
+// pool, register the UML-IP mapping with the bridging module, install the
+// outbound bandwidth share in the traffic shaper, and finally start the
+// application inside the guest. Once the service runs, the daemon stays out
+// of the data path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "host/host.hpp"
+#include "image/downloader.hpp"
+#include "image/repository.hpp"
+#include "net/flow_network.hpp"
+#include "net/shaper.hpp"
+#include "sim/engine.hpp"
+#include "core/trace.hpp"
+#include "util/result.hpp"
+#include "vm/vsnode.hpp"
+
+namespace soda::core {
+
+/// Timing breakdown of one node's priming, kept for the Table 2 bench and
+/// the download-time series.
+struct PrimingReport {
+  sim::SimTime download_time;   // image transfer over the LAN
+  sim::SimTime customize_time;  // rootfs tailoring on the host CPU
+  vm::BootReport boot;          // mount + kernel + system services
+  sim::SimTime app_start_time;  // application launch inside the guest
+  std::int64_t image_bytes = 0;       // packaged bytes transferred
+  std::int64_t rootfs_bytes = 0;      // final (customized) rootfs size
+
+  [[nodiscard]] sim::SimTime bootstrap_time() const noexcept {
+    return boot.total() + app_start_time;
+  }
+  [[nodiscard]] sim::SimTime total() const noexcept {
+    return download_time + customize_time + bootstrap_time();
+  }
+};
+
+/// How a new virtual service node is made reachable (paper §3.3 and its
+/// footnote 3): bridging gives the node its own LAN-visible IP; proxying
+/// keeps the node on a reserved (private) address and forwards a port on
+/// the host's public address to it — for when IP addresses are scarce.
+enum class AddressMode { kBridging, kProxying };
+
+std::string_view address_mode_name(AddressMode mode) noexcept;
+
+/// Master -> Daemon command to create one virtual service node.
+struct PrimeCommand {
+  std::string node_name;     // HUP-wide unique, e.g. "web-content/0"
+  std::string service_name;
+  const image::ImageRepository* repository = nullptr;
+  image::ImageLocation location;
+  host::MachineConfig unit;  // M
+  int capacity_units = 1;    // this node provides capacity_units x M
+  /// Resources to reserve (the Master has already applied slow-down
+  /// inflation to CPU and bandwidth).
+  host::ResourceVector reserve;
+  /// Tailor the guest rootfs to the image's required services (on by
+  /// default; the Table 2 ablation turns it off).
+  bool customize_rootfs = true;
+  /// Bridge (default) or proxy the node's connectivity.
+  AddressMode address_mode = AddressMode::kBridging;
+  /// Guest port the application listens on (proxy target port).
+  int listen_port = 8080;
+  /// Partitioned services: the component this node runs; overrides the
+  /// image's entry command, system-service needs, and port.
+  std::optional<image::ServiceComponent> component;
+};
+
+class SodaDaemon {
+ public:
+  SodaDaemon(sim::Engine& engine, net::FlowNetwork& network,
+             host::HupHost& host, net::TrafficShaper& shaper);
+  SodaDaemon(const SodaDaemon&) = delete;
+  SodaDaemon& operator=(const SodaDaemon&) = delete;
+
+  /// Resource availability as reported to the Master.
+  [[nodiscard]] host::ResourceVector available() const { return host_.available(); }
+  [[nodiscard]] const std::string& host_name() const noexcept {
+    return host_.name();
+  }
+  [[nodiscard]] host::HupHost& host() noexcept { return host_; }
+  [[nodiscard]] const host::HupHost& host() const noexcept { return host_; }
+
+  using PrimeCallback =
+      std::function<void(Result<vm::VirtualServiceNode*> node, sim::SimTime now)>;
+
+  /// Runs the full priming pipeline; `done` fires when the node is serving
+  /// (or with the first error, after rolling back partial work).
+  void prime_node(PrimeCommand command, PrimeCallback done);
+
+  /// Stops a node and releases everything it held (slice, IP, bridge entry,
+  /// shaper entry). The guest's processes die with it.
+  Status teardown_node(const std::string& node_name);
+
+  /// Grows/shrinks a node in place: new slice reservation, capacity units,
+  /// and shaper bandwidth. Fails if the host cannot fit the growth.
+  Status resize_node(const std::string& node_name, int new_units,
+                     const host::ResourceVector& new_reserve);
+
+  [[nodiscard]] vm::VirtualServiceNode* find_node(const std::string& node_name);
+  [[nodiscard]] const vm::VirtualServiceNode* find_node(
+      const std::string& node_name) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Priming breakdown of a node created by this daemon.
+  [[nodiscard]] const PrimingReport* priming_report(
+      const std::string& node_name) const;
+
+  /// Attaches a trace log (emission is skipped when unset).
+  void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
+
+ private:
+  struct NodeRecord {
+    std::unique_ptr<vm::VirtualServiceNode> node;
+    PrimingReport report;
+    host::MachineConfig unit;
+    AddressMode address_mode = AddressMode::kBridging;
+    int public_port = 0;  // proxying only
+  };
+
+  /// Stage 2 of priming, after the image arrived.
+  void continue_priming(PrimeCommand command, image::ServiceImage image,
+                        host::SliceId slice, sim::SimTime download_started,
+                        sim::SimTime downloaded_at, PrimeCallback done);
+
+  sim::Engine& engine_;
+  net::FlowNetwork& network_;
+  host::HupHost& host_;
+  net::TrafficShaper& shaper_;
+  image::HttpDownloader downloader_;
+  std::map<std::string, NodeRecord> nodes_;
+  TraceLog* trace_ = nullptr;
+};
+
+}  // namespace soda::core

@@ -1,0 +1,149 @@
+#include "core/federation.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+#include "util/log.hpp"
+
+namespace soda::core {
+
+Federation::Federation(WanConfig wan) : wan_(wan) {}
+
+Hup& Federation::add_site(const std::string& name, MasterConfig master_config) {
+  SODA_EXPECTS(!name.empty());
+  SODA_EXPECTS(find_site(name) == nullptr);
+  auto site = std::make_unique<Site>();
+  site->name = name;
+  site->hup = std::make_unique<Hup>(engine_, network_, name, master_config);
+  // Full WAN mesh with the existing sites.
+  for (const auto& existing : sites_) {
+    network_.add_duplex_link(site->hup->lan_switch(),
+                             existing->hup->lan_switch(), wan_.mbps,
+                             wan_.latency);
+  }
+  // Late joiners still learn every announced ASP and repository.
+  for (const auto& [asp_id, key] : asps_) {
+    site->hup->agent().register_asp(asp_id, key);
+  }
+  for (const auto* repository : repositories_) {
+    site->hup->master().register_repository(repository);
+  }
+  sites_.push_back(std::move(site));
+  return *sites_.back()->hup;
+}
+
+void Federation::register_asp(const std::string& asp_id,
+                              const std::string& api_key) {
+  asps_.emplace_back(asp_id, api_key);
+  for (const auto& site : sites_) {
+    site->hup->agent().register_asp(asp_id, api_key);
+  }
+}
+
+void Federation::announce_repository(const image::ImageRepository* repository) {
+  SODA_EXPECTS(repository != nullptr);
+  repositories_.push_back(repository);
+  for (const auto& site : sites_) {
+    site->hup->master().register_repository(repository);
+  }
+}
+
+std::vector<Federation::Site*> Federation::sites_by_capacity() {
+  std::vector<Site*> order;
+  order.reserve(sites_.size());
+  for (const auto& site : sites_) order.push_back(site.get());
+  std::stable_sort(order.begin(), order.end(), [](Site* a, Site* b) {
+    return a->hup->master().hup_available().cpu_mhz >
+           b->hup->master().hup_available().cpu_mhz;
+  });
+  return order;
+}
+
+void Federation::create_service(const ServiceCreationRequest& request,
+                                CreateCallback done) {
+  SODA_EXPECTS(done != nullptr);
+  if (sites_.empty()) {
+    done(ApiError{ApiErrorCode::kInternal, "federation has no member sites"},
+         engine_.now());
+    return;
+  }
+  auto order = std::make_shared<std::vector<Site*>>(sites_by_capacity());
+  try_create(request, order, 0, std::move(done));
+}
+
+void Federation::try_create(const ServiceCreationRequest& request,
+                            std::shared_ptr<std::vector<Site*>> order,
+                            std::size_t index, CreateCallback done) {
+  Site* site = (*order)[index];
+  util::global_logger().info(
+      "federation", "trying " + request.service_name + " at site " + site->name);
+  site->hup->agent().service_creation(
+      request, [this, request, order, index, site, done = std::move(done)](
+                   ApiResult<ServiceCreationReply> reply,
+                   sim::SimTime now) mutable {
+        if (reply.ok()) {
+          owner_site_[request.service_name] = site;
+          done(std::move(reply), now);
+          return;
+        }
+        // Only capacity exhaustion justifies spilling to a peer; every
+        // other error (auth, bad image, bad request) is terminal.
+        const bool spillable =
+            reply.error().code == ApiErrorCode::kInsufficientResources ||
+            reply.error().code == ApiErrorCode::kPrimingFailed;
+        if (!spillable || index + 1 >= order->size()) {
+          done(std::move(reply), now);
+          return;
+        }
+        try_create(request, order, index + 1, std::move(done));
+      });
+}
+
+Result<void, ApiError> Federation::teardown_service(
+    const ServiceTeardownRequest& request) {
+  Hup* site = site_of(request.service_name);
+  if (!site) {
+    return ApiError{ApiErrorCode::kNoSuchService,
+                    "no federation site hosts " + request.service_name};
+  }
+  auto result = site->agent().service_teardown(request);
+  if (result.ok()) owner_site_.erase(request.service_name);
+  return result;
+}
+
+void Federation::resize_service(const ServiceResizingRequest& request,
+                                ResizeCallback done) {
+  SODA_EXPECTS(done != nullptr);
+  Hup* site = site_of(request.service_name);
+  if (!site) {
+    done(ApiError{ApiErrorCode::kNoSuchService,
+                  "no federation site hosts " + request.service_name},
+         engine_.now());
+    return;
+  }
+  site->agent().service_resizing(request, std::move(done));
+}
+
+Result<ServiceStatusReport, ApiError> Federation::service_status(
+    const Credentials& credentials, const std::string& service_name) {
+  Hup* site = site_of(service_name);
+  if (!site) {
+    return ApiError{ApiErrorCode::kNoSuchService,
+                    "no federation site hosts " + service_name};
+  }
+  return site->agent().service_status(credentials, service_name);
+}
+
+Hup* Federation::site_of(const std::string& service_name) {
+  auto it = owner_site_.find(service_name);
+  return it == owner_site_.end() ? nullptr : it->second->hup.get();
+}
+
+Hup* Federation::find_site(const std::string& name) {
+  for (const auto& site : sites_) {
+    if (site->name == name) return site->hup.get();
+  }
+  return nullptr;
+}
+
+}  // namespace soda::core

@@ -1,0 +1,93 @@
+// Wide-area HUP federation (paper §3.5: "One way to construct a wide-area
+// HUP is to federate multiple local HUPs, each having its own SODA Agent
+// and Master"). A Federation owns one simulated world and a set of member
+// sites — each a full local HUP with autonomous Agent/Master — joined by
+// WAN links in a full mesh. The FederationBroker fronts the ASP-facing API:
+// it forwards a creation request to member sites in order of spare
+// capacity until one admits it, and remembers which site hosts which
+// service for teardown/resizing/monitoring. Image repositories are
+// announced federation-wide, so a daemon at a remote site downloads the
+// image across the WAN — visibly slower priming, as geography demands.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hup.hpp"
+
+namespace soda::core {
+
+/// WAN parameters between member sites (defaults: a T3-class 45 Mbps pipe
+/// with 20 ms one-way latency).
+struct WanConfig {
+  double mbps = 45;
+  sim::SimTime latency = sim::SimTime::milliseconds(20);
+};
+
+class Federation {
+ public:
+  explicit Federation(WanConfig wan = {});
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  /// Adds a member site (its own Agent + Master); it is WAN-meshed with
+  /// every existing site. Site names must be unique.
+  Hup& add_site(const std::string& name, MasterConfig master_config = {});
+
+  /// Registers an ASP at every member site (enrollment is federation-wide).
+  void register_asp(const std::string& asp_id, const std::string& api_key);
+
+  /// Publishes `repository` federation-wide: every site's Master can
+  /// resolve it (remote sites download across the WAN).
+  void announce_repository(const image::ImageRepository* repository);
+
+  using CreateCallback = SodaMaster::CreateCallback;
+  /// Brokered SODA_service_creation: sites are tried in descending order of
+  /// spare CPU; the first to admit hosts the service. Fails with the last
+  /// site's error when none can.
+  void create_service(const ServiceCreationRequest& request, CreateCallback done);
+
+  /// Brokered teardown: routed to the owning site.
+  Result<void, ApiError> teardown_service(const ServiceTeardownRequest& request);
+
+  using ResizeCallback = SodaMaster::ResizeCallback;
+  /// Brokered resizing: routed to the owning site (resize never migrates a
+  /// service across sites).
+  void resize_service(const ServiceResizingRequest& request, ResizeCallback done);
+
+  /// Brokered monitoring.
+  Result<ServiceStatusReport, ApiError> service_status(
+      const Credentials& credentials, const std::string& service_name);
+
+  /// The member site hosting `service_name`, or nullptr.
+  [[nodiscard]] Hup* site_of(const std::string& service_name);
+  [[nodiscard]] Hup* find_site(const std::string& name);
+  [[nodiscard]] std::size_t site_count() const noexcept { return sites_.size(); }
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] net::FlowNetwork& network() noexcept { return network_; }
+
+ private:
+  struct Site {
+    std::string name;
+    std::unique_ptr<Hup> hup;
+  };
+
+  /// Sites ordered by descending spare CPU (the broker's preference).
+  std::vector<Site*> sites_by_capacity();
+  void try_create(const ServiceCreationRequest& request,
+                  std::shared_ptr<std::vector<Site*>> order, std::size_t index,
+                  CreateCallback done);
+
+  sim::Engine engine_;
+  net::FlowNetwork network_{engine_};
+  WanConfig wan_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::map<std::string, Site*> owner_site_;  // service -> site
+  std::vector<std::pair<std::string, std::string>> asps_;  // id, key
+  std::vector<const image::ImageRepository*> repositories_;
+};
+
+}  // namespace soda::core

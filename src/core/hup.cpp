@@ -1,0 +1,97 @@
+#include "core/hup.hpp"
+
+#include "util/contract.hpp"
+
+namespace soda::core {
+
+Hup::Hup(MasterConfig master_config, LanConfig lan)
+    : owned_engine_(std::make_unique<sim::Engine>()),
+      owned_network_(std::make_unique<net::FlowNetwork>(*owned_engine_)),
+      engine_(owned_engine_.get()),
+      network_(owned_network_.get()),
+      lan_(lan) {
+  lan_switch_ = network_->add_node("lan-switch");
+  trace_ = std::make_unique<TraceLog>();
+  master_ = std::make_unique<SodaMaster>(*engine_, master_config);
+  agent_ = std::make_unique<SodaAgent>(*engine_, *master_);
+  master_->set_trace(trace_.get());
+  agent_->set_trace(trace_.get());
+}
+
+Hup::Hup(sim::Engine& engine, net::FlowNetwork& network, std::string site_name,
+         MasterConfig master_config, LanConfig lan)
+    : engine_(&engine), network_(&network), lan_(lan) {
+  lan_switch_ = network_->add_node(site_name + "/lan-switch");
+  trace_ = std::make_unique<TraceLog>();
+  master_ = std::make_unique<SodaMaster>(*engine_, master_config);
+  agent_ = std::make_unique<SodaAgent>(*engine_, *master_);
+  master_->set_trace(trace_.get());
+  agent_->set_trace(trace_.get());
+}
+
+host::HupHost& Hup::add_host(host::HostSpec spec, net::Ipv4Address pool_start,
+                             std::size_t pool_size) {
+  SODA_EXPECTS(hosts_.count(spec.name) == 0);
+  const net::NodeId lan_node = network_->add_node(spec.name);
+  network_->add_duplex_link(lan_node, lan_switch_, spec.nic_mbps, lan_.latency);
+
+  HostBundle bundle;
+  bundle.host = std::make_unique<host::HupHost>(
+      spec, lan_node, net::IpPool(pool_start, pool_size));
+  bundle.shaper = std::make_unique<net::TrafficShaper>(*network_);
+  bundle.daemon = std::make_unique<SodaDaemon>(*engine_, *network_, *bundle.host,
+                                               *bundle.shaper);
+  bundle.daemon->set_trace(trace_.get());
+  must(master_->register_daemon(bundle.daemon.get()));
+  auto [it, inserted] = hosts_.emplace(spec.name, std::move(bundle));
+  SODA_ENSURES(inserted);
+  return *it->second.host;
+}
+
+image::ImageRepository& Hup::add_repository(const std::string& name) {
+  const net::NodeId node = network_->add_node(name);
+  network_->add_duplex_link(node, lan_switch_, lan_.mbps, lan_.latency);
+  repositories_.push_back(std::make_unique<image::ImageRepository>(name, node));
+  master_->register_repository(repositories_.back().get());
+  return *repositories_.back();
+}
+
+net::NodeId Hup::add_client(const std::string& name) {
+  const net::NodeId node = network_->add_node(name);
+  network_->add_duplex_link(node, lan_switch_, lan_.mbps, lan_.latency);
+  return node;
+}
+
+HealthMonitor& Hup::health_monitor() {
+  if (!monitor_) monitor_ = std::make_unique<HealthMonitor>(*engine_, *master_);
+  return *monitor_;
+}
+
+host::HupHost* Hup::find_host(const std::string& name) {
+  auto it = hosts_.find(name);
+  return it == hosts_.end() ? nullptr : it->second.host.get();
+}
+
+SodaDaemon* Hup::find_daemon(const std::string& host_name) {
+  auto it = hosts_.find(host_name);
+  return it == hosts_.end() ? nullptr : it->second.daemon.get();
+}
+
+net::TrafficShaper* Hup::find_shaper(const std::string& host_name) {
+  auto it = hosts_.find(host_name);
+  return it == hosts_.end() ? nullptr : it->second.shaper.get();
+}
+
+Hup::PaperTestbed Hup::paper_testbed(MasterConfig master_config) {
+  PaperTestbed testbed;
+  testbed.hup = std::make_unique<Hup>(master_config);
+  testbed.hup->add_host(host::HostSpec::seattle(),
+                        *net::Ipv4Address::parse("128.10.9.120"), 16);
+  testbed.hup->add_host(host::HostSpec::tacoma(),
+                        *net::Ipv4Address::parse("128.10.9.140"), 16);
+  testbed.repo = &testbed.hup->add_repository("asp-repo");
+  testbed.client = testbed.hup->add_client("client-0");
+  return testbed;
+}
+
+}  // namespace soda::core

@@ -1,0 +1,104 @@
+// The HUP façade: assembles a complete hosting utility platform — engine,
+// LAN, hosts with daemons and shapers, repositories, client machines, the
+// SODA Master and Agent — so examples and benches build a testbed in a few
+// lines. The default LAN mirrors the paper's: a 100 Mbps switched network.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "core/daemon.hpp"
+#include "core/master.hpp"
+#include "core/monitor.hpp"
+#include "core/trace.hpp"
+#include "host/host.hpp"
+#include "image/repository.hpp"
+#include "net/flow_network.hpp"
+#include "net/shaper.hpp"
+#include "sim/engine.hpp"
+
+namespace soda::core {
+
+/// LAN parameters of the platform (defaults mirror the paper's 100 Mbps
+/// departmental network).
+struct LanConfig {
+  double mbps = 100;
+  sim::SimTime latency = sim::SimTime::microseconds(100);
+};
+
+/// Everything needed to run SODA experiments, wired and owned in one place.
+class Hup {
+ public:
+  explicit Hup(MasterConfig master_config = {}, LanConfig lan = {});
+  /// Federation constructor: this HUP becomes one site of a wide-area
+  /// deployment, sharing `engine` and `network` with its peers. `site_name`
+  /// prefixes the LAN switch node.
+  Hup(sim::Engine& engine, net::FlowNetwork& network, std::string site_name,
+      MasterConfig master_config = {}, LanConfig lan = {});
+  Hup(const Hup&) = delete;
+  Hup& operator=(const Hup&) = delete;
+
+  /// Adds a HUP host: attaches it to the LAN, gives it an IP pool of
+  /// `pool_size` addresses starting at `pool_start`, and starts its daemon
+  /// (registered with the Master).
+  host::HupHost& add_host(host::HostSpec spec, net::Ipv4Address pool_start,
+                          std::size_t pool_size = 16);
+
+  /// Adds an ASP image repository machine on the LAN.
+  image::ImageRepository& add_repository(const std::string& name);
+
+  /// Adds a client machine on the LAN; returns its network node.
+  net::NodeId add_client(const std::string& name);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] net::FlowNetwork& network() noexcept { return *network_; }
+  [[nodiscard]] net::NodeId lan_switch() const noexcept { return lan_switch_; }
+  [[nodiscard]] SodaMaster& master() noexcept { return *master_; }
+  [[nodiscard]] SodaAgent& agent() noexcept { return *agent_; }
+  /// The HUP's health monitor (created lazily; call start() to enable the
+  /// periodic probing loop).
+  [[nodiscard]] HealthMonitor& health_monitor();
+
+  /// The control-plane event trace (always on; bounded).
+  [[nodiscard]] TraceLog& trace() noexcept { return *trace_; }
+
+  [[nodiscard]] host::HupHost* find_host(const std::string& name);
+  [[nodiscard]] SodaDaemon* find_daemon(const std::string& host_name);
+  [[nodiscard]] net::TrafficShaper* find_shaper(const std::string& host_name);
+  [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+
+  /// The paper's two-host testbed (§4): seattle + tacoma + one ASP
+  /// repository ("asp-repo") + one client machine ("client-0").
+  struct PaperTestbed {
+    std::unique_ptr<Hup> hup;
+    image::ImageRepository* repo;
+    net::NodeId client;
+  };
+  static PaperTestbed paper_testbed(MasterConfig master_config = {});
+
+ private:
+  struct HostBundle {
+    std::unique_ptr<host::HupHost> host;
+    std::unique_ptr<net::TrafficShaper> shaper;
+    std::unique_ptr<SodaDaemon> daemon;
+  };
+
+  // Owned in standalone mode; null when attached to a federation's world.
+  std::unique_ptr<sim::Engine> owned_engine_;
+  std::unique_ptr<net::FlowNetwork> owned_network_;
+  sim::Engine* engine_ = nullptr;
+  net::FlowNetwork* network_ = nullptr;
+  LanConfig lan_;
+  net::NodeId lan_switch_;
+  std::map<std::string, HostBundle> hosts_;
+  std::vector<std::unique_ptr<image::ImageRepository>> repositories_;
+  std::unique_ptr<TraceLog> trace_;
+  std::unique_ptr<SodaMaster> master_;
+  std::unique_ptr<SodaAgent> agent_;
+  std::unique_ptr<HealthMonitor> monitor_;
+};
+
+}  // namespace soda::core

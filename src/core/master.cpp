@@ -1,0 +1,650 @@
+#include "core/master.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/contract.hpp"
+#include "util/log.hpp"
+
+namespace soda::core {
+
+namespace {
+
+/// A node's client-facing endpoint: the proxied public endpoint when the
+/// daemon proxied it, otherwise the node's own address and service port.
+NodeDescriptor describe_node(const vm::VirtualServiceNode& vsn, int listen_port) {
+  NodeDescriptor descriptor;
+  descriptor.node_name = vsn.name().value;
+  descriptor.host_name = vsn.host_name();
+  descriptor.capacity_units = vsn.capacity_units();
+  descriptor.component = vsn.component();
+  if (vsn.public_endpoint()) {
+    descriptor.address = vsn.public_endpoint()->address;
+    descriptor.port = vsn.public_endpoint()->port;
+  } else {
+    descriptor.address = vsn.address();
+    descriptor.port = vsn.service_port() > 0 ? vsn.service_port() : listen_port;
+  }
+  return descriptor;
+}
+
+/// How many machine instances of `unit` fit into `avail`.
+int units_that_fit(const host::ResourceVector& avail,
+                   const host::ResourceVector& unit) {
+  double k = std::floor(avail.cpu_mhz / unit.cpu_mhz + 1e-9);
+  if (unit.memory_mb > 0) {
+    k = std::min(k, std::floor(static_cast<double>(avail.memory_mb) /
+                               static_cast<double>(unit.memory_mb)));
+  }
+  if (unit.disk_mb > 0) {
+    k = std::min(k, std::floor(static_cast<double>(avail.disk_mb) /
+                               static_cast<double>(unit.disk_mb)));
+  }
+  if (unit.bandwidth_mbps > 0) {
+    k = std::min(k, std::floor(avail.bandwidth_mbps / unit.bandwidth_mbps + 1e-9));
+  }
+  return std::max(0, static_cast<int>(k));
+}
+
+}  // namespace
+
+std::string_view placement_policy_name(PlacementPolicy policy) noexcept {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kBestFit:  return "best-fit";
+    case PlacementPolicy::kWorstFit: return "worst-fit";
+  }
+  return "unknown";
+}
+
+SodaMaster::SodaMaster(sim::Engine& engine, MasterConfig config)
+    : engine_(engine), config_(config) {
+  SODA_EXPECTS(config_.slowdown_factor >= 1.0);
+  SODA_EXPECTS(config_.max_nodes_per_service >= 1);
+}
+
+Status SodaMaster::register_daemon(SodaDaemon* daemon) {
+  SODA_EXPECTS(daemon != nullptr);
+  for (const SodaDaemon* existing : daemons_) {
+    if (existing->host_name() == daemon->host_name()) {
+      return Error{"duplicate host: " + daemon->host_name()};
+    }
+    if (!net::IpPool::disjoint(existing->host().ip_pool(),
+                               daemon->host().ip_pool())) {
+      return Error{"IP pools of " + existing->host_name() + " and " +
+                   daemon->host_name() + " overlap"};
+    }
+  }
+  daemons_.push_back(daemon);
+  return {};
+}
+
+void SodaMaster::register_repository(const image::ImageRepository* repository) {
+  SODA_EXPECTS(repository != nullptr);
+  repositories_[repository->name()] = repository;
+}
+
+host::ResourceVector SodaMaster::hup_available() const {
+  host::ResourceVector total;
+  for (const SodaDaemon* daemon : daemons_) total += daemon->available();
+  return total;
+}
+
+host::ResourceVector SodaMaster::inflated_unit(const host::MachineConfig& m) const {
+  host::ResourceVector unit = m.to_vector();
+  // Only processing and transmission slow down under the guest OS; memory
+  // and disk footprints are unchanged (paper §3.5).
+  unit.cpu_mhz *= config_.slowdown_factor;
+  unit.bandwidth_mbps *= config_.slowdown_factor;
+  return unit;
+}
+
+std::vector<SodaDaemon*> SodaMaster::ordered_daemons() const {
+  std::vector<SodaDaemon*> ordered = daemons_;
+  switch (config_.placement) {
+    case PlacementPolicy::kFirstFit:
+      break;
+    case PlacementPolicy::kBestFit:
+      std::stable_sort(ordered.begin(), ordered.end(),
+                       [](const SodaDaemon* a, const SodaDaemon* b) {
+                         return a->available().cpu_mhz < b->available().cpu_mhz;
+                       });
+      break;
+    case PlacementPolicy::kWorstFit:
+      std::stable_sort(ordered.begin(), ordered.end(),
+                       [](const SodaDaemon* a, const SodaDaemon* b) {
+                         return a->available().cpu_mhz > b->available().cpu_mhz;
+                       });
+      break;
+  }
+  return ordered;
+}
+
+ApiResult<std::vector<Placement>> SodaMaster::plan_allocation(
+    const std::string& service_name, const host::ResourceRequirement& req) const {
+  if (req.n < 1) {
+    return ApiError{ApiErrorCode::kInvalidRequest, "requirement n must be >= 1"};
+  }
+  const host::ResourceVector unit = inflated_unit(req.m);
+  std::vector<Placement> plan;
+  int remaining = req.n;
+  for (SodaDaemon* daemon : ordered_daemons()) {
+    if (static_cast<int>(plan.size()) >= config_.max_nodes_per_service) break;
+    if (remaining == 0) break;
+    // One node per host per service: replicas on the same host would share
+    // the same failure domain and buy nothing.
+    if (daemon->find_node(service_name + "/0") != nullptr) continue;
+    const int k = std::min(units_that_fit(daemon->available(), unit), remaining);
+    if (k >= 1) {
+      plan.push_back(Placement{daemon, "", k});
+      remaining -= k;
+    }
+  }
+  if (remaining > 0) {
+    return ApiError{ApiErrorCode::kInsufficientResources,
+                    "HUP cannot satisfy " + req.to_string() + " (short by " +
+                        std::to_string(remaining) + " instance(s) of M)"};
+  }
+  return plan;
+}
+
+ApiResult<std::vector<Placement>> SodaMaster::plan_components(
+    const host::MachineConfig& m,
+    const std::vector<image::ServiceComponent>& components) const {
+  SODA_EXPECTS(!components.empty());
+  // Hypothetical usage per host while planning (nothing is reserved yet).
+  std::map<std::string, host::ResourceVector> planned;
+  std::vector<Placement> plan;
+  for (const auto& component : components) {
+    const host::ResourceVector need =
+        inflated_unit(m).scaled(component.units);
+    bool placed = false;
+    for (SodaDaemon* daemon : ordered_daemons()) {
+      const host::ResourceVector avail =
+          daemon->available() - planned[daemon->host_name()];
+      if (avail.fits(need)) {
+        plan.push_back(Placement{daemon, "", component.units, component.name});
+        planned[daemon->host_name()] += need;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      return ApiError{ApiErrorCode::kInsufficientResources,
+                      "no host fits component '" + component.name + "' (" +
+                          need.to_string() + ")"};
+    }
+  }
+  return plan;
+}
+
+struct SodaMaster::PrimeJoin {
+  std::size_t pending = 0;
+  bool failed = false;
+  std::string first_error;
+};
+
+void SodaMaster::create_service(const ServiceCreationRequest& request,
+                                CreateCallback done) {
+  SODA_EXPECTS(done != nullptr);
+  auto& log = util::global_logger();
+
+  if (request.service_name.empty()) {
+    done(ApiError{ApiErrorCode::kInvalidRequest, "service name must not be empty"},
+         engine_.now());
+    return;
+  }
+  if (services_.count(request.service_name) > 0) {
+    done(ApiError{ApiErrorCode::kServiceExists,
+                  "service already hosted: " + request.service_name},
+         engine_.now());
+    return;
+  }
+  auto repo_it = repositories_.find(request.image_location.repository);
+  if (repo_it == repositories_.end()) {
+    done(ApiError{ApiErrorCode::kImageNotFound,
+                  "unknown repository: " + request.image_location.repository},
+         engine_.now());
+    return;
+  }
+  const image::ImageRepository* repo = repo_it->second;
+  auto image = repo->lookup(request.image_location.path);
+  if (!image.ok()) {
+    done(ApiError{ApiErrorCode::kImageNotFound, image.error().message},
+         engine_.now());
+    return;
+  }
+
+  const bool partitioned = image.value()->partitioned();
+  if (partitioned &&
+      request.requirement.n != image.value()->total_component_units()) {
+    done(ApiError{ApiErrorCode::kInvalidRequest,
+                  "partitioned image needs n = " +
+                      std::to_string(image.value()->total_component_units()) +
+                      " (sum of component units), got " +
+                      std::to_string(request.requirement.n)},
+         engine_.now());
+    return;
+  }
+  auto plan = partitioned
+                  ? plan_components(request.requirement.m,
+                                    image.value()->components)
+                  : plan_allocation(request.service_name, request.requirement);
+  if (!plan.ok()) {
+    if (trace_) {
+      trace_->record(engine_.now(), TraceKind::kRejected, "master",
+                     request.service_name, plan.error().to_string());
+    }
+    done(plan.error(), engine_.now());
+    return;
+  }
+
+  // Admit: record the service and transition the lifecycle.
+  ServiceRecord record;
+  record.service_name = request.service_name;
+  record.asp_id = request.credentials.asp_id;
+  record.requirement = request.requirement;
+  record.image_location = request.image_location;
+  record.repository = repo;
+  record.listen_port = partitioned ? image.value()->components.front().listen_port
+                                   : image.value()->listen_port;
+  record.components = image.value()->components;
+  record.placements = std::move(plan).value();
+  record.lifecycle = ServiceLifecycle(request.service_name);
+  must(record.lifecycle.transition(ServiceState::kAdmitted));
+  must(record.lifecycle.transition(ServiceState::kPriming));
+  for (auto& placement : record.placements) {
+    placement.node_name =
+        request.service_name + "/" + std::to_string(record.next_ordinal++);
+  }
+  auto [it, inserted] =
+      services_.emplace(request.service_name, std::move(record));
+  SODA_ENSURES(inserted);
+  ServiceRecord& live = it->second;
+  log.info("master", "admitted " + request.service_name + " " +
+                         request.requirement.to_string() + " onto " +
+                         std::to_string(live.placements.size()) + " node(s)");
+  if (trace_) {
+    trace_->record(engine_.now(), TraceKind::kAdmitted, "master",
+                   request.service_name,
+                   request.requirement.to_string() + " -> " +
+                       std::to_string(live.placements.size()) + " node(s)");
+  }
+
+  // Prime every node; join on the last completion. Dispatch from a snapshot:
+  // a synchronously failing prime may erase the service record (and with it
+  // live.placements) mid-loop.
+  const std::vector<Placement> to_prime = live.placements;
+  auto join = std::make_shared<PrimeJoin>();
+  join->pending = to_prime.size();
+  for (const Placement& placement : to_prime) {
+    PrimeCommand command;
+    command.node_name = placement.node_name;
+    command.service_name = request.service_name;
+    command.repository = repo;
+    command.location = request.image_location;
+    command.unit = request.requirement.m;
+    command.capacity_units = placement.units;
+    command.reserve =
+        inflated_unit(request.requirement.m).scaled(placement.units);
+    command.customize_rootfs = config_.customize_rootfs;
+    command.address_mode = config_.address_mode;
+    command.listen_port = live.listen_port;
+    if (!placement.component.empty()) {
+      for (const auto& component : live.components) {
+        if (component.name == placement.component) command.component = component;
+      }
+    }
+    placement.daemon->prime_node(
+        std::move(command),
+        [this, join, name = request.service_name,
+         done](Result<vm::VirtualServiceNode*> node, sim::SimTime now) {
+          auto record_it = services_.find(name);
+          SODA_ENSURES(record_it != services_.end());
+          ServiceRecord& rec = record_it->second;
+          if (!node.ok()) {
+            if (!join->failed) {
+              join->failed = true;
+              join->first_error = node.error().message;
+            }
+          } else {
+            rec.nodes.push_back(describe_node(*node.value(), rec.listen_port));
+          }
+          if (--join->pending > 0) return;
+          if (join->failed) {
+            rollback_nodes(rec);
+            must(rec.lifecycle.transition(ServiceState::kFailed));
+            const std::string message = join->first_error;
+            services_.erase(record_it);
+            if (trace_) {
+              trace_->record(now, TraceKind::kPrimingFailed, "master", name,
+                             message);
+            }
+            done(ApiError{ApiErrorCode::kPrimingFailed, message}, now);
+            return;
+          }
+          finish_creation(rec, done);
+        });
+  }
+}
+
+void SodaMaster::finish_creation(ServiceRecord& record, CreateCallback done) {
+  // Deterministic backend order regardless of priming completion order.
+  std::sort(record.nodes.begin(), record.nodes.end(),
+            [](const NodeDescriptor& a, const NodeDescriptor& b) {
+              return a.node_name < b.node_name;
+            });
+  // The switch is colocated in the first virtual service node (§3.4).
+  const NodeDescriptor& front = record.nodes.front();
+  record.service_switch = std::make_unique<ServiceSwitch>(
+      record.service_name, front.address, record.listen_port);
+  for (const NodeDescriptor& node : record.nodes) {
+    must(record.service_switch->add_backend(BackEndEntry{
+        node.address, node.port, node.capacity_units, node.component}));
+  }
+  for (const auto& component : record.components) {
+    if (!component.route_prefix.empty()) {
+      record.service_switch->set_component_route(component.route_prefix,
+                                                 component.name);
+    }
+  }
+  must(record.lifecycle.transition(ServiceState::kRunning));
+  if (trace_) {
+    trace_->record(engine_.now(), TraceKind::kSwitchCreated, "master",
+                   record.service_name,
+                   front.address.to_string() + ":" +
+                       std::to_string(record.listen_port));
+    trace_->record(engine_.now(), TraceKind::kServiceRunning, "master",
+                   record.service_name,
+                   std::to_string(record.nodes.size()) + " node(s)");
+  }
+  util::global_logger().info(
+      "master", record.service_name + " running; switch at " +
+                    front.address.to_string() + ":" +
+                    std::to_string(record.listen_port) + "\n" +
+                    record.service_switch->config_text());
+
+  ServiceCreationReply reply;
+  reply.service_name = record.service_name;
+  reply.nodes = record.nodes;
+  reply.switch_address = front.address;
+  reply.switch_port = record.listen_port;
+  done(reply, engine_.now());
+}
+
+void SodaMaster::rollback_nodes(ServiceRecord& record) {
+  for (const NodeDescriptor& node : record.nodes) {
+    for (SodaDaemon* daemon : daemons_) {
+      if (daemon->host_name() == node.host_name) {
+        must(daemon->teardown_node(node.node_name));
+      }
+    }
+  }
+  record.nodes.clear();
+}
+
+ApiResult<ServiceCreationReply> SodaMaster::describe_service(
+    const std::string& name) const {
+  auto it = services_.find(name);
+  if (it == services_.end() || !it->second.service_switch) {
+    return ApiError{ApiErrorCode::kNoSuchService, "no such service: " + name};
+  }
+  const ServiceRecord& record = it->second;
+  ServiceCreationReply reply;
+  reply.service_name = record.service_name;
+  reply.nodes = record.nodes;
+  reply.switch_address = record.service_switch->listen_address();
+  reply.switch_port = record.service_switch->listen_port();
+  return reply;
+}
+
+Result<void, ApiError> SodaMaster::teardown_service(const std::string& name) {
+  auto it = services_.find(name);
+  if (it == services_.end()) {
+    return ApiError{ApiErrorCode::kNoSuchService, "no such service: " + name};
+  }
+  ServiceRecord& record = it->second;
+  if (auto moved = record.lifecycle.transition(ServiceState::kTearingDown);
+      !moved.ok()) {
+    return ApiError{ApiErrorCode::kInvalidRequest, moved.error().message};
+  }
+  rollback_nodes(record);
+  must(record.lifecycle.transition(ServiceState::kGone));
+  services_.erase(it);
+  if (trace_) {
+    trace_->record(engine_.now(), TraceKind::kTornDown, "master", name);
+  }
+  util::global_logger().info("master", "tore down " + name);
+  return {};
+}
+
+const ServiceRecord* SodaMaster::find_service(const std::string& name) const {
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+ServiceSwitch* SodaMaster::find_switch(const std::string& name) {
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : it->second.service_switch.get();
+}
+
+std::vector<std::string> SodaMaster::service_names() const {
+  std::vector<std::string> names;
+  names.reserve(services_.size());
+  for (const auto& [name, record] : services_) names.push_back(name);
+  return names;
+}
+
+void SodaMaster::resize_service(const std::string& name, int n_new,
+                                ResizeCallback done) {
+  SODA_EXPECTS(done != nullptr);
+  auto it = services_.find(name);
+  if (it == services_.end()) {
+    done(ApiError{ApiErrorCode::kNoSuchService, "no such service: " + name},
+         engine_.now());
+    return;
+  }
+  ServiceRecord& record = it->second;
+  if (!record.components.empty()) {
+    done(ApiError{ApiErrorCode::kInvalidRequest,
+                  "resizing a partitioned service is not supported; tear down "
+                  "and recreate with new component units"},
+         engine_.now());
+    return;
+  }
+  if (n_new < 1) {
+    done(ApiError{ApiErrorCode::kInvalidRequest, "n_new must be >= 1"},
+         engine_.now());
+    return;
+  }
+  if (auto moved = record.lifecycle.transition(ServiceState::kResizing);
+      !moved.ok()) {
+    done(ApiError{ApiErrorCode::kInvalidRequest, moved.error().message},
+         engine_.now());
+    return;
+  }
+
+  int current = 0;
+  for (const Placement& p : record.placements) current += p.units;
+  const host::ResourceVector unit = inflated_unit(record.requirement.m);
+
+  auto reply_now = [&] {
+    must(record.lifecycle.transition(ServiceState::kRunning));
+    if (trace_) {
+      trace_->record(engine_.now(), TraceKind::kResized, "master", name,
+                     "n=" + std::to_string(n_new));
+    }
+    record.requirement.n = n_new;
+    ServiceResizingReply reply;
+    reply.service_name = name;
+    reply.nodes = record.nodes;
+    done(reply, engine_.now());
+  };
+
+  if (n_new == current) {
+    reply_now();
+    return;
+  }
+
+  if (n_new < current) {
+    // --- Shrink: shed units from the last placements first; never remove
+    // the first node (the switch is colocated there). ---
+    int to_shed = current - n_new;
+    for (std::size_t idx = record.placements.size(); idx-- > 0 && to_shed > 0;) {
+      Placement& placement = record.placements[idx];
+      const bool is_switch_node = idx == 0;
+      const int min_units = is_switch_node ? 1 : 0;
+      const int shed = std::min(placement.units - min_units, to_shed);
+      if (shed <= 0) continue;
+      const int new_units = placement.units - shed;
+      auto desc = std::find_if(record.nodes.begin(), record.nodes.end(),
+                               [&](const NodeDescriptor& d) {
+                                 return d.node_name == placement.node_name;
+                               });
+      SODA_ENSURES(desc != record.nodes.end());
+      if (new_units == 0) {
+        must(record.service_switch->remove_backend(desc->address));
+        must(placement.daemon->teardown_node(placement.node_name));
+        record.nodes.erase(desc);
+        record.placements.erase(record.placements.begin() +
+                                static_cast<std::ptrdiff_t>(idx));
+      } else {
+        must(placement.daemon->resize_node(placement.node_name, new_units,
+                                           unit.scaled(new_units)));
+        must(record.service_switch->set_backend_capacity(desc->address, new_units));
+        desc->capacity_units = new_units;
+        placement.units = new_units;
+      }
+      to_shed -= shed;
+    }
+    SODA_ENSURES(to_shed == 0);
+    reply_now();
+    return;
+  }
+
+  // --- Grow: plan first (in-place extension, then new nodes), then apply. ---
+  int to_add = n_new - current;
+  std::vector<std::pair<std::size_t, int>> in_place;  // placement idx, extra
+  for (std::size_t idx = 0; idx < record.placements.size() && to_add > 0; ++idx) {
+    const Placement& placement = record.placements[idx];
+    const int extra =
+        std::min(units_that_fit(placement.daemon->available(), unit), to_add);
+    if (extra >= 1) {
+      in_place.emplace_back(idx, extra);
+      to_add -= extra;
+    }
+  }
+  std::vector<Placement> new_nodes;
+  if (to_add > 0) {
+    for (SodaDaemon* daemon : ordered_daemons()) {
+      if (to_add == 0) break;
+      const bool already_used = std::any_of(
+          record.placements.begin(), record.placements.end(),
+          [&](const Placement& p) { return p.daemon == daemon; });
+      if (already_used) continue;
+      const int k = std::min(units_that_fit(daemon->available(), unit), to_add);
+      if (k >= 1) {
+        new_nodes.push_back(Placement{daemon, "", k});
+        to_add -= k;
+      }
+    }
+  }
+  if (to_add > 0) {
+    must(record.lifecycle.transition(ServiceState::kRunning));
+    done(ApiError{ApiErrorCode::kInsufficientResources,
+                  "cannot grow " + name + " to " + std::to_string(n_new) +
+                      " instance(s); short by " + std::to_string(to_add)},
+         engine_.now());
+    return;
+  }
+
+  // Apply the in-place extensions.
+  for (const auto& [idx, extra] : in_place) {
+    Placement& placement = record.placements[idx];
+    const int new_units = placement.units + extra;
+    must(placement.daemon->resize_node(placement.node_name, new_units,
+                                       unit.scaled(new_units)));
+    auto desc = std::find_if(record.nodes.begin(), record.nodes.end(),
+                             [&](const NodeDescriptor& d) {
+                               return d.node_name == placement.node_name;
+                             });
+    SODA_ENSURES(desc != record.nodes.end());
+    must(record.service_switch->set_backend_capacity(desc->address, new_units));
+    desc->capacity_units = new_units;
+    placement.units = new_units;
+  }
+  if (new_nodes.empty()) {
+    reply_now();
+    return;
+  }
+
+  // Prime the additional nodes. Dispatch from the local snapshot: callbacks
+  // may mutate record.placements synchronously on failure.
+  auto join = std::make_shared<PrimeJoin>();
+  join->pending = new_nodes.size();
+  for (Placement& placement : new_nodes) {
+    placement.node_name = name + "/" + std::to_string(record.next_ordinal++);
+    record.placements.push_back(placement);
+  }
+  for (const Placement& placement : new_nodes) {
+    PrimeCommand command;
+    command.node_name = placement.node_name;
+    command.service_name = name;
+    command.repository = record.repository;
+    command.location = record.image_location;
+    command.unit = record.requirement.m;
+    command.capacity_units = placement.units;
+    command.reserve = unit.scaled(placement.units);
+    command.customize_rootfs = config_.customize_rootfs;
+    command.address_mode = config_.address_mode;
+    command.listen_port = record.listen_port;
+    placement.daemon->prime_node(
+        std::move(command),
+        [this, join, name, n_new,
+         done](Result<vm::VirtualServiceNode*> node, sim::SimTime now) {
+          auto record_it = services_.find(name);
+          SODA_ENSURES(record_it != services_.end());
+          ServiceRecord& rec = record_it->second;
+          if (!node.ok()) {
+            if (!join->failed) {
+              join->failed = true;
+              join->first_error = node.error().message;
+            }
+          } else {
+            const NodeDescriptor descriptor =
+                describe_node(*node.value(), rec.listen_port);
+            must(rec.service_switch->add_backend(BackEndEntry{
+                descriptor.address, descriptor.port,
+                descriptor.capacity_units}));
+            rec.nodes.push_back(descriptor);
+          }
+          if (--join->pending > 0) return;
+          if (join->failed) {
+            // Drop the placements whose priming never produced a node.
+            auto& placements = rec.placements;
+            placements.erase(
+                std::remove_if(placements.begin(), placements.end(),
+                               [&](const Placement& p) {
+                                 return std::none_of(
+                                     rec.nodes.begin(), rec.nodes.end(),
+                                     [&](const NodeDescriptor& d) {
+                                       return d.node_name == p.node_name;
+                                     });
+                               }),
+                placements.end());
+            must(rec.lifecycle.transition(ServiceState::kRunning));
+            done(ApiError{ApiErrorCode::kPrimingFailed, join->first_error}, now);
+            return;
+          }
+          must(rec.lifecycle.transition(ServiceState::kRunning));
+          rec.requirement.n = n_new;
+          ServiceResizingReply reply;
+          reply.service_name = name;
+          reply.nodes = rec.nodes;
+          done(reply, now);
+        });
+  }
+}
+
+}  // namespace soda::core

@@ -1,0 +1,156 @@
+// The SODA Master (paper §3.2): coordinates service creation across the HUP.
+// It collects resource availability from the SODA Daemons, admits or rejects
+// each <n, M> request, maps admitted requests onto n' <= n virtual service
+// nodes (each node's capacity an integer multiple of M; CPU and bandwidth
+// conservatively inflated by the virtualization slow-down factor — 1.5 in
+// the paper's prototype, no resource aggregation), drives the daemons'
+// priming, creates the per-service switch with its configuration file, and
+// executes resizing and tear-down.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/daemon.hpp"
+#include "core/service.hpp"
+#include "core/trace.hpp"
+#include "core/switch.hpp"
+#include "sim/engine.hpp"
+#include "util/result.hpp"
+
+namespace soda::core {
+
+/// How the Master orders hosts when placing slices.
+enum class PlacementPolicy {
+  kFirstFit,  // registration order
+  kBestFit,   // least spare CPU first (pack tightly)
+  kWorstFit,  // most spare CPU first (spread load)
+};
+
+std::string_view placement_policy_name(PlacementPolicy policy) noexcept;
+
+/// Master tuning knobs. Defaults follow the paper's prototype.
+struct MasterConfig {
+  /// Conservative CPU/bandwidth inflation covering guest-OS overhead
+  /// (paper footnote 2: factor 1.5, no resource aggregation).
+  double slowdown_factor = 1.5;
+  PlacementPolicy placement = PlacementPolicy::kWorstFit;
+  /// Whether daemons tailor guest rootfs images during priming.
+  bool customize_rootfs = true;
+  /// Bridging (default) gives each node its own LAN IP; proxying keeps
+  /// nodes on reserved addresses behind host ports (footnote 3).
+  AddressMode address_mode = AddressMode::kBridging;
+  /// Upper bound of nodes per service (one per host is the natural limit).
+  int max_nodes_per_service = 16;
+};
+
+/// One planned (or live) node placement.
+struct Placement {
+  SodaDaemon* daemon = nullptr;
+  std::string node_name;
+  int units = 1;
+  std::string component;  // partitioned services only
+};
+
+/// Everything the Master tracks per service.
+struct ServiceRecord {
+  std::string service_name;
+  std::string asp_id;
+  host::ResourceRequirement requirement;
+  image::ImageLocation image_location;
+  const image::ImageRepository* repository = nullptr;
+  int listen_port = 0;
+  std::vector<NodeDescriptor> nodes;
+  std::vector<Placement> placements;
+  std::vector<image::ServiceComponent> components;  // empty when replicated
+  std::unique_ptr<ServiceSwitch> service_switch;
+  ServiceLifecycle lifecycle{""};
+  int next_ordinal = 0;  // node-name counter, never reused after teardown
+};
+
+template <typename T>
+using ApiResult = Result<T, ApiError>;
+
+class SodaMaster {
+ public:
+  SodaMaster(sim::Engine& engine, MasterConfig config = {});
+  SodaMaster(const SodaMaster&) = delete;
+  SodaMaster& operator=(const SodaMaster&) = delete;
+
+  /// Wires a host's daemon into the HUP (registration order defines
+  /// first-fit order). Pool disjointness against every registered host is
+  /// enforced here — the cross-host invariant of §4.3.
+  Status register_daemon(SodaDaemon* daemon);
+
+  /// Makes a repository resolvable by name in image locations.
+  void register_repository(const image::ImageRepository* repository);
+
+  using CreateCallback =
+      std::function<void(ApiResult<ServiceCreationReply>, sim::SimTime)>;
+  /// Admits, primes, and activates a service; `done` fires when the switch
+  /// is up (or with the first error after rollback).
+  void create_service(const ServiceCreationRequest& request, CreateCallback done);
+
+  /// Synchronous: stops nodes, releases slices/IPs, removes the switch.
+  ApiResult<ServiceCreationReply> describe_service(const std::string& name) const;
+  Result<void, ApiError> teardown_service(const std::string& name);
+
+  using ResizeCallback =
+      std::function<void(ApiResult<ServiceResizingReply>, sim::SimTime)>;
+  /// Grows or shrinks a service to n_new machine instances. Growth prefers
+  /// in-place slice extension, then adds nodes; shrink releases units from
+  /// the last nodes first (never the switch's colocation node).
+  void resize_service(const std::string& name, int n_new, ResizeCallback done);
+
+  [[nodiscard]] const ServiceRecord* find_service(const std::string& name) const;
+  [[nodiscard]] ServiceSwitch* find_switch(const std::string& name);
+  [[nodiscard]] std::size_t service_count() const noexcept { return services_.size(); }
+  /// Names of all services currently known (any lifecycle state).
+  [[nodiscard]] std::vector<std::string> service_names() const;
+  /// Attaches a trace log (emission is skipped when unset).
+  void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
+  [[nodiscard]] TraceLog* trace() const noexcept { return trace_; }
+  [[nodiscard]] const MasterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<SodaDaemon*>& daemons() const noexcept {
+    return daemons_;
+  }
+
+  /// Total resources currently available across the HUP (sum of daemon
+  /// reports).
+  [[nodiscard]] host::ResourceVector hup_available() const;
+
+  /// The inflated per-unit reservation for `m` under this config.
+  [[nodiscard]] host::ResourceVector inflated_unit(const host::MachineConfig& m) const;
+
+  /// Pure planning (exposed for tests and the allocation ablation bench):
+  /// how would <n, M> land on the current HUP? Error when it cannot.
+  ApiResult<std::vector<Placement>> plan_allocation(
+      const std::string& service_name, const host::ResourceRequirement& req) const;
+
+  /// Planning for a partitioned image: one node per component, each sized
+  /// component.units x M; a host may carry several components. Error when
+  /// the HUP cannot fit them all.
+  ApiResult<std::vector<Placement>> plan_components(
+      const host::MachineConfig& m,
+      const std::vector<image::ServiceComponent>& components) const;
+
+ private:
+  struct PrimeJoin;  // collects per-node priming completions
+
+  void finish_creation(ServiceRecord& record, CreateCallback done);
+  void rollback_nodes(ServiceRecord& record);
+  [[nodiscard]] std::vector<SodaDaemon*> ordered_daemons() const;
+
+  sim::Engine& engine_;
+  MasterConfig config_;
+  std::vector<SodaDaemon*> daemons_;
+  std::map<std::string, const image::ImageRepository*> repositories_;
+  std::map<std::string, ServiceRecord> services_;
+  TraceLog* trace_ = nullptr;
+};
+
+}  // namespace soda::core

@@ -1,0 +1,122 @@
+#include "core/monitor.hpp"
+
+#include "util/contract.hpp"
+#include "util/log.hpp"
+
+namespace soda::core {
+
+namespace {
+
+/// Resolves the live node object behind a descriptor, or nullptr when the
+/// host or node is gone.
+vm::VirtualServiceNode* resolve_node(SodaMaster& master,
+                                     const NodeDescriptor& descriptor) {
+  for (SodaDaemon* daemon : master.daemons()) {
+    if (daemon->host_name() == descriptor.host_name) {
+      return daemon->find_node(descriptor.node_name);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<ServiceStatusReport> collect_service_status(
+    SodaMaster& master, const std::string& service_name) {
+  const ServiceRecord* record = master.find_service(service_name);
+  if (!record) return Error{"no such service: " + service_name};
+
+  ServiceStatusReport report;
+  report.service_name = service_name;
+  report.state = record->lifecycle.state();
+  ServiceSwitch* service_switch = master.find_switch(service_name);
+  if (service_switch) {
+    report.requests_routed = service_switch->requests_routed();
+    report.requests_refused = service_switch->requests_refused();
+  }
+  for (const NodeDescriptor& descriptor : record->nodes) {
+    NodeStatus status;
+    status.node_name = descriptor.node_name;
+    status.host_name = descriptor.host_name;
+    status.address = descriptor.address;
+    status.port = descriptor.port;
+    status.capacity_units = descriptor.capacity_units;
+    if (const vm::VirtualServiceNode* node = resolve_node(master, descriptor)) {
+      status.vm_state = node->uml().state();
+      status.process_count = node->uml().processes().count();
+      status.memory_used_mb = node->uml().memory_used_mb();
+      status.memory_cap_mb = node->uml().memory_cap_mb();
+    }
+    if (service_switch) {
+      status.requests_routed = service_switch->routed_to(descriptor.address);
+      for (const BackEndState& backend : service_switch->backends()) {
+        if (backend.entry.address == descriptor.address &&
+            backend.entry.port == descriptor.port) {
+          status.healthy_in_switch = backend.healthy;
+        }
+      }
+    }
+    report.nodes.push_back(std::move(status));
+  }
+  return report;
+}
+
+HealthMonitor::HealthMonitor(sim::Engine& engine, SodaMaster& master,
+                             sim::SimTime interval)
+    : engine_(engine), master_(master), interval_(interval) {
+  SODA_EXPECTS(interval > sim::SimTime::zero());
+}
+
+void HealthMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  engine_.schedule_after(interval_, [this] { tick(); });
+}
+
+void HealthMonitor::tick() {
+  if (!running_) return;
+  probe_once();
+  engine_.schedule_after(interval_, [this] { tick(); });
+}
+
+std::size_t HealthMonitor::probe_once() {
+  ++probes_;
+  std::size_t transitions = 0;
+  for (const auto& service_name : master_.service_names()) {
+    const ServiceRecord* record = master_.find_service(service_name);
+    ServiceSwitch* service_switch = master_.find_switch(service_name);
+    if (!record || !service_switch) continue;
+    for (const NodeDescriptor& descriptor : record->nodes) {
+      vm::VirtualServiceNode* node = resolve_node(master_, descriptor);
+      const bool alive = node != nullptr && node->running();
+      bool currently_healthy = true;
+      for (const BackEndState& backend : service_switch->backends()) {
+        if (backend.entry.address == descriptor.address &&
+            backend.entry.port == descriptor.port) {
+          currently_healthy = backend.healthy;
+        }
+      }
+      if (alive != currently_healthy) {
+        must(service_switch->set_backend_health(descriptor.address,
+                                                descriptor.port, alive));
+        ++transitions;
+        if (alive) {
+          ++to_healthy_;
+        } else {
+          ++to_unhealthy_;
+        }
+        if (master_.trace()) {
+          master_.trace()->record(engine_.now(), TraceKind::kHealthChanged,
+                                  "monitor", descriptor.node_name,
+                                  alive ? "healthy" : "unhealthy");
+        }
+        util::global_logger().warn(
+            "monitor", descriptor.node_name + " marked " +
+                           (alive ? "healthy" : "unhealthy") + " in switch");
+      }
+    }
+  }
+  return transitions;
+}
+
+}  // namespace soda::core

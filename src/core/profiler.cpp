@@ -1,0 +1,84 @@
+#include "core/profiler.hpp"
+
+#include <cmath>
+
+#include "vm/syscall.hpp"
+
+namespace soda::core {
+
+namespace {
+// HTTP framing overhead per response (matches the workload model's).
+constexpr std::int64_t kResponseHeaderBytes = 300;
+}  // namespace
+
+std::string_view binding_resource_name(BindingResource binding) noexcept {
+  switch (binding) {
+    case BindingResource::kCpu:       return "cpu";
+    case BindingResource::kMemory:    return "memory";
+    case BindingResource::kDisk:      return "disk";
+    case BindingResource::kBandwidth: return "bandwidth";
+  }
+  return "unknown";
+}
+
+Result<ProfileReport> profile_requirement(const WorkloadProfile& workload,
+                                          const host::MachineConfig& m) {
+  if (workload.peak_request_rate <= 0) {
+    return Error{"peak_request_rate must be > 0"};
+  }
+  if (workload.target_utilization <= 0 || workload.target_utilization > 1) {
+    return Error{"target_utilization must be in (0, 1]"};
+  }
+  if (workload.response_bytes < 0 || workload.dataset_mb < 0) {
+    return Error{"negative workload sizes"};
+  }
+
+  // CPU: traced request cost, since the service runs inside a UML.
+  const vm::SyscallCostModel cost_model;
+  const auto request =
+      vm::static_request_cost(cost_model, workload.response_bytes);
+  const double cycles_per_request =
+      static_cast<double>(request.total_cycles(vm::ExecMode::kUmlTraced));
+  const double cpu_mhz_needed = workload.peak_request_rate *
+                                cycles_per_request / 1e6 /
+                                workload.target_utilization;
+
+  // Bandwidth: response payload plus framing, outbound.
+  const double bits_per_request =
+      static_cast<double>(workload.response_bytes + kResponseHeaderBytes) * 8.0;
+  const double bandwidth_mbps_needed = workload.peak_request_rate *
+                                       bits_per_request / 1e6 /
+                                       workload.target_utilization;
+
+  // Per-node footprints must fit inside one M: memory and the dataset are
+  // replicated per node, not divisible across them.
+  if (m.memory_mb < workload.resident_memory_mb) {
+    return Error{"machine configuration memory (" + std::to_string(m.memory_mb) +
+                 " MB) below per-node footprint (" +
+                 std::to_string(workload.resident_memory_mb) + " MB)"};
+  }
+  if (m.disk_mb < workload.dataset_mb) {
+    return Error{"machine configuration disk (" + std::to_string(m.disk_mb) +
+                 " MB) below dataset (" + std::to_string(workload.dataset_mb) +
+                 " MB)"};
+  }
+
+  // Divisible demands: how many M-units does each dimension need?
+  const double n_cpu = cpu_mhz_needed / m.cpu_mhz;
+  const double n_bw = bandwidth_mbps_needed / m.bandwidth_mbps;
+
+  ProfileReport report;
+  report.cpu_mhz_needed = cpu_mhz_needed;
+  report.bandwidth_mbps_needed = bandwidth_mbps_needed;
+  double n = n_cpu;
+  report.binding = BindingResource::kCpu;
+  if (n_bw > n) {
+    n = n_bw;
+    report.binding = BindingResource::kBandwidth;
+  }
+  report.requirement.n = std::max(1, static_cast<int>(std::ceil(n - 1e-9)));
+  report.requirement.m = m;
+  return report;
+}
+
+}  // namespace soda::core

@@ -1,0 +1,57 @@
+// Off-line QoS/resource profiling. The paper assumes the ASP arrives with
+// <n, M> already derived "as the result of off-line QoS/resource profiling"
+// and cites it as out of scope (§3). This module closes that gap: given a
+// workload description (peak request rate, response size, dataset and
+// memory footprints), it derives the smallest <n, M> whose guaranteed
+// resources carry the workload at the chosen utilization — using the same
+// traced-syscall cost model the virtual service nodes will actually run
+// under.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "host/resources.hpp"
+#include "util/result.hpp"
+
+namespace soda::core {
+
+/// What the ASP knows about its service's demand.
+struct WorkloadProfile {
+  /// Peak client request rate to provision for (requests/second).
+  double peak_request_rate = 100;
+  /// Mean response payload per request.
+  std::int64_t response_bytes = 16 * 1024;
+  /// Keep reserved resources at most this busy at peak (headroom for
+  /// burstiness); in (0, 1].
+  double target_utilization = 0.6;
+  /// On-disk dataset the image ships.
+  std::int64_t dataset_mb = 512;
+  /// Resident memory per node once serving.
+  std::int64_t resident_memory_mb = 64;
+};
+
+/// Which resource dimension forced the final n.
+enum class BindingResource { kCpu, kMemory, kDisk, kBandwidth };
+
+std::string_view binding_resource_name(BindingResource binding) noexcept;
+
+/// The profiler's output: the derived requirement plus the raw per-resource
+/// demands it was computed from.
+struct ProfileReport {
+  host::ResourceRequirement requirement;
+  double cpu_mhz_needed = 0;        // aggregate, at target utilization
+  double bandwidth_mbps_needed = 0; // aggregate, at target utilization
+  BindingResource binding = BindingResource::kCpu;
+};
+
+/// Derives <n, M> for `workload` against machine configuration `m`
+/// (defaults to the paper's Table 1 example). CPU demand is priced with the
+/// traced (in-VM) syscall path — the service will run inside a UML, so
+/// native-cost profiling would under-provision. Fails on non-positive rates
+/// or a unit M too small to ever carry the per-node footprint.
+Result<ProfileReport> profile_requirement(
+    const WorkloadProfile& workload,
+    const host::MachineConfig& m = host::MachineConfig::table1_example());
+
+}  // namespace soda::core

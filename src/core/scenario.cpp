@@ -1,0 +1,380 @@
+#include "core/scenario.hpp"
+
+#include <cstdio>
+#include <map>
+#include <optional>
+
+#include "core/hup.hpp"
+#include "core/monitor.hpp"
+#include "image/image.hpp"
+#include "util/strings.hpp"
+
+namespace soda::core {
+
+namespace {
+
+/// verb -> {min args, max args}
+const std::map<std::string, std::pair<int, int>>& verb_arity() {
+  static const std::map<std::string, std::pair<int, int>> arity = {
+      {"mode", {1, 1}},          // mode <bridging|proxying> (before any host)
+      {"placement", {1, 1}},     // placement <first-fit|best-fit|worst-fit>
+      {"inflate", {1, 1}},       // inflate <factor-percent> (e.g. 150)
+      {"host", {2, 3}},          // host <seattle|tacoma> <pool-start> [size]
+      {"repo", {1, 1}},          // repo <name>
+      {"asp", {2, 2}},           // asp <id> <key>
+      {"publish", {1, 2}},       // publish <web|honeypot|genome|full-server|shop> [content-mb=N]
+      {"create", {3, 3}},        // create <service> <image> n=<n>
+      {"resize", {2, 2}},        // resize <service> <n>
+      {"teardown", {1, 1}},      // teardown <service>
+      {"status", {1, 1}},        // status <service>
+      {"billing", {1, 1}},       // billing <asp>
+      {"crash", {2, 2}},         // crash <service> <node-ordinal>
+      {"probe", {0, 0}},         // run one health-monitor sweep
+      {"trace", {0, 1}},         // trace [subject] -> dump control-plane events
+      {"expect-nodes", {2, 2}},  // expect-nodes <service> <count>
+      {"expect-state", {2, 2}},  // expect-state <service> <running|...>
+      {"expect-services", {1, 1}},   // expect-services <count>
+      {"expect-error", {2, 99}},     // expect-error <verb> <args...>
+  };
+  return arity;
+}
+
+Result<long long> arg_int(const ScenarioCommand& cmd, const std::string& raw) {
+  // Accepts "3" or "n=3".
+  std::string_view text = raw;
+  if (const auto eq = text.find('='); eq != std::string_view::npos) {
+    text = text.substr(eq + 1);
+  }
+  const auto value = util::parse_int(text);
+  if (!value) {
+    return Error{"line " + std::to_string(cmd.line) + ": bad number '" + raw + "'"};
+  }
+  return *value;
+}
+
+std::string error_at(int line, const std::string& message) {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+/// Execution state threaded through the command handlers. The Hup is built
+/// lazily so configuration verbs (mode/placement/inflate) can precede it.
+struct Runtime {
+  MasterConfig config;
+  std::unique_ptr<Hup> hup_ptr;
+  image::ImageRepository* repo = nullptr;
+  std::map<std::string, image::ImageLocation> images;  // name -> location
+  std::string asp_id, api_key;
+  std::vector<std::string> transcript;
+  int hosts_added = 0;
+
+  Hup& hup() {
+    if (!hup_ptr) hup_ptr = std::make_unique<Hup>(config);
+    return *hup_ptr;
+  }
+  [[nodiscard]] bool hup_built() const noexcept { return hup_ptr != nullptr; }
+
+  void say(std::string line) { transcript.push_back(std::move(line)); }
+};
+
+Result<image::ServiceImage> make_image(const ScenarioCommand& cmd) {
+  std::int64_t content_mb = 8;
+  if (cmd.args.size() == 2) {
+    auto mb = arg_int(cmd, cmd.args[1]);
+    if (!mb.ok()) return mb.error();
+    content_mb = mb.value();
+  }
+  const std::string& kind = cmd.args[0];
+  if (kind == "web") return image::web_content_image(content_mb * 1024 * 1024);
+  if (kind == "honeypot") return image::honeypot_image();
+  if (kind == "genome") return image::genome_matching_image();
+  if (kind == "full-server") return image::full_server_image();
+  if (kind == "shop") return image::online_shop_image();
+  return Error{error_at(cmd.line, "unknown image kind '" + kind + "'")};
+}
+
+/// Runs one command; expectation failures and API errors become errors.
+Status execute(Runtime& rt, const ScenarioCommand& cmd) {
+  char buf[256];
+  if (cmd.verb == "mode" || cmd.verb == "placement" || cmd.verb == "inflate") {
+    if (rt.hup_built()) {
+      return Error{error_at(cmd.line,
+                            "'" + cmd.verb + "' must precede the first host")};
+    }
+    if (cmd.verb == "mode") {
+      if (cmd.args[0] == "bridging") {
+        rt.config.address_mode = AddressMode::kBridging;
+      } else if (cmd.args[0] == "proxying") {
+        rt.config.address_mode = AddressMode::kProxying;
+      } else {
+        return Error{error_at(cmd.line, "unknown mode '" + cmd.args[0] + "'")};
+      }
+    } else if (cmd.verb == "placement") {
+      if (cmd.args[0] == "first-fit") {
+        rt.config.placement = PlacementPolicy::kFirstFit;
+      } else if (cmd.args[0] == "best-fit") {
+        rt.config.placement = PlacementPolicy::kBestFit;
+      } else if (cmd.args[0] == "worst-fit") {
+        rt.config.placement = PlacementPolicy::kWorstFit;
+      } else {
+        return Error{error_at(cmd.line, "unknown placement '" + cmd.args[0] + "'")};
+      }
+    } else {
+      auto percent = arg_int(cmd, cmd.args[0]);
+      if (!percent.ok()) return percent.error();
+      if (percent.value() < 100) {
+        return Error{error_at(cmd.line, "inflate takes percent >= 100")};
+      }
+      rt.config.slowdown_factor = static_cast<double>(percent.value()) / 100.0;
+    }
+    rt.say(cmd.verb + " = " + cmd.args[0]);
+    return {};
+  }
+  if (cmd.verb == "crash") {
+    auto ordinal = arg_int(cmd, cmd.args[1]);
+    if (!ordinal.ok()) return ordinal.error();
+    const std::string node_name =
+        cmd.args[0] + "/" + std::to_string(ordinal.value());
+    const ServiceRecord* record = rt.hup().master().find_service(cmd.args[0]);
+    if (!record) return Error{error_at(cmd.line, "no service " + cmd.args[0])};
+    for (const auto& node : record->nodes) {
+      if (node.node_name != node_name) continue;
+      rt.hup().find_daemon(node.host_name)->find_node(node_name)->uml().crash();
+      rt.say("crashed guest " + node_name);
+      return {};
+    }
+    return Error{error_at(cmd.line, "no node " + node_name)};
+  }
+  if (cmd.verb == "probe") {
+    const std::size_t transitions = rt.hup().health_monitor().probe_once();
+    rt.say("health probe: " + std::to_string(transitions) + " transition(s)");
+    return {};
+  }
+  if (cmd.verb == "trace") {
+    if (cmd.args.empty()) {
+      rt.say(rt.hup().trace().render());
+    } else {
+      for (const auto& event : rt.hup().trace().for_subject(cmd.args[0])) {
+        rt.say(std::string(trace_kind_name(event.kind)) + " " + event.subject +
+               (event.detail.empty() ? "" : ": " + event.detail));
+      }
+    }
+    return {};
+  }
+  if (cmd.verb == "host") {
+    host::HostSpec spec;
+    if (cmd.args[0] == "seattle") {
+      spec = host::HostSpec::seattle();
+    } else if (cmd.args[0] == "tacoma") {
+      spec = host::HostSpec::tacoma();
+    } else {
+      return Error{error_at(cmd.line, "unknown host spec '" + cmd.args[0] + "'")};
+    }
+    const auto start = net::Ipv4Address::parse(cmd.args[1]);
+    if (!start) return Error{error_at(cmd.line, "bad pool address")};
+    std::size_t size = 16;
+    if (cmd.args.size() == 3) {
+      auto parsed = arg_int(cmd, cmd.args[2]);
+      if (!parsed.ok()) return parsed.error();
+      size = static_cast<std::size_t>(parsed.value());
+    }
+    // Scripted hosts need unique names when the same spec repeats.
+    spec.name = cmd.args[0] + (rt.hosts_added ? "-" + std::to_string(rt.hosts_added)
+                                              : "");
+    ++rt.hosts_added;
+    rt.hup().add_host(spec, *start, size);
+    rt.say("host " + spec.name + " joined the HUP");
+    return {};
+  }
+  if (cmd.verb == "repo") {
+    rt.repo = &rt.hup().add_repository(cmd.args[0]);
+    rt.say("repository " + cmd.args[0] + " on the LAN");
+    return {};
+  }
+  if (cmd.verb == "asp") {
+    rt.asp_id = cmd.args[0];
+    rt.api_key = cmd.args[1];
+    rt.hup().agent().register_asp(rt.asp_id, rt.api_key);
+    rt.say("asp " + rt.asp_id + " enrolled");
+    return {};
+  }
+  if (cmd.verb == "publish") {
+    if (!rt.repo) return Error{error_at(cmd.line, "no repository yet")};
+    auto image = make_image(cmd);
+    if (!image.ok()) return image.error();
+    const std::string name = image.value().name;
+    auto location = rt.repo->publish(std::move(image).value());
+    if (!location.ok()) return Error{error_at(cmd.line, location.error().message)};
+    rt.images[cmd.args[0]] = location.value();
+    rt.say("published " + name + " at " + location.value().url());
+    return {};
+  }
+  if (cmd.verb == "create") {
+    auto it = rt.images.find(cmd.args[1]);
+    if (it == rt.images.end()) {
+      return Error{error_at(cmd.line, "image '" + cmd.args[1] + "' not published")};
+    }
+    auto n = arg_int(cmd, cmd.args[2]);
+    if (!n.ok()) return n.error();
+    ServiceCreationRequest request;
+    request.credentials = {rt.asp_id, rt.api_key};
+    request.service_name = cmd.args[0];
+    request.image_location = it->second;
+    request.requirement = {static_cast<int>(n.value()), {}};
+    std::optional<ApiError> failure;
+    std::size_t nodes = 0;
+    rt.hup().agent().service_creation(
+        request, [&](ApiResult<ServiceCreationReply> reply, sim::SimTime) {
+          if (reply.ok()) {
+            nodes = reply.value().nodes.size();
+          } else {
+            failure = reply.error();
+          }
+        });
+    rt.hup().engine().run();
+    if (failure) return Error{error_at(cmd.line, failure->to_string())};
+    std::snprintf(buf, sizeof buf, "created %s on %zu node(s) at t=%.2fs",
+                  cmd.args[0].c_str(), nodes,
+                  rt.hup().engine().now().to_seconds());
+    rt.say(buf);
+    return {};
+  }
+  if (cmd.verb == "resize") {
+    auto n = arg_int(cmd, cmd.args[1]);
+    if (!n.ok()) return n.error();
+    std::optional<ApiError> failure;
+    rt.hup().agent().service_resizing(
+        ServiceResizingRequest{{rt.asp_id, rt.api_key}, cmd.args[0],
+                               static_cast<int>(n.value())},
+        [&](ApiResult<ServiceResizingReply> reply, sim::SimTime) {
+          if (!reply.ok()) failure = reply.error();
+        });
+    rt.hup().engine().run();
+    if (failure) return Error{error_at(cmd.line, failure->to_string())};
+    rt.say("resized " + cmd.args[0] + " to n=" + std::to_string(n.value()));
+    return {};
+  }
+  if (cmd.verb == "teardown") {
+    auto result = rt.hup().agent().service_teardown(
+        ServiceTeardownRequest{{rt.asp_id, rt.api_key}, cmd.args[0]});
+    if (!result.ok()) return Error{error_at(cmd.line, result.error().to_string())};
+    rt.say("tore down " + cmd.args[0]);
+    return {};
+  }
+  if (cmd.verb == "status") {
+    auto report = rt.hup().agent().service_status({rt.asp_id, rt.api_key},
+                                                cmd.args[0]);
+    if (!report.ok()) return Error{error_at(cmd.line, report.error().to_string())};
+    for (const auto& node : report.value().nodes) {
+      std::snprintf(buf, sizeof buf, "  %s on %s %s:%d cap=%dM vm=%s",
+                    node.node_name.c_str(), node.host_name.c_str(),
+                    node.address.to_string().c_str(), node.port,
+                    node.capacity_units,
+                    std::string(vm::vm_state_name(node.vm_state)).c_str());
+      rt.say(buf);
+    }
+    return {};
+  }
+  if (cmd.verb == "billing") {
+    std::snprintf(buf, sizeof buf, "%s owes %.6f instance-hours",
+                  cmd.args[0].c_str(),
+                  rt.hup().agent().billing().instance_hours(
+                      cmd.args[0], rt.hup().engine().now()));
+    rt.say(buf);
+    return {};
+  }
+  if (cmd.verb == "expect-nodes") {
+    auto want = arg_int(cmd, cmd.args[1]);
+    if (!want.ok()) return want.error();
+    const ServiceRecord* record = rt.hup().master().find_service(cmd.args[0]);
+    const std::size_t got = record ? record->nodes.size() : 0;
+    if (got != static_cast<std::size_t>(want.value())) {
+      return Error{error_at(cmd.line, "expected " + cmd.args[1] + " node(s) for " +
+                                          cmd.args[0] + ", got " +
+                                          std::to_string(got))};
+    }
+    return {};
+  }
+  if (cmd.verb == "expect-state") {
+    const ServiceRecord* record = rt.hup().master().find_service(cmd.args[0]);
+    const std::string got =
+        record ? std::string(service_state_name(record->lifecycle.state()))
+               : "gone";
+    if (got != cmd.args[1]) {
+      return Error{error_at(cmd.line, "expected state " + cmd.args[1] + ", got " +
+                                          got)};
+    }
+    return {};
+  }
+  if (cmd.verb == "expect-services") {
+    auto want = arg_int(cmd, cmd.args[0]);
+    if (!want.ok()) return want.error();
+    if (rt.hup().master().service_count() !=
+        static_cast<std::size_t>(want.value())) {
+      return Error{error_at(
+          cmd.line, "expected " + cmd.args[0] + " service(s), got " +
+                        std::to_string(rt.hup().master().service_count()))};
+    }
+    return {};
+  }
+  if (cmd.verb == "expect-error") {
+    // Re-dispatch the wrapped command and invert its outcome.
+    ScenarioCommand inner;
+    inner.line = cmd.line;
+    inner.verb = cmd.args[0];
+    inner.args.assign(cmd.args.begin() + 1, cmd.args.end());
+    if (verb_arity().count(inner.verb) == 0 ||
+        util::starts_with(inner.verb, "expect-")) {
+      return Error{error_at(cmd.line, "expect-error cannot wrap '" + inner.verb +
+                                          "'")};
+    }
+    if (auto result = execute(rt, inner); result.ok()) {
+      return Error{error_at(cmd.line, "expected '" + inner.verb +
+                                          "' to fail, but it succeeded")};
+    }
+    rt.say("(expected failure of '" + inner.verb + "' observed)");
+    return {};
+  }
+  return Error{error_at(cmd.line, "unhandled verb '" + cmd.verb + "'")};
+}
+
+}  // namespace
+
+Result<Scenario> Scenario::parse(std::string_view text) {
+  Scenario scenario;
+  int line_no = 0;
+  for (const auto& raw_line : util::split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = util::trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto tokens = util::split_whitespace(line);
+    ScenarioCommand cmd;
+    cmd.line = line_no;
+    cmd.verb = tokens[0];
+    cmd.args.assign(tokens.begin() + 1, tokens.end());
+    const auto arity = verb_arity().find(cmd.verb);
+    if (arity == verb_arity().end()) {
+      return Error{error_at(line_no, "unknown verb '" + cmd.verb + "'")};
+    }
+    const int argc = static_cast<int>(cmd.args.size());
+    if (argc < arity->second.first || argc > arity->second.second) {
+      return Error{error_at(line_no, "'" + cmd.verb + "' takes " +
+                                         std::to_string(arity->second.first) +
+                                         ".." +
+                                         std::to_string(arity->second.second) +
+                                         " argument(s), got " +
+                                         std::to_string(argc))};
+    }
+    scenario.commands_.push_back(std::move(cmd));
+  }
+  return scenario;
+}
+
+Result<std::vector<std::string>> Scenario::run() const {
+  Runtime rt;
+  for (const auto& cmd : commands_) {
+    if (auto result = execute(rt, cmd); !result.ok()) return result.error();
+  }
+  return rt.transcript;
+}
+
+}  // namespace soda::core

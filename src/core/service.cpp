@@ -1,0 +1,68 @@
+#include "core/service.hpp"
+
+namespace soda::core {
+
+std::string_view service_state_name(ServiceState state) noexcept {
+  switch (state) {
+    case ServiceState::kRequested:   return "requested";
+    case ServiceState::kAdmitted:    return "admitted";
+    case ServiceState::kPriming:     return "priming";
+    case ServiceState::kRunning:     return "running";
+    case ServiceState::kResizing:    return "resizing";
+    case ServiceState::kTearingDown: return "tearing-down";
+    case ServiceState::kGone:        return "gone";
+    case ServiceState::kFailed:      return "failed";
+  }
+  return "unknown";
+}
+
+Status ServiceLifecycle::transition(ServiceState to) {
+  const ServiceState from = state_;
+  bool legal = false;
+  switch (from) {
+    case ServiceState::kRequested:
+      legal = to == ServiceState::kAdmitted || to == ServiceState::kFailed;
+      break;
+    case ServiceState::kAdmitted:
+      legal = to == ServiceState::kPriming || to == ServiceState::kFailed;
+      break;
+    case ServiceState::kPriming:
+      legal = to == ServiceState::kRunning || to == ServiceState::kFailed;
+      break;
+    case ServiceState::kRunning:
+      legal = to == ServiceState::kResizing || to == ServiceState::kTearingDown;
+      break;
+    case ServiceState::kResizing:
+      legal = to == ServiceState::kRunning || to == ServiceState::kTearingDown;
+      break;
+    case ServiceState::kTearingDown:
+      legal = to == ServiceState::kGone;
+      break;
+    case ServiceState::kGone:
+    case ServiceState::kFailed:
+      legal = false;  // terminal
+      break;
+  }
+  if (!legal) {
+    return Error{"service " + service_name_ + ": illegal transition " +
+                 std::string(service_state_name(from)) + " -> " +
+                 std::string(service_state_name(to))};
+  }
+  state_ = to;
+  return {};
+}
+
+bool ServiceLifecycle::holds_resources() const noexcept {
+  switch (state_) {
+    case ServiceState::kAdmitted:
+    case ServiceState::kPriming:
+    case ServiceState::kRunning:
+    case ServiceState::kResizing:
+    case ServiceState::kTearingDown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace soda::core

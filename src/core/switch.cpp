@@ -1,0 +1,350 @@
+#include "core/switch.hpp"
+
+#include <algorithm>
+#include <climits>
+
+#include "util/contract.hpp"
+
+namespace soda::core {
+
+namespace {
+
+/// Nginx-style smooth weighted round-robin: each pick, every backend's
+/// current weight grows by its capacity; the largest current weight wins and
+/// is decremented by the total capacity. Produces evenly interleaved 2:1
+/// patterns (A B A A B A ...), which is what keeps per-node response times
+/// flat in Figure 4.
+class SmoothWrr final : public SwitchPolicy {
+ public:
+  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
+    if (backends.empty()) return std::nullopt;
+    int total = 0;
+    std::size_t best = 0;
+    long long best_weight = LLONG_MIN;
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      const auto key = backends[i].entry.address;
+      current_[key.value()] += backends[i].entry.capacity;
+      total += backends[i].entry.capacity;
+      if (current_[key.value()] > best_weight) {
+        best_weight = current_[key.value()];
+        best = i;
+      }
+    }
+    current_[backends[best].entry.address.value()] -= total;
+    return best;
+  }
+  [[nodiscard]] std::string name() const override { return "weighted-round-robin"; }
+  void on_backends_changed() override { current_.clear(); }
+
+ private:
+  std::map<std::uint32_t, long long> current_;
+};
+
+class PlainRr final : public SwitchPolicy {
+ public:
+  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
+    if (backends.empty()) return std::nullopt;
+    return next_++ % backends.size();
+  }
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+  void on_backends_changed() override { next_ = 0; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class RandomPolicy final : public SwitchPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
+    if (backends.empty()) return std::nullopt;
+    return static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(backends.size()) - 1));
+  }
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  sim::Rng rng_;
+};
+
+class LeastConnections final : public SwitchPolicy {
+ public:
+  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
+    if (backends.empty()) return std::nullopt;
+    std::size_t best = 0;
+    double best_load = load(backends[0]);
+    for (std::size_t i = 1; i < backends.size(); ++i) {
+      const double l = load(backends[i]);
+      if (l < best_load) {
+        best_load = l;
+        best = i;
+      }
+    }
+    return best;
+  }
+  [[nodiscard]] std::string name() const override { return "least-connections"; }
+
+ private:
+  static double load(const BackEndState& b) {
+    return static_cast<double>(b.active_connections) /
+           static_cast<double>(std::max(1, b.entry.capacity));
+  }
+};
+
+/// EWMA-of-response-time policy. Estimates are kept per backend address;
+/// the score divides by capacity so that, at equal observed response times,
+/// the larger node is preferred (it has more headroom to absorb the next
+/// request). Unsampled backends win ties so every backend gets probed.
+class FastestResponse final : public SwitchPolicy {
+ public:
+  explicit FastestResponse(double alpha) : alpha_(alpha) {
+    SODA_EXPECTS(alpha > 0 && alpha <= 1);
+  }
+
+  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
+    if (backends.empty()) return std::nullopt;
+    std::size_t best = backends.size();
+    double best_score = 0;
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      const auto it = ewma_.find(backends[i].entry.address.value());
+      if (it == ewma_.end()) return i;  // explore unsampled backends first
+      const double score =
+          it->second / static_cast<double>(std::max(1, backends[i].entry.capacity));
+      if (best == backends.size() || score < best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  void on_response_time(const BackEndEntry& backend, double seconds) override {
+    auto [it, inserted] = ewma_.emplace(backend.address.value(), seconds);
+    if (!inserted) {
+      it->second = alpha_ * seconds + (1 - alpha_) * it->second;
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "fastest-response"; }
+  void on_backends_changed() override { ewma_.clear(); }
+
+ private:
+  double alpha_;
+  std::map<std::uint32_t, double> ewma_;
+};
+
+class CustomPolicy final : public SwitchPolicy {
+ public:
+  CustomPolicy(std::string name,
+               std::function<std::optional<std::size_t>(
+                   const std::vector<BackEndState>&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {
+    SODA_EXPECTS(fn_ != nullptr);
+  }
+  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
+    return fn_(backends);
+  }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<std::optional<std::size_t>(const std::vector<BackEndState>&)> fn_;
+};
+
+}  // namespace
+
+std::unique_ptr<SwitchPolicy> make_weighted_round_robin() {
+  return std::make_unique<SmoothWrr>();
+}
+std::unique_ptr<SwitchPolicy> make_plain_round_robin() {
+  return std::make_unique<PlainRr>();
+}
+std::unique_ptr<SwitchPolicy> make_random_policy(std::uint64_t seed) {
+  return std::make_unique<RandomPolicy>(seed);
+}
+std::unique_ptr<SwitchPolicy> make_least_connections() {
+  return std::make_unique<LeastConnections>();
+}
+std::unique_ptr<SwitchPolicy> make_fastest_response(double alpha) {
+  return std::make_unique<FastestResponse>(alpha);
+}
+
+std::unique_ptr<SwitchPolicy> make_custom_policy(
+    std::string name,
+    std::function<std::optional<std::size_t>(const std::vector<BackEndState>&)> fn) {
+  return std::make_unique<CustomPolicy>(std::move(name), std::move(fn));
+}
+
+ServiceSwitch::ServiceSwitch(std::string service_name, net::Ipv4Address listen,
+                             int port)
+    : service_name_(std::move(service_name)),
+      listen_(listen),
+      port_(port),
+      policy_(make_weighted_round_robin()) {
+  SODA_EXPECTS(port_ > 0);
+}
+
+BackEndState* ServiceSwitch::find(net::Ipv4Address address) {
+  auto it = std::find_if(backends_.begin(), backends_.end(),
+                         [&](const BackEndState& b) {
+                           return b.entry.address == address;
+                         });
+  return it == backends_.end() ? nullptr : &*it;
+}
+
+BackEndState* ServiceSwitch::find(net::Ipv4Address address, int port) {
+  auto it = std::find_if(backends_.begin(), backends_.end(),
+                         [&](const BackEndState& b) {
+                           return b.entry.address == address &&
+                                  b.entry.port == port;
+                         });
+  return it == backends_.end() ? nullptr : &*it;
+}
+
+Status ServiceSwitch::add_backend(const BackEndEntry& entry) {
+  if (find(entry.address, entry.port)) {
+    return Error{"backend already present: " + entry.address.to_string() + ":" +
+                 std::to_string(entry.port)};
+  }
+  backends_.push_back(BackEndState{entry, 0, 0, true});
+  policy_->on_backends_changed();
+  return {};
+}
+
+Status ServiceSwitch::remove_backend(net::Ipv4Address address) {
+  auto it = std::find_if(backends_.begin(), backends_.end(),
+                         [&](const BackEndState& b) {
+                           return b.entry.address == address;
+                         });
+  if (it == backends_.end()) return Error{"no backend " + address.to_string()};
+  backends_.erase(it);
+  policy_->on_backends_changed();
+  return {};
+}
+
+Status ServiceSwitch::set_backend_capacity(net::Ipv4Address address, int capacity) {
+  SODA_EXPECTS(capacity >= 1);
+  BackEndState* backend = find(address);
+  if (!backend) return Error{"no backend " + address.to_string()};
+  backend->entry.capacity = capacity;
+  policy_->on_backends_changed();
+  return {};
+}
+
+void ServiceSwitch::load_config(const ServiceConfigFile& file) {
+  backends_.clear();
+  for (const auto& entry : file.entries()) {
+    backends_.push_back(BackEndState{entry, 0, 0, true});
+  }
+  policy_->on_backends_changed();
+}
+
+Status ServiceSwitch::set_backend_health(net::Ipv4Address address, bool healthy) {
+  BackEndState* backend = find(address);
+  if (!backend) return Error{"no backend " + address.to_string()};
+  backend->healthy = healthy;
+  return {};
+}
+
+Status ServiceSwitch::set_backend_health(net::Ipv4Address address, int port,
+                                         bool healthy) {
+  BackEndState* backend = find(address, port);
+  if (!backend) {
+    return Error{"no backend " + address.to_string() + ":" +
+                 std::to_string(port)};
+  }
+  backend->healthy = healthy;
+  return {};
+}
+
+void ServiceSwitch::set_policy(std::unique_ptr<SwitchPolicy> policy) {
+  SODA_EXPECTS(policy != nullptr);
+  policy_ = std::move(policy);
+  policy_->on_backends_changed();
+}
+
+std::vector<BackEndState> ServiceSwitch::healthy_view(
+    std::string_view component) const {
+  std::vector<BackEndState> view;
+  for (const auto& backend : backends_) {
+    if (backend.healthy && backend.entry.component == component) {
+      view.push_back(backend);
+    }
+  }
+  return view;
+}
+
+void ServiceSwitch::set_component_route(std::string prefix,
+                                        std::string component) {
+  SODA_EXPECTS(!prefix.empty());
+  routes_.emplace_back(std::move(prefix), std::move(component));
+}
+
+std::string ServiceSwitch::component_for(std::string_view target) const {
+  std::size_t best_len = 0;
+  std::string best;
+  for (const auto& [prefix, component] : routes_) {
+    if (target.substr(0, prefix.size()) == prefix && prefix.size() >= best_len) {
+      best_len = prefix.size();
+      best = component;
+    }
+  }
+  return best;
+}
+
+Result<BackEndEntry> ServiceSwitch::route_target(std::string_view target) {
+  return route(component_for(target));
+}
+
+Result<BackEndEntry> ServiceSwitch::route(std::string_view component) {
+  const auto view = healthy_view(component);
+  if (view.empty()) {
+    ++refused_;
+    return Error{"switch " + service_name_ + ": no healthy backend" +
+                 (component.empty() ? std::string()
+                                    : " for component '" + std::string(component) +
+                                          "'")};
+  }
+  const auto choice = policy_->pick(view);
+  if (!choice || *choice >= view.size()) {
+    ++refused_;
+    return Error{"switch " + service_name_ + ": policy '" + policy_->name() +
+                 "' refused the request"};
+  }
+  BackEndState* backend =
+      find(view[*choice].entry.address, view[*choice].entry.port);
+  SODA_ENSURES(backend != nullptr);
+  ++backend->requests_routed;
+  ++backend->active_connections;
+  ++routed_;
+  return backend->entry;
+}
+
+void ServiceSwitch::on_request_complete(net::Ipv4Address backend_address) {
+  BackEndState* backend = find(backend_address);
+  if (backend && backend->active_connections > 0) {
+    --backend->active_connections;
+  }
+}
+
+void ServiceSwitch::report_response_time(net::Ipv4Address backend_address,
+                                         double seconds) {
+  BackEndState* backend = find(backend_address);
+  if (backend) policy_->on_response_time(backend->entry, seconds);
+}
+
+std::string ServiceSwitch::config_text() const {
+  ServiceConfigFile file;
+  for (const auto& backend : backends_) must(file.add(backend.entry));
+  return file.serialize();
+}
+
+std::uint64_t ServiceSwitch::routed_to(net::Ipv4Address backend_address) const {
+  std::uint64_t total = 0;
+  for (const auto& backend : backends_) {
+    if (backend.entry.address == backend_address) total += backend.requests_routed;
+  }
+  return total;
+}
+
+}  // namespace soda::core

@@ -1,0 +1,163 @@
+// The service switch (paper §3.4): created by the SODA Master for each
+// service, colocated in one of its virtual service nodes, it accepts each
+// client request and directs it to a backend according to a request-
+// switching policy. The default is weighted round-robin with the capacities
+// of the configuration file as weights; the ASP can replace it with a
+// service-specific policy — and thanks to service isolation, an ill-behaved
+// custom policy only hurts its own service.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config_file.hpp"
+#include "net/address.hpp"
+#include "sim/random.hpp"
+#include "util/result.hpp"
+
+namespace soda::core {
+
+/// Per-backend runtime state visible to policies.
+struct BackEndState {
+  BackEndEntry entry;
+  std::uint64_t requests_routed = 0;
+  std::uint64_t active_connections = 0;
+  bool healthy = true;
+};
+
+/// A request-switching policy. pick() returns an index into `backends`
+/// (only healthy entries are offered) or nullopt to refuse the request.
+class SwitchPolicy {
+ public:
+  virtual ~SwitchPolicy() = default;
+  virtual std::optional<std::size_t> pick(
+      const std::vector<BackEndState>& backends) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Notification that the backend set changed (resize); stateful policies
+  /// reset their cursors.
+  virtual void on_backends_changed() {}
+  /// Feedback: a request served by `backend` completed in `seconds`.
+  /// Response-time-aware policies learn from this; others ignore it.
+  virtual void on_response_time(const BackEndEntry& backend, double seconds) {
+    (void)backend;
+    (void)seconds;
+  }
+};
+
+/// Default policy: smooth weighted round-robin over capacities — a backend
+/// with capacity 2 receives twice the requests of one with capacity 1, with
+/// the interleaving spread evenly (nginx-style smooth WRR).
+std::unique_ptr<SwitchPolicy> make_weighted_round_robin();
+
+/// Capacity-blind round-robin (ablation baseline).
+std::unique_ptr<SwitchPolicy> make_plain_round_robin();
+
+/// Uniform random choice (ablation baseline).
+std::unique_ptr<SwitchPolicy> make_random_policy(std::uint64_t seed);
+
+/// Pick the healthy backend with the fewest active connections, capacity-
+/// weighted (ties by order).
+std::unique_ptr<SwitchPolicy> make_least_connections();
+
+/// Adaptive policy: tracks an exponentially weighted moving average of each
+/// backend's response time (smoothing factor `alpha`) and routes to the
+/// backend with the lowest capacity-discounted estimate; backends with no
+/// samples yet are explored first.
+std::unique_ptr<SwitchPolicy> make_fastest_response(double alpha = 0.2);
+
+/// Wraps an ASP-provided function as a policy (the "service-specific
+/// policy" replacement hook).
+std::unique_ptr<SwitchPolicy> make_custom_policy(
+    std::string name,
+    std::function<std::optional<std::size_t>(const std::vector<BackEndState>&)> fn);
+
+/// The switch itself. Owns the configuration file and the policy.
+class ServiceSwitch {
+ public:
+  /// `listen` is where clients connect (the address of the node the switch
+  /// is colocated in).
+  ServiceSwitch(std::string service_name, net::Ipv4Address listen, int port);
+
+  /// Master-side maintenance of the configuration file. Backends are keyed
+  /// by (address, port): proxied components of one partitioned service may
+  /// share their host's public address on different ports.
+  Status add_backend(const BackEndEntry& entry);
+  Status remove_backend(net::Ipv4Address address);
+  Status set_backend_capacity(net::Ipv4Address address, int capacity);
+  /// Replaces the whole file (resize bulk update).
+  void load_config(const ServiceConfigFile& file);
+
+  /// Marks a backend unhealthy/healthy (failure handling; crashed guests
+  /// stop receiving requests). The address-only overload flips the first
+  /// matching backend; the port-qualified one disambiguates shared
+  /// addresses.
+  Status set_backend_health(net::Ipv4Address address, bool healthy);
+  Status set_backend_health(net::Ipv4Address address, int port, bool healthy);
+
+  /// ASP hook: replaces the request-switching policy.
+  void set_policy(std::unique_ptr<SwitchPolicy> policy);
+
+  /// Routes one request: returns the chosen backend entry, or an error when
+  /// no healthy backend exists / the policy refuses. `component` restricts
+  /// the choice to backends of that component; empty means untagged
+  /// (replicated) backends.
+  Result<BackEndEntry> route(std::string_view component = "");
+
+  /// Partitioned services: registers a target-prefix -> component rule
+  /// (longest prefix wins).
+  void set_component_route(std::string prefix, std::string component);
+
+  /// Resolves the component for a request target via the registered
+  /// prefixes, then routes within it. With no rules registered this is
+  /// plain route().
+  Result<BackEndEntry> route_target(std::string_view target);
+
+  /// The component a target resolves to (empty if no rule matches).
+  [[nodiscard]] std::string component_for(std::string_view target) const;
+
+  /// Connection lifecycle for least-connections-style policies.
+  void on_request_complete(net::Ipv4Address backend);
+
+  /// Feedback for response-time-aware policies: the request sent to
+  /// `backend` completed in `seconds` (no-op for unknown backends).
+  void report_response_time(net::Ipv4Address backend, double seconds);
+
+  [[nodiscard]] const std::string& service_name() const noexcept {
+    return service_name_;
+  }
+  [[nodiscard]] net::Ipv4Address listen_address() const noexcept { return listen_; }
+  [[nodiscard]] int listen_port() const noexcept { return port_; }
+  [[nodiscard]] const std::vector<BackEndState>& backends() const noexcept {
+    return backends_;
+  }
+  [[nodiscard]] const SwitchPolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] std::uint64_t requests_routed() const noexcept { return routed_; }
+  [[nodiscard]] std::uint64_t requests_refused() const noexcept { return refused_; }
+
+  /// Renders the current configuration file (Table 3 format).
+  [[nodiscard]] std::string config_text() const;
+
+  /// Requests routed to `backend` so far (0 if unknown).
+  [[nodiscard]] std::uint64_t routed_to(net::Ipv4Address backend) const;
+
+ private:
+  std::vector<BackEndState> healthy_view(std::string_view component) const;
+  BackEndState* find(net::Ipv4Address address);
+  BackEndState* find(net::Ipv4Address address, int port);
+
+  std::string service_name_;
+  net::Ipv4Address listen_;
+  int port_;
+  std::vector<BackEndState> backends_;
+  std::vector<std::pair<std::string, std::string>> routes_;  // prefix, component
+  std::unique_ptr<SwitchPolicy> policy_;
+  std::uint64_t routed_ = 0;
+  std::uint64_t refused_ = 0;
+};
+
+}  // namespace soda::core

@@ -1,0 +1,81 @@
+#include "core/trace.hpp"
+
+#include <cstdio>
+
+#include "util/contract.hpp"
+
+namespace soda::core {
+
+std::string_view trace_kind_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kRequestReceived: return "request-received";
+    case TraceKind::kAdmitted:        return "admitted";
+    case TraceKind::kRejected:        return "rejected";
+    case TraceKind::kPrimingStarted:  return "priming-started";
+    case TraceKind::kImageDownloaded: return "image-downloaded";
+    case TraceKind::kNodeBooted:      return "node-booted";
+    case TraceKind::kSwitchCreated:   return "switch-created";
+    case TraceKind::kServiceRunning:  return "service-running";
+    case TraceKind::kResized:         return "resized";
+    case TraceKind::kTornDown:        return "torn-down";
+    case TraceKind::kHealthChanged:   return "health-changed";
+    case TraceKind::kPrimingFailed:   return "priming-failed";
+  }
+  return "unknown";
+}
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
+  SODA_EXPECTS(capacity >= 1);
+}
+
+void TraceLog::record(sim::SimTime at, TraceKind kind, std::string actor,
+                      std::string subject, std::string detail) {
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(TraceEvent{at, kind, std::move(actor), std::move(subject),
+                               std::move(detail)});
+}
+
+void TraceLog::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceLog::for_subject(const std::string& subject) const {
+  std::vector<TraceEvent> out;
+  for (const auto& event : events_) {
+    // A node subject like "web/0" also matches its service "web".
+    if (event.subject == subject ||
+        (event.subject.size() > subject.size() &&
+         event.subject.compare(0, subject.size(), subject) == 0 &&
+         event.subject[subject.size()] == '/')) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceKind> TraceLog::kinds_for(const std::string& subject) const {
+  std::vector<TraceKind> out;
+  for (const auto& event : for_subject(subject)) out.push_back(event.kind);
+  return out;
+}
+
+std::string TraceLog::render() const {
+  std::string out;
+  char buf[64];
+  for (const auto& event : events_) {
+    std::snprintf(buf, sizeof buf, "t=%.3fs", event.at.to_seconds());
+    out += buf;
+    out += " [" + event.actor + "] ";
+    out += trace_kind_name(event.kind);
+    out += " " + event.subject;
+    if (!event.detail.empty()) out += ": " + event.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace soda::core

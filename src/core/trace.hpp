@@ -1,0 +1,75 @@
+// Structured control-plane tracing. Every SODA entity emits typed events
+// (admission, priming stages, boot, switch creation, resize, teardown,
+// health transitions) into a bounded in-memory trace. Operators read it as
+// text; tests assert on exact event sequences — which freezes the
+// control-plane protocol far more precisely than log-string matching.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace soda::core {
+
+enum class TraceKind {
+  kRequestReceived,   // agent accepted an API call
+  kAdmitted,          // master admitted <n, M>
+  kRejected,          // master rejected a request
+  kPrimingStarted,    // daemon began priming a node
+  kImageDownloaded,   // image arrived at the daemon
+  kNodeBooted,        // guest running, app started
+  kSwitchCreated,     // switch up with its config file
+  kServiceRunning,    // creation complete
+  kResized,           // resize applied
+  kTornDown,          // service gone
+  kHealthChanged,     // monitor flipped a backend
+  kPrimingFailed,     // a node's priming pipeline failed
+};
+
+std::string_view trace_kind_name(TraceKind kind) noexcept;
+
+/// One trace record.
+struct TraceEvent {
+  sim::SimTime at;
+  TraceKind kind;
+  std::string actor;    // "master", "daemon@seattle", "agent", "monitor"
+  std::string subject;  // service or node name
+  std::string detail;   // free-form specifics
+};
+
+/// Bounded FIFO of control-plane events. Not thread-safe (simulation is
+/// single-threaded); cheap enough to stay enabled everywhere.
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t capacity = 4096);
+
+  void record(sim::SimTime at, TraceKind kind, std::string actor,
+              std::string subject, std::string detail = {});
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+  /// Events about `subject` (service or node), in order.
+  [[nodiscard]] std::vector<TraceEvent> for_subject(
+      const std::string& subject) const;
+
+  /// The ordered kinds observed for `subject` — what sequence tests check.
+  [[nodiscard]] std::vector<TraceKind> kinds_for(const std::string& subject) const;
+
+  /// Renders "t=1.234s [daemon@seattle] node-booted web/0: ..." lines.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace soda::core

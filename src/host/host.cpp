@@ -1,0 +1,115 @@
+#include "host/host.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace soda::host {
+
+ResourceVector HostSpec::capacity() const {
+  return ResourceVector{cpu_ghz * 1000.0, ram_mb, disk_gb * 1024, nic_mbps};
+}
+
+HostSpec HostSpec::seattle() {
+  HostSpec spec;
+  spec.name = "seattle";
+  spec.cpu_ghz = 2.6;   // Intel Xeon
+  spec.ram_mb = 2048;
+  spec.disk_gb = 73;    // server-class SCSI
+  spec.nic_mbps = 100;
+  spec.disk_mb_s = 55;
+  spec.ramdisk_mb_s = 200;
+  return spec;
+}
+
+HostSpec HostSpec::tacoma() {
+  HostSpec spec;
+  spec.name = "tacoma";
+  spec.cpu_ghz = 1.8;   // Intel Pentium 4
+  spec.ram_mb = 768;
+  spec.disk_gb = 40;    // desktop IDE
+  spec.nic_mbps = 100;
+  spec.disk_mb_s = 25;
+  spec.ramdisk_mb_s = 120;
+  return spec;
+}
+
+HupHost::HupHost(HostSpec spec, net::NodeId lan_node, net::IpPool ip_pool)
+    : spec_(std::move(spec)), lan_node_(lan_node), ip_pool_(std::move(ip_pool)) {}
+
+ResourceVector HupHost::reserved() const {
+  ResourceVector total;
+  for (const auto& slice : slices_) total += slice.resources;
+  return total;
+}
+
+ResourceVector HupHost::available() const { return capacity() - reserved(); }
+
+Result<SliceId> HupHost::reserve(const std::string& service_name,
+                                 const ResourceVector& resources) {
+  SODA_EXPECTS(resources.non_negative());
+  if (!available().fits(resources)) {
+    return Error{"host " + name() + " cannot fit " + resources.to_string() +
+                 " (available: " + available().to_string() + ")"};
+  }
+  const SliceId id{next_slice_++};
+  slices_.push_back(Slice{id, service_name, resources});
+  return id;
+}
+
+Status HupHost::release(SliceId id) {
+  auto it = std::find_if(slices_.begin(), slices_.end(),
+                         [&](const Slice& s) { return s.id == id; });
+  if (it == slices_.end()) {
+    return Error{"host " + name() + ": no such slice " + std::to_string(id.value)};
+  }
+  slices_.erase(it);
+  return {};
+}
+
+Status HupHost::resize(SliceId id, const ResourceVector& resources) {
+  SODA_EXPECTS(resources.non_negative());
+  auto it = std::find_if(slices_.begin(), slices_.end(),
+                         [&](const Slice& s) { return s.id == id; });
+  if (it == slices_.end()) {
+    return Error{"host " + name() + ": no such slice " + std::to_string(id.value)};
+  }
+  // What would be available if this slice were released.
+  const ResourceVector headroom = available() + it->resources;
+  if (!headroom.fits(resources)) {
+    return Error{"host " + name() + " cannot resize slice to " +
+                 resources.to_string() + " (headroom: " + headroom.to_string() + ")"};
+  }
+  it->resources = resources;
+  return {};
+}
+
+std::optional<Slice> HupHost::find_slice(SliceId id) const {
+  auto it = std::find_if(slices_.begin(), slices_.end(),
+                         [&](const Slice& s) { return s.id == id; });
+  if (it == slices_.end()) return std::nullopt;
+  return *it;
+}
+
+net::Bridge& HupHost::bridge() {
+  if (!bridge_) bridge_ = std::make_unique<net::Bridge>(name(), lan_node_);
+  return *bridge_;
+}
+
+void HupHost::set_public_address(net::Ipv4Address address) {
+  SODA_EXPECTS(proxy_ == nullptr);  // must precede first proxy() use
+  public_address_ = address;
+}
+
+net::Ipv4Address HupHost::public_address() const {
+  return public_address_ ? *public_address_ : ip_pool_.first().offset(100);
+}
+
+net::ProxyTable& HupHost::proxy() {
+  if (!proxy_) {
+    proxy_ = std::make_unique<net::ProxyTable>(name(), public_address());
+  }
+  return *proxy_;
+}
+
+}  // namespace soda::host

@@ -1,0 +1,117 @@
+// A HUP host: one physical server of the hosting utility platform. It owns
+// the machine's resource inventory and hands out 'slices' — the reservations
+// that back virtual service nodes (paper §2.1). The host also carries the
+// performance characteristics the boot and syscall models need (clock rate,
+// RAM, disk and RAM-disk streaming rates) and its LAN attachment point.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/resources.hpp"
+#include "net/address.hpp"
+#include "net/bridge.hpp"
+#include "net/flow_network.hpp"
+#include "net/proxy.hpp"
+#include "util/result.hpp"
+
+namespace soda::host {
+
+/// Static description of a HUP host's hardware.
+struct HostSpec {
+  std::string name;
+  double cpu_ghz = 1.0;
+  std::int64_t ram_mb = 512;
+  std::int64_t disk_gb = 40;
+  double nic_mbps = 100;
+  /// Sequential read rate of the local disk (MB/s) — rootfs mount cost.
+  double disk_mb_s = 30;
+  /// RAM-disk streaming rate (MB/s).
+  double ramdisk_mb_s = 180;
+
+  /// Full machine resources as a vector (one core assumed, as in the paper's
+  /// testbed).
+  [[nodiscard]] ResourceVector capacity() const;
+
+  /// The paper's testbed machines (§4): a Dell PowerEdge server and a Dell
+  /// desktop PC.
+  static HostSpec seattle();  // 2.6 GHz Xeon, 2 GB RAM
+  static HostSpec tacoma();   // 1.8 GHz P4, 768 MB RAM
+};
+
+/// Handle to a reservation made on a HupHost.
+struct SliceId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  friend constexpr auto operator<=>(SliceId, SliceId) noexcept = default;
+};
+
+/// A reserved slice of a host.
+struct Slice {
+  SliceId id;
+  std::string service_name;
+  ResourceVector resources;
+};
+
+/// One server of the HUP. Thread-unsafe by design: all access happens on the
+/// simulation thread.
+class HupHost {
+ public:
+  /// `lan_node` is the host's attachment in the flow network; `ip_pool` is
+  /// the disjoint address range this host's daemon assigns to its nodes.
+  HupHost(HostSpec spec, net::NodeId lan_node, net::IpPool ip_pool);
+
+  [[nodiscard]] const HostSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
+  [[nodiscard]] net::NodeId lan_node() const noexcept { return lan_node_; }
+
+  [[nodiscard]] ResourceVector capacity() const { return spec_.capacity(); }
+  [[nodiscard]] ResourceVector reserved() const;
+  [[nodiscard]] ResourceVector available() const;
+
+  /// Reserves a slice for `service_name`; fails when `resources` exceed what
+  /// is available.
+  Result<SliceId> reserve(const std::string& service_name,
+                          const ResourceVector& resources);
+
+  /// Releases a previously reserved slice.
+  Status release(SliceId id);
+
+  /// Grows/shrinks an existing slice to `resources` in place; fails when the
+  /// growth does not fit.
+  Status resize(SliceId id, const ResourceVector& resources);
+
+  [[nodiscard]] std::optional<Slice> find_slice(SliceId id) const;
+  [[nodiscard]] const std::vector<Slice>& slices() const noexcept { return slices_; }
+
+  /// Address pool for this host's virtual service nodes.
+  [[nodiscard]] net::IpPool& ip_pool() noexcept { return ip_pool_; }
+  [[nodiscard]] const net::IpPool& ip_pool() const noexcept { return ip_pool_; }
+
+  /// The host-OS bridging module (created on first use).
+  [[nodiscard]] net::Bridge& bridge();
+
+  /// The host's publicly reachable address (proxy mode): defaults to the
+  /// pool base + 100 by convention; override before first proxy() use.
+  void set_public_address(net::Ipv4Address address);
+  [[nodiscard]] net::Ipv4Address public_address() const;
+
+  /// The host-OS port-forwarding table for proxied virtual service nodes
+  /// (created on first use; paper §3.3 footnote 3).
+  [[nodiscard]] net::ProxyTable& proxy();
+
+ private:
+  HostSpec spec_;
+  net::NodeId lan_node_;
+  net::IpPool ip_pool_;
+  std::vector<Slice> slices_;
+  std::uint64_t next_slice_ = 1;
+  std::unique_ptr<net::Bridge> bridge_;
+  std::optional<net::Ipv4Address> public_address_;
+  std::unique_ptr<net::ProxyTable> proxy_;
+};
+
+}  // namespace soda::host

@@ -1,0 +1,74 @@
+#include "image/downloader.hpp"
+
+#include <memory>
+
+#include "net/http.hpp"
+#include "util/contract.hpp"
+
+namespace soda::image {
+
+namespace {
+constexpr std::int64_t kRequestBytes = 256;  // GET head
+// TCP handshake modeled as one extra small round trip.
+constexpr std::int64_t kHandshakeBytes = 128;
+}  // namespace
+
+HttpDownloader::HttpDownloader(sim::Engine& engine, net::FlowNetwork& network,
+                               net::NodeId host_node)
+    : engine_(engine), network_(network), host_node_(host_node) {}
+
+void HttpDownloader::download(const ImageRepository& repo,
+                              const ImageLocation& location, Callback on_done) {
+  SODA_EXPECTS(on_done != nullptr);
+
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = location.path;
+  request.headers.set("Host", location.repository);
+  request.headers.set("Connection", "keep-alive");
+  request.headers.set("User-Agent", "soda-daemon/1.0");
+
+  // Resolve the response now (repository content is immutable during a
+  // transfer); the flow network supplies the timing.
+  net::HttpResponse response = repo.handle(request);
+  auto image_lookup = repo.lookup(location.path);
+
+  const bool new_connection = connected_.insert(repo.name()).second;
+  const std::int64_t request_cost =
+      kRequestBytes + (new_connection ? kHandshakeBytes : 0);
+
+  // Phase 1: request travels daemon -> repository.
+  auto result = network_.start_flow(
+      host_node_, repo.node(), request_cost,
+      [this, repo_node = repo.node(), response = std::move(response),
+       image_lookup, on_done = std::move(on_done)](sim::SimTime) mutable {
+        if (response.status != 200 || !image_lookup.ok()) {
+          ++failed_;
+          on_done(Error{"HTTP " + std::to_string(response.status) + " " +
+                        response.reason},
+                  engine_.now());
+          return;
+        }
+        const ServiceImage& image = *image_lookup.value();
+        const std::int64_t body_bytes = image.packaged_bytes();
+        // Phase 2: response body travels repository -> daemon.
+        auto body_flow = network_.start_flow(
+            repo_node, host_node_, body_bytes,
+            [this, image, body_bytes,
+             on_done = std::move(on_done)](sim::SimTime finished) mutable {
+              ++completed_;
+              bytes_ += body_bytes;
+              on_done(std::move(image), finished);
+            });
+        if (!body_flow.ok()) {
+          ++failed_;
+          on_done(body_flow.error(), engine_.now());
+        }
+      });
+  if (!result.ok()) {
+    ++failed_;
+    on_done(result.error(), engine_.now());
+  }
+}
+
+}  // namespace soda::image

@@ -1,0 +1,53 @@
+// Active service image downloading (paper §4.3): the first step of service
+// priming. The SODA Daemon fetches the packaged image from the ASP's
+// repository over HTTP/1.1; the transfer shares the LAN with everything
+// else, so its duration comes from the flow network. Connections to the
+// same repository are persistent (HTTP/1.1 keep-alive): only the first
+// download from a given host pays the connection-setup round trip.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "image/repository.hpp"
+#include "net/flow_network.hpp"
+#include "sim/engine.hpp"
+#include "util/result.hpp"
+
+namespace soda::image {
+
+/// Downloads images from repositories for one HUP host.
+class HttpDownloader {
+ public:
+  using Callback =
+      std::function<void(Result<ServiceImage> image, sim::SimTime finished_at)>;
+
+  /// `host_node` is the downloading HUP host's flow-network attachment.
+  HttpDownloader(sim::Engine& engine, net::FlowNetwork& network,
+                 net::NodeId host_node);
+
+  /// Fetches `location` from `repo`. `on_done` fires with a copy of the
+  /// image when the last byte arrives, or with the repository's error
+  /// (e.g. 404) after the request round trip.
+  void download(const ImageRepository& repo, const ImageLocation& location,
+                Callback on_done);
+
+  [[nodiscard]] std::uint64_t downloads_completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t downloads_failed() const noexcept { return failed_; }
+  [[nodiscard]] std::int64_t bytes_downloaded() const noexcept { return bytes_; }
+
+ private:
+  sim::Engine& engine_;
+  net::FlowNetwork& network_;
+  net::NodeId host_node_;
+  std::set<std::string> connected_;  // repositories with a live keep-alive
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace soda::image

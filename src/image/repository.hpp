@@ -1,0 +1,58 @@
+// The ASP-side image repository: a machine owned by the service provider
+// that stores packaged service images and serves them over HTTP/1.1
+// (paper §3: "The image should be stored in a machine owned by the ASP").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "image/image.hpp"
+#include "net/flow_network.hpp"
+#include "net/http.hpp"
+#include "util/result.hpp"
+
+namespace soda::image {
+
+/// An image location as carried in a service-creation request:
+/// "http://<repo>/images/<name>-<version>.rpm".
+struct ImageLocation {
+  std::string repository;  // repository machine name
+  std::string path;        // request target
+
+  [[nodiscard]] std::string url() const { return "http://" + repository + path; }
+};
+
+/// Repository server attached to one flow-network node.
+class ImageRepository {
+ public:
+  ImageRepository(std::string name, net::NodeId node);
+
+  /// Publishes an image; fails on duplicate name.
+  Result<ImageLocation> publish(ServiceImage image);
+
+  /// Unpublishes an image by name; returns false if absent.
+  bool withdraw(const std::string& name);
+
+  /// The image behind `path` ("/images/<name>-<version>.rpm"), or an error
+  /// mirroring an HTTP 404.
+  Result<const ServiceImage*> lookup(const std::string& path) const;
+
+  /// Handles a GET for an image; 200 with Content-Length of the packaged
+  /// bytes, or 404. The body carries a placeholder marker rather than real
+  /// bytes — transfer cost is modeled by the flow network.
+  [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::size_t image_count() const noexcept { return images_.size(); }
+
+ private:
+  static std::string path_for(const ServiceImage& image);
+
+  std::string name_;
+  net::NodeId node_;
+  std::map<std::string, ServiceImage> by_path_;
+  std::map<std::string, std::string> images_;  // name -> path
+};
+
+}  // namespace soda::image

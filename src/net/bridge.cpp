@@ -1,0 +1,41 @@
+#include "net/bridge.hpp"
+
+namespace soda::net {
+
+Bridge::Bridge(std::string host_name, NodeId uplink)
+    : host_name_(std::move(host_name)), uplink_(uplink) {}
+
+Status Bridge::attach(Ipv4Address address, NodeId vm_port) {
+  auto [it, inserted] = table_.emplace(address, vm_port);
+  (void)it;
+  if (!inserted) {
+    return Error{"bridge@" + host_name_ + ": " + address.to_string() +
+                 " already attached"};
+  }
+  return {};
+}
+
+Status Bridge::detach(Ipv4Address address) {
+  if (table_.erase(address) == 0) {
+    return Error{"bridge@" + host_name_ + ": " + address.to_string() +
+                 " not attached"};
+  }
+  return {};
+}
+
+std::optional<NodeId> Bridge::lookup(Ipv4Address address) const {
+  auto it = table_.find(address);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+NodeId Bridge::forward(Ipv4Address address) {
+  if (auto port = lookup(address)) {
+    ++frames_to_vms_;
+    return *port;
+  }
+  ++frames_to_uplink_;
+  return uplink_;
+}
+
+}  // namespace soda::net

@@ -1,0 +1,151 @@
+// Flow-level network simulation. Transfers (HTTP downloads, request/response
+// payloads) are modeled as fluid flows over a topology of directed links;
+// link bandwidth is shared max-min fairly among competing flows, with
+// optional per-flow rate caps (used by the traffic shaper). This captures
+// exactly what the paper's experiments depend on — transfer times under a
+// shared 100 Mbps LAN and per-IP outbound shaping — without packet-level cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "util/result.hpp"
+
+namespace soda::net {
+
+struct NodeId {
+  std::size_t value = SIZE_MAX;
+  [[nodiscard]] bool valid() const noexcept { return value != SIZE_MAX; }
+  friend constexpr auto operator<=>(NodeId, NodeId) noexcept = default;
+};
+
+struct LinkId {
+  std::size_t value = SIZE_MAX;
+  [[nodiscard]] bool valid() const noexcept { return value != SIZE_MAX; }
+  friend constexpr auto operator<=>(LinkId, LinkId) noexcept = default;
+};
+
+struct FlowId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  friend constexpr auto operator<=>(FlowId, FlowId) noexcept = default;
+};
+
+/// Unlimited per-flow rate.
+inline constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
+/// Event-driven fluid-flow network on a directed-link topology.
+/// Single-threaded; driven by one sim::Engine.
+class FlowNetwork {
+ public:
+  using CompletionCallback = std::function<void(sim::SimTime completed_at)>;
+
+  explicit FlowNetwork(sim::Engine& engine) : engine_(engine) {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Adds a named endpoint (machine / switch).
+  NodeId add_node(std::string name);
+
+  /// Adds one directed link a->b. Capacity in Mbps, propagation latency.
+  LinkId add_link(NodeId from, NodeId to, double capacity_mbps,
+                  sim::SimTime latency);
+
+  /// Adds a full-duplex link (two directed links with identical parameters).
+  /// Returns {a->b, b->a}.
+  std::pair<LinkId, LinkId> add_duplex_link(NodeId a, NodeId b,
+                                            double capacity_mbps,
+                                            sim::SimTime latency);
+
+  /// Adds a link not attached to the topology graph; it only constrains flows
+  /// that explicitly include it in `extra_links` (the traffic shaper's per-IP
+  /// bottleneck).
+  LinkId add_virtual_link(double capacity_mbps);
+
+  /// Changes a link's capacity and re-shares bandwidth (service resizing /
+  /// shaper reconfiguration). Capacity must be > 0.
+  void set_link_capacity(LinkId link, double capacity_mbps);
+
+  [[nodiscard]] double link_capacity_mbps(LinkId link) const;
+  [[nodiscard]] const std::string& node_name(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Starts a transfer of `bytes` from `src` to `dst`; `on_complete` fires
+  /// when the last byte arrives. `rate_cap_mbps` bounds this flow alone;
+  /// `extra_links` (e.g. a shaper's virtual link) are appended to the routed
+  /// path. Fails when no route exists.
+  Result<FlowId> start_flow(NodeId src, NodeId dst, std::int64_t bytes,
+                            CompletionCallback on_complete,
+                            double rate_cap_mbps = kUncapped,
+                            std::vector<LinkId> extra_links = {});
+
+  /// Aborts an in-progress flow (its callback never fires). Returns false if
+  /// the flow already completed or was already cancelled.
+  bool cancel_flow(FlowId flow);
+
+  /// The flow's currently allocated rate in Mbps; 0 for unknown flows.
+  [[nodiscard]] double flow_rate_mbps(FlowId flow) const;
+
+  /// Number of in-progress flows.
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  /// Total bytes delivered by completed flows since construction.
+  [[nodiscard]] std::int64_t bytes_delivered() const noexcept { return bytes_delivered_; }
+
+ private:
+  struct Link {
+    NodeId from;  // invalid for virtual links
+    NodeId to;
+    double capacity_bps = 0;  // bytes per second
+    sim::SimTime latency;
+  };
+  struct Flow {
+    FlowId id;
+    std::vector<std::size_t> path;  // link indices
+    std::int64_t total_bytes = 0;
+    double remaining_bytes = 0;
+    double rate_bps = 0;  // bytes per second
+    double cap_bps = std::numeric_limits<double>::infinity();
+    sim::SimTime latency;  // summed path latency, applied to completion
+    sim::SimTime ready_at = sim::SimTime::max();  // pinned when drained
+    CompletionCallback on_complete;
+  };
+
+  /// Shortest-hop route using topology links only; empty when unreachable.
+  std::optional<std::vector<std::size_t>> route(NodeId src, NodeId dst) const;
+
+  /// Applies progress since last recompute to all flows' remaining bytes.
+  void settle_progress();
+  /// Max-min fair re-allocation of all flow rates, then reschedules the next
+  /// completion event.
+  void reallocate_and_schedule();
+  /// Fires completions due now, removes finished flows.
+  void on_completion_event();
+
+  sim::Engine& engine_;
+  std::vector<std::string> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::size_t>> out_links_;  // per node, topology only
+  std::vector<Flow> flows_;
+  std::uint64_t next_flow_id_ = 1;
+  sim::SimTime last_settle_;
+  sim::EventId pending_event_{};
+  bool event_scheduled_ = false;
+  std::int64_t bytes_delivered_ = 0;
+};
+
+/// Convenience: bits-per-second from Mbps.
+constexpr double mbps_to_bytes_per_sec(double mbps) noexcept {
+  return mbps * 1e6 / 8.0;
+}
+constexpr double bytes_per_sec_to_mbps(double bps) noexcept {
+  return bps * 8.0 / 1e6;
+}
+
+}  // namespace soda::net

@@ -1,0 +1,294 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace soda::net {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Splits `raw` into (head lines, body) at the first blank line; returns
+/// nullopt when no blank line exists.
+std::optional<std::pair<std::vector<std::string>, std::string_view>> split_head(
+    std::string_view raw) {
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) return std::nullopt;
+  std::string_view head = raw.substr(0, head_end);
+  std::string_view body = raw.substr(head_end + 4);
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= head.size()) {
+    std::size_t eol = head.find(kCrlf, pos);
+    if (eol == std::string_view::npos) {
+      lines.emplace_back(head.substr(pos));
+      break;
+    }
+    lines.emplace_back(head.substr(pos, eol - pos));
+    pos = eol + 2;
+  }
+  return std::make_pair(std::move(lines), body);
+}
+
+/// Parses "Name: value" field lines (lines[1..]) into `headers`.
+Status parse_fields(const std::vector<std::string>& lines, HeaderMap& headers) {
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Error{"malformed header field: " + line};
+    }
+    std::string name(util::trim(std::string_view(line).substr(0, colon)));
+    std::string value(util::trim(std::string_view(line).substr(colon + 1)));
+    if (name.empty()) return Error{"empty header name"};
+    headers.append(std::move(name), std::move(value));
+  }
+  return {};
+}
+
+/// Extracts the message body per Content-Length; rejects truncated bodies.
+Result<std::string> take_body(const HeaderMap& headers, std::string_view body) {
+  if (auto length_str = headers.get("Content-Length")) {
+    const auto length = util::parse_int(*length_str);
+    if (!length) return Error{"bad Content-Length: " + *length_str};
+    if (static_cast<std::size_t>(*length) > body.size()) {
+      return Error{"body shorter than Content-Length"};
+    }
+    return std::string(body.substr(0, static_cast<std::size_t>(*length)));
+  }
+  return std::string(body);
+}
+
+void serialize_fields(std::string& out, const HeaderMap& headers,
+                      std::size_t body_size) {
+  bool has_length = headers.contains("Content-Length") ||
+                    headers.contains("Transfer-Encoding");
+  for (const auto& [name, value] : headers.fields()) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += kCrlf;
+  }
+  if (!has_length && body_size > 0) {
+    out += "Content-Length: ";
+    out += std::to_string(body_size);
+    out += kCrlf;
+  }
+  out += kCrlf;
+}
+
+}  // namespace
+
+void HeaderMap::set(std::string name, std::string value) {
+  for (auto& [n, v] : fields_) {
+    if (iequals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(std::move(name), std::move(value));
+}
+
+void HeaderMap::append(std::string name, std::string value) {
+  fields_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string> HeaderMap::get(std::string_view name) const {
+  for (const auto& [n, v] : fields_) {
+    if (iequals(n, name)) return v;
+  }
+  return std::nullopt;
+}
+
+bool HeaderMap::contains(std::string_view name) const {
+  return get(name).has_value();
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out;
+  out += method;
+  out += ' ';
+  out += target;
+  out += ' ';
+  out += version;
+  out += kCrlf;
+  serialize_fields(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+Result<HttpRequest> HttpRequest::parse(std::string_view raw) {
+  auto parts = split_head(raw);
+  if (!parts) return Error{"no end of header section"};
+  const auto& [lines, body] = *parts;
+  if (lines.empty()) return Error{"empty message"};
+  const auto request_line = util::split_whitespace(lines[0]);
+  if (request_line.size() != 3) return Error{"malformed request line: " + lines[0]};
+  HttpRequest req;
+  req.method = request_line[0];
+  req.target = request_line[1];
+  req.version = request_line[2];
+  if (!util::starts_with(req.version, "HTTP/")) {
+    return Error{"bad HTTP version: " + req.version};
+  }
+  if (auto status = parse_fields(lines, req.headers); !status.ok()) {
+    return status.error();
+  }
+  auto taken = take_body(req.headers, body);
+  if (!taken.ok()) return taken.error();
+  req.body = std::move(taken).value();
+  return req;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out;
+  out += version;
+  out += ' ';
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += kCrlf;
+  serialize_fields(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+Result<HttpResponse> HttpResponse::parse(std::string_view raw) {
+  auto parts = split_head(raw);
+  if (!parts) return Error{"no end of header section"};
+  const auto& [lines, body] = *parts;
+  if (lines.empty()) return Error{"empty message"};
+  const std::string& status_line = lines[0];
+  const auto fields = util::split_whitespace(status_line);
+  if (fields.size() < 2) return Error{"malformed status line: " + status_line};
+  HttpResponse resp;
+  resp.version = fields[0];
+  if (!util::starts_with(resp.version, "HTTP/")) {
+    return Error{"bad HTTP version: " + resp.version};
+  }
+  const auto status = util::parse_int(fields[1]);
+  if (!status || *status < 100 || *status > 599) {
+    return Error{"bad status code: " + fields[1]};
+  }
+  resp.status = static_cast<int>(*status);
+  // Reason phrase is everything after the code.
+  const std::size_t code_pos = status_line.find(fields[1]);
+  const std::size_t reason_pos = code_pos + fields[1].size();
+  resp.reason = std::string(util::trim(
+      std::string_view(status_line).substr(reason_pos)));
+  if (auto st = parse_fields(lines, resp.headers); !st.ok()) return st.error();
+  auto taken = take_body(resp.headers, body);
+  if (!taken.ok()) return taken.error();
+  resp.body = std::move(taken).value();
+  return resp;
+}
+
+HttpResponse HttpResponse::ok(std::string body, std::string content_type) {
+  HttpResponse resp;
+  resp.headers.set("Content-Type", std::move(content_type));
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse HttpResponse::not_found() {
+  HttpResponse resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  resp.body = "404 not found";
+  return resp;
+}
+
+HttpResponse HttpResponse::server_error(std::string message) {
+  HttpResponse resp;
+  resp.status = 500;
+  resp.reason = "Internal Server Error";
+  resp.body = std::move(message);
+  return resp;
+}
+
+std::string chunk_encode(std::string_view body, std::size_t chunk_size) {
+  if (chunk_size == 0) chunk_size = body.size() ? body.size() : 1;
+  std::string out;
+  std::size_t pos = 0;
+  char size_buf[32];
+  while (pos < body.size()) {
+    const std::size_t len = std::min(chunk_size, body.size() - pos);
+    std::snprintf(size_buf, sizeof size_buf, "%zx", len);
+    out += size_buf;
+    out += kCrlf;
+    out.append(body.substr(pos, len));
+    out += kCrlf;
+    pos += len;
+  }
+  out += "0";
+  out += kCrlf;
+  out += kCrlf;
+  return out;
+}
+
+Result<std::string> chunk_decode(std::string_view coded) {
+  std::string out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t eol = coded.find(kCrlf, pos);
+    if (eol == std::string_view::npos) return Error{"missing chunk size line"};
+    const std::string_view size_text = coded.substr(pos, eol - pos);
+    std::size_t chunk_len = 0;
+    const auto [ptr, ec] = std::from_chars(
+        size_text.data(), size_text.data() + size_text.size(), chunk_len, 16);
+    if (ec != std::errc() || ptr != size_text.data() + size_text.size()) {
+      return Error{"bad chunk size: " + std::string(size_text)};
+    }
+    pos = eol + 2;
+    if (chunk_len == 0) {
+      if (coded.substr(pos, 2) != kCrlf) return Error{"missing final CRLF"};
+      return out;
+    }
+    if (pos + chunk_len + 2 > coded.size()) return Error{"truncated chunk"};
+    out.append(coded.substr(pos, chunk_len));
+    if (coded.substr(pos + chunk_len, 2) != kCrlf) {
+      return Error{"missing chunk terminator"};
+    }
+    pos += chunk_len + 2;
+  }
+}
+
+std::string_view reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 206: return "Partial Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace soda::net

@@ -1,0 +1,80 @@
+// HTTP/1.1 message model (paper §4.3: service images are downloaded with
+// HTTP/1.1; the service switch fronts HTTP application services). Full
+// serialization and parsing of request/response heads, Content-Length bodies,
+// and chunked transfer coding — enough protocol surface for the image
+// downloader, the web content service, and the switch to speak one format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace soda::net {
+
+/// Ordered, case-insensitive-lookup header collection (HTTP field names are
+/// case-insensitive; insertion order is preserved for serialization).
+class HeaderMap {
+ public:
+  void set(std::string name, std::string value);
+  void append(std::string name, std::string value);
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return fields_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& fields()
+      const noexcept {
+    return fields_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// An HTTP/1.1 request message.
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  /// Serializes head + body; sets Content-Length when a body is present and
+  /// no transfer coding was specified.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses a complete request message (head + Content-Length body).
+  static Result<HttpRequest> parse(std::string_view raw);
+};
+
+/// An HTTP/1.1 response message.
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+  static Result<HttpResponse> parse(std::string_view raw);
+
+  /// Convenience constructors for common statuses.
+  static HttpResponse ok(std::string body, std::string content_type = "text/plain");
+  static HttpResponse not_found();
+  static HttpResponse server_error(std::string message);
+};
+
+/// Encodes `body` with HTTP/1.1 chunked transfer coding using `chunk_size`
+/// byte chunks (the trailer is a bare CRLF).
+std::string chunk_encode(std::string_view body, std::size_t chunk_size);
+
+/// Decodes a chunked-coded payload; fails on malformed chunk framing.
+Result<std::string> chunk_decode(std::string_view coded);
+
+/// The standard reason phrase for a status code ("OK", "Not Found", ...).
+std::string_view reason_phrase(int status) noexcept;
+
+}  // namespace soda::net

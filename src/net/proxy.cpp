@@ -1,0 +1,64 @@
+#include "net/proxy.hpp"
+
+#include "util/contract.hpp"
+
+namespace soda::net {
+
+ProxyTable::ProxyTable(std::string host_name, Ipv4Address public_address,
+                       int first_port, int port_count)
+    : host_name_(std::move(host_name)),
+      public_(public_address),
+      first_port_(first_port),
+      port_count_(port_count),
+      next_port_(first_port) {
+  SODA_EXPECTS(first_port > 0 && first_port + port_count <= 65536);
+  SODA_EXPECTS(port_count >= 1);
+}
+
+Result<int> ProxyTable::forward(ProxyTarget target) {
+  // Scan from the cursor for a free port; wrap once.
+  for (int probe = 0; probe < port_count_; ++probe) {
+    const int port = first_port_ + (next_port_ - first_port_ + probe) % port_count_;
+    if (table_.count(port) == 0) {
+      table_.emplace(port, target);
+      next_port_ = port + 1;
+      if (next_port_ >= first_port_ + port_count_) next_port_ = first_port_;
+      return port;
+    }
+  }
+  return Error{"proxy@" + host_name_ + ": public port range exhausted"};
+}
+
+Status ProxyTable::forward_on(int public_port, ProxyTarget target) {
+  if (public_port < first_port_ || public_port >= first_port_ + port_count_) {
+    return Error{"proxy@" + host_name_ + ": port " + std::to_string(public_port) +
+                 " outside managed range"};
+  }
+  auto [it, inserted] = table_.emplace(public_port, target);
+  (void)it;
+  if (!inserted) {
+    return Error{"proxy@" + host_name_ + ": port " + std::to_string(public_port) +
+                 " already forwarded"};
+  }
+  return {};
+}
+
+bool ProxyTable::remove(int public_port) { return table_.erase(public_port) > 0; }
+
+std::optional<ProxyTarget> ProxyTable::forward_lookup(int public_port) {
+  auto it = table_.find(public_port);
+  if (it == table_.end()) {
+    ++missed_;
+    return std::nullopt;
+  }
+  ++forwarded_;
+  return it->second;
+}
+
+std::optional<ProxyTarget> ProxyTable::peek(int public_port) const {
+  auto it = table_.find(public_port);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace soda::net

@@ -1,0 +1,73 @@
+// Proxying as the alternative to bridging (paper §3.3 footnote 3): when
+// public IP addresses are scarce, a virtual service node keeps a reserved
+// (private) address and becomes reachable through a port on the HUP host's
+// public address. The ProxyTable is the host-OS forwarding table the SODA
+// Daemon programs: public port -> (private address, private port).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/address.hpp"
+#include "util/result.hpp"
+
+namespace soda::net {
+
+/// A private endpoint behind the proxy.
+struct ProxyTarget {
+  Ipv4Address private_address;
+  int private_port = 0;
+
+  friend bool operator==(const ProxyTarget&, const ProxyTarget&) = default;
+};
+
+/// One HUP host's port-forwarding table. Public ports are allocated from
+/// [first_port, first_port + port_count); explicit ports may also be
+/// requested.
+class ProxyTable {
+ public:
+  /// `public_address` is the host address clients connect to.
+  ProxyTable(std::string host_name, Ipv4Address public_address,
+             int first_port = 20000, int port_count = 1000);
+
+  [[nodiscard]] Ipv4Address public_address() const noexcept { return public_; }
+  [[nodiscard]] const std::string& host_name() const noexcept { return host_name_; }
+
+  /// Installs a forwarding entry on an automatically allocated public port;
+  /// returns that port. Fails when the port range is exhausted.
+  Result<int> forward(ProxyTarget target);
+
+  /// Installs a forwarding entry on a specific public port; fails when the
+  /// port is outside the range or already taken.
+  Status forward_on(int public_port, ProxyTarget target);
+
+  /// Removes the entry for `public_port`; false when absent.
+  bool remove(int public_port);
+
+  /// The private endpoint behind `public_port`, if mapped. Counts the
+  /// lookup as a forwarded connection when found.
+  std::optional<ProxyTarget> forward_lookup(int public_port);
+
+  /// Read-only lookup (no counter).
+  [[nodiscard]] std::optional<ProxyTarget> peek(int public_port) const;
+
+  [[nodiscard]] std::size_t entry_count() const noexcept { return table_.size(); }
+  [[nodiscard]] std::uint64_t connections_forwarded() const noexcept {
+    return forwarded_;
+  }
+  [[nodiscard]] std::uint64_t lookups_missed() const noexcept { return missed_; }
+
+ private:
+  std::string host_name_;
+  Ipv4Address public_;
+  int first_port_;
+  int port_count_;
+  int next_port_;
+  std::map<int, ProxyTarget> table_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t missed_ = 0;
+};
+
+}  // namespace soda::net

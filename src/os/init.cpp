@@ -1,0 +1,136 @@
+#include "os/init.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace soda::os {
+
+Status ServiceCatalog::add(SystemService service) {
+  if (service.name.empty()) return Error{"service name must not be empty"};
+  const std::string name = service.name;
+  auto [it, inserted] = services_.emplace(name, std::move(service));
+  (void)it;
+  if (!inserted) return Error{"duplicate service: " + name};
+  return {};
+}
+
+bool ServiceCatalog::contains(const std::string& name) const {
+  return services_.count(name) > 0;
+}
+
+const SystemService* ServiceCatalog::find(const std::string& name) const {
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ServiceCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, svc] : services_) out.push_back(name);
+  return out;
+}
+
+Result<std::vector<std::string>> ServiceCatalog::start_order(
+    const std::vector<std::string>& roots) const {
+  enum class Mark { kWhite, kGrey, kBlack };
+  std::map<std::string, Mark> marks;
+  std::vector<std::string> order;
+  std::vector<std::pair<std::string, std::size_t>> stack;
+
+  for (const auto& root : roots) {
+    if (!contains(root)) return Error{"unknown service: " + root};
+    if (marks.count(root) && marks[root] == Mark::kBlack) continue;
+    stack.emplace_back(root, 0);
+    marks[root] = Mark::kGrey;
+    while (!stack.empty()) {
+      auto& [name, next] = stack.back();
+      const SystemService& svc = services_.at(name);
+      if (next < svc.depends.size()) {
+        const std::string& dep = svc.depends[next++];
+        if (!contains(dep)) {
+          return Error{"service " + name + " depends on unknown service " + dep};
+        }
+        const Mark mark = marks.count(dep) ? marks[dep] : Mark::kWhite;
+        if (mark == Mark::kGrey) return Error{"service dependency cycle at " + dep};
+        if (mark == Mark::kWhite) {
+          marks[dep] = Mark::kGrey;
+          stack.emplace_back(dep, 0);
+        }
+      } else {
+        marks[name] = Mark::kBlack;
+        order.push_back(name);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+Result<double> ServiceCatalog::start_cost(
+    const std::vector<std::string>& roots) const {
+  auto order = start_order(roots);
+  if (!order.ok()) return order.error();
+  double total = 0;
+  for (const auto& name : order.value()) total += services_.at(name).start_cost_ghz_s;
+  return total;
+}
+
+Result<std::vector<std::string>> ServiceCatalog::required_packages(
+    const std::vector<std::string>& roots) const {
+  auto order = start_order(roots);
+  if (!order.ok()) return order.error();
+  std::set<std::string> unique;
+  for (const auto& name : order.value()) {
+    const auto& pkgs = services_.at(name).packages;
+    unique.insert(pkgs.begin(), pkgs.end());
+  }
+  return std::vector<std::string>(unique.begin(), unique.end());
+}
+
+const ServiceCatalog& standard_service_catalog() {
+  static const ServiceCatalog catalog = [] {
+    ServiceCatalog c;
+    // Costs are GHz-seconds (seconds on a 1 GHz CPU); relative magnitudes
+    // follow Red Hat 7.2-era boot behaviour: sendmail stalls on DNS, kudzu
+    // probes hardware, xfs builds font caches; klogd and keytable are quick.
+    auto svc = [&c](std::string name, std::vector<std::string> deps, double cost,
+                    std::vector<std::string> pkgs) {
+      must(c.add(SystemService{std::move(name), std::move(deps), cost,
+                               std::move(pkgs)}));
+    };
+    svc("devfs", {}, 0.5, {"dev-utils"});
+    svc("random", {}, 0.35, {"initscripts"});
+    svc("keytable", {}, 0.4, {"console-tools"});
+    svc("network", {"devfs"}, 2.25, {"net-tools", "initscripts"});
+    svc("syslog", {}, 0.75, {"sysklogd"});
+    svc("klogd", {"syslog"}, 0.5, {"sysklogd"});
+    svc("portmap", {"network"}, 0.75, {"portmap"});
+    svc("xinetd", {"network", "syslog"}, 1.25, {"xinetd"});
+    svc("sshd", {"network", "random"}, 2.0, {"openssh-server", "openssl"});
+    svc("crond", {"syslog"}, 0.75, {"vixie-cron"});
+    svc("httpd", {"network", "syslog"}, 2.25, {"apache", "mm"});
+    svc("lpd", {"network"}, 1.25, {"LPRng"});
+    svc("sendmail", {"network", "syslog"}, 6.25, {"sendmail", "procmail"});
+    svc("nfs", {"portmap"}, 3.0, {"nfs-utils"});
+    svc("nfslock", {"portmap"}, 1.25, {"nfs-utils"});
+    svc("netfs", {"network"}, 1.75, {"initscripts"});
+    svc("autofs", {"network"}, 1.5, {"autofs"});
+    svc("atd", {"syslog"}, 0.6, {"at"});
+    svc("apmd", {}, 0.75, {"apmd"});
+    svc("kudzu", {}, 4.5, {"kudzu", "hwdata"});
+    svc("identd", {"network"}, 1.0, {"pidentd"});
+    svc("gpm", {}, 0.6, {"gpm"});
+    svc("xfs", {}, 2.5, {"XFree86-xfs", "XFree86-font-utils"});
+    svc("ypbind", {"network", "portmap"}, 2.0, {"ypbind", "yp-tools"});
+    svc("rstatd", {"portmap"}, 1.0, {"rusers-server"});
+    svc("rusersd", {"portmap"}, 1.0, {"rusers-server"});
+    svc("rwhod", {"network"}, 0.75, {"rwho"});
+    svc("snmpd", {"network"}, 1.5, {"ucd-snmp"});
+    svc("rawdevices", {"devfs"}, 0.4, {"initscripts"});
+    svc("anacron", {"crond"}, 0.5, {"anacron"});
+    return c;
+  }();
+  return catalog;
+}
+
+}  // namespace soda::os

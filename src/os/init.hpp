@@ -1,0 +1,55 @@
+// Guest init-system model. Boot time in SODA is dominated by which Linux
+// system services the guest starts (paper Table 2: "bootstrapping time is
+// not solely dependent on the service image size, it is more dependent on
+// the number and type of Linux services needed"), so services carry explicit
+// start costs and dependencies, and the SODA Daemon's customization step
+// computes dependency closures over them.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace soda::os {
+
+/// One Linux system service (an /etc/init.d entry).
+struct SystemService {
+  std::string name;
+  std::vector<std::string> depends;   // other service names, started first
+  double start_cost_ghz_s = 0.1;      // CPU work to start: seconds on a 1 GHz CPU
+  std::vector<std::string> packages;  // packages the service needs installed
+};
+
+/// A catalog of known system services with dependency-aware start planning.
+class ServiceCatalog {
+ public:
+  /// Registers a service definition; fails on duplicates or empty names.
+  Status add(SystemService service);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const SystemService* find(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return services_.size(); }
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Dependency closure of `roots` in start order (dependencies first).
+  /// Fails on unknown services or cycles.
+  Result<std::vector<std::string>> start_order(const std::vector<std::string>& roots) const;
+
+  /// Total CPU cost (GHz-seconds) to start the closure of `roots`.
+  Result<double> start_cost(const std::vector<std::string>& roots) const;
+
+  /// Union of packages needed by the closure of `roots` (sorted, unique).
+  Result<std::vector<std::string>> required_packages(
+      const std::vector<std::string>& roots) const;
+
+ private:
+  std::map<std::string, SystemService> services_;
+};
+
+/// The catalog used by the rootfs templates: ~30 Red Hat 7.2-era services
+/// with realistic relative start costs (sendmail and kudzu slow, klogd fast).
+const ServiceCatalog& standard_service_catalog();
+
+}  // namespace soda::os

@@ -1,0 +1,101 @@
+#include "os/package.hpp"
+
+#include <algorithm>
+
+namespace soda::os {
+
+std::int64_t Package::payload_bytes() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& file : files) total += file.size_bytes;
+  return total;
+}
+
+Status PackageDatabase::add(Package package) {
+  if (package.name.empty()) return Error{"package name must not be empty"};
+  const std::string name = package.name;
+  auto [it, inserted] = packages_.emplace(name, std::move(package));
+  (void)it;
+  if (!inserted) return Error{"duplicate package: " + name};
+  return {};
+}
+
+bool PackageDatabase::contains(const std::string& name) const {
+  return packages_.count(name) > 0;
+}
+
+const Package* PackageDatabase::find(const std::string& name) const {
+  auto it = packages_.find(name);
+  return it == packages_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> PackageDatabase::names() const {
+  std::vector<std::string> out;
+  out.reserve(packages_.size());
+  for (const auto& [name, pkg] : packages_) out.push_back(name);
+  return out;
+}
+
+Result<std::vector<std::string>> PackageDatabase::resolve(
+    const std::vector<std::string>& roots) const {
+  // Iterative DFS post-order = install order; grey marks detect cycles.
+  enum class Mark { kWhite, kGrey, kBlack };
+  std::map<std::string, Mark> marks;
+  std::vector<std::string> order;
+
+  // Explicit stack of (name, next-dependency-index).
+  std::vector<std::pair<std::string, std::size_t>> stack;
+  for (const auto& root : roots) {
+    if (!contains(root)) return Error{"unknown package: " + root};
+    if (marks[root] == Mark::kBlack) continue;
+    stack.emplace_back(root, 0);
+    marks[root] = Mark::kGrey;
+    while (!stack.empty()) {
+      auto& [name, next] = stack.back();
+      const Package& pkg = packages_.at(name);
+      if (next < pkg.depends.size()) {
+        const std::string& dep = pkg.depends[next++];
+        if (!contains(dep)) {
+          return Error{"package " + name + " depends on unknown package " + dep};
+        }
+        const Mark mark = marks.count(dep) ? marks[dep] : Mark::kWhite;
+        if (mark == Mark::kGrey) {
+          return Error{"dependency cycle involving " + dep};
+        }
+        if (mark == Mark::kWhite) {
+          marks[dep] = Mark::kGrey;
+          stack.emplace_back(dep, 0);
+        }
+      } else {
+        marks[name] = Mark::kBlack;
+        order.push_back(name);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+Result<std::vector<std::string>> PackageDatabase::install(
+    const std::vector<std::string>& roots, FileSystem& fs) const {
+  auto order = resolve(roots);
+  if (!order.ok()) return order.error();
+  for (const auto& name : order.value()) {
+    for (const auto& file : packages_.at(name).files) {
+      if (auto status = fs.add_file(file.path, file.size_bytes); !status.ok()) {
+        return Error{"installing " + name + ": " + status.error().message};
+      }
+    }
+  }
+  return order;
+}
+
+Result<std::int64_t> PackageDatabase::closure_bytes(
+    const std::vector<std::string>& roots) const {
+  auto order = resolve(roots);
+  if (!order.ok()) return order.error();
+  std::int64_t total = 0;
+  for (const auto& name : order.value()) total += packages_.at(name).payload_bytes();
+  return total;
+}
+
+}  // namespace soda::os

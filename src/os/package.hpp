@@ -1,0 +1,63 @@
+// RPM-like package model. The paper (§4.3) assumes the ASP packages the
+// service image with RPM so it forms a file system with one root; the SODA
+// Daemon's customization step also needs package dependency information to
+// know which libraries each system service pulls in.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "os/filesystem.hpp"
+#include "util/result.hpp"
+
+namespace soda::os {
+
+/// A file delivered by a package.
+struct PackageFile {
+  std::string path;  // absolute path inside the image root
+  std::int64_t size_bytes = 0;
+};
+
+/// An installable unit: files plus dependencies on other package names.
+struct Package {
+  std::string name;
+  std::string version = "1.0";
+  std::vector<std::string> depends;  // package names
+  std::vector<PackageFile> files;
+
+  /// Sum of the package's own file sizes.
+  [[nodiscard]] std::int64_t payload_bytes() const noexcept;
+};
+
+/// A set of packages indexed by name, with dependency resolution.
+class PackageDatabase {
+ public:
+  /// Registers a package; fails on duplicate names.
+  Status add(Package package);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const Package* find(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return packages_.size(); }
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Transitive dependency closure of `roots` (including the roots), in
+  /// install order (dependencies before dependents). Fails on unknown
+  /// packages or dependency cycles.
+  Result<std::vector<std::string>> resolve(const std::vector<std::string>& roots) const;
+
+  /// Installs the closure of `roots` into `fs`. Returns the installed names
+  /// in order.
+  Result<std::vector<std::string>> install(const std::vector<std::string>& roots,
+                                           FileSystem& fs) const;
+
+  /// Total payload size of the closure of `roots`.
+  Result<std::int64_t> closure_bytes(const std::vector<std::string>& roots) const;
+
+ private:
+  std::map<std::string, Package> packages_;
+};
+
+}  // namespace soda::os

@@ -1,0 +1,98 @@
+#include "os/process.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace soda::os {
+
+char process_state_code(ProcessState state) noexcept {
+  switch (state) {
+    case ProcessState::kRunning:
+      return 'R';
+    case ProcessState::kSleeping:
+      return 'S';
+    case ProcessState::kZombie:
+      return 'Z';
+  }
+  return '?';
+}
+
+std::int32_t ProcessTable::spawn(std::string command, std::string uid,
+                                 sim::SimTime now, ProcessState state) {
+  Process proc;
+  proc.pid = next_pid_++;
+  proc.uid = std::move(uid);
+  proc.state = state;
+  proc.command = std::move(command);
+  proc.started_at = now;
+  processes_.push_back(std::move(proc));
+  return processes_.back().pid;
+}
+
+Status ProcessTable::kill(std::int32_t pid) {
+  auto it = std::find_if(processes_.begin(), processes_.end(),
+                         [&](const Process& p) { return p.pid == pid; });
+  if (it == processes_.end()) {
+    return Error{"no such process: " + std::to_string(pid)};
+  }
+  processes_.erase(it);
+  return {};
+}
+
+std::size_t ProcessTable::kill_all() {
+  const std::size_t died = processes_.size();
+  processes_.clear();
+  return died;
+}
+
+Status ProcessTable::mark_zombie(std::int32_t pid) {
+  auto it = std::find_if(processes_.begin(), processes_.end(),
+                         [&](const Process& p) { return p.pid == pid; });
+  if (it == processes_.end()) {
+    return Error{"no such process: " + std::to_string(pid)};
+  }
+  it->state = ProcessState::kZombie;
+  return {};
+}
+
+std::optional<Process> ProcessTable::find(std::int32_t pid) const {
+  auto it = std::find_if(processes_.begin(), processes_.end(),
+                         [&](const Process& p) { return p.pid == pid; });
+  if (it == processes_.end()) return std::nullopt;
+  return *it;
+}
+
+std::optional<Process> ProcessTable::find_by_command(
+    std::string_view needle) const {
+  auto it = std::find_if(processes_.begin(), processes_.end(),
+                         [&](const Process& p) {
+                           return p.command.find(needle) != std::string::npos;
+                         });
+  if (it == processes_.end()) return std::nullopt;
+  return *it;
+}
+
+std::string ProcessTable::ps_ef() const {
+  std::string out = "  PID Uid      Stat Command\n";
+  char line[160];
+  for (const auto& proc : processes_) {
+    std::snprintf(line, sizeof line, "%5d %-8s %c    %s\n", proc.pid,
+                  proc.uid.c_str(), process_state_code(proc.state),
+                  proc.command.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::int32_t spawn_boot_processes(ProcessTable& table, sim::SimTime now) {
+  const std::int32_t init_pid =
+      table.spawn("init", "root", now, ProcessState::kSleeping);
+  table.spawn("[keventd]", "root", now, ProcessState::kSleeping);
+  table.spawn("[ksoftirqd_CPU0]", "root", now, ProcessState::kSleeping);
+  table.spawn("[kswapd]", "root", now, ProcessState::kSleeping);
+  table.spawn("[bdflush]", "root", now, ProcessState::kSleeping);
+  table.spawn("[kupdated]", "root", now, ProcessState::kSleeping);
+  return init_pid;
+}
+
+}  // namespace soda::os

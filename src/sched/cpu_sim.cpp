@@ -1,0 +1,121 @@
+#include "sched/cpu_sim.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace soda::sched {
+
+CpuSimulator::CpuSimulator(std::unique_ptr<CpuScheduler> scheduler,
+                           sim::SimTime quantum)
+    : scheduler_(std::move(scheduler)), quantum_(quantum) {
+  SODA_EXPECTS(scheduler_ != nullptr);
+  SODA_EXPECTS(quantum_ > sim::SimTime::zero());
+}
+
+ThreadId CpuSimulator::add_thread(const std::string& uid, DemandPattern pattern) {
+  Thread thread;
+  thread.id = ThreadId{threads_.size()};
+  thread.uid = uid;
+  thread.pattern = pattern;
+  thread.burst_remaining = pattern.run_burst;
+  threads_.push_back(thread);
+  scheduler_->add_thread(ThreadInfo{thread.id, uid});
+  scheduler_->on_wake(thread.id);
+  return thread.id;
+}
+
+void CpuSimulator::set_weight(const std::string& uid, double weight) {
+  scheduler_->set_weight(uid, weight);
+}
+
+CpuSimResult CpuSimulator::run(sim::SimTime duration, sim::SimTime window) {
+  SODA_EXPECTS(duration > sim::SimTime::zero());
+  SODA_EXPECTS(window > sim::SimTime::zero());
+
+  CpuSimResult result;
+  std::map<std::string, double> window_usage;  // seconds within current window
+  for (const auto& thread : threads_) {
+    window_usage.try_emplace(thread.uid, 0.0);
+    result.total_cpu_s.try_emplace(thread.uid, 0.0);
+    result.shares.try_emplace(thread.uid);
+  }
+
+  sim::SimTime now = sim::SimTime::zero();
+  sim::SimTime window_end = window;
+  double idle_s = 0;
+
+  auto flush_windows_until = [&](sim::SimTime t) {
+    while (window_end <= t) {
+      for (auto& [uid, used] : window_usage) {
+        result.shares[uid].add(window_end, used / window.to_seconds());
+        used = 0;
+      }
+      window_end += window;
+    }
+  };
+
+  while (now < duration) {
+    // Wake any threads whose block expired.
+    for (auto& thread : threads_) {
+      if (!thread.runnable && thread.wake_at <= now) {
+        thread.runnable = true;
+        thread.burst_remaining = thread.pattern.run_burst;
+        scheduler_->on_wake(thread.id);
+      }
+    }
+
+    const ThreadId pick = scheduler_->pick_next();
+    if (!pick.valid()) {
+      // CPU idle: jump to the next wake-up (or the end of the run).
+      sim::SimTime next_wake = duration;
+      for (const auto& thread : threads_) {
+        if (!thread.runnable) next_wake = std::min(next_wake, thread.wake_at);
+      }
+      next_wake = std::max(next_wake, now + sim::SimTime::nanoseconds(1));
+      const sim::SimTime idle_until = std::min(next_wake, duration);
+      idle_s += (idle_until - now).to_seconds();
+      flush_windows_until(idle_until);
+      now = idle_until;
+      continue;
+    }
+
+    Thread& thread = threads_[pick.value];
+    SODA_ENSURES(thread.runnable);
+
+    sim::SimTime span = quantum_;
+    bool blocks_after = false;
+    if (thread.pattern.kind == DemandKind::kIoCycle &&
+        thread.burst_remaining <= span) {
+      span = thread.burst_remaining;
+      blocks_after = true;
+    }
+    if (now + span > duration) span = duration - now;
+
+    // Charge usage, splitting across window boundaries.
+    sim::SimTime charged_until = now;
+    while (charged_until < now + span) {
+      const sim::SimTime slice_end = std::min(now + span, window_end);
+      window_usage[thread.uid] += (slice_end - charged_until).to_seconds();
+      charged_until = slice_end;
+      if (charged_until == window_end) flush_windows_until(charged_until);
+    }
+    result.total_cpu_s[thread.uid] += span.to_seconds();
+    scheduler_->account(pick, span);
+    now += span;
+
+    if (thread.pattern.kind == DemandKind::kIoCycle) {
+      thread.burst_remaining -= span;
+      if (blocks_after && now < duration) {
+        thread.runnable = false;
+        thread.wake_at = now + thread.pattern.block_time;
+        scheduler_->on_block(thread.id);
+      }
+    }
+  }
+  flush_windows_until(duration);
+  result.idle_fraction = idle_s / duration.to_seconds();
+  return result;
+}
+
+}  // namespace soda::sched

@@ -1,0 +1,110 @@
+// SODA's coarse-grain CPU proportional-share scheduler (paper §4.2): CPU is
+// shared among *services* (user ids) in proportion to configured weights.
+// Implementation: start-time fair queuing at the uid level — each service
+// carries a virtual time that advances by used_cpu / weight; the runnable
+// service with the smallest virtual time runs next, round-robin among its
+// own threads. A service waking from idle has its virtual time advanced to
+// the minimum of the active set so it cannot monopolize the CPU to "catch
+// up" on time it spent blocked.
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "sched/scheduler.hpp"
+#include "util/contract.hpp"
+
+namespace soda::sched {
+
+namespace {
+
+class ProportionalShareScheduler final : public CpuScheduler {
+ public:
+  void add_thread(const ThreadInfo& info) override {
+    SODA_EXPECTS(thread_uid_.count(info.id.value) == 0);
+    thread_uid_[info.id.value] = info.uid;
+    services_.try_emplace(info.uid);
+  }
+
+  void remove_thread(ThreadId id) override {
+    on_block(id);
+    thread_uid_.erase(id.value);
+  }
+
+  void on_wake(ThreadId id) override {
+    auto uid_it = thread_uid_.find(id.value);
+    SODA_EXPECTS(uid_it != thread_uid_.end());
+    Service& svc = services_.at(uid_it->second);
+    if (std::find(svc.runnable.begin(), svc.runnable.end(), id) !=
+        svc.runnable.end()) {
+      return;
+    }
+    if (svc.runnable.empty()) {
+      // Waking from idle: forfeit blocked time (standard SFQ re-entry rule).
+      svc.vtime = std::max(svc.vtime, min_active_vtime());
+    }
+    svc.runnable.push_back(id);
+  }
+
+  void on_block(ThreadId id) override {
+    auto uid_it = thread_uid_.find(id.value);
+    if (uid_it == thread_uid_.end()) return;
+    Service& svc = services_.at(uid_it->second);
+    auto it = std::find(svc.runnable.begin(), svc.runnable.end(), id);
+    if (it != svc.runnable.end()) svc.runnable.erase(it);
+  }
+
+  void set_weight(const std::string& uid, double weight) override {
+    SODA_EXPECTS(weight > 0);
+    services_[uid].weight = weight;
+  }
+
+  ThreadId pick_next() override {
+    Service* best = nullptr;
+    for (auto& [uid, svc] : services_) {
+      if (svc.runnable.empty()) continue;
+      if (!best || svc.vtime < best->vtime) best = &svc;
+    }
+    if (!best) return ThreadId{};
+    const ThreadId id = best->runnable.front();
+    best->runnable.pop_front();
+    best->runnable.push_back(id);  // round-robin inside the service
+    return id;
+  }
+
+  void account(ThreadId id, sim::SimTime used) override {
+    auto uid_it = thread_uid_.find(id.value);
+    SODA_EXPECTS(uid_it != thread_uid_.end());
+    Service& svc = services_.at(uid_it->second);
+    svc.vtime += used.to_seconds() / svc.weight;
+  }
+
+  [[nodiscard]] std::string name() const override { return "proportional-share"; }
+
+ private:
+  struct Service {
+    double weight = 1.0;
+    double vtime = 0.0;
+    std::deque<ThreadId> runnable;
+  };
+
+  double min_active_vtime() const {
+    double lowest = std::numeric_limits<double>::infinity();
+    for (const auto& [uid, svc] : services_) {
+      if (!svc.runnable.empty()) lowest = std::min(lowest, svc.vtime);
+    }
+    return std::isinf(lowest) ? 0.0 : lowest;
+  }
+
+  std::map<std::size_t, std::string> thread_uid_;
+  std::map<std::string, Service> services_;
+};
+
+}  // namespace
+
+std::unique_ptr<CpuScheduler> make_proportional_scheduler() {
+  return std::make_unique<ProportionalShareScheduler>();
+}
+
+}  // namespace soda::sched

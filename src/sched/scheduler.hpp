@@ -1,0 +1,78 @@
+// Host-OS CPU scheduling (paper §4.2, "CPU isolation"). The paper contrasts
+// unmodified Linux (per-thread time sharing — no service isolation) with
+// SODA's enhancement: a coarse-grain proportional-share scheduler that
+// enforces each virtual service node's CPU share keyed on the *user id* all
+// of the node's processes run under. Stride and lottery scheduling are
+// included as ablations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace soda::sched {
+
+/// Identifies a simulated thread inside one CpuSimulator.
+struct ThreadId {
+  std::size_t value = SIZE_MAX;
+  [[nodiscard]] bool valid() const noexcept { return value != SIZE_MAX; }
+  friend constexpr auto operator<=>(ThreadId, ThreadId) noexcept = default;
+};
+
+/// What the scheduler knows about a thread: its identity and the service
+/// (user id) it belongs to. In SODA every process of a virtual service node
+/// bears the same uid, which is the isolation key.
+struct ThreadInfo {
+  ThreadId id;
+  std::string uid;  // service user id, e.g. "svc-web"
+};
+
+/// Scheduling policy interface. The CpuSimulator notifies thread lifecycle
+/// and wake/block transitions, then repeatedly asks for the next thread to
+/// run and reports how long it ran.
+class CpuScheduler {
+ public:
+  virtual ~CpuScheduler() = default;
+
+  /// A new thread exists (initially blocked until on_wake).
+  virtual void add_thread(const ThreadInfo& info) = 0;
+  /// The thread will never run again.
+  virtual void remove_thread(ThreadId id) = 0;
+  /// The thread became runnable.
+  virtual void on_wake(ThreadId id) = 0;
+  /// The thread blocked (I/O, waiting for requests).
+  virtual void on_block(ThreadId id) = 0;
+
+  /// Sets the CPU weight of a service uid (default 1.0). Only
+  /// service-aware policies honor it.
+  virtual void set_weight(const std::string& uid, double weight) = 0;
+
+  /// Picks the next thread to run; invalid ThreadId when none are runnable.
+  virtual ThreadId pick_next() = 0;
+  /// Reports that `id` (the last pick) ran for `used`.
+  virtual void account(ThreadId id, sim::SimTime used) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Unmodified-Linux baseline: global round-robin time sharing over runnable
+/// threads; CPU goes to whoever is runnable most often, so a CPU-bound
+/// service starves its neighbours (Figure 5a).
+std::unique_ptr<CpuScheduler> make_timeshare_scheduler();
+
+/// SODA's enhancement: start-time fair queuing at the service-uid level —
+/// CPU is divided among *services* in proportion to their weights, then
+/// round-robin inside each service (Figure 5b).
+std::unique_ptr<CpuScheduler> make_proportional_scheduler();
+
+/// Stride scheduling at the service level (deterministic ablation).
+std::unique_ptr<CpuScheduler> make_stride_scheduler();
+
+/// Lottery scheduling at the service level (randomized ablation).
+std::unique_ptr<CpuScheduler> make_lottery_scheduler(std::uint64_t seed);
+
+}  // namespace soda::sched

@@ -1,0 +1,108 @@
+// Stride scheduling at the service level (Waldspurger & Weihl): each service
+// holds tickets proportional to its weight; its stride is kStride1/tickets
+// and its pass advances by stride each quantum it runs. Deterministic
+// ablation against the SFQ-based proportional scheduler.
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "sched/scheduler.hpp"
+#include "util/contract.hpp"
+
+namespace soda::sched {
+
+namespace {
+
+constexpr double kStride1 = 1 << 20;  // stride of a 1-ticket service
+
+class StrideScheduler final : public CpuScheduler {
+ public:
+  void add_thread(const ThreadInfo& info) override {
+    SODA_EXPECTS(thread_uid_.count(info.id.value) == 0);
+    thread_uid_[info.id.value] = info.uid;
+    services_.try_emplace(info.uid);
+  }
+
+  void remove_thread(ThreadId id) override {
+    on_block(id);
+    thread_uid_.erase(id.value);
+  }
+
+  void on_wake(ThreadId id) override {
+    auto uid_it = thread_uid_.find(id.value);
+    SODA_EXPECTS(uid_it != thread_uid_.end());
+    Service& svc = services_.at(uid_it->second);
+    if (std::find(svc.runnable.begin(), svc.runnable.end(), id) !=
+        svc.runnable.end()) {
+      return;
+    }
+    if (svc.runnable.empty()) {
+      svc.pass = std::max(svc.pass, min_active_pass());
+    }
+    svc.runnable.push_back(id);
+  }
+
+  void on_block(ThreadId id) override {
+    auto uid_it = thread_uid_.find(id.value);
+    if (uid_it == thread_uid_.end()) return;
+    Service& svc = services_.at(uid_it->second);
+    auto it = std::find(svc.runnable.begin(), svc.runnable.end(), id);
+    if (it != svc.runnable.end()) svc.runnable.erase(it);
+  }
+
+  void set_weight(const std::string& uid, double weight) override {
+    SODA_EXPECTS(weight > 0);
+    services_[uid].tickets = weight;
+  }
+
+  ThreadId pick_next() override {
+    Service* best = nullptr;
+    for (auto& [uid, svc] : services_) {
+      if (svc.runnable.empty()) continue;
+      if (!best || svc.pass < best->pass) best = &svc;
+    }
+    if (!best) return ThreadId{};
+    const ThreadId id = best->runnable.front();
+    best->runnable.pop_front();
+    best->runnable.push_back(id);
+    return id;
+  }
+
+  void account(ThreadId id, sim::SimTime used) override {
+    auto uid_it = thread_uid_.find(id.value);
+    SODA_EXPECTS(uid_it != thread_uid_.end());
+    Service& svc = services_.at(uid_it->second);
+    // Scale the stride by actual time used so short bursts advance pass less.
+    svc.pass += (kStride1 / svc.tickets) * used.to_seconds();
+  }
+
+  [[nodiscard]] std::string name() const override { return "stride"; }
+
+ private:
+  struct Service {
+    double tickets = 1.0;
+    double pass = 0.0;
+    std::deque<ThreadId> runnable;
+  };
+
+  double min_active_pass() const {
+    double lowest = std::numeric_limits<double>::infinity();
+    for (const auto& [uid, svc] : services_) {
+      if (!svc.runnable.empty()) lowest = std::min(lowest, svc.pass);
+    }
+    return std::isinf(lowest) ? 0.0 : lowest;
+  }
+
+  std::map<std::size_t, std::string> thread_uid_;
+  std::map<std::string, Service> services_;
+};
+
+}  // namespace
+
+std::unique_ptr<CpuScheduler> make_stride_scheduler() {
+  return std::make_unique<StrideScheduler>();
+}
+
+}  // namespace soda::sched

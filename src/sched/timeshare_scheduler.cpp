@@ -1,0 +1,69 @@
+// Unmodified-Linux baseline: plain round-robin time sharing over runnable
+// threads, blind to which service a thread belongs to. A service with more
+// runnable threads — or one that never blocks — simply receives more CPU.
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "sched/scheduler.hpp"
+#include "util/contract.hpp"
+
+namespace soda::sched {
+
+namespace {
+
+class TimeShareScheduler final : public CpuScheduler {
+ public:
+  void add_thread(const ThreadInfo& info) override {
+    SODA_EXPECTS(threads_.count(info.id.value) == 0);
+    threads_[info.id.value] = info.uid;
+  }
+
+  void remove_thread(ThreadId id) override {
+    threads_.erase(id.value);
+    drop_from_queue(id);
+  }
+
+  void on_wake(ThreadId id) override {
+    SODA_EXPECTS(threads_.count(id.value) > 0);
+    if (std::find(queue_.begin(), queue_.end(), id) == queue_.end()) {
+      queue_.push_back(id);
+    }
+  }
+
+  void on_block(ThreadId id) override { drop_from_queue(id); }
+
+  void set_weight(const std::string&, double) override {
+    // Per-thread time sharing has no notion of service weights: this is
+    // exactly the isolation failure the paper's enhancement fixes.
+  }
+
+  ThreadId pick_next() override {
+    if (queue_.empty()) return ThreadId{};
+    const ThreadId id = queue_.front();
+    queue_.pop_front();
+    queue_.push_back(id);  // rotate: round-robin
+    return id;
+  }
+
+  void account(ThreadId, sim::SimTime) override {}
+
+  [[nodiscard]] std::string name() const override { return "timeshare"; }
+
+ private:
+  void drop_from_queue(ThreadId id) {
+    auto it = std::find(queue_.begin(), queue_.end(), id);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+
+  std::map<std::size_t, std::string> threads_;
+  std::deque<ThreadId> queue_;
+};
+
+}  // namespace
+
+std::unique_ptr<CpuScheduler> make_timeshare_scheduler() {
+  return std::make_unique<TimeShareScheduler>();
+}
+
+}  // namespace soda::sched

@@ -1,0 +1,56 @@
+// The discrete-event engine driving every SODA experiment. Components
+// schedule callbacks against the engine's clock; run() fires them in time
+// order. Single-threaded by design: determinism matters more than wall-clock
+// speed for a reproduction harness, and all model state is engine-owned.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace soda::sim {
+
+/// Discrete-event simulation engine. Not thread-safe: one engine per
+/// experiment, driven from one thread.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `callback` to run `delay` after the current time.
+  EventId schedule_after(SimTime delay, Callback callback);
+
+  /// Schedules `callback` at absolute time `when` (must be >= now()).
+  EventId schedule_at(SimTime when, Callback callback);
+
+  /// Cancels a pending event; returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until no events remain. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Runs until the clock passes `deadline` (events at exactly `deadline`
+  /// still fire) or no events remain. Returns the number of events fired.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() noexcept { stop_requested_ = true; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  SimTime now_ = SimTime::zero();
+  EventQueue queue_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace soda::sim

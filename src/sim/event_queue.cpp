@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace soda::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback callback) {
+  SODA_EXPECTS(callback != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{when, seq, std::move(callback)});
+  std::push_heap(heap_.begin(), heap_.end(), heap_less);
+  ++live_count_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id.value == 0 || id.value >= next_seq_) return false;
+  // An id is pending iff it is still somewhere in the heap and not already in
+  // the cancelled set. The heap is not indexed by seq, so check membership by
+  // scanning only on the slow path: maintain the invariant that `cancelled_`
+  // holds only ids still physically in the heap.
+  const bool in_heap =
+      std::any_of(heap_.begin(), heap_.end(),
+                  [&](const Entry& e) { return e.seq == id.value; });
+  if (!in_heap) return false;
+  if (!cancelled_.insert(id.value).second) return false;
+  SODA_ENSURES(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::skim_cancelled() {
+  while (!heap_.empty() && cancelled_.count(heap_.front().seq) > 0) {
+    cancelled_.erase(heap_.front().seq);
+    std::pop_heap(heap_.begin(), heap_.end(), heap_less);
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  skim_cancelled();
+  SODA_EXPECTS(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim_cancelled();
+  SODA_EXPECTS(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), heap_less);
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  SODA_ENSURES(live_count_ > 0);
+  --live_count_;
+  return Fired{entry.time, std::move(entry.callback)};
+}
+
+}  // namespace soda::sim

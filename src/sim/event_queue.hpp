@@ -1,0 +1,76 @@
+// The pending-event set of the discrete-event engine: a priority queue keyed
+// by (time, sequence) so same-time events fire in scheduling order — a
+// determinism requirement for reproducible runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace soda::sim {
+
+/// Handle to a scheduled event; used to cancel it before it fires.
+struct EventId {
+  std::uint64_t value = 0;
+  friend constexpr auto operator<=>(EventId, EventId) noexcept = default;
+};
+
+/// Min-heap of timed callbacks with stable FIFO order for equal timestamps
+/// and lazy cancellation (cancelled entries are skipped at pop time).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `callback` at absolute time `when`. Returns a cancellation id.
+  EventId schedule(SimTime when, Callback callback);
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+
+  /// Timestamp of the earliest pending event; queue must be non-empty.
+  [[nodiscard]] SimTime next_time();
+
+  /// Removes and returns the earliest pending event; queue must be non-empty.
+  struct Fired {
+    SimTime time;
+    Callback callback;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq = 0;
+    Callback callback;
+  };
+  // std::push_heap builds a max-heap; order entries so the earliest
+  // (time, seq) is the max element.
+  static bool heap_less(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  /// Pops cancelled entries off the heap top.
+  void skim_cancelled();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace soda::sim

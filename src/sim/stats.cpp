@@ -1,0 +1,123 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace soda::sim {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::quantile(double q) const {
+  SODA_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= samples_.size()) return samples_.back();
+  return samples_[idx] * (1.0 - frac) + samples_[idx + 1] * frac;
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+double TimeSeries::mean_value() const noexcept {
+  if (points_.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& p : points_) sum += p.value;
+  return sum / static_cast<double>(points_.size());
+}
+
+double TimeSeries::max_abs_deviation(double target) const noexcept {
+  double worst = 0;
+  for (const auto& p : points_) worst = std::max(worst, std::abs(p.value - target));
+  return worst;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  SODA_EXPECTS(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  SODA_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  SODA_EXPECTS(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+}  // namespace soda::sim

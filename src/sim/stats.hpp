@@ -1,0 +1,107 @@
+// Online statistics used by the measurement harness: Welford mean/variance,
+// exact-percentile reservoirs for response times, and time-weighted series
+// for CPU-share plots (Figure 5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace soda::sim {
+
+/// Numerically stable running mean / variance / min / max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1); zero for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Stores every sample (our experiments are small enough) and reports exact
+/// quantiles. Use for response-time distributions.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  /// Exact quantile by linear interpolation; q in [0, 1]. Empty set -> 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// A (time, value) series sampled at fixed intervals — e.g. a node's CPU
+/// share over one-second windows for Figure 5.
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  void add(SimTime time, double value) { points_.push_back({time, value}); }
+
+  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+  /// Mean of the values (each window weighted equally).
+  [[nodiscard]] double mean_value() const noexcept;
+
+  /// Max |value - target| across points; convergence metric for share plots.
+  [[nodiscard]] double max_abs_deviation(double target) const noexcept;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Inclusive lower bound of bucket i.
+  [[nodiscard]] double bucket_low(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace soda::sim

@@ -1,0 +1,29 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines'
+// Expects/Ensures. Violations are programming errors, so they terminate
+// rather than throw; the message names the violated condition and location.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace soda::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "soda: %s violated: %s (%s:%d)\n", kind, cond, file, line);
+  std::abort();
+}
+
+}  // namespace soda::detail
+
+// Precondition check: argument/state requirements of a function.
+#define SODA_EXPECTS(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::soda::detail::contract_failure("precondition", #cond, __FILE__, \
+                                             __LINE__))
+
+// Postcondition / internal invariant check.
+#define SODA_ENSURES(cond)                                                    \
+  ((cond) ? static_cast<void>(0)                                              \
+          : ::soda::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                             __LINE__))

@@ -1,0 +1,43 @@
+#include "util/csv.hpp"
+
+#include "util/contract.hpp"
+
+namespace soda::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SODA_EXPECTS(!headers_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  SODA_EXPECTS(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string csv_escape(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::render() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += csv_escape(row[i]);
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace soda::util

@@ -1,0 +1,30 @@
+// CSV emission for bench output so figure series can be re-plotted directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soda::util {
+
+/// Accumulates rows and renders RFC-4180-ish CSV (quoting fields that contain
+/// commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  /// Appends a row; size must match the header count.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes a single CSV field if needed.
+std::string csv_escape(const std::string& field);
+
+}  // namespace soda::util

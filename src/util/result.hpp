@@ -1,0 +1,120 @@
+// A minimal Result<T, E> ("expected") type used across the SODA control plane
+// for recoverable errors (admission failures, bad requests, parse errors).
+// Programming errors use SODA_EXPECTS instead; exceptions are reserved for
+// out-of-memory and the like.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/contract.hpp"
+
+namespace soda {
+
+/// Error payload carried by Result on the failure path. Wraps a code-less
+/// human-readable message; domains that need typed codes define their own E.
+struct Error {
+  std::string message;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Result<T, E> holds either a value of T or an error of E.
+/// Accessors are checked: calling value() on an error (or error() on a value)
+/// is a contract violation.
+template <typename T, typename E = Error>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a success value.
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  /// Implicit construction from an error value.
+  Result(E error) : data_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    SODA_EXPECTS(ok());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    SODA_EXPECTS(ok());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    SODA_EXPECTS(ok());
+    return std::get<0>(std::move(data_));
+  }
+
+  [[nodiscard]] const E& error() const& {
+    SODA_EXPECTS(!ok());
+    return std::get<1>(data_);
+  }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+/// Result specialization for operations with no success payload.
+template <typename E>
+class [[nodiscard]] Result<void, E> {
+ public:
+  Result() : error_(), has_error_(false) {}
+  Result(E error) : error_(std::move(error)), has_error_(true) {}
+
+  [[nodiscard]] bool ok() const noexcept { return !has_error_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const E& error() const& {
+    SODA_EXPECTS(!ok());
+    return error_;
+  }
+
+ private:
+  E error_;
+  bool has_error_;
+};
+
+using Status = Result<void, Error>;
+
+namespace detail {
+template <typename E>
+void report_must_failure(const E& error, const char* file, int line) {
+  if constexpr (requires { error.message; }) {
+    std::fprintf(stderr, "soda: must() failed at %s:%d: %s\n", file, line,
+                 error.message.c_str());
+  } else {
+    std::fprintf(stderr, "soda: must() failed at %s:%d\n", file, line);
+  }
+}
+}  // namespace detail
+
+/// Unwraps a Result that the caller knows must succeed (construction-time
+/// wiring, test fixtures). Failure is a contract violation reported with the
+/// caller's location and the error message.
+template <typename T, typename E>
+T must(Result<T, E> result, const char* file = __builtin_FILE(),
+       int line = __builtin_LINE()) {
+  if (!result.ok()) {
+    detail::report_must_failure(result.error(), file, line);
+  }
+  SODA_EXPECTS(result.ok());
+  return std::move(result).value();
+}
+
+template <typename E>
+void must(Result<void, E> result, const char* file = __builtin_FILE(),
+          int line = __builtin_LINE()) {
+  if (!result.ok()) {
+    detail::report_must_failure(result.error(), file, line);
+  }
+  SODA_EXPECTS(result.ok());
+}
+
+}  // namespace soda

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace soda::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), alignment_(headers_.size(), Align::kLeft) {
+  SODA_EXPECTS(!headers_.empty());
+}
+
+void AsciiTable::set_alignment(std::vector<Align> alignment) {
+  SODA_EXPECTS(alignment.size() == headers_.size());
+  alignment_ = std::move(alignment);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  SODA_EXPECTS(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_cell = [&](std::string& out, const std::string& cell, size_t c,
+                       Align align) {
+    const size_t pad = widths[c] - cell.size();
+    out += ' ';
+    if (align == Align::kRight) out.append(pad, ' ');
+    out += cell;
+    if (align == Align::kLeft) out.append(pad, ' ');
+    out += ' ';
+  };
+
+  std::string out;
+  out += '|';
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    emit_cell(out, headers_[c], c, Align::kLeft);
+    out += '|';
+  }
+  out += '\n';
+  out += '|';
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += '|';
+    for (size_t c = 0; c < row.size(); ++c) {
+      emit_cell(out, row[c], c, alignment_[c]);
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace soda::util

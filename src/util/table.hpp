@@ -1,0 +1,42 @@
+// ASCII table rendering used by the bench harness to print paper tables and
+// figure series in a readable, diff-friendly form.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace soda::util {
+
+/// Column alignment inside an AsciiTable.
+enum class Align { kLeft, kRight };
+
+/// Builds and renders a fixed-column ASCII table:
+///
+///   | App. service | Image size | Time (seattle) |
+///   |--------------|------------|----------------|
+///   | S_I          |    29.3 MB |        3.0 sec |
+class AsciiTable {
+ public:
+  /// Creates a table with the given column headers; all columns default to
+  /// left alignment.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; size must match the header count.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a data row; size must match the header count.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table including a header separator line.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soda::util

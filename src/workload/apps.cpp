@@ -1,0 +1,45 @@
+#include "workload/apps.hpp"
+
+namespace soda::workload {
+
+void add_comp_threads(sched::CpuSimulator& sim, const std::string& uid,
+                      int threads) {
+  for (int i = 0; i < threads; ++i) {
+    sim.add_thread(uid, sched::DemandPattern::cpu_bound());
+  }
+}
+
+void add_log_threads(sched::CpuSimulator& sim, const std::string& uid,
+                     int threads) {
+  for (int i = 0; i < threads; ++i) {
+    // Fill the write buffer for ~6 ms, then block ~2 ms on the flush.
+    sim.add_thread(uid, sched::DemandPattern::io_cycle(
+                            sim::SimTime::milliseconds(6),
+                            sim::SimTime::milliseconds(2)));
+  }
+}
+
+void add_web_threads(sched::CpuSimulator& sim, const std::string& uid,
+                     int threads) {
+  for (int i = 0; i < threads; ++i) {
+    // A worker chews through queued requests for ~12 ms, then briefly waits
+    // on the accept queue (~1 ms) — overload keeps the queue non-empty.
+    sim.add_thread(uid, sched::DemandPattern::io_cycle(
+                            sim::SimTime::milliseconds(12),
+                            sim::SimTime::milliseconds(1)));
+  }
+}
+
+sched::CpuSimulator make_fig5_scenario(
+    std::unique_ptr<sched::CpuScheduler> policy) {
+  sched::CpuSimulator sim(std::move(policy));
+  add_web_threads(sim, "svc-web");
+  add_comp_threads(sim, "svc-comp", 2);
+  add_log_threads(sim, "svc-log");
+  sim.set_weight("svc-web", 1.0);
+  sim.set_weight("svc-comp", 1.0);
+  sim.set_weight("svc-log", 1.0);
+  return sim;
+}
+
+}  // namespace soda::workload

@@ -1,0 +1,32 @@
+// The CPU-isolation workload mix of Figure 5: three virtual service nodes on
+// one host — `web` (request-driven httpd workers), `comp` (infinite loop of
+// dummy arithmetic), `log` (continuous disk writes) — each granted an equal
+// CPU share but offering more load than its share. These helpers populate a
+// CpuSimulator with the corresponding thread demand patterns.
+#pragma once
+
+#include <string>
+
+#include "sched/cpu_sim.hpp"
+
+namespace soda::workload {
+
+/// Adds `threads` always-runnable arithmetic-loop threads for service `uid`.
+void add_comp_threads(sched::CpuSimulator& sim, const std::string& uid,
+                      int threads = 1);
+
+/// Adds a logging thread: bursts of buffered writes, then a short block on
+/// the disk flush. Mostly runnable — its offered load exceeds a 1/3 share.
+void add_log_threads(sched::CpuSimulator& sim, const std::string& uid,
+                     int threads = 1);
+
+/// Adds overloaded httpd workers: long CPU bursts per request with brief
+/// blocks on the accept queue.
+void add_web_threads(sched::CpuSimulator& sim, const std::string& uid,
+                     int threads = 3);
+
+/// The full Figure 5 scenario on one CPU: web/comp/log with equal weights.
+/// Returns the populated simulator ready to run.
+sched::CpuSimulator make_fig5_scenario(std::unique_ptr<sched::CpuScheduler> policy);
+
+}  // namespace soda::workload

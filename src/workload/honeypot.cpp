@@ -1,0 +1,80 @@
+#include "workload/honeypot.hpp"
+
+#include "util/contract.hpp"
+#include "util/log.hpp"
+
+namespace soda::workload {
+
+GhttpdVictim::GhttpdVictim(vm::VirtualServiceNode& node) : node_(node) {}
+
+Status GhttpdVictim::serve_benign() {
+  if (!node_.running()) {
+    return Error{"honeypot guest is " +
+                 std::string(vm::vm_state_name(node_.uml().state()))};
+  }
+  ++benign_;
+  return {};
+}
+
+GhttpdVictim::AttackOutcome GhttpdVictim::exploit(sim::SimTime now) {
+  AttackOutcome outcome;
+  if (!node_.running()) {
+    outcome.victim_state = std::string(vm::vm_state_name(node_.uml().state()));
+    return outcome;
+  }
+  vm::UserModeLinux& uml = node_.uml();
+
+  // The overflow hijacks the ghttpd process (running as the guest's root)...
+  auto ghttpd = uml.processes().find_by_command("ghttpd");
+  if (!ghttpd) {
+    outcome.victim_state = "no victim daemon";
+    return outcome;
+  }
+  must(uml.processes().mark_zombie(ghttpd->pid));
+
+  // ...binds a shell on a port, which the attacker logs into remotely...
+  must(uml.spawn_process(
+      "/bin/sh (bound :" + std::to_string(kShellPort) + ")", "root", now));
+  outcome.exploited = true;
+  outcome.shell_port = kShellPort;
+  ++exploited_;
+
+  // ...and the post-exploitation session brings the guest down. The damage
+  // boundary is the UML: host OS and sibling guests never see it.
+  uml.crash();
+  outcome.guest_crashed = true;
+  outcome.victim_state = std::string(vm::vm_state_name(uml.state()));
+  util::global_logger().warn(
+      "honeypot@" + node_.host_name(),
+      "ghttpd exploited; guest " + node_.name().value + " crashed");
+  return outcome;
+}
+
+Status GhttpdVictim::restart(sim::SimTime now) {
+  vm::UserModeLinux& uml = node_.uml();
+  if (uml.state() == vm::VmState::kRunning) return {};
+  uml.shutdown();  // crashed -> stopped
+  if (auto begun = uml.begin_boot(now); !begun.ok()) return begun;
+  if (auto finished = uml.finish_boot(now); !finished.ok()) return finished;
+  return uml.spawn_process("ghttpd-1.4", "svc-" + node_.service_name(), now)
+                 .ok()
+             ? Status{}
+             : Status{Error{"could not respawn victim"}};
+}
+
+GhttpdVictim::AttackOutcome Attacker::attack_once(sim::SimTime now) {
+  ++launched_;
+  auto outcome = victim_.exploit(now);
+  must(victim_.restart(now));
+  return outcome;
+}
+
+std::size_t Attacker::rampage(std::size_t rounds, sim::SimTime now) {
+  std::size_t succeeded = 0;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (attack_once(now).exploited) ++succeeded;
+  }
+  return succeeded;
+}
+
+}  // namespace soda::workload

@@ -1,0 +1,77 @@
+// The honeypot service and its attacker (the paper's S_II, §5 "Attack
+// isolation"). The honeypot deliberately runs a vulnerable victim server —
+// ghttpd 1.4, whose remotely exploitable buffer overflow lets an attacker
+// bind a root shell and take over the guest. With SODA the ghttpd root is
+// the *guest's* root: the attack crashes the honeypot's virtual service
+// node while the host OS and co-hosted services keep running untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "util/result.hpp"
+#include "vm/vsnode.hpp"
+
+namespace soda::workload {
+
+/// The ghttpd-like victim daemon running inside a honeypot node.
+class GhttpdVictim {
+ public:
+  /// Binds the victim to its node. The entry process ("ghttpd-1.4") must
+  /// already exist in the guest (the daemon spawned it during priming).
+  explicit GhttpdVictim(vm::VirtualServiceNode& node);
+
+  /// Serves a benign request; fails when the guest is not running.
+  Status serve_benign();
+
+  /// What one exploit attempt did.
+  struct AttackOutcome {
+    bool exploited = false;        // overflow succeeded, shell bound
+    int shell_port = 0;            // where the remote shell listened
+    bool guest_crashed = false;    // the guest died (post-exploitation)
+    std::string victim_state;      // VM state name afterwards
+  };
+
+  /// A malicious HTTP request with an over-long header: overflows ghttpd's
+  /// buffer, binds /bin/sh on a port as the guest root, and the attacker's
+  /// remote session then brings the guest down. Everything stays inside
+  /// this node's UML.
+  AttackOutcome exploit(sim::SimTime now);
+
+  /// Re-primes the victim (the honeypot is "constantly attacked and
+  /// crashed" — it resets between rounds).
+  Status restart(sim::SimTime now);
+
+  [[nodiscard]] std::uint64_t benign_served() const noexcept { return benign_; }
+  [[nodiscard]] std::uint64_t times_exploited() const noexcept { return exploited_; }
+  [[nodiscard]] vm::VirtualServiceNode& node() noexcept { return node_; }
+
+  static constexpr int kShellPort = 4444;
+
+ private:
+  vm::VirtualServiceNode& node_;
+  std::uint64_t benign_ = 0;
+  std::uint64_t exploited_ = 0;
+};
+
+/// A malicious client hammering the honeypot.
+class Attacker {
+ public:
+  explicit Attacker(GhttpdVictim& victim) : victim_(victim) {}
+
+  /// One attack round: exploit, record, restart the victim.
+  GhttpdVictim::AttackOutcome attack_once(sim::SimTime now);
+
+  /// `rounds` consecutive attack/crash/restart cycles; returns how many
+  /// exploits succeeded.
+  std::size_t rampage(std::size_t rounds, sim::SimTime now);
+
+  [[nodiscard]] std::uint64_t attacks_launched() const noexcept { return launched_; }
+
+ private:
+  GhttpdVictim& victim_;
+  std::uint64_t launched_ = 0;
+};
+
+}  // namespace soda::workload

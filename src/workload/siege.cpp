@@ -1,0 +1,148 @@
+#include "workload/siege.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace soda::workload {
+
+sim::SimTime switch_forward_cost(double cpu_ghz, vm::ExecMode mode) noexcept {
+  static const vm::SyscallCostModel model;
+  const std::uint64_t cycles =
+      2 * model.cycles(vm::Syscall::kSocketRecv, mode) +
+      2 * model.cycles(vm::Syscall::kSocketSend, mode) +
+      50'000;  // user-mode parse + policy pick
+  return sim::SimTime::seconds(static_cast<double>(cycles) / (cpu_ghz * 1e9));
+}
+
+SiegeClient::SiegeClient(sim::Engine& engine, net::FlowNetwork& network,
+                         net::NodeId client, core::ServiceSwitch* service_switch,
+                         std::optional<net::NodeId> switch_node,
+                         SiegeConfig config)
+    : engine_(engine),
+      network_(network),
+      client_(client),
+      switch_(service_switch),
+      switch_node_(switch_node),
+      config_(config),
+      rng_(config.seed) {
+  SODA_EXPECTS(config_.max_requests >= 1);
+  SODA_EXPECTS(switch_ == nullptr || switch_node_.has_value());
+}
+
+void SiegeClient::register_backend(net::Ipv4Address address,
+                                   WebContentServer* server,
+                                   net::NodeId server_node) {
+  SODA_EXPECTS(server != nullptr);
+  backends_[address.value()] = Backend{server, server_node};
+}
+
+void SiegeClient::start() {
+  SODA_EXPECTS(!backends_.empty());
+  if (config_.arrival_rate > 0) {
+    schedule_next_arrival();
+  } else {
+    const int workers =
+        static_cast<int>(std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(config_.concurrency), config_.max_requests));
+    for (int i = 0; i < workers; ++i) issue_request();
+  }
+}
+
+void SiegeClient::schedule_next_arrival() {
+  if (issued_ >= config_.max_requests) return;
+  engine_.schedule_after(rng_.poisson_gap(config_.arrival_rate), [this] {
+    issue_request();
+    schedule_next_arrival();
+  });
+}
+
+void SiegeClient::issue_request() {
+  if (issued_ >= config_.max_requests) return;
+  ++issued_;
+  const sim::SimTime started = engine_.now();
+
+  if (switch_ == nullptr) {
+    // Direct scenario: one backend, no switch hop.
+    SODA_EXPECTS(backends_.size() == 1);
+    const auto& [key, backend] = *backends_.begin();
+    must(network_.start_flow(client_, backend.node, kRequestBytes,
+                             [this, key, started](sim::SimTime) {
+                               dispatch_to(net::Ipv4Address(key),
+                                           backends_.at(key), started);
+                             }));
+    return;
+  }
+
+  // Hop 1: client -> switch.
+  must(network_.start_flow(client_, *switch_node_, kRequestBytes,
+                           [this, started](sim::SimTime) {
+    // Switch CPU work, then hop 2: switch -> chosen backend.
+    engine_.schedule_after(config_.switch_delay, [this, started] {
+      auto routed = config_.target.empty()
+                        ? switch_->route()
+                        : switch_->route_target(config_.target);
+      if (!routed.ok()) {
+        ++refused_;
+        maybe_continue();
+        return;
+      }
+      const net::Ipv4Address address = routed.value().address;
+      auto it = backends_.find(address.value());
+      if (it == backends_.end()) {
+        // Configuration names a backend we have no server object for.
+        ++refused_;
+        switch_->on_request_complete(address);
+        maybe_continue();
+        return;
+      }
+      const Backend backend = it->second;
+      must(network_.start_flow(*switch_node_, backend.node, kRequestBytes,
+                               [this, address, backend, started](sim::SimTime) {
+                                 dispatch_to(address, backend, started);
+                               }));
+    });
+  }));
+}
+
+void SiegeClient::dispatch_to(net::Ipv4Address address, const Backend& backend,
+                              sim::SimTime started) {
+  backend.server->handle_request(
+      client_, config_.response_bytes,
+      [this, address, started](sim::SimTime delivered) {
+        on_response(address, started, delivered);
+      });
+}
+
+void SiegeClient::on_response(net::Ipv4Address address, sim::SimTime started,
+                              sim::SimTime delivered) {
+  const double rt = (delivered - started).to_seconds();
+  overall_.add(rt);
+  per_backend_[address.value()].add(rt);
+  ++completed_per_backend_[address.value()];
+  ++completed_;
+  if (switch_) {
+    switch_->on_request_complete(address);
+    switch_->report_response_time(address, rt);
+  }
+  maybe_continue();
+}
+
+void SiegeClient::maybe_continue() {
+  if (config_.arrival_rate > 0) return;
+  if (issued_ >= config_.max_requests) return;
+  engine_.schedule_after(config_.think_time, [this] { issue_request(); });
+}
+
+const sim::SampleSet& SiegeClient::response_times_for(
+    net::Ipv4Address address) const {
+  auto it = per_backend_.find(address.value());
+  return it == per_backend_.end() ? empty_ : it->second;
+}
+
+std::uint64_t SiegeClient::completed_by(net::Ipv4Address address) const {
+  auto it = completed_per_backend_.find(address.value());
+  return it == completed_per_backend_.end() ? 0 : it->second;
+}
+
+}  // namespace soda::workload

@@ -1,0 +1,117 @@
+// A siege-like HTTP request generator (the paper uses `siege` to drive the
+// web content service, §5). Supports closed-loop operation (N concurrent
+// clients with think time) and open-loop Poisson arrivals, measures per-
+// request response time end to end, and attributes every request to the
+// backend the service switch picked — the measurements behind Figures 4
+// and 6.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/switch.hpp"
+#include "net/flow_network.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "workload/webservice.hpp"
+
+namespace soda::workload {
+
+/// Load-generation parameters.
+struct SiegeConfig {
+  /// Closed loop: number of concurrent simulated users. Ignored when
+  /// arrival_rate > 0.
+  int concurrency = 8;
+  /// Open loop: Poisson arrival rate (requests/second); 0 = closed loop.
+  double arrival_rate = 0;
+  /// Closed loop: pause between a user's response and next request.
+  sim::SimTime think_time = sim::SimTime::milliseconds(50);
+  /// Bytes of content each request fetches (the paper's "dataset size").
+  std::int64_t response_bytes = 8 * 1024;
+  /// Total requests to issue before stopping.
+  std::uint64_t max_requests = 500;
+  std::uint64_t seed = 0x51E6E;
+  /// Forwarding latency inside the switch itself (see switch_forward_cost).
+  sim::SimTime switch_delay = sim::SimTime::microseconds(120);
+  /// When non-empty, requests carry this target and the switch routes by
+  /// component prefix (partitioned services); empty = plain route().
+  std::string target;
+};
+
+/// Drives requests from one client machine at a service.
+class SiegeClient {
+ public:
+  /// With a switch: requests hop client -> switch node -> chosen backend,
+  /// responses return backend -> client (L4 forwarding).
+  /// `service_switch` may be nullptr for the direct (no-switch) scenario —
+  /// then exactly one backend must be registered.
+  SiegeClient(sim::Engine& engine, net::FlowNetwork& network,
+              net::NodeId client, core::ServiceSwitch* service_switch,
+              std::optional<net::NodeId> switch_node, SiegeConfig config);
+
+  /// Associates a backend address (from the switch's configuration file)
+  /// with the server instance that handles its requests.
+  void register_backend(net::Ipv4Address address, WebContentServer* server,
+                        net::NodeId server_node);
+
+  /// Begins issuing requests.
+  void start();
+
+  [[nodiscard]] bool finished() const noexcept {
+    return completed_ + refused_ >= config_.max_requests;
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t refused() const noexcept { return refused_; }
+
+  /// Response-time samples (seconds) across all backends.
+  [[nodiscard]] const sim::SampleSet& response_times() const noexcept {
+    return overall_;
+  }
+  /// Response-time samples for one backend (empty set if it served nothing).
+  [[nodiscard]] const sim::SampleSet& response_times_for(
+      net::Ipv4Address address) const;
+  /// Requests completed by one backend.
+  [[nodiscard]] std::uint64_t completed_by(net::Ipv4Address address) const;
+
+ private:
+  struct Backend {
+    WebContentServer* server = nullptr;
+    net::NodeId node;
+  };
+
+  void issue_request();
+  void schedule_next_arrival();
+  /// Closed loop: after a request ends (served or refused), think then issue
+  /// the next one. Open loop: no-op (arrivals self-schedule).
+  void maybe_continue();
+  void dispatch_to(net::Ipv4Address address, const Backend& backend,
+                   sim::SimTime started);
+  void on_response(net::Ipv4Address address, sim::SimTime started,
+                   sim::SimTime delivered);
+
+  sim::Engine& engine_;
+  net::FlowNetwork& network_;
+  net::NodeId client_;
+  core::ServiceSwitch* switch_;
+  std::optional<net::NodeId> switch_node_;
+  SiegeConfig config_;
+  sim::Rng rng_;
+  std::map<std::uint32_t, Backend> backends_;
+  std::map<std::uint32_t, sim::SampleSet> per_backend_;
+  std::map<std::uint32_t, std::uint64_t> completed_per_backend_;
+  sim::SampleSet overall_;
+  sim::SampleSet empty_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t refused_ = 0;
+};
+
+/// CPU cost of the switch's own forwarding work per request (accept + parse
+/// + route + connect to the backend): two receives, two sends, and some
+/// user-mode work — traced when the switch lives inside a virtual service
+/// node, native when it runs on the host OS.
+sim::SimTime switch_forward_cost(double cpu_ghz, vm::ExecMode mode) noexcept;
+
+}  // namespace soda::workload

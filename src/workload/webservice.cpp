@@ -1,0 +1,75 @@
+#include "workload/webservice.hpp"
+
+#include "util/contract.hpp"
+
+namespace soda::workload {
+
+WebContentServer::WebContentServer(sim::Engine& engine,
+                                   net::FlowNetwork& network, net::NodeId where,
+                                   vm::ExecMode mode, double cpu_ghz, int workers,
+                                   std::vector<net::LinkId> outbound_extra,
+                                   ContentKind content)
+    : engine_(engine),
+      network_(network),
+      node_(where),
+      mode_(mode),
+      cpu_ghz_(cpu_ghz),
+      workers_(workers),
+      outbound_extra_(std::move(outbound_extra)),
+      content_(content) {
+  SODA_EXPECTS(cpu_ghz_ > 0);
+  SODA_EXPECTS(workers_ >= 1);
+}
+
+sim::SimTime WebContentServer::processing_time(std::int64_t response_bytes) const {
+  const auto cost = content_ == ContentKind::kStatic
+                        ? vm::static_request_cost(cost_model_, response_bytes)
+                        : vm::dynamic_request_cost(cost_model_, response_bytes);
+  return cost.total_time(mode_, cpu_ghz_);
+}
+
+void WebContentServer::handle_request(net::NodeId client,
+                                      std::int64_t response_bytes,
+                                      ResponseCallback on_delivered) {
+  SODA_EXPECTS(on_delivered != nullptr);
+  SODA_EXPECTS(response_bytes >= 0);
+  if (down_) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(Pending{client, response_bytes, std::move(on_delivered)});
+  pump();
+}
+
+void WebContentServer::pump() {
+  while (busy_ < workers_ && !queue_.empty()) {
+    Pending request = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(request));
+  }
+}
+
+void WebContentServer::start(Pending request) {
+  ++busy_;
+  const sim::SimTime processing = processing_time(request.bytes);
+  busy_seconds_ += processing.to_seconds();
+  engine_.schedule_after(processing, [this, request = std::move(request)]() mutable {
+    --busy_;
+    if (down_) {
+      ++dropped_;
+      pump();
+      return;
+    }
+    auto flow = network_.start_flow(
+        node_, request.client, request.bytes + kResponseHeaderBytes,
+        [this, cb = std::move(request.on_delivered)](sim::SimTime at) {
+          ++served_;
+          cb(at);
+        },
+        net::kUncapped, outbound_extra_);
+    if (!flow.ok()) ++dropped_;
+    pump();
+  });
+}
+
+}  // namespace soda::workload

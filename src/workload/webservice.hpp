@@ -1,0 +1,94 @@
+// The web content service (the paper's S_I): a static-content HTTP server
+// model that can run inside a virtual service node (traced syscalls, shaped
+// outbound bandwidth) or directly on a host OS (the Figure 6 baselines).
+// Each request costs CPU per the syscall model and then streams its response
+// through the flow network.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/flow_network.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "vm/syscall.hpp"
+
+namespace soda::workload {
+
+/// What kind of content an instance serves: static files (the paper's S_I)
+/// or CGI-style dynamic pages (fork/execve per request — far more
+/// tracing-hostile under UML).
+enum class ContentKind { kStatic, kDynamic };
+
+/// One deployed instance of the web content server.
+class WebContentServer {
+ public:
+  /// `where` is the instance's flow-network node; `mode` selects native or
+  /// traced syscall pricing; `cpu_ghz` is the carrying host's clock;
+  /// `workers` is the httpd process pool size (requests queue FIFO beyond
+  /// it); `outbound_extra` links (the node's shaper bottleneck) are crossed
+  /// by every response.
+  WebContentServer(sim::Engine& engine, net::FlowNetwork& network,
+                   net::NodeId where, vm::ExecMode mode, double cpu_ghz,
+                   int workers, std::vector<net::LinkId> outbound_extra = {},
+                   ContentKind content = ContentKind::kStatic);
+
+  using ResponseCallback = std::function<void(sim::SimTime delivered_at)>;
+
+  /// Serves one request for `response_bytes` of content to `client`:
+  /// queue -> CPU processing -> response transfer -> callback.
+  void handle_request(net::NodeId client, std::int64_t response_bytes,
+                      ResponseCallback on_delivered);
+
+  /// Marks the instance down: queued and future requests are dropped (their
+  /// callbacks never fire) — what a crashed guest looks like to clients.
+  void set_down(bool down) noexcept { down_ = down; }
+  [[nodiscard]] bool down() const noexcept { return down_; }
+
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept { return served_; }
+  [[nodiscard]] std::uint64_t requests_dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+  /// Total CPU seconds burned serving requests.
+  [[nodiscard]] double busy_seconds() const noexcept { return busy_seconds_; }
+
+  /// CPU time this instance needs to serve `response_bytes` (exposed for
+  /// tests and the Figure 6 bench).
+  [[nodiscard]] sim::SimTime processing_time(std::int64_t response_bytes) const;
+
+ private:
+  struct Pending {
+    net::NodeId client;
+    std::int64_t bytes;
+    ResponseCallback on_delivered;
+  };
+
+  void pump();
+  void start(Pending request);
+
+  sim::Engine& engine_;
+  net::FlowNetwork& network_;
+  net::NodeId node_;
+  vm::ExecMode mode_;
+  double cpu_ghz_;
+  int workers_;
+  std::vector<net::LinkId> outbound_extra_;
+  ContentKind content_;
+  vm::SyscallCostModel cost_model_;
+  std::deque<Pending> queue_;
+  int busy_ = 0;
+  bool down_ = false;
+  std::uint64_t served_ = 0;
+  std::uint64_t dropped_ = 0;
+  double busy_seconds_ = 0;
+};
+
+/// HTTP framing overhead added to each response transfer.
+constexpr std::int64_t kResponseHeaderBytes = 300;
+/// Size of a request message on the wire.
+constexpr std::int64_t kRequestBytes = 350;
+
+}  // namespace soda::workload

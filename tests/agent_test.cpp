@@ -1,0 +1,193 @@
+// Unit tests for the SODA Agent: authentication, ownership enforcement, and
+// the billing ledger.
+#include <gtest/gtest.h>
+
+#include "core/hup.hpp"
+#include "image/image.hpp"
+
+namespace soda::core {
+namespace {
+
+struct AgentBed {
+  Hup::PaperTestbed tb;
+  Hup& hup;
+  image::ImageLocation loc;
+
+  AgentBed() : tb(Hup::paper_testbed()), hup(*tb.hup) {
+    hup.agent().register_asp("alice", "alice-key");
+    hup.agent().register_asp("bob", "bob-key");
+    loc = must(tb.repo->publish(image::honeypot_image()));
+  }
+
+  ApiResult<ServiceCreationReply> create(const Credentials& creds,
+                                         const std::string& name) {
+    ServiceCreationRequest request;
+    request.credentials = creds;
+    request.service_name = name;
+    request.image_location = loc;
+    request.requirement = {1, {}};
+    ApiResult<ServiceCreationReply> out = ApiError{ApiErrorCode::kInternal, ""};
+    hup.agent().service_creation(request, [&](auto reply, sim::SimTime) {
+      out = std::move(reply);
+    });
+    hup.engine().run();
+    return out;
+  }
+};
+
+TEST(Agent, AuthenticateChecksKey) {
+  AgentBed bed;
+  EXPECT_TRUE(bed.hup.agent().authenticate({"alice", "alice-key"}).ok());
+  EXPECT_FALSE(bed.hup.agent().authenticate({"alice", "wrong"}).ok());
+  EXPECT_FALSE(bed.hup.agent().authenticate({"mallory", "alice-key"}).ok());
+  EXPECT_EQ(bed.hup.agent().asp_count(), 2u);
+}
+
+TEST(Agent, CreationRequiresValidCredentials) {
+  AgentBed bed;
+  const auto reply = bed.create({"alice", "wrong"}, "svc");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, ApiErrorCode::kAuthenticationFailed);
+  EXPECT_EQ(bed.hup.master().service_count(), 0u);
+}
+
+TEST(Agent, CreationRecordsOwnership) {
+  AgentBed bed;
+  must(bed.create({"alice", "alice-key"}, "svc"));
+  ASSERT_NE(bed.hup.agent().owner_of("svc"), nullptr);
+  EXPECT_EQ(*bed.hup.agent().owner_of("svc"), "alice");
+  EXPECT_EQ(bed.hup.agent().owner_of("ghost"), nullptr);
+}
+
+TEST(Agent, TeardownEnforcesOwnership) {
+  AgentBed bed;
+  must(bed.create({"alice", "alice-key"}, "svc"));
+  // Bob cannot tear down Alice's service — administration isolation.
+  const auto bob_try = bed.hup.agent().service_teardown(
+      ServiceTeardownRequest{{"bob", "bob-key"}, "svc"});
+  ASSERT_FALSE(bob_try.ok());
+  EXPECT_EQ(bob_try.error().code, ApiErrorCode::kAuthenticationFailed);
+  EXPECT_EQ(bed.hup.master().service_count(), 1u);
+  // Alice can.
+  EXPECT_TRUE(bed.hup.agent()
+                  .service_teardown(
+                      ServiceTeardownRequest{{"alice", "alice-key"}, "svc"})
+                  .ok());
+  EXPECT_EQ(bed.hup.master().service_count(), 0u);
+  EXPECT_EQ(bed.hup.agent().owner_of("svc"), nullptr);
+}
+
+TEST(Agent, TeardownUnknownService) {
+  AgentBed bed;
+  const auto result = bed.hup.agent().service_teardown(
+      ServiceTeardownRequest{{"alice", "alice-key"}, "ghost"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ApiErrorCode::kNoSuchService);
+}
+
+TEST(Agent, ResizingEnforcesOwnershipAndAuth) {
+  AgentBed bed;
+  must(bed.create({"alice", "alice-key"}, "svc"));
+  ApiResult<ServiceResizingReply> out = ApiError{ApiErrorCode::kInternal, ""};
+  bed.hup.agent().service_resizing(
+      ServiceResizingRequest{{"bob", "bob-key"}, "svc", 2},
+      [&](auto reply, sim::SimTime) { out = std::move(reply); });
+  bed.hup.engine().run();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ApiErrorCode::kAuthenticationFailed);
+
+  bed.hup.agent().service_resizing(
+      ServiceResizingRequest{{"alice", "alice-key"}, "svc", 2},
+      [&](auto reply, sim::SimTime) { out = std::move(reply); });
+  bed.hup.engine().run();
+  EXPECT_TRUE(out.ok());
+}
+
+// ---------- BillingLedger ----------
+
+TEST(Billing, AccruesInstanceHours) {
+  BillingLedger ledger;
+  ledger.open("alice", "svc", 3, sim::SimTime::zero());
+  const auto one_hour = sim::SimTime::seconds(3600);
+  EXPECT_NEAR(ledger.instance_hours("alice", one_hour), 3.0, 1e-9);
+  EXPECT_NEAR(ledger.amount_due("alice", one_hour, 0.5), 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(ledger.instance_hours("bob", one_hour), 0.0);
+}
+
+TEST(Billing, CloseFreezesAccrual) {
+  BillingLedger ledger;
+  ledger.open("alice", "svc", 2, sim::SimTime::zero());
+  ledger.close("svc", sim::SimTime::seconds(1800));
+  EXPECT_NEAR(ledger.instance_hours("alice", sim::SimTime::seconds(7200)), 1.0,
+              1e-9);
+  // Closing again is harmless.
+  ledger.close("svc", sim::SimTime::seconds(9000));
+  EXPECT_NEAR(ledger.instance_hours("alice", sim::SimTime::seconds(7200)), 1.0,
+              1e-9);
+}
+
+TEST(Billing, ResizeSplitsWindow) {
+  BillingLedger ledger;
+  ledger.open("alice", "svc", 1, sim::SimTime::zero());
+  ledger.close("svc", sim::SimTime::seconds(3600));
+  ledger.open("alice", "svc", 4, sim::SimTime::seconds(3600));
+  // 1 instance-hour + 4 instance-hours.
+  EXPECT_NEAR(ledger.instance_hours("alice", sim::SimTime::seconds(7200)), 5.0,
+              1e-9);
+  EXPECT_EQ(ledger.entries().size(), 2u);
+}
+
+TEST(Billing, InvoiceRendersSegmentsAndTotal) {
+  BillingLedger ledger;
+  ledger.open("alice", "svc-a", 2, sim::SimTime::zero());
+  ledger.close("svc-a", sim::SimTime::seconds(3600));
+  ledger.open("alice", "svc-b", 1, sim::SimTime::seconds(3600));
+  ledger.open("bob", "svc-c", 5, sim::SimTime::zero());
+  const std::string invoice =
+      ledger.render_invoice("alice", sim::SimTime::seconds(7200), 0.5);
+  // Two alice segments: closed svc-a (2 inst-hours) and open svc-b (1).
+  EXPECT_NE(invoice.find("svc-a"), std::string::npos);
+  EXPECT_NE(invoice.find("svc-b"), std::string::npos);
+  EXPECT_NE(invoice.find("(open)"), std::string::npos);
+  EXPECT_EQ(invoice.find("svc-c"), std::string::npos);  // bob's line excluded
+  // 2.0 + 1.0 instance-hours at 0.5 -> 1.5 due.
+  EXPECT_NE(invoice.find("total due for alice: 1.5000"), std::string::npos);
+}
+
+TEST(Billing, InvoiceForUnknownAspIsEmptyTotal) {
+  BillingLedger ledger;
+  const std::string invoice =
+      ledger.render_invoice("nobody", sim::SimTime::seconds(100), 1.0);
+  EXPECT_NE(invoice.find("total due for nobody: 0.0000"), std::string::npos);
+}
+
+TEST(Billing, AgentOpensAndClosesWindows) {
+  AgentBed bed;
+  must(bed.create({"alice", "alice-key"}, "svc"));
+  const auto creation_time = bed.hup.engine().now();
+  EXPECT_EQ(bed.hup.agent().billing().entries().size(), 1u);
+  EXPECT_TRUE(bed.hup.agent().billing().entries()[0].open());
+  must(bed.hup.agent().service_teardown(
+      ServiceTeardownRequest{{"alice", "alice-key"}, "svc"}));
+  EXPECT_FALSE(bed.hup.agent().billing().entries()[0].open());
+  // Accrual covers exactly the hosted interval (possibly ~0 in sim time).
+  EXPECT_GE(bed.hup.agent().billing().instance_hours("alice",
+                                                     bed.hup.engine().now()),
+            0.0);
+  (void)creation_time;
+}
+
+TEST(Billing, FailedCreationBillsNothing) {
+  AgentBed bed;
+  ServiceCreationRequest request;
+  request.credentials = {"alice", "alice-key"};
+  request.service_name = "too-big";
+  request.image_location = bed.loc;
+  request.requirement = {99, {}};
+  bed.hup.agent().service_creation(request, [](auto, sim::SimTime) {});
+  bed.hup.engine().run();
+  EXPECT_TRUE(bed.hup.agent().billing().entries().empty());
+}
+
+}  // namespace
+}  // namespace soda::core

@@ -1,0 +1,318 @@
+// Unit tests for the service configuration file (Table 3) and the service
+// switch with its request-switching policies.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/config_file.hpp"
+#include "core/switch.hpp"
+
+namespace soda::core {
+namespace {
+
+const net::Ipv4Address kNode1(128, 10, 9, 125);
+const net::Ipv4Address kNode2(128, 10, 9, 126);
+const net::Ipv4Address kNode3(128, 10, 9, 127);
+
+// ---------- ServiceConfigFile ----------
+
+TEST(ConfigFile, SerializesTable3Format) {
+  ServiceConfigFile file;
+  must(file.add(BackEndEntry{kNode1, 8080, 2, {}}));
+  must(file.add(BackEndEntry{kNode2, 8080, 1, {}}));
+  EXPECT_EQ(file.serialize(),
+            "BackEnd 128.10.9.125 8080 2\n"
+            "BackEnd 128.10.9.126 8080 1\n");
+  EXPECT_EQ(file.total_capacity(), 3);
+}
+
+TEST(ConfigFile, ParseRoundTrip) {
+  ServiceConfigFile file;
+  must(file.add(BackEndEntry{kNode1, 8080, 2, {}}));
+  must(file.add(BackEndEntry{kNode2, 9000, 5, {}}));
+  const auto parsed = must(ServiceConfigFile::parse(file.serialize()));
+  EXPECT_EQ(parsed.entries(), file.entries());
+}
+
+TEST(ConfigFile, ParseSkipsCommentsAndBlanks) {
+  const auto parsed = must(ServiceConfigFile::parse(
+      "# service: web-content\n\n  BackEnd 10.0.0.1 80 1  \n"));
+  ASSERT_EQ(parsed.entries().size(), 1u);
+  EXPECT_EQ(parsed.entries()[0].port, 80);
+}
+
+TEST(ConfigFile, ParseRejectsMalformedRows) {
+  EXPECT_FALSE(ServiceConfigFile::parse("FrontEnd 10.0.0.1 80 1\n").ok());
+  EXPECT_FALSE(ServiceConfigFile::parse("BackEnd 10.0.0.1 80\n").ok());
+  EXPECT_FALSE(ServiceConfigFile::parse("BackEnd 300.0.0.1 80 1\n").ok());
+  EXPECT_FALSE(ServiceConfigFile::parse("BackEnd 10.0.0.1 0 1\n").ok());
+  EXPECT_FALSE(ServiceConfigFile::parse("BackEnd 10.0.0.1 99999 1\n").ok());
+  EXPECT_FALSE(ServiceConfigFile::parse("BackEnd 10.0.0.1 80 0\n").ok());
+  EXPECT_FALSE(ServiceConfigFile::parse("BackEnd 10.0.0.1 80 x\n").ok());
+}
+
+TEST(ConfigFile, DuplicateEndpointRejected) {
+  ServiceConfigFile file;
+  must(file.add(BackEndEntry{kNode1, 8080, 1, {}}));
+  // Same (address, port) is a duplicate; same address on another port is a
+  // legitimate proxied-component row.
+  EXPECT_FALSE(file.add(BackEndEntry{kNode1, 8080, 2, {}}).ok());
+  EXPECT_TRUE(file.add(BackEndEntry{kNode1, 9090, 1, {}}).ok());
+}
+
+TEST(ConfigFile, RemoveAndSetCapacity) {
+  ServiceConfigFile file;
+  must(file.add(BackEndEntry{kNode1, 8080, 1, {}}));
+  must(file.set_capacity(kNode1, 4));
+  EXPECT_EQ(file.entries()[0].capacity, 4);
+  must(file.remove(kNode1));
+  EXPECT_TRUE(file.empty());
+  EXPECT_FALSE(file.remove(kNode1).ok());
+  EXPECT_FALSE(file.set_capacity(kNode1, 2).ok());
+}
+
+// ---------- ServiceSwitch routing ----------
+
+ServiceSwitch make_switch(int cap1 = 2, int cap2 = 1) {
+  ServiceSwitch sw("web-content", kNode1, 8080);
+  must(sw.add_backend(BackEndEntry{kNode1, 8080, cap1, {}}));
+  must(sw.add_backend(BackEndEntry{kNode2, 8080, cap2, {}}));
+  return sw;
+}
+
+std::map<std::uint32_t, int> route_n(ServiceSwitch& sw, int n) {
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < n; ++i) {
+    const auto backend = must(sw.route());
+    ++counts[backend.address.value()];
+    sw.on_request_complete(backend.address);
+  }
+  return counts;
+}
+
+TEST(Switch, DefaultPolicyIsWeightedRoundRobin) {
+  auto sw = make_switch();
+  EXPECT_EQ(sw.policy().name(), "weighted-round-robin");
+}
+
+TEST(Switch, WrrHonorsCapacitiesExactly) {
+  auto sw = make_switch(2, 1);
+  const auto counts = route_n(sw, 300);
+  EXPECT_EQ(counts.at(kNode1.value()), 200);
+  EXPECT_EQ(counts.at(kNode2.value()), 100);
+}
+
+TEST(Switch, SmoothWrrInterleavesInsteadOfBursting) {
+  auto sw = make_switch(2, 1);
+  // Smooth WRR with weights 2:1 produces A B A | A B A | ... — node2 is
+  // never starved for more than 2 consecutive picks.
+  int consecutive_node1 = 0, worst = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto backend = must(sw.route());
+    if (backend.address == kNode1) {
+      worst = std::max(worst, ++consecutive_node1);
+    } else {
+      consecutive_node1 = 0;
+    }
+    sw.on_request_complete(backend.address);
+  }
+  EXPECT_LE(worst, 2);
+}
+
+TEST(Switch, PlainRoundRobinIgnoresCapacity) {
+  auto sw = make_switch(2, 1);
+  sw.set_policy(make_plain_round_robin());
+  const auto counts = route_n(sw, 100);
+  EXPECT_EQ(counts.at(kNode1.value()), 50);
+  EXPECT_EQ(counts.at(kNode2.value()), 50);
+}
+
+TEST(Switch, RandomPolicyRoughlyUniform) {
+  auto sw = make_switch(1, 1);
+  sw.set_policy(make_random_policy(42));
+  const auto counts = route_n(sw, 2000);
+  EXPECT_NEAR(counts.at(kNode1.value()), 1000, 120);
+}
+
+TEST(Switch, LeastConnectionsPrefersIdleBackend) {
+  auto sw = make_switch(1, 1);
+  sw.set_policy(make_least_connections());
+  // Route without completing: connections pile up alternately.
+  const auto first = must(sw.route());
+  const auto second = must(sw.route());
+  EXPECT_NE(first.address, second.address);
+}
+
+TEST(Switch, LeastConnectionsIsCapacityWeighted) {
+  auto sw = make_switch(2, 1);
+  sw.set_policy(make_least_connections());
+  // Hold all connections open: the capacity-2 backend should carry ~2x.
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 30; ++i) ++counts[must(sw.route()).address.value()];
+  EXPECT_EQ(counts.at(kNode1.value()), 20);
+  EXPECT_EQ(counts.at(kNode2.value()), 10);
+}
+
+TEST(Switch, FastestResponseExploresThenPrefersFaster) {
+  auto sw = make_switch(1, 1);
+  sw.set_policy(make_fastest_response(0.5));
+  EXPECT_EQ(sw.policy().name(), "fastest-response");
+  // Exploration: the first two picks cover both backends.
+  const auto first = must(sw.route());
+  sw.report_response_time(first.address, 0.100);
+  sw.on_request_complete(first.address);
+  const auto second = must(sw.route());
+  EXPECT_NE(second.address, first.address);
+  sw.report_response_time(second.address, 0.005);
+  sw.on_request_complete(second.address);
+  // Exploitation: the fast backend now wins repeatedly.
+  for (int i = 0; i < 10; ++i) {
+    const auto pick = must(sw.route());
+    EXPECT_EQ(pick.address, second.address);
+    sw.report_response_time(pick.address, 0.005);
+    sw.on_request_complete(pick.address);
+  }
+}
+
+TEST(Switch, FastestResponseAdaptsWhenSpeedsFlip) {
+  auto sw = make_switch(1, 1);
+  sw.set_policy(make_fastest_response(0.5));
+  // Prime both estimates: node1 fast, node2 slow.
+  must(sw.route());
+  sw.report_response_time(kNode1, 0.010);
+  must(sw.route());
+  sw.report_response_time(kNode2, 0.200);
+  // node1 degrades; the EWMA crosses over after a few bad samples.
+  for (int i = 0; i < 6; ++i) sw.report_response_time(kNode1, 0.500);
+  EXPECT_EQ(must(sw.route()).address, kNode2);
+}
+
+TEST(Switch, FastestResponseCapacityPreference) {
+  auto sw = make_switch(4, 1);  // node1 has 4x capacity
+  sw.set_policy(make_fastest_response(0.5));
+  must(sw.route());
+  sw.report_response_time(kNode1, 0.300);
+  must(sw.route());
+  sw.report_response_time(kNode2, 0.100);
+  // Scores: node1 0.300/4 = 0.075 vs node2 0.100/1 = 0.10 -> node1 wins
+  // despite the slower raw time: at comparable latency the larger node has
+  // more headroom for the next request.
+  EXPECT_EQ(must(sw.route()).address, kNode1);
+}
+
+TEST(Switch, ReportResponseTimeForUnknownBackendIsNoOp) {
+  auto sw = make_switch();
+  sw.report_response_time(kNode3, 1.0);  // must not crash or throw
+  EXPECT_TRUE(sw.route().ok());
+}
+
+TEST(Switch, CustomAspPolicyPlugsIn) {
+  auto sw = make_switch();
+  // An ASP policy that always picks the last healthy backend.
+  sw.set_policy(make_custom_policy(
+      "always-last", [](const std::vector<BackEndState>& backends) {
+        return std::optional<std::size_t>{backends.size() - 1};
+      }));
+  EXPECT_EQ(sw.policy().name(), "always-last");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(must(sw.route()).address, kNode2);
+  }
+}
+
+TEST(Switch, IllBehavedCustomPolicyOnlyRefuses) {
+  auto sw = make_switch();
+  sw.set_policy(make_custom_policy(
+      "broken", [](const std::vector<BackEndState>&) {
+        return std::optional<std::size_t>{};  // always refuses
+      }));
+  EXPECT_FALSE(sw.route().ok());
+  EXPECT_EQ(sw.requests_refused(), 1u);
+  // Out-of-range picks are refused too, not crashes.
+  sw.set_policy(make_custom_policy(
+      "oob", [](const std::vector<BackEndState>& b) {
+        return std::optional<std::size_t>{b.size() + 7};
+      }));
+  EXPECT_FALSE(sw.route().ok());
+}
+
+TEST(Switch, UnhealthyBackendSkipped) {
+  auto sw = make_switch(1, 1);
+  must(sw.set_backend_health(kNode1, false));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(must(sw.route()).address, kNode2);
+  }
+  must(sw.set_backend_health(kNode1, true));
+  const auto counts = route_n(sw, 10);
+  EXPECT_TRUE(counts.count(kNode1.value()));
+}
+
+TEST(Switch, AllUnhealthyRefuses) {
+  auto sw = make_switch();
+  must(sw.set_backend_health(kNode1, false));
+  must(sw.set_backend_health(kNode2, false));
+  EXPECT_FALSE(sw.route().ok());
+}
+
+TEST(Switch, AddRemoveBackendsAtRuntime) {
+  auto sw = make_switch();
+  must(sw.add_backend(BackEndEntry{kNode3, 8080, 1, {}}));
+  EXPECT_EQ(sw.backends().size(), 3u);
+  must(sw.remove_backend(kNode3));
+  EXPECT_EQ(sw.backends().size(), 2u);
+  EXPECT_FALSE(sw.remove_backend(kNode3).ok());
+  EXPECT_FALSE(sw.add_backend(BackEndEntry{kNode1, 8080, 1, {}}).ok());
+}
+
+TEST(Switch, SetBackendCapacityChangesMix) {
+  auto sw = make_switch(1, 1);
+  must(sw.set_backend_capacity(kNode1, 3));
+  const auto counts = route_n(sw, 400);
+  EXPECT_EQ(counts.at(kNode1.value()), 300);
+  EXPECT_EQ(counts.at(kNode2.value()), 100);
+}
+
+TEST(Switch, ConfigTextMatchesBackends) {
+  auto sw = make_switch(2, 1);
+  EXPECT_EQ(sw.config_text(),
+            "BackEnd 128.10.9.125 8080 2\nBackEnd 128.10.9.126 8080 1\n");
+}
+
+TEST(Switch, LoadConfigReplacesBackends) {
+  auto sw = make_switch();
+  ServiceConfigFile file;
+  must(file.add(BackEndEntry{kNode3, 9999, 7, {}}));
+  sw.load_config(file);
+  ASSERT_EQ(sw.backends().size(), 1u);
+  EXPECT_EQ(sw.backends()[0].entry.port, 9999);
+}
+
+TEST(Switch, CountsRoutedAndPerBackend) {
+  auto sw = make_switch(2, 1);
+  route_n(sw, 30);
+  EXPECT_EQ(sw.requests_routed(), 30u);
+  EXPECT_EQ(sw.routed_to(kNode1), 20u);
+  EXPECT_EQ(sw.routed_to(kNode2), 10u);
+  EXPECT_EQ(sw.routed_to(kNode3), 0u);
+}
+
+TEST(Switch, ActiveConnectionsTracked) {
+  auto sw = make_switch(1, 1);
+  const auto backend = must(sw.route());
+  std::uint64_t active = 0;
+  for (const auto& b : sw.backends()) active += b.active_connections;
+  EXPECT_EQ(active, 1u);
+  sw.on_request_complete(backend.address);
+  active = 0;
+  for (const auto& b : sw.backends()) active += b.active_connections;
+  EXPECT_EQ(active, 0u);
+}
+
+TEST(Switch, ListenEndpointExposed) {
+  auto sw = make_switch();
+  EXPECT_EQ(sw.listen_address(), kNode1);
+  EXPECT_EQ(sw.listen_port(), 8080);
+  EXPECT_EQ(sw.service_name(), "web-content");
+}
+
+}  // namespace
+}  // namespace soda::core

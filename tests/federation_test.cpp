@@ -1,0 +1,179 @@
+// Tests for wide-area HUP federation: autonomous sites, capacity-ordered
+// brokering with spill-over, WAN-priced image transfer, and per-site
+// routing of teardown/resize/monitoring.
+#include <gtest/gtest.h>
+
+#include "core/federation.hpp"
+#include "image/image.hpp"
+
+namespace soda::core {
+namespace {
+
+struct FedBed {
+  Federation fed;
+  Hup* west;
+  Hup* east;
+  image::ImageRepository* repo;  // lives at the west site
+  image::ImageLocation loc;
+
+  FedBed() {
+    west = &fed.add_site("west");
+    east = &fed.add_site("east");
+    // west: big server; east: desktop-class box.
+    west->add_host(host::HostSpec::seattle(), net::Ipv4Address(10, 1, 0, 1), 16);
+    east->add_host(host::HostSpec::tacoma(), net::Ipv4Address(10, 2, 0, 1), 16);
+    fed.register_asp("asp", "key");
+    repo = &west->add_repository("asp-repo-west");
+    fed.announce_repository(repo);
+    loc = must(repo->publish(image::honeypot_image()));
+  }
+
+  ApiResult<ServiceCreationReply> create(const std::string& name, int n = 1) {
+    ServiceCreationRequest request;
+    request.credentials = {"asp", "key"};
+    request.service_name = name;
+    request.image_location = loc;
+    request.requirement = {n, {}};
+    ApiResult<ServiceCreationReply> out = ApiError{ApiErrorCode::kInternal, ""};
+    fed.create_service(request, [&](auto reply, sim::SimTime) {
+      out = std::move(reply);
+    });
+    fed.engine().run();
+    return out;
+  }
+};
+
+TEST(Federation, SitesAreAutonomous) {
+  FedBed bed;
+  EXPECT_EQ(bed.fed.site_count(), 2u);
+  EXPECT_NE(&bed.west->master(), &bed.east->master());
+  EXPECT_NE(&bed.west->agent(), &bed.east->agent());
+  EXPECT_EQ(bed.fed.find_site("west"), bed.west);
+  EXPECT_EQ(bed.fed.find_site("nowhere"), nullptr);
+}
+
+TEST(Federation, BrokerPrefersSpareCapacity) {
+  FedBed bed;
+  const auto reply = must(bed.create("svc"));
+  // west (2.6 GHz spare) wins over east (1.8 GHz).
+  EXPECT_EQ(reply.nodes[0].host_name, "seattle");
+  EXPECT_EQ(bed.fed.site_of("svc"), bed.west);
+  EXPECT_EQ(bed.west->master().service_count(), 1u);
+  EXPECT_EQ(bed.east->master().service_count(), 0u);
+}
+
+TEST(Federation, SpillsToPeerWhenFull) {
+  FedBed bed;
+  // Fill west: its single host fits 3 units of 1.5x512 MHz.
+  must(bed.create("filler", 3));
+  ASSERT_EQ(bed.fed.site_of("filler"), bed.west);
+  // The next service no longer fits at west -> spills to east.
+  const auto reply = must(bed.create("spilled"));
+  EXPECT_EQ(reply.nodes[0].host_name, "tacoma");
+  EXPECT_EQ(bed.fed.site_of("spilled"), bed.east);
+}
+
+TEST(Federation, FailsWhenEverySiteIsFull) {
+  FedBed bed;
+  const auto reply = bed.create("colossus", 40);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, ApiErrorCode::kInsufficientResources);
+  EXPECT_EQ(bed.fed.site_of("colossus"), nullptr);
+}
+
+TEST(Federation, AuthErrorsDoNotSpill) {
+  FedBed bed;
+  ServiceCreationRequest request;
+  request.credentials = {"asp", "wrong-key"};
+  request.service_name = "svc";
+  request.image_location = bed.loc;
+  request.requirement = {1, {}};
+  ApiResult<ServiceCreationReply> out = ApiError{ApiErrorCode::kInternal, ""};
+  bed.fed.create_service(request, [&](auto reply, sim::SimTime) {
+    out = std::move(reply);
+  });
+  bed.fed.engine().run();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ApiErrorCode::kAuthenticationFailed);
+}
+
+TEST(Federation, RemoteSitePaysWanForTheImage) {
+  // Bigger image to make the WAN cost visible: ~24 MiB over 45 Mbps + 2 x
+  // 20 ms vs the local 100 Mbps LAN.
+  FedBed bed;
+  auto big = image::web_content_image(24 * 1024 * 1024);
+  const auto big_loc = must(bed.repo->publish(std::move(big)));
+
+  auto timed_create = [&](const std::string& name, int n) {
+    ServiceCreationRequest request;
+    request.credentials = {"asp", "key"};
+    request.service_name = name;
+    request.image_location = big_loc;
+    request.requirement = {n, {}};
+    const sim::SimTime start = bed.fed.engine().now();
+    sim::SimTime end = start;
+    bed.fed.create_service(request, [&](auto reply, sim::SimTime t) {
+      must(std::move(reply));
+      end = t;
+    });
+    bed.fed.engine().run();
+    return (end - start).to_seconds();
+  };
+
+  const double local_s = timed_create("local-web", 3);   // fills west
+  const double remote_s = timed_create("remote-web", 1);  // spills to east
+  ASSERT_EQ(bed.fed.site_of("remote-web"), bed.east);
+  // 24 MiB: ~2 s on the LAN vs ~4.5 s across the 45 Mbps WAN; boot times on
+  // the slower east host add more. Require a visible gap.
+  EXPECT_GT(remote_s, local_s + 1.0);
+}
+
+TEST(Federation, TeardownRoutedToOwningSite) {
+  FedBed bed;
+  must(bed.create("svc"));
+  const auto before = bed.west->master().hup_available();
+  (void)before;
+  must(bed.fed.teardown_service(
+      ServiceTeardownRequest{{"asp", "key"}, "svc"}));
+  EXPECT_EQ(bed.west->master().service_count(), 0u);
+  EXPECT_EQ(bed.fed.site_of("svc"), nullptr);
+  EXPECT_FALSE(bed.fed
+                   .teardown_service(ServiceTeardownRequest{{"asp", "key"}, "svc"})
+                   .ok());
+}
+
+TEST(Federation, ResizeRoutedToOwningSite) {
+  FedBed bed;
+  must(bed.create("svc"));
+  ApiResult<ServiceResizingReply> out = ApiError{ApiErrorCode::kInternal, ""};
+  bed.fed.resize_service(ServiceResizingRequest{{"asp", "key"}, "svc", 2},
+                         [&](auto reply, sim::SimTime) { out = std::move(reply); });
+  bed.fed.engine().run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(bed.west->master().find_service("svc")->requirement.n, 2);
+}
+
+TEST(Federation, MonitoringRoutedToOwningSite) {
+  FedBed bed;
+  must(bed.create("svc"));
+  const auto report = bed.fed.service_status({"asp", "key"}, "svc");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().nodes[0].host_name, "seattle");
+  EXPECT_FALSE(bed.fed.service_status({"asp", "key"}, "ghost").ok());
+}
+
+TEST(Federation, LateJoinerLearnsAspsAndRepositories) {
+  FedBed bed;
+  Hup& south = bed.fed.add_site("south");
+  south.add_host(host::HostSpec::tacoma(), net::Ipv4Address(10, 3, 0, 1), 16);
+  // The late site can authenticate the ASP and resolve the repository:
+  // fill west and east, then force placement to reach south.
+  must(bed.create("a", 3));  // west
+  must(bed.create("b", 2));  // east
+  const auto reply = must(bed.create("c", 2));
+  EXPECT_EQ(bed.fed.site_of("c"), &south);
+  EXPECT_EQ(reply.nodes[0].host_name, "tacoma");
+}
+
+}  // namespace
+}  // namespace soda::core

@@ -1,0 +1,116 @@
+// Tests for the Hup façade: testbed wiring, lookups, LAN topology, the
+// shared-engine (federation) constructor, and trace attachment.
+#include <gtest/gtest.h>
+
+#include "core/hup.hpp"
+#include "image/image.hpp"
+
+namespace soda::core {
+namespace {
+
+TEST(Hup, PaperTestbedWiring) {
+  auto tb = Hup::paper_testbed();
+  Hup& hup = *tb.hup;
+  EXPECT_EQ(hup.host_count(), 2u);
+  ASSERT_NE(hup.find_host("seattle"), nullptr);
+  ASSERT_NE(hup.find_host("tacoma"), nullptr);
+  EXPECT_EQ(hup.find_host("seattle")->spec().cpu_ghz, 2.6);
+  EXPECT_NE(hup.find_daemon("seattle"), nullptr);
+  EXPECT_NE(hup.find_shaper("tacoma"), nullptr);
+  EXPECT_EQ(hup.find_host("portland"), nullptr);
+  EXPECT_EQ(hup.find_daemon("portland"), nullptr);
+  EXPECT_EQ(hup.find_shaper("portland"), nullptr);
+  EXPECT_EQ(tb.repo->name(), "asp-repo");
+  EXPECT_TRUE(tb.client.valid());
+}
+
+TEST(Hup, PoolsAreDisjointByConstruction) {
+  auto tb = Hup::paper_testbed();
+  EXPECT_TRUE(net::IpPool::disjoint(tb.hup->find_host("seattle")->ip_pool(),
+                                    tb.hup->find_host("tacoma")->ip_pool()));
+}
+
+TEST(Hup, LanTopologyRoutesEveryPair) {
+  auto tb = Hup::paper_testbed();
+  Hup& hup = *tb.hup;
+  // client -> each host and repo -> each host must be routable.
+  for (const char* host : {"seattle", "tacoma"}) {
+    const auto node = hup.find_host(host)->lan_node();
+    bool done = false;
+    must(hup.network().start_flow(tb.client, node, 1000,
+                                  [&](sim::SimTime) { done = true; }));
+    hup.engine().run();
+    EXPECT_TRUE(done) << host;
+  }
+}
+
+TEST(Hup, HostNicSpeedBoundsTransfers) {
+  auto tb = Hup::paper_testbed();
+  Hup& hup = *tb.hup;
+  // 12.5 MB from client to seattle over the 100 Mbps LAN: ~1 s.
+  double at = -1;
+  must(hup.network().start_flow(tb.client, hup.find_host("seattle")->lan_node(),
+                                12'500'000,
+                                [&](sim::SimTime t) { at = t.to_seconds(); }));
+  hup.engine().run();
+  EXPECT_NEAR(at, 1.0, 0.01);
+}
+
+TEST(Hup, TraceAttachedToAllEntities) {
+  auto tb = Hup::paper_testbed();
+  Hup& hup = *tb.hup;
+  hup.agent().register_asp("asp", "key");
+  const auto loc = must(tb.repo->publish(image::honeypot_image()));
+  ServiceCreationRequest request;
+  request.credentials = {"asp", "key"};
+  request.service_name = "svc";
+  request.image_location = loc;
+  request.requirement = {1, {}};
+  hup.agent().service_creation(request, [](auto reply, sim::SimTime) {
+    must(std::move(reply));
+  });
+  hup.engine().run();
+  // Agent, master, and daemon events all landed in the one trace.
+  bool saw_agent = false, saw_master = false, saw_daemon = false;
+  for (const auto& event : hup.trace().events()) {
+    saw_agent |= event.actor == "agent";
+    saw_master |= event.actor == "master";
+    saw_daemon |= event.actor.rfind("daemon@", 0) == 0;
+  }
+  EXPECT_TRUE(saw_agent);
+  EXPECT_TRUE(saw_master);
+  EXPECT_TRUE(saw_daemon);
+}
+
+TEST(Hup, SharedEngineConstructorJoinsOneWorld) {
+  sim::Engine engine;
+  net::FlowNetwork network(engine);
+  Hup site_a(engine, network, "a");
+  Hup site_b(engine, network, "b");
+  EXPECT_EQ(&site_a.engine(), &site_b.engine());
+  EXPECT_EQ(&site_a.network(), &site_b.network());
+  EXPECT_NE(site_a.lan_switch(), site_b.lan_switch());
+  // Their switches are named per site in the shared network.
+  EXPECT_EQ(network.node_name(site_a.lan_switch()), "a/lan-switch");
+  EXPECT_EQ(network.node_name(site_b.lan_switch()), "b/lan-switch");
+}
+
+TEST(Hup, AddClientGivesLanAccess) {
+  Hup hup;
+  hup.add_host(host::HostSpec::tacoma(), net::Ipv4Address(10, 0, 0, 1), 4);
+  const auto client = hup.add_client("c1");
+  bool done = false;
+  must(hup.network().start_flow(client, hup.find_host("tacoma")->lan_node(), 10,
+                                [&](sim::SimTime) { done = true; }));
+  hup.engine().run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Hup, HealthMonitorIsSingleton) {
+  Hup hup;
+  EXPECT_EQ(&hup.health_monitor(), &hup.health_monitor());
+  EXPECT_FALSE(hup.health_monitor().running());
+}
+
+}  // namespace
+}  // namespace soda::core

@@ -1,0 +1,247 @@
+// Integration tests: full SODA scenarios across the control plane and the
+// simulated substrate — the paper's experiments in miniature.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/hup.hpp"
+#include "image/image.hpp"
+#include "workload/honeypot.hpp"
+#include "workload/siege.hpp"
+#include "workload/webservice.hpp"
+
+namespace soda {
+namespace {
+
+constexpr std::int64_t kMiB = 1024 * 1024;
+
+core::ApiResult<core::ServiceCreationReply> create_service(
+    core::Hup& hup, const image::ImageLocation& loc, const std::string& name,
+    int n, host::MachineConfig m = {}) {
+  core::ServiceCreationRequest request;
+  request.credentials = {"asp", "key"};
+  request.service_name = name;
+  request.image_location = loc;
+  request.requirement = {n, m};
+  core::ApiResult<core::ServiceCreationReply> out =
+      core::ApiError{core::ApiErrorCode::kInternal, "never fired"};
+  hup.agent().service_creation(
+      request, [&](auto reply, sim::SimTime) { out = std::move(reply); });
+  hup.engine().run();
+  return out;
+}
+
+host::MachineConfig fig2_unit() {
+  host::MachineConfig m;
+  m.cpu_mhz = 860;
+  m.memory_mb = 192;
+  m.disk_mb = 2048;
+  m.bandwidth_mbps = 20;
+  return m;
+}
+
+TEST(Integration, PaperFigure2Deployment) {
+  // The paper's testbed picture: web content service on both hosts (2M on
+  // seattle, 1M on tacoma) co-hosted with a honeypot on one of them.
+  auto tb = core::Hup::paper_testbed();
+  core::Hup& hup = *tb.hup;
+  hup.agent().register_asp("asp", "key");
+  const auto web_loc = must(tb.repo->publish(image::web_content_image(8 * kMiB)));
+  const auto pot_loc = must(tb.repo->publish(image::honeypot_image()));
+
+  const auto web = must(create_service(hup, web_loc, "web-content", 3, fig2_unit()));
+  ASSERT_EQ(web.nodes.size(), 2u);
+  EXPECT_EQ(web.nodes[0].host_name, "seattle");
+  EXPECT_EQ(web.nodes[0].capacity_units, 2);
+  EXPECT_EQ(web.nodes[1].host_name, "tacoma");
+  EXPECT_EQ(web.nodes[1].capacity_units, 1);
+
+  // The honeypot is tiny; after the web service fills most of the HUP's
+  // CPU, only a small M still fits (tacoma has ~510 MHz spare).
+  host::MachineConfig pot_unit;
+  pot_unit.cpu_mhz = 300;
+  pot_unit.memory_mb = 128;
+  pot_unit.disk_mb = 512;
+  pot_unit.bandwidth_mbps = 5;
+  const auto pot = must(create_service(hup, pot_loc, "honeypot", 1, pot_unit));
+  ASSERT_EQ(pot.nodes.size(), 1u);
+
+  // Both services visible, each with its own guest process table (Fig. 3).
+  auto* web_node = hup.find_daemon("seattle")->find_node("web-content/0");
+  auto* pot_node =
+      hup.find_daemon(pot.nodes[0].host_name)->find_node("honeypot/0");
+  ASSERT_NE(web_node, nullptr);
+  ASSERT_NE(pot_node, nullptr);
+  const std::string web_ps = web_node->uml().processes().ps_ef();
+  const std::string pot_ps = pot_node->uml().processes().ps_ef();
+  EXPECT_NE(web_ps.find("httpd_19_5"), std::string::npos);
+  EXPECT_EQ(web_ps.find("ghttpd"), std::string::npos);
+  EXPECT_NE(pot_ps.find("ghttpd-1.4"), std::string::npos);
+  EXPECT_EQ(pot_ps.find("httpd_19_5"), std::string::npos);
+}
+
+TEST(Integration, AttackIsolationEndToEnd) {
+  // §5 "Attack isolation": honeypot constantly attacked and crashed; the
+  // web content service keeps serving.
+  auto tb = core::Hup::paper_testbed();
+  core::Hup& hup = *tb.hup;
+  hup.agent().register_asp("asp", "key");
+  const auto web_loc = must(tb.repo->publish(image::web_content_image(8 * kMiB)));
+  const auto pot_loc = must(tb.repo->publish(image::honeypot_image()));
+  const auto web = must(create_service(hup, web_loc, "web-content", 1));
+  const auto pot = must(create_service(hup, pot_loc, "honeypot", 1));
+
+  auto* pot_node = hup.find_daemon(pot.nodes[0].host_name)->find_node("honeypot/0");
+  auto* web_node = hup.find_daemon(web.nodes[0].host_name)->find_node("web-content/0");
+  workload::GhttpdVictim victim(*pot_node);
+  workload::Attacker attacker(victim);
+  EXPECT_EQ(attacker.rampage(10, hup.engine().now()), 10u);
+
+  // Serve requests against the web node afterwards — unharmed.
+  workload::WebContentServer server(hup.engine(), hup.network(),
+                                    web_node->net_node(),
+                                    vm::ExecMode::kUmlTraced, 2.6, 2);
+  workload::SiegeConfig cfg;
+  cfg.concurrency = 2;
+  cfg.max_requests = 50;
+  cfg.response_bytes = 4096;
+  workload::SiegeClient siege(hup.engine(), hup.network(), tb.client, nullptr,
+                              std::nullopt, cfg);
+  siege.register_backend(web.nodes[0].address, &server, web_node->net_node());
+  siege.start();
+  hup.engine().run();
+  EXPECT_EQ(siege.completed(), 50u);
+  EXPECT_TRUE(web_node->running());
+}
+
+TEST(Integration, PrimingTimeDominatedByImageAndBoot) {
+  auto tb = core::Hup::paper_testbed();
+  core::Hup& hup = *tb.hup;
+  hup.agent().register_asp("asp", "key");
+  const auto loc = must(tb.repo->publish(image::web_content_image(32 * kMiB)));
+  const auto reply = must(create_service(hup, loc, "web", 1));
+  const auto* daemon = hup.find_daemon(reply.nodes[0].host_name);
+  const core::PrimingReport* report =
+      daemon->priming_report(reply.nodes[0].node_name);
+  ASSERT_NE(report, nullptr);
+  EXPECT_GT(report->download_time, sim::SimTime::zero());
+  EXPECT_GT(report->boot.total(), sim::SimTime::zero());
+  EXPECT_GT(report->image_bytes, 32 * kMiB);
+  // Creation completed exactly when the priming pipeline finished.
+  EXPECT_NEAR(hup.engine().now().to_seconds(), report->total().to_seconds(),
+              0.05);
+}
+
+TEST(Integration, CustomizationShortensBoot) {
+  auto run_with = [](bool customize) {
+    core::MasterConfig config;
+    config.customize_rootfs = customize;
+    auto tb = core::Hup::paper_testbed(config);
+    core::Hup& hup = *tb.hup;
+    hup.agent().register_asp("asp", "key");
+    // full_server_image boots rh-7.2-server: 30 services pristine.
+    const auto loc = must(tb.repo->publish(image::full_server_image()));
+    const auto reply = must(create_service(hup, loc, "srv", 1));
+    const auto* report = hup.find_daemon(reply.nodes[0].host_name)
+                             ->priming_report(reply.nodes[0].node_name);
+    return report->boot;
+  };
+  const auto tailored = run_with(true);
+  const auto pristine = run_with(false);
+  EXPECT_LT(tailored.services_started, pristine.services_started);
+  EXPECT_LT(tailored.total().to_seconds(), 0.6 * pristine.total().to_seconds());
+}
+
+TEST(Integration, TwoServicesShareLanBandwidthDuringPriming) {
+  // Two creations race: both images cross the repository's access link, so
+  // each download takes about twice as long as alone.
+  auto tb = core::Hup::paper_testbed();
+  core::Hup& hup = *tb.hup;
+  hup.agent().register_asp("asp", "key");
+  const auto loc_a =
+      must(tb.repo->publish(image::web_content_image(40 * kMiB)));
+  auto img_b = image::web_content_image(40 * kMiB);
+  img_b.name = "web-b";
+  const auto loc_b = must(tb.repo->publish(std::move(img_b)));
+
+  int done = 0;
+  for (const auto& [loc, name] :
+       std::vector<std::pair<image::ImageLocation, std::string>>{
+           {loc_a, "svc-a"}, {loc_b, "svc-b"}}) {
+    core::ServiceCreationRequest request;
+    request.credentials = {"asp", "key"};
+    request.service_name = name;
+    request.image_location = loc;
+    request.requirement = {1, {}};
+    hup.agent().service_creation(request, [&](auto reply, sim::SimTime) {
+      ASSERT_TRUE(reply.ok());
+      ++done;
+    });
+  }
+  hup.engine().run();
+  EXPECT_EQ(done, 2);
+  // 40 MiB alone at 100 Mbps ~ 3.4 s; racing, downloads alone take ~6.7 s.
+  const auto* ra =
+      hup.find_daemon(hup.master().find_service("svc-a")->nodes[0].host_name)
+          ->priming_report("svc-a/0");
+  ASSERT_NE(ra, nullptr);
+  EXPECT_GT(ra->download_time.to_seconds(), 5.0);
+}
+
+TEST(Integration, ResizeUnderLoadKeepsServing) {
+  auto tb = core::Hup::paper_testbed();
+  core::Hup& hup = *tb.hup;
+  hup.agent().register_asp("asp", "key");
+  const auto loc = must(tb.repo->publish(image::web_content_image(4 * kMiB)));
+  const auto reply = must(create_service(hup, loc, "web", 1));
+
+  bool resized = false;
+  hup.agent().service_resizing(
+      core::ServiceResizingRequest{{"asp", "key"}, "web", 2},
+      [&](auto result, sim::SimTime) {
+        ASSERT_TRUE(result.ok());
+        resized = true;
+      });
+  hup.engine().run();
+  EXPECT_TRUE(resized);
+  EXPECT_EQ(hup.master().find_service("web")->requirement.n, 2);
+  // Billing split the window at the resize.
+  EXPECT_EQ(hup.agent().billing().entries().size(), 2u);
+}
+
+TEST(Integration, FailedPrimingRollsBackCleanly) {
+  // Make the image's memory demand unsatisfiable inside the slice: priming
+  // must fail and every reserved resource must return.
+  auto tb = core::Hup::paper_testbed();
+  core::Hup& hup = *tb.hup;
+  hup.agent().register_asp("asp", "key");
+  auto image = image::honeypot_image();
+  image.app_memory_mb = 100000;  // cannot fit the UML memory cap
+  const auto loc = must(tb.repo->publish(std::move(image)));
+  const auto before = hup.master().hup_available();
+  const auto reply = create_service(hup, loc, "doomed", 1);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, core::ApiErrorCode::kPrimingFailed);
+  EXPECT_EQ(hup.master().hup_available(), before);
+  EXPECT_EQ(hup.master().service_count(), 0u);
+  EXPECT_EQ(hup.find_host("seattle")->ip_pool().in_use(), 0u);
+  EXPECT_EQ(hup.find_host("tacoma")->ip_pool().in_use(), 0u);
+}
+
+TEST(Integration, ManyServicesUntilHupFull) {
+  auto tb = core::Hup::paper_testbed();
+  core::Hup& hup = *tb.hup;
+  hup.agent().register_asp("asp", "key");
+  const auto loc = must(tb.repo->publish(image::honeypot_image()));
+  int created = 0;
+  // Each service takes 1.5x512 = 768 MHz; HUP total is 4400 MHz -> 5 fit.
+  for (int i = 0; i < 8; ++i) {
+    const auto reply = create_service(hup, loc, "svc" + std::to_string(i), 1);
+    if (reply.ok()) ++created;
+  }
+  EXPECT_EQ(created, 5);
+  EXPECT_EQ(hup.master().service_count(), 5u);
+}
+
+}  // namespace
+}  // namespace soda

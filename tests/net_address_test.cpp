@@ -1,0 +1,97 @@
+// Unit tests for IPv4 addresses and the per-daemon IP pools.
+#include <gtest/gtest.h>
+
+#include "net/address.hpp"
+
+namespace soda::net {
+namespace {
+
+TEST(Ipv4, ParseAndFormatRoundTrip) {
+  const auto addr = Ipv4Address::parse("128.10.9.125");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->to_string(), "128.10.9.125");
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.-4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("0001.2.3.4").has_value());
+}
+
+TEST(Ipv4, ParseAcceptsEdges) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4, QuadConstructorMatchesParse) {
+  EXPECT_EQ(Ipv4Address(128, 10, 9, 125), *Ipv4Address::parse("128.10.9.125"));
+}
+
+TEST(Ipv4, OffsetAndOrdering) {
+  const Ipv4Address base(10, 0, 0, 1);
+  EXPECT_EQ(base.offset(3).to_string(), "10.0.0.4");
+  EXPECT_LT(base, base.offset(1));
+}
+
+TEST(IpPool, AllocatesLowestFirst) {
+  IpPool pool(Ipv4Address(10, 0, 0, 1), 3);
+  EXPECT_EQ(must(pool.allocate()).to_string(), "10.0.0.1");
+  EXPECT_EQ(must(pool.allocate()).to_string(), "10.0.0.2");
+  EXPECT_EQ(must(pool.allocate()).to_string(), "10.0.0.3");
+  EXPECT_EQ(pool.in_use(), 3u);
+}
+
+TEST(IpPool, ExhaustionIsError) {
+  IpPool pool(Ipv4Address(10, 0, 0, 1), 1);
+  must(pool.allocate());
+  EXPECT_FALSE(pool.allocate().ok());
+}
+
+TEST(IpPool, ReleaseEnablesReuseDeterministically) {
+  IpPool pool(Ipv4Address(10, 0, 0, 1), 3);
+  const auto a = must(pool.allocate());
+  must(pool.allocate());
+  pool.release(a);
+  EXPECT_EQ(must(pool.allocate()), a);  // lowest-free-first again
+}
+
+TEST(IpPool, ContainsAndIsAllocated) {
+  IpPool pool(Ipv4Address(10, 0, 0, 1), 2);
+  EXPECT_TRUE(pool.contains(Ipv4Address(10, 0, 0, 2)));
+  EXPECT_FALSE(pool.contains(Ipv4Address(10, 0, 0, 3)));
+  EXPECT_FALSE(pool.is_allocated(Ipv4Address(10, 0, 0, 1)));
+  must(pool.allocate());
+  EXPECT_TRUE(pool.is_allocated(Ipv4Address(10, 0, 0, 1)));
+}
+
+TEST(IpPool, CountsAndAvailability) {
+  IpPool pool(Ipv4Address(10, 0, 0, 1), 4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.available(), 4u);
+  must(pool.allocate());
+  EXPECT_EQ(pool.available(), 3u);
+}
+
+TEST(IpPool, DisjointnessIsSymmetric) {
+  IpPool a(Ipv4Address(10, 0, 0, 1), 10);     // .1 - .10
+  IpPool b(Ipv4Address(10, 0, 0, 11), 10);    // .11 - .20
+  IpPool c(Ipv4Address(10, 0, 0, 5), 10);     // .5 - .14 (overlaps both)
+  EXPECT_TRUE(IpPool::disjoint(a, b));
+  EXPECT_TRUE(IpPool::disjoint(b, a));
+  EXPECT_FALSE(IpPool::disjoint(a, c));
+  EXPECT_FALSE(IpPool::disjoint(c, b));
+}
+
+TEST(IpPool, AdjacentPoolsAreDisjoint) {
+  IpPool a(Ipv4Address(10, 0, 0, 1), 5);   // .1 - .5
+  IpPool b(Ipv4Address(10, 0, 0, 6), 5);   // .6 - .10
+  EXPECT_TRUE(IpPool::disjoint(a, b));
+}
+
+}  // namespace
+}  // namespace soda::net

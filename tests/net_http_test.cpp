@@ -1,0 +1,187 @@
+// Unit tests for the HTTP/1.1 message model: header maps, request/response
+// serialization and parsing, chunked transfer coding.
+#include <gtest/gtest.h>
+
+#include "net/http.hpp"
+
+namespace soda::net {
+namespace {
+
+// ---------- HeaderMap ----------
+
+TEST(HeaderMap, CaseInsensitiveLookup) {
+  HeaderMap headers;
+  headers.set("Content-Length", "42");
+  EXPECT_EQ(headers.get("content-length").value(), "42");
+  EXPECT_EQ(headers.get("CONTENT-LENGTH").value(), "42");
+  EXPECT_TRUE(headers.contains("Content-length"));
+  EXPECT_FALSE(headers.contains("Content-Type"));
+}
+
+TEST(HeaderMap, SetReplacesAppendAdds) {
+  HeaderMap headers;
+  headers.set("X-A", "1");
+  headers.set("x-a", "2");
+  EXPECT_EQ(headers.size(), 1u);
+  EXPECT_EQ(headers.get("X-A").value(), "2");
+  headers.append("X-A", "3");
+  EXPECT_EQ(headers.size(), 2u);
+}
+
+TEST(HeaderMap, PreservesInsertionOrder) {
+  HeaderMap headers;
+  headers.set("B", "2");
+  headers.set("A", "1");
+  EXPECT_EQ(headers.fields()[0].first, "B");
+  EXPECT_EQ(headers.fields()[1].first, "A");
+}
+
+// ---------- HttpRequest ----------
+
+TEST(HttpRequest, SerializeBasicGet) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/images/web-content-1.0.rpm";
+  req.headers.set("Host", "asp-repo");
+  const std::string wire = req.serialize();
+  EXPECT_EQ(wire,
+            "GET /images/web-content-1.0.rpm HTTP/1.1\r\n"
+            "Host: asp-repo\r\n\r\n");
+}
+
+TEST(HttpRequest, SerializeAddsContentLengthForBody) {
+  HttpRequest req;
+  req.method = "POST";
+  req.body = "hello";
+  EXPECT_NE(req.serialize().find("Content-Length: 5\r\n"), std::string::npos);
+}
+
+TEST(HttpRequest, ParseRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/api";
+  req.headers.set("Host", "x");
+  req.body = "payload";
+  const auto parsed = HttpRequest::parse(req.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().method, "POST");
+  EXPECT_EQ(parsed.value().target, "/api");
+  EXPECT_EQ(parsed.value().headers.get("host").value(), "x");
+  EXPECT_EQ(parsed.value().body, "payload");
+}
+
+TEST(HttpRequest, ParseRejectsMissingBlankLine) {
+  EXPECT_FALSE(HttpRequest::parse("GET / HTTP/1.1\r\nHost: x\r\n").ok());
+}
+
+TEST(HttpRequest, ParseRejectsBadRequestLine) {
+  EXPECT_FALSE(HttpRequest::parse("GEThttp\r\n\r\n").ok());
+  EXPECT_FALSE(HttpRequest::parse("GET /\r\n\r\n").ok());
+  EXPECT_FALSE(HttpRequest::parse("GET / SPDY/3\r\n\r\n").ok());
+}
+
+TEST(HttpRequest, ParseRejectsMalformedHeader) {
+  EXPECT_FALSE(HttpRequest::parse("GET / HTTP/1.1\r\nBadHeader\r\n\r\n").ok());
+  EXPECT_FALSE(HttpRequest::parse("GET / HTTP/1.1\r\n: empty\r\n\r\n").ok());
+}
+
+TEST(HttpRequest, ParseHonorsContentLength) {
+  const auto parsed = HttpRequest::parse(
+      "PUT /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcdef");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().body, "abc");
+}
+
+TEST(HttpRequest, ParseRejectsTruncatedBody) {
+  EXPECT_FALSE(
+      HttpRequest::parse("PUT /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").ok());
+}
+
+TEST(HttpRequest, ParseRejectsBadContentLength) {
+  EXPECT_FALSE(
+      HttpRequest::parse("PUT /x HTTP/1.1\r\nContent-Length: huge\r\n\r\n").ok());
+}
+
+TEST(HttpRequest, HeaderValuesAreTrimmed) {
+  const auto parsed =
+      HttpRequest::parse("GET / HTTP/1.1\r\nHost:    spaced.example   \r\n\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().headers.get("Host").value(), "spaced.example");
+}
+
+// ---------- HttpResponse ----------
+
+TEST(HttpResponse, SerializeStatusLine) {
+  HttpResponse resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  EXPECT_EQ(resp.serialize().substr(0, 26), "HTTP/1.1 404 Not Found\r\n\r\n");
+}
+
+TEST(HttpResponse, ParseRoundTrip) {
+  HttpResponse resp = HttpResponse::ok("body!", "text/html");
+  const auto parsed = HttpResponse::parse(resp.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, 200);
+  EXPECT_EQ(parsed.value().reason, "OK");
+  EXPECT_EQ(parsed.value().body, "body!");
+  EXPECT_EQ(parsed.value().headers.get("content-type").value(), "text/html");
+}
+
+TEST(HttpResponse, ParseMultiWordReason) {
+  const auto parsed =
+      HttpResponse::parse("HTTP/1.1 500 Internal Server Error\r\n\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().reason, "Internal Server Error");
+}
+
+TEST(HttpResponse, ParseRejectsBadStatus) {
+  EXPECT_FALSE(HttpResponse::parse("HTTP/1.1 99 Low\r\n\r\n").ok());
+  EXPECT_FALSE(HttpResponse::parse("HTTP/1.1 abc Bad\r\n\r\n").ok());
+  EXPECT_FALSE(HttpResponse::parse("ICY 200 OK\r\n\r\n").ok());
+}
+
+TEST(HttpResponse, ConvenienceConstructors) {
+  EXPECT_EQ(HttpResponse::not_found().status, 404);
+  EXPECT_EQ(HttpResponse::server_error("x").status, 500);
+  EXPECT_EQ(HttpResponse::ok("b").status, 200);
+}
+
+TEST(ReasonPhrase, KnownAndUnknown) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(503), "Service Unavailable");
+  EXPECT_EQ(reason_phrase(299), "Unknown");
+}
+
+// ---------- Chunked coding ----------
+
+TEST(Chunked, EncodeDecodeRoundTrip) {
+  const std::string body = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t chunk : {1u, 5u, 16u, 100u}) {
+    const auto decoded = chunk_decode(chunk_encode(body, chunk));
+    ASSERT_TRUE(decoded.ok()) << "chunk size " << chunk;
+    EXPECT_EQ(decoded.value(), body);
+  }
+}
+
+TEST(Chunked, EmptyBody) {
+  const std::string coded = chunk_encode("", 8);
+  EXPECT_EQ(coded, "0\r\n\r\n");
+  EXPECT_EQ(chunk_decode(coded).value(), "");
+}
+
+TEST(Chunked, EncodeUsesHexSizes) {
+  const std::string coded = chunk_encode(std::string(26, 'x'), 26);
+  EXPECT_EQ(coded.substr(0, 4), "1a\r\n");
+}
+
+TEST(Chunked, DecodeRejectsMalformed) {
+  EXPECT_FALSE(chunk_decode("zz\r\nabc\r\n0\r\n\r\n").ok());
+  EXPECT_FALSE(chunk_decode("5\r\nab").ok());            // truncated
+  EXPECT_FALSE(chunk_decode("3\r\nabcX\r\n0\r\n\r\n").ok());  // bad terminator
+  EXPECT_FALSE(chunk_decode("0\r\n").ok());              // missing final CRLF
+  EXPECT_FALSE(chunk_decode("").ok());
+}
+
+}  // namespace
+}  // namespace soda::net

@@ -1,0 +1,180 @@
+// Unit tests for the in-memory filesystem model.
+#include <gtest/gtest.h>
+
+#include "os/filesystem.hpp"
+
+namespace soda::os {
+namespace {
+
+TEST(FsPath, SplitAbsolutePath) {
+  EXPECT_EQ(must(FileSystem::split_path("/a/b/c")),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(must(FileSystem::split_path("/")).empty());
+}
+
+TEST(FsPath, RejectsRelativeAndEmptyComponents) {
+  EXPECT_FALSE(FileSystem::split_path("a/b").ok());
+  EXPECT_FALSE(FileSystem::split_path("").ok());
+  EXPECT_FALSE(FileSystem::split_path("/a//b").ok());
+}
+
+TEST(Fs, AddFileCreatesAncestors) {
+  FileSystem fs;
+  must(fs.add_file("/etc/init.d/httpd", 4096));
+  EXPECT_TRUE(fs.exists("/etc"));
+  EXPECT_TRUE(fs.exists("/etc/init.d"));
+  ASSERT_TRUE(fs.stat("/etc/init.d/httpd").has_value());
+  EXPECT_EQ(fs.stat("/etc/init.d/httpd")->size_bytes, 4096);
+  EXPECT_EQ(fs.stat("/etc/init.d/httpd")->type, FileType::kRegular);
+  EXPECT_EQ(fs.stat("/etc")->type, FileType::kDirectory);
+}
+
+TEST(Fs, AddFileReplacesExisting) {
+  FileSystem fs;
+  must(fs.add_file("/x", 10));
+  must(fs.add_file("/x", 20));
+  EXPECT_EQ(fs.stat("/x")->size_bytes, 20);
+  EXPECT_EQ(fs.file_count(), 1u);
+}
+
+TEST(Fs, AddFileOverDirectoryFails) {
+  FileSystem fs;
+  must(fs.mkdir_p("/dir"));
+  EXPECT_FALSE(fs.add_file("/dir", 1).ok());
+}
+
+TEST(Fs, FileInTheWayOfPathFails) {
+  FileSystem fs;
+  must(fs.add_file("/a", 1));
+  EXPECT_FALSE(fs.add_file("/a/b", 1).ok());
+  EXPECT_FALSE(fs.mkdir_p("/a/b").ok());
+}
+
+TEST(Fs, MkdirPIsIdempotent) {
+  FileSystem fs;
+  must(fs.mkdir_p("/var/log"));
+  must(fs.mkdir_p("/var/log"));
+  EXPECT_TRUE(fs.exists("/var/log"));
+}
+
+TEST(Fs, RemoveFileAndSubtree) {
+  FileSystem fs;
+  must(fs.add_file("/srv/a", 100));
+  must(fs.add_file("/srv/sub/b", 200));
+  must(fs.remove("/srv/sub"));
+  EXPECT_FALSE(fs.exists("/srv/sub/b"));
+  EXPECT_TRUE(fs.exists("/srv/a"));
+  must(fs.remove("/srv/a"));
+  EXPECT_EQ(fs.total_size(), 0);
+}
+
+TEST(Fs, RemoveMissingFails) {
+  FileSystem fs;
+  EXPECT_FALSE(fs.remove("/nope").ok());
+  EXPECT_FALSE(fs.remove("/").ok());
+}
+
+TEST(Fs, ListReturnsSortedChildren) {
+  FileSystem fs;
+  must(fs.add_file("/d/z", 1));
+  must(fs.add_file("/d/a", 1));
+  must(fs.mkdir_p("/d/m"));
+  EXPECT_EQ(must(fs.list("/d")), (std::vector<std::string>{"a", "m", "z"}));
+}
+
+TEST(Fs, ListRootAndErrors) {
+  FileSystem fs;
+  must(fs.add_file("/top", 1));
+  EXPECT_EQ(must(fs.list("/")), (std::vector<std::string>{"top"}));
+  EXPECT_FALSE(fs.list("/top").ok());   // not a directory
+  EXPECT_FALSE(fs.list("/none").ok());  // missing
+}
+
+TEST(Fs, TotalSizeAndFileCount) {
+  FileSystem fs;
+  must(fs.add_file("/a", 100));
+  must(fs.add_file("/b/c", 200));
+  must(fs.add_file("/b/d", 300));
+  EXPECT_EQ(fs.total_size(), 600);
+  EXPECT_EQ(fs.file_count(), 3u);
+}
+
+TEST(Fs, FilesUnderEnumeratesRecursively) {
+  FileSystem fs;
+  must(fs.add_file("/a/x", 1));
+  must(fs.add_file("/a/b/y", 1));
+  must(fs.add_file("/top", 1));
+  const auto under_a = fs.files_under("/a");
+  EXPECT_EQ(under_a, (std::vector<std::string>{"/a/b/y", "/a/x"}));
+  EXPECT_EQ(fs.files_under("/").size(), 3u);
+  EXPECT_EQ(fs.files_under("/top"), (std::vector<std::string>{"/top"}));
+  EXPECT_TRUE(fs.files_under("/missing").empty());
+}
+
+TEST(Fs, CopyFromMergesSubtree) {
+  FileSystem src, dst;
+  must(src.add_file("/img/bin/app", 500));
+  must(src.add_file("/img/data/d1", 100));
+  must(dst.add_file("/existing", 50));
+  must(dst.copy_from(src, "/img", "/srv"));
+  EXPECT_EQ(dst.stat("/srv/bin/app")->size_bytes, 500);
+  EXPECT_EQ(dst.stat("/srv/data/d1")->size_bytes, 100);
+  EXPECT_TRUE(dst.exists("/existing"));
+  EXPECT_EQ(dst.total_size(), 650);
+}
+
+TEST(Fs, CopyFromWholeRootMerge) {
+  FileSystem src, dst;
+  must(src.add_file("/a/b", 10));
+  must(dst.add_file("/c", 20));
+  must(dst.copy_from(src, "/", "/"));
+  EXPECT_TRUE(dst.exists("/a/b"));
+  EXPECT_TRUE(dst.exists("/c"));
+}
+
+TEST(Fs, CopyFromOverwritesFiles) {
+  FileSystem src, dst;
+  must(src.add_file("/f", 999));
+  must(dst.add_file("/f", 1));
+  must(dst.copy_from(src, "/", "/"));
+  EXPECT_EQ(dst.stat("/f")->size_bytes, 999);
+}
+
+TEST(Fs, CopyFromMissingSourceFails) {
+  FileSystem src, dst;
+  EXPECT_FALSE(dst.copy_from(src, "/nothing", "/x").ok());
+}
+
+TEST(Fs, CopySingleFile) {
+  FileSystem src, dst;
+  must(src.add_file("/only", 42));
+  must(dst.copy_from(src, "/only", "/renamed"));
+  EXPECT_EQ(dst.stat("/renamed")->size_bytes, 42);
+}
+
+TEST(Fs, DeepCopyIsIndependent) {
+  FileSystem a;
+  must(a.add_file("/f", 10));
+  FileSystem b = a;  // deep copy
+  must(b.add_file("/f", 99));
+  must(b.add_file("/g", 1));
+  EXPECT_EQ(a.stat("/f")->size_bytes, 10);
+  EXPECT_FALSE(a.exists("/g"));
+}
+
+TEST(Fs, AssignmentDeepCopies) {
+  FileSystem a, b;
+  must(a.add_file("/f", 10));
+  b = a;
+  must(a.remove("/f"));
+  EXPECT_TRUE(b.exists("/f"));
+}
+
+TEST(Fs, StatMissingIsNullopt) {
+  FileSystem fs;
+  EXPECT_FALSE(fs.stat("/ghost").has_value());
+  EXPECT_FALSE(fs.exists("/ghost"));
+}
+
+}  // namespace
+}  // namespace soda::os

@@ -1,0 +1,177 @@
+// Unit tests for the RPM-like package database and the init-system service
+// catalog (dependency resolution, cycles, costs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "os/init.hpp"
+#include "os/package.hpp"
+
+namespace soda::os {
+namespace {
+
+Package make_pkg(std::string name, std::vector<std::string> deps,
+                 std::int64_t bytes = 100) {
+  Package p;
+  p.name = std::move(name);
+  p.depends = std::move(deps);
+  p.files.push_back(PackageFile{"/pkg/" + p.name, bytes});
+  return p;
+}
+
+// ---------- PackageDatabase ----------
+
+TEST(Packages, AddAndFind) {
+  PackageDatabase db;
+  must(db.add(make_pkg("glibc", {})));
+  EXPECT_TRUE(db.contains("glibc"));
+  ASSERT_NE(db.find("glibc"), nullptr);
+  EXPECT_EQ(db.find("glibc")->payload_bytes(), 100);
+  EXPECT_EQ(db.find("nope"), nullptr);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Packages, DuplicateAndEmptyNamesRejected) {
+  PackageDatabase db;
+  must(db.add(make_pkg("a", {})));
+  EXPECT_FALSE(db.add(make_pkg("a", {})).ok());
+  EXPECT_FALSE(db.add(make_pkg("", {})).ok());
+}
+
+TEST(Packages, ResolveOrdersDependenciesFirst) {
+  PackageDatabase db;
+  must(db.add(make_pkg("libc", {})));
+  must(db.add(make_pkg("ssl", {"libc"})));
+  must(db.add(make_pkg("sshd", {"ssl", "libc"})));
+  const auto order = must(db.resolve({"sshd"}));
+  const auto pos = [&](const std::string& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("libc"), pos("ssl"));
+  EXPECT_LT(pos("ssl"), pos("sshd"));
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Packages, ResolveDeduplicatesSharedDeps) {
+  PackageDatabase db;
+  must(db.add(make_pkg("libc", {})));
+  must(db.add(make_pkg("a", {"libc"})));
+  must(db.add(make_pkg("b", {"libc"})));
+  const auto order = must(db.resolve({"a", "b"}));
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(std::count(order.begin(), order.end(), "libc"), 1);
+}
+
+TEST(Packages, ResolveUnknownFails) {
+  PackageDatabase db;
+  must(db.add(make_pkg("a", {"ghost"})));
+  EXPECT_FALSE(db.resolve({"a"}).ok());
+  EXPECT_FALSE(db.resolve({"missing-root"}).ok());
+}
+
+TEST(Packages, ResolveDetectsCycle) {
+  PackageDatabase db;
+  must(db.add(make_pkg("x", {"y"})));
+  must(db.add(make_pkg("y", {"x"})));
+  const auto result = db.resolve({"x"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("cycle"), std::string::npos);
+}
+
+TEST(Packages, SelfDependencyIsCycle) {
+  PackageDatabase db;
+  must(db.add(make_pkg("selfish", {"selfish"})));
+  EXPECT_FALSE(db.resolve({"selfish"}).ok());
+}
+
+TEST(Packages, InstallWritesFiles) {
+  PackageDatabase db;
+  must(db.add(make_pkg("libc", {}, 500)));
+  must(db.add(make_pkg("app", {"libc"}, 300)));
+  FileSystem fs;
+  const auto installed = must(db.install({"app"}, fs));
+  EXPECT_EQ(installed.size(), 2u);
+  EXPECT_EQ(fs.stat("/pkg/libc")->size_bytes, 500);
+  EXPECT_EQ(fs.stat("/pkg/app")->size_bytes, 300);
+}
+
+TEST(Packages, ClosureBytesSumsOnceEach) {
+  PackageDatabase db;
+  must(db.add(make_pkg("libc", {}, 500)));
+  must(db.add(make_pkg("a", {"libc"}, 100)));
+  must(db.add(make_pkg("b", {"libc"}, 200)));
+  EXPECT_EQ(must(db.closure_bytes({"a", "b"})), 800);
+}
+
+// ---------- ServiceCatalog ----------
+
+TEST(Services, StandardCatalogHasPaperServices) {
+  const ServiceCatalog& catalog = standard_service_catalog();
+  for (const char* name :
+       {"httpd", "network", "syslog", "sendmail", "kudzu", "nfs", "sshd"}) {
+    EXPECT_TRUE(catalog.contains(name)) << name;
+  }
+  EXPECT_GE(catalog.size(), 25u);
+}
+
+TEST(Services, StartOrderHonorsDependencies) {
+  const ServiceCatalog& catalog = standard_service_catalog();
+  const auto order = must(catalog.start_order({"httpd"}));
+  const auto pos = [&](const std::string& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  // httpd depends on network (which depends on devfs) and syslog.
+  EXPECT_LT(pos("devfs"), pos("network"));
+  EXPECT_LT(pos("network"), pos("httpd"));
+  EXPECT_LT(pos("syslog"), pos("httpd"));
+}
+
+TEST(Services, StartCostIsClosureSum) {
+  ServiceCatalog catalog;
+  must(catalog.add(SystemService{"base", {}, 1.0, {}}));
+  must(catalog.add(SystemService{"app", {"base"}, 2.0, {}}));
+  EXPECT_DOUBLE_EQ(must(catalog.start_cost({"app"})), 3.0);
+  EXPECT_DOUBLE_EQ(must(catalog.start_cost({"base"})), 1.0);
+}
+
+TEST(Services, CostCountsSharedDepsOnce) {
+  ServiceCatalog catalog;
+  must(catalog.add(SystemService{"base", {}, 1.0, {}}));
+  must(catalog.add(SystemService{"a", {"base"}, 2.0, {}}));
+  must(catalog.add(SystemService{"b", {"base"}, 4.0, {}}));
+  EXPECT_DOUBLE_EQ(must(catalog.start_cost({"a", "b"})), 7.0);
+}
+
+TEST(Services, CycleDetection) {
+  ServiceCatalog catalog;
+  must(catalog.add(SystemService{"p", {"q"}, 1, {}}));
+  must(catalog.add(SystemService{"q", {"p"}, 1, {}}));
+  EXPECT_FALSE(catalog.start_order({"p"}).ok());
+}
+
+TEST(Services, UnknownServiceFails) {
+  const ServiceCatalog& catalog = standard_service_catalog();
+  EXPECT_FALSE(catalog.start_order({"not-a-service"}).ok());
+  EXPECT_FALSE(catalog.start_cost({"not-a-service"}).ok());
+}
+
+TEST(Services, RequiredPackagesAreSortedUnique) {
+  const ServiceCatalog& catalog = standard_service_catalog();
+  const auto pkgs = must(catalog.required_packages({"syslog", "klogd"}));
+  // Both services come from sysklogd; expect exactly one instance.
+  EXPECT_EQ(std::count(pkgs.begin(), pkgs.end(), "sysklogd"), 1);
+  EXPECT_TRUE(std::is_sorted(pkgs.begin(), pkgs.end()));
+}
+
+TEST(Services, FullServerClosureIsLarge) {
+  const ServiceCatalog& catalog = standard_service_catalog();
+  // The rh-7.2-server set (paper S_IV) pulls in a much bigger closure than a
+  // minimal web service (paper S_I..III) — the Table 2 boot-time driver.
+  const double full = must(catalog.start_cost(
+      {"kudzu", "sendmail", "nfs", "xfs", "httpd", "sshd", "ypbind"}));
+  const double minimal = must(catalog.start_cost({"httpd", "syslog"}));
+  EXPECT_GT(full, 3 * minimal);
+}
+
+}  // namespace
+}  // namespace soda::os

@@ -1,0 +1,93 @@
+// Unit tests for the guest process table (the substrate of Figure 3's
+// per-guest `ps -ef` views and of crash confinement).
+#include <gtest/gtest.h>
+
+#include "os/process.hpp"
+
+namespace soda::os {
+namespace {
+
+const sim::SimTime kNow = sim::SimTime::seconds(1);
+
+TEST(Process, PidsAreSequentialFromOne) {
+  ProcessTable table;
+  EXPECT_EQ(table.spawn("init", "root", kNow), 1);
+  EXPECT_EQ(table.spawn("httpd", "svc-web", kNow), 2);
+  EXPECT_EQ(table.spawn("sh", "root", kNow), 3);
+  EXPECT_EQ(table.count(), 3u);
+}
+
+TEST(Process, KillRemovesButNeverReusesPids) {
+  ProcessTable table;
+  table.spawn("a", "root", kNow);
+  const auto b = table.spawn("b", "root", kNow);
+  must(table.kill(b));
+  EXPECT_EQ(table.count(), 1u);
+  EXPECT_EQ(table.spawn("c", "root", kNow), 3);  // pid 2 is not recycled
+}
+
+TEST(Process, KillMissingFails) {
+  ProcessTable table;
+  EXPECT_FALSE(table.kill(42).ok());
+}
+
+TEST(Process, FindByPidAndCommand) {
+  ProcessTable table;
+  const auto pid = table.spawn("ghttpd-1.4", "root", kNow);
+  ASSERT_TRUE(table.find(pid).has_value());
+  EXPECT_EQ(table.find(pid)->command, "ghttpd-1.4");
+  ASSERT_TRUE(table.find_by_command("ghttpd").has_value());
+  EXPECT_EQ(table.find_by_command("ghttpd")->pid, pid);
+  EXPECT_FALSE(table.find_by_command("apache").has_value());
+  EXPECT_FALSE(table.find(99).has_value());
+}
+
+TEST(Process, ZombieStateRendered) {
+  ProcessTable table;
+  const auto pid = table.spawn("victim", "root", kNow);
+  must(table.mark_zombie(pid));
+  EXPECT_EQ(table.find(pid)->state, ProcessState::kZombie);
+  EXPECT_NE(table.ps_ef().find("Z    victim"), std::string::npos);
+  EXPECT_FALSE(table.mark_zombie(99).ok());
+}
+
+TEST(Process, KillAllEmptiesTable) {
+  ProcessTable table;
+  table.spawn("a", "root", kNow);
+  table.spawn("b", "root", kNow);
+  EXPECT_EQ(table.kill_all(), 2u);
+  EXPECT_EQ(table.count(), 0u);
+  EXPECT_EQ(table.kill_all(), 0u);
+}
+
+TEST(Process, PsEfFormatMatchesFigure3Style) {
+  ProcessTable table;
+  spawn_boot_processes(table, kNow);
+  const std::string ps = table.ps_ef();
+  EXPECT_NE(ps.find("PID Uid      Stat Command"), std::string::npos);
+  EXPECT_NE(ps.find("init"), std::string::npos);
+  EXPECT_NE(ps.find("[kswapd]"), std::string::npos);
+  EXPECT_NE(ps.find("[bdflush]"), std::string::npos);
+  EXPECT_NE(ps.find("[kupdated]"), std::string::npos);
+}
+
+TEST(Process, BootProcessesInitIsPidOne) {
+  ProcessTable table;
+  EXPECT_EQ(spawn_boot_processes(table, kNow), 1);
+  EXPECT_GE(table.count(), 5u);
+}
+
+TEST(Process, StateCodes) {
+  EXPECT_EQ(process_state_code(ProcessState::kRunning), 'R');
+  EXPECT_EQ(process_state_code(ProcessState::kSleeping), 'S');
+  EXPECT_EQ(process_state_code(ProcessState::kZombie), 'Z');
+}
+
+TEST(Process, UidRecordedPerProcess) {
+  ProcessTable table;
+  table.spawn("httpd", "svc-web", kNow);
+  EXPECT_EQ(table.find_by_command("httpd")->uid, "svc-web");
+}
+
+}  // namespace
+}  // namespace soda::os

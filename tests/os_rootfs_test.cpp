@@ -1,0 +1,132 @@
+// Unit tests for the rootfs templates and the SODA Daemon's customization
+// (dependency-closure pruning) — the mechanism behind Table 2.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "os/rootfs.hpp"
+
+namespace soda::os {
+namespace {
+
+constexpr std::int64_t kMiB = 1024 * 1024;
+
+TEST(RootFs, TemplateNamesMatchPaper) {
+  EXPECT_EQ(rootfs_template_name(RootFsTemplate::kBase10), "rootfs_base_1.0");
+  EXPECT_EQ(rootfs_template_name(RootFsTemplate::kTomsrtbt),
+            "root_fs_tomrtbt_1.7.205");
+  EXPECT_EQ(rootfs_template_name(RootFsTemplate::kLfs40), "root_fs_lfs_4.0");
+  EXPECT_EQ(rootfs_template_name(RootFsTemplate::kRh72Server),
+            "root_fs.rh-7.2-server.pristine.20021012");
+}
+
+TEST(RootFs, SizeClassesMatchTable2) {
+  // Paper sizes: 29.3 MB / 15 MB / 400 MB / 253 MB. The model must land in
+  // the same size class (within ~35%) and preserve the ordering.
+  const auto base = build_rootfs(RootFsTemplate::kBase10);
+  const auto tom = build_rootfs(RootFsTemplate::kTomsrtbt);
+  const auto lfs = build_rootfs(RootFsTemplate::kLfs40);
+  const auto rh = build_rootfs(RootFsTemplate::kRh72Server);
+  EXPECT_NEAR(static_cast<double>(base.image_bytes()), 29.3 * kMiB, 10.0 * kMiB);
+  EXPECT_NEAR(static_cast<double>(tom.image_bytes()), 15.0 * kMiB, 6.0 * kMiB);
+  EXPECT_NEAR(static_cast<double>(lfs.image_bytes()), 400.0 * kMiB, 40.0 * kMiB);
+  EXPECT_NEAR(static_cast<double>(rh.image_bytes()), 253.0 * kMiB, 40.0 * kMiB);
+  EXPECT_LT(tom.image_bytes(), base.image_bytes());
+  EXPECT_LT(base.image_bytes(), rh.image_bytes());
+  EXPECT_LT(rh.image_bytes(), lfs.image_bytes());
+}
+
+TEST(RootFs, ServiceCountsFollowTemplates) {
+  EXPECT_EQ(build_rootfs(RootFsTemplate::kTomsrtbt).enabled_services.size(), 3u);
+  EXPECT_EQ(build_rootfs(RootFsTemplate::kBase10).enabled_services.size(), 5u);
+  EXPECT_GE(build_rootfs(RootFsTemplate::kRh72Server).enabled_services.size(), 28u);
+}
+
+TEST(RootFs, TemplatesHaveInitEntriesAndBanner) {
+  const auto rootfs = build_rootfs(RootFsTemplate::kBase10);
+  EXPECT_TRUE(rootfs.fs.exists("/etc/init.d/httpd"));
+  EXPECT_TRUE(rootfs.fs.exists("/etc/init.d/network"));
+  EXPECT_TRUE(rootfs.fs.exists("/etc/issue"));
+  EXPECT_TRUE(rootfs.fs.exists("/boot/vmlinuz-2.4.19"));
+}
+
+TEST(RootFs, PackagesInstalledForServices) {
+  const auto rootfs = build_rootfs(RootFsTemplate::kBase10);
+  // httpd needs apache; apache's files must be present.
+  EXPECT_TRUE(rootfs.fs.exists("/usr/sbin/httpd"));
+  EXPECT_NE(std::find(rootfs.installed_packages.begin(),
+                      rootfs.installed_packages.end(), "apache"),
+            rootfs.installed_packages.end());
+  // Core runtime always present.
+  EXPECT_TRUE(rootfs.fs.exists("/lib/libc-2.2.4.so"));
+}
+
+TEST(Customize, PrunesUnneededServicesAndPackages) {
+  const auto full = build_rootfs(RootFsTemplate::kRh72Server);
+  const auto web = must(customize_rootfs(full, {"httpd", "syslog"}));
+  // Fewer services to start, smaller image.
+  EXPECT_LT(web.enabled_services.size(), full.enabled_services.size());
+  EXPECT_LT(web.image_bytes(), full.image_bytes());
+  // sendmail's init entry and its package files are gone.
+  EXPECT_FALSE(web.fs.exists("/etc/init.d/sendmail"));
+  EXPECT_FALSE(web.fs.exists("/usr/sbin/sendmail"));
+  // httpd and its dependency chain survive.
+  EXPECT_TRUE(web.fs.exists("/etc/init.d/httpd"));
+  EXPECT_TRUE(web.fs.exists("/usr/sbin/httpd"));
+  EXPECT_TRUE(web.fs.exists("/etc/init.d/network"));
+}
+
+TEST(Customize, KeepsCoreRuntime) {
+  const auto full = build_rootfs(RootFsTemplate::kRh72Server);
+  const auto minimal = must(customize_rootfs(full, {"syslog"}));
+  EXPECT_TRUE(minimal.fs.exists("/lib/libc-2.2.4.so"));
+  EXPECT_TRUE(minimal.fs.exists("/bin/bash"));
+}
+
+TEST(Customize, StartCostDropsWithPruning) {
+  const auto& catalog = standard_service_catalog();
+  const auto full = build_rootfs(RootFsTemplate::kRh72Server);
+  const auto web = must(customize_rootfs(full, {"httpd", "syslog"}));
+  EXPECT_LT(must(catalog.start_cost(web.enabled_services)),
+            must(catalog.start_cost(full.enabled_services)) / 3);
+}
+
+TEST(Customize, ServiceMissingFromTemplateFails) {
+  const auto tom = build_rootfs(RootFsTemplate::kTomsrtbt);
+  // tomsrtbt never shipped sendmail.
+  EXPECT_FALSE(customize_rootfs(tom, {"sendmail"}).ok());
+}
+
+TEST(Customize, UnknownServiceFails) {
+  const auto base = build_rootfs(RootFsTemplate::kBase10);
+  EXPECT_FALSE(customize_rootfs(base, {"no-such-daemon"}).ok());
+}
+
+TEST(Customize, DependencyOfEnabledRootIsRetainable) {
+  const auto base = build_rootfs(RootFsTemplate::kBase10);
+  // network is a dependency in the closure, usable as an explicit root.
+  const auto net_only = must(customize_rootfs(base, {"network"}));
+  EXPECT_TRUE(net_only.fs.exists("/etc/init.d/network"));
+  EXPECT_FALSE(net_only.fs.exists("/etc/init.d/httpd"));
+}
+
+TEST(RamDisk, RuleMatchesPaperHosts) {
+  // seattle (2 GB) can RAM-disk all four images with a 256 MB guest;
+  // tacoma (768 MB) cannot RAM-disk the 400 MB lfs or the 253 MB rh-7.2.
+  const std::int64_t guest = 256;
+  EXPECT_TRUE(fits_ram_disk(29 * kMiB, 2048, guest));
+  EXPECT_TRUE(fits_ram_disk(400 * kMiB, 2048, guest));
+  EXPECT_TRUE(fits_ram_disk(253 * kMiB, 2048, guest));
+  EXPECT_TRUE(fits_ram_disk(29 * kMiB, 768, guest));
+  EXPECT_FALSE(fits_ram_disk(400 * kMiB, 768, guest));
+  EXPECT_FALSE(fits_ram_disk(253 * kMiB, 768, guest));
+}
+
+TEST(RamDisk, DegenerateInputs) {
+  EXPECT_FALSE(fits_ram_disk(1, 256, 256));   // no memory left
+  EXPECT_FALSE(fits_ram_disk(1, 100, 200));   // guest bigger than host
+  EXPECT_TRUE(fits_ram_disk(0, 512, 256));
+}
+
+}  // namespace
+}  // namespace soda::os

@@ -1,0 +1,207 @@
+// Tests for partitionable services (the paper's §3.5 extension): component
+// declarations on images, component-aware planning and priming, tagged
+// configuration files, and prefix-based request routing in the switch.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hup.hpp"
+#include "image/image.hpp"
+#include "workload/siege.hpp"
+#include "workload/webservice.hpp"
+
+namespace soda::core {
+namespace {
+
+struct ShopBed {
+  Hup::PaperTestbed tb;
+  Hup& hup;
+  image::ImageLocation loc;
+
+  ShopBed() : tb(Hup::paper_testbed()), hup(*tb.hup) {
+    hup.agent().register_asp("shop", "key");
+    loc = must(tb.repo->publish(image::online_shop_image()));
+  }
+
+  ApiResult<ServiceCreationReply> create(int n) {
+    ServiceCreationRequest request;
+    request.credentials = {"shop", "key"};
+    request.service_name = "online-shop";
+    request.image_location = loc;
+    request.requirement = {n, host::MachineConfig::table1_example()};
+    ApiResult<ServiceCreationReply> out = ApiError{ApiErrorCode::kInternal, ""};
+    hup.agent().service_creation(request, [&](auto reply, sim::SimTime) {
+      out = std::move(reply);
+    });
+    hup.engine().run();
+    return out;
+  }
+};
+
+TEST(PartitionedImage, DeclaresComponents) {
+  const auto shop = image::online_shop_image();
+  EXPECT_TRUE(shop.partitioned());
+  ASSERT_EQ(shop.components.size(), 3u);
+  EXPECT_EQ(shop.total_component_units(), 4);
+  EXPECT_EQ(shop.components[0].name, "frontend");
+  EXPECT_EQ(shop.components[0].units, 2);
+  EXPECT_FALSE(image::web_content_image().partitioned());
+  EXPECT_EQ(image::web_content_image().total_component_units(), 0);
+}
+
+TEST(Partitioned, CreationMapsComponentsToOwnNodes) {
+  ShopBed bed;
+  const auto reply = must(bed.create(4));
+  ASSERT_EQ(reply.nodes.size(), 3u);  // one node per component
+  std::set<std::string> components;
+  for (const auto& node : reply.nodes) components.insert(node.component);
+  EXPECT_EQ(components, (std::set<std::string>{"frontend", "search", "db"}));
+  // Each node runs its own entry under its own guest.
+  for (const auto& node : reply.nodes) {
+    auto* vsn = bed.hup.find_daemon(node.host_name)->find_node(node.node_name);
+    ASSERT_NE(vsn, nullptr);
+    if (node.component == "db") {
+      EXPECT_TRUE(vsn->uml().processes().find_by_command("shop-db").has_value());
+      EXPECT_FALSE(
+          vsn->uml().processes().find_by_command("shop-frontend").has_value());
+      EXPECT_EQ(node.port, 5432);
+    }
+    if (node.component == "frontend") {
+      EXPECT_EQ(node.capacity_units, 2);
+      EXPECT_EQ(node.port, 8080);
+    }
+  }
+}
+
+TEST(Partitioned, WrongNRejected) {
+  ShopBed bed;
+  const auto reply = bed.create(3);  // components need 4
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, ApiErrorCode::kInvalidRequest);
+  EXPECT_EQ(bed.hup.master().service_count(), 0u);
+}
+
+TEST(Partitioned, ConfigFileTagsComponents) {
+  ShopBed bed;
+  must(bed.create(4));
+  const std::string config =
+      bed.hup.master().find_switch("online-shop")->config_text();
+  EXPECT_NE(config.find(" frontend\n"), std::string::npos);
+  EXPECT_NE(config.find(" search\n"), std::string::npos);
+  EXPECT_NE(config.find(" db\n"), std::string::npos);
+  // Round-trips through the parser with components intact.
+  const auto parsed = must(ServiceConfigFile::parse(config));
+  EXPECT_EQ(parsed.entries().size(), 3u);
+}
+
+TEST(Partitioned, SwitchRoutesByTargetPrefix) {
+  ShopBed bed;
+  must(bed.create(4));
+  ServiceSwitch* sw = bed.hup.master().find_switch("online-shop");
+  EXPECT_EQ(sw->component_for("/search?q=shoes"), "search");
+  EXPECT_EQ(sw->component_for("/cart/add"), "db");
+  EXPECT_EQ(sw->component_for("/index.html"), "frontend");
+  EXPECT_EQ(must(sw->route_target("/search?q=x")).component, "search");
+  EXPECT_EQ(must(sw->route_target("/cart/42")).component, "db");
+  EXPECT_EQ(must(sw->route_target("/")).component, "frontend");
+}
+
+TEST(Partitioned, ComponentRouteIsolatedFromOthers) {
+  ShopBed bed;
+  must(bed.create(4));
+  ServiceSwitch* sw = bed.hup.master().find_switch("online-shop");
+  // Explicit component routing never leaks across components.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(must(sw->route("db")).component, "db");
+  }
+  // Unknown component refuses.
+  EXPECT_FALSE(sw->route("cache").ok());
+}
+
+TEST(Partitioned, CrashedComponentRefusesOnlyItsRoutes) {
+  ShopBed bed;
+  const auto reply = must(bed.create(4));
+  ServiceSwitch* sw = bed.hup.master().find_switch("online-shop");
+  for (const auto& node : reply.nodes) {
+    if (node.component != "db") continue;
+    bed.hup.find_daemon(node.host_name)->find_node(node.node_name)->uml().crash();
+  }
+  bed.hup.health_monitor().probe_once();
+  EXPECT_FALSE(sw->route_target("/cart/1").ok());
+  EXPECT_TRUE(sw->route_target("/").ok());
+  EXPECT_TRUE(sw->route_target("/search").ok());
+}
+
+TEST(Partitioned, SiegeDrivesOneComponentByTarget) {
+  ShopBed bed;
+  const auto reply = must(bed.create(4));
+  ServiceSwitch* sw = bed.hup.master().find_switch("online-shop");
+  // Server objects for every component node; requests target /search only.
+  std::vector<std::unique_ptr<workload::WebContentServer>> servers;
+  net::NodeId switch_node{};
+  net::Ipv4Address search_addr;
+  workload::SiegeConfig cfg;
+  cfg.concurrency = 2;
+  cfg.max_requests = 60;
+  cfg.response_bytes = 4096;
+  cfg.target = "/search?q=mugs";
+  const auto client = bed.hup.add_client("shopper");
+  for (const auto& node : reply.nodes) {
+    auto* daemon = bed.hup.find_daemon(node.host_name);
+    auto* vsn = daemon->find_node(node.node_name);
+    servers.push_back(std::make_unique<workload::WebContentServer>(
+        bed.hup.engine(), bed.hup.network(), vsn->net_node(),
+        vm::ExecMode::kUmlTraced, daemon->host().spec().cpu_ghz, 2));
+    if (node.address == sw->listen_address()) switch_node = vsn->net_node();
+    if (node.component == "search") search_addr = node.address;
+  }
+  workload::SiegeClient search_siege(bed.hup.engine(), bed.hup.network(),
+                                     client, sw, switch_node, cfg);
+  for (std::size_t i = 0; i < reply.nodes.size(); ++i) {
+    search_siege.register_backend(reply.nodes[i].address, servers[i].get(),
+                                  servers[i]->node());
+  }
+  search_siege.start();
+  bed.hup.engine().run();
+  EXPECT_EQ(search_siege.completed(), 60u);
+  EXPECT_EQ(search_siege.completed_by(search_addr), 60u);  // all to `search`
+}
+
+TEST(Partitioned, ResizeRejected) {
+  ShopBed bed;
+  must(bed.create(4));
+  ApiResult<ServiceResizingReply> out = ApiError{ApiErrorCode::kInternal, ""};
+  bed.hup.agent().service_resizing(
+      ServiceResizingRequest{{"shop", "key"}, "online-shop", 6},
+      [&](auto reply, sim::SimTime) { out = std::move(reply); });
+  bed.hup.engine().run();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ApiErrorCode::kInvalidRequest);
+}
+
+TEST(Partitioned, TeardownReleasesAllComponents) {
+  ShopBed bed;
+  const auto before = bed.hup.master().hup_available();
+  must(bed.create(4));
+  must(bed.hup.agent().service_teardown(
+      ServiceTeardownRequest{{"shop", "key"}, "online-shop"}));
+  EXPECT_EQ(bed.hup.master().hup_available(), before);
+}
+
+TEST(Partitioned, ComponentsMayShareAHost) {
+  ShopBed bed;
+  const auto reply = must(bed.create(4));
+  // 4 units of Table-1 M (768 MHz inflated): seattle alone fits 3 units but
+  // not all 4, so at least two hosts are used, and some host carries two
+  // components.
+  std::map<std::string, int> nodes_per_host;
+  for (const auto& node : reply.nodes) ++nodes_per_host[node.host_name];
+  int max_on_one = 0;
+  for (const auto& [host, count] : nodes_per_host) {
+    max_on_one = std::max(max_on_one, count);
+  }
+  EXPECT_GE(max_on_one, 2);
+}
+
+}  // namespace
+}  // namespace soda::core

@@ -1,0 +1,118 @@
+// Tests for the off-line QoS/resource profiler (deriving <n, M> from a
+// workload description), including end-to-end: profiled requirements must
+// actually be admittable and carry the declared workload.
+#include <gtest/gtest.h>
+
+#include "core/hup.hpp"
+#include "core/profiler.hpp"
+#include "image/image.hpp"
+
+namespace soda::core {
+namespace {
+
+WorkloadProfile light() {
+  WorkloadProfile w;
+  w.peak_request_rate = 50;
+  w.response_bytes = 8 * 1024;
+  w.dataset_mb = 256;
+  w.resident_memory_mb = 48;
+  return w;
+}
+
+TEST(Profiler, SmallWorkloadNeedsOneUnit) {
+  const auto report = must(profile_requirement(light()));
+  EXPECT_EQ(report.requirement.n, 1);
+  EXPECT_EQ(report.requirement.m, host::MachineConfig::table1_example());
+  EXPECT_GT(report.cpu_mhz_needed, 0);
+  EXPECT_GT(report.bandwidth_mbps_needed, 0);
+}
+
+TEST(Profiler, NScalesWithRequestRate) {
+  WorkloadProfile w = light();
+  const int n1 = must(profile_requirement(w)).requirement.n;
+  w.peak_request_rate *= 20;
+  const int n2 = must(profile_requirement(w)).requirement.n;
+  EXPECT_GT(n2, n1);
+}
+
+TEST(Profiler, LargeResponsesBindOnBandwidth) {
+  WorkloadProfile w = light();
+  w.peak_request_rate = 100;
+  w.response_bytes = 512 * 1024;  // 100/s * 4 Mbit = 400 Mbps raw
+  const auto report = must(profile_requirement(w));
+  EXPECT_EQ(report.binding, BindingResource::kBandwidth);
+  // 400 Mbps / 0.6 util / 10 Mbps per M ~ 67 units.
+  EXPECT_GT(report.requirement.n, 50);
+}
+
+TEST(Profiler, TinyResponsesBindOnCpu) {
+  WorkloadProfile w = light();
+  w.peak_request_rate = 2000;
+  w.response_bytes = 512;  // syscall-dominated
+  const auto report = must(profile_requirement(w));
+  EXPECT_EQ(report.binding, BindingResource::kCpu);
+}
+
+TEST(Profiler, UtilizationHeadroomIncreasesN) {
+  WorkloadProfile w = light();
+  w.peak_request_rate = 800;
+  w.target_utilization = 0.9;
+  const int tight = must(profile_requirement(w)).requirement.n;
+  w.target_utilization = 0.3;
+  const int slack = must(profile_requirement(w)).requirement.n;
+  EXPECT_GT(slack, tight);
+}
+
+TEST(Profiler, RejectsImpossibleFootprints) {
+  WorkloadProfile w = light();
+  w.resident_memory_mb = 10'000;  // exceeds M's 256 MB
+  EXPECT_FALSE(profile_requirement(w).ok());
+  w = light();
+  w.dataset_mb = 100'000;  // exceeds M's 1 GB disk
+  EXPECT_FALSE(profile_requirement(w).ok());
+}
+
+TEST(Profiler, RejectsBadInputs) {
+  WorkloadProfile w = light();
+  w.peak_request_rate = 0;
+  EXPECT_FALSE(profile_requirement(w).ok());
+  w = light();
+  w.target_utilization = 0;
+  EXPECT_FALSE(profile_requirement(w).ok());
+  w = light();
+  w.target_utilization = 1.5;
+  EXPECT_FALSE(profile_requirement(w).ok());
+}
+
+TEST(Profiler, BindingNames) {
+  EXPECT_EQ(binding_resource_name(BindingResource::kCpu), "cpu");
+  EXPECT_EQ(binding_resource_name(BindingResource::kBandwidth), "bandwidth");
+}
+
+TEST(Profiler, ProfiledRequirementIsAdmittable) {
+  // End to end: profile a moderate workload, then actually create the
+  // service with the derived <n, M> on the paper testbed.
+  WorkloadProfile w = light();
+  w.peak_request_rate = 200;
+  const auto report = must(profile_requirement(w));
+  ASSERT_LE(report.requirement.n, 4);  // sanity: fits the two-host HUP
+
+  auto tb = Hup::paper_testbed();
+  tb.hup->agent().register_asp("asp", "key");
+  const auto loc =
+      must(tb.repo->publish(image::web_content_image(4 * 1024 * 1024)));
+  ServiceCreationRequest request;
+  request.credentials = {"asp", "key"};
+  request.service_name = "profiled";
+  request.image_location = loc;
+  request.requirement = report.requirement;
+  bool created = false;
+  tb.hup->agent().service_creation(request, [&](auto reply, sim::SimTime) {
+    created = reply.ok();
+  });
+  tb.hup->engine().run();
+  EXPECT_TRUE(created);
+}
+
+}  // namespace
+}  // namespace soda::core

@@ -1,0 +1,385 @@
+// Property-based tests: invariants that must hold across randomized inputs
+// and parameter sweeps (seeds drive deterministic xoshiro streams).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/config_file.hpp"
+#include "core/switch.hpp"
+#include "net/address.hpp"
+#include "net/flow_network.hpp"
+#include "net/http.hpp"
+#include "os/filesystem.hpp"
+#include "sched/cpu_sim.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace soda {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ---------- Event queue: random schedules pop in nondecreasing time ----------
+
+class EventQueueProperty : public SeededTest {};
+
+TEST_P(EventQueueProperty, PopsAreTimeOrderedUnderRandomOps) {
+  sim::Rng rng(GetParam());
+  sim::EventQueue queue;
+  std::vector<sim::EventId> live;
+  for (int i = 0; i < 500; ++i) {
+    const auto when = sim::SimTime::nanoseconds(rng.uniform_int(0, 1'000'000));
+    live.push_back(queue.schedule(when, [] {}));
+    if (rng.bernoulli(0.3) && !live.empty()) {
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      queue.cancel(live[victim]);
+    }
+  }
+  sim::SimTime last = sim::SimTime::zero();
+  std::size_t popped = 0;
+  while (!queue.empty()) {
+    const auto fired = queue.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+    ++popped;
+  }
+  EXPECT_GT(popped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------- IP pool: invariant under random alloc/release ----------
+
+class IpPoolProperty : public SeededTest {};
+
+TEST_P(IpPoolProperty, NeverDoubleAllocatesAndConservesCount) {
+  sim::Rng rng(GetParam());
+  net::IpPool pool(net::Ipv4Address(10, 0, 0, 1), 16);
+  std::set<std::uint32_t> held;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.bernoulli(0.55) && pool.available() > 0) {
+      const auto addr = must(pool.allocate());
+      EXPECT_TRUE(held.insert(addr.value()).second)
+          << "double allocation of " << addr.to_string();
+    } else if (!held.empty()) {
+      const auto it = std::next(
+          held.begin(),
+          rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+      pool.release(net::Ipv4Address(*it));
+      held.erase(it);
+    }
+    EXPECT_EQ(pool.in_use(), held.size());
+    EXPECT_EQ(pool.available(), pool.capacity() - held.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpPoolProperty, ::testing::Values(11, 22, 33));
+
+// ---------- Flow network: max-min fairness invariants ----------
+
+class FlowFairnessProperty : public SeededTest {};
+
+TEST_P(FlowFairnessProperty, RatesNeverExceedLinkCapacityOrCaps) {
+  sim::Rng rng(GetParam());
+  sim::Engine engine;
+  net::FlowNetwork network(engine);
+  const auto sw = network.add_node("sw");
+  std::vector<net::NodeId> hosts;
+  for (int i = 0; i < 4; ++i) {
+    hosts.push_back(network.add_node("h" + std::to_string(i)));
+    network.add_duplex_link(hosts.back(), sw, 100, sim::SimTime::zero());
+  }
+  std::vector<std::pair<net::FlowId, double>> flows;  // id, cap
+  for (int i = 0; i < 12; ++i) {
+    const auto src = hosts[rng.uniform_int(0, 3)];
+    auto dst = hosts[rng.uniform_int(0, 3)];
+    if (dst == src) dst = hosts[(rng.uniform_int(0, 2) + 1 + (&src - &hosts[0])) % 4];
+    const double cap = rng.bernoulli(0.5) ? rng.uniform(5, 50) : net::kUncapped;
+    auto flow = network.start_flow(src, dst, 1'000'000'000, [](sim::SimTime) {},
+                                   cap);
+    if (flow.ok()) flows.emplace_back(flow.value(), cap);
+  }
+  // Inspect instantaneous allocations.
+  double total = 0;
+  for (const auto& [id, cap] : flows) {
+    const double rate = network.flow_rate_mbps(id);
+    EXPECT_GE(rate, 0.0);
+    if (std::isfinite(cap)) {
+      EXPECT_LE(rate, cap * (1 + 1e-9));
+    }
+    EXPECT_LE(rate, 100.0 * (1 + 1e-9));  // no flow beats its access link
+    total += rate;
+  }
+  // Aggregate cannot exceed the sum of all access links.
+  EXPECT_LE(total, 4 * 100.0 * (1 + 1e-9));
+}
+
+TEST_P(FlowFairnessProperty, EqualFlowsGetEqualRates) {
+  sim::Rng rng(GetParam());
+  sim::Engine engine;
+  net::FlowNetwork network(engine);
+  const auto a = network.add_node("a");
+  const auto b = network.add_node("b");
+  network.add_duplex_link(a, b, 100, sim::SimTime::zero());
+  const int n = static_cast<int>(rng.uniform_int(2, 7));
+  std::vector<net::FlowId> ids;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(
+        must(network.start_flow(a, b, 1'000'000'000, [](sim::SimTime) {})));
+  }
+  for (const auto id : ids) {
+    EXPECT_NEAR(network.flow_rate_mbps(id), 100.0 / n, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowFairnessProperty,
+                         ::testing::Values(7, 8, 9, 10));
+
+// ---------- Schedulers: proportionality across random weights ----------
+
+class SchedulerProperty : public SeededTest {};
+
+TEST_P(SchedulerProperty, SharesTrackArbitraryWeights) {
+  sim::Rng rng(GetParam());
+  sched::CpuSimulator sim(sched::make_proportional_scheduler());
+  std::map<std::string, double> weights;
+  const int services = static_cast<int>(rng.uniform_int(2, 5));
+  double weight_sum = 0;
+  for (int i = 0; i < services; ++i) {
+    const std::string uid = "svc" + std::to_string(i);
+    const double w = rng.uniform(0.5, 4.0);
+    weights[uid] = w;
+    weight_sum += w;
+    sim.add_thread(uid, sched::DemandPattern::cpu_bound());
+    sim.set_weight(uid, w);
+  }
+  const auto result = sim.run(sim::SimTime::seconds(30));
+  double total = 0;
+  for (const auto& [uid, s] : result.total_cpu_s) total += s;
+  for (const auto& [uid, w] : weights) {
+    EXPECT_NEAR(result.total_cpu_s.at(uid) / total, w / weight_sum, 0.03) << uid;
+  }
+}
+
+TEST_P(SchedulerProperty, NoServiceExceedsUtilizationOne) {
+  sim::Rng rng(GetParam());
+  sched::CpuSimulator sim(sched::make_stride_scheduler());
+  const int services = static_cast<int>(rng.uniform_int(2, 4));
+  for (int i = 0; i < services; ++i) {
+    sim.add_thread("svc" + std::to_string(i),
+                   rng.bernoulli(0.5)
+                       ? sched::DemandPattern::cpu_bound()
+                       : sched::DemandPattern::io_cycle(
+                             sim::SimTime::milliseconds(rng.uniform_int(1, 8)),
+                             sim::SimTime::milliseconds(rng.uniform_int(1, 8))));
+  }
+  const double duration = 20;
+  const auto result = sim.run(sim::SimTime::seconds(duration));
+  double total = 0;
+  for (const auto& [uid, s] : result.total_cpu_s) {
+    EXPECT_LE(s, duration * (1 + 1e-9));
+    total += s;
+  }
+  EXPECT_NEAR(total + result.idle_fraction * duration, duration, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Values(101, 102, 103, 104));
+
+// ---------- Config file: serialize/parse round trip under fuzz ----------
+
+class ConfigRoundTrip : public SeededTest {};
+
+TEST_P(ConfigRoundTrip, RandomFilesSurviveRoundTrip) {
+  sim::Rng rng(GetParam());
+  core::ServiceConfigFile file;
+  const int rows = static_cast<int>(rng.uniform_int(1, 12));
+  for (int i = 0; i < rows; ++i) {
+    core::BackEndEntry entry;
+    entry.address = net::Ipv4Address(
+        static_cast<std::uint32_t>(rng.uniform_int(1, 0x7FFFFFFF)));
+    entry.port = static_cast<int>(rng.uniform_int(1, 65535));
+    entry.capacity = static_cast<int>(rng.uniform_int(1, 64));
+    if (!file.add(entry).ok()) continue;  // rare duplicate address
+  }
+  const auto parsed = must(core::ServiceConfigFile::parse(file.serialize()));
+  EXPECT_EQ(parsed.entries(), file.entries());
+  EXPECT_EQ(parsed.total_capacity(), file.total_capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigRoundTrip,
+                         ::testing::Values(201, 202, 203, 204, 205));
+
+// ---------- Switch: WRR proportionality for arbitrary capacities ----------
+
+class WrrProperty : public SeededTest {};
+
+TEST_P(WrrProperty, LongRunMixMatchesCapacities) {
+  sim::Rng rng(GetParam());
+  core::ServiceSwitch sw("svc", net::Ipv4Address(10, 0, 0, 1), 80);
+  std::map<std::uint32_t, int> capacity;
+  const int backends = static_cast<int>(rng.uniform_int(2, 6));
+  int total_capacity = 0;
+  for (int i = 0; i < backends; ++i) {
+    const net::Ipv4Address addr(10, 0, 0, static_cast<std::uint8_t>(i + 1));
+    const int cap = static_cast<int>(rng.uniform_int(1, 5));
+    must(sw.add_backend(core::BackEndEntry{addr, 80, cap, {}}));
+    capacity[addr.value()] = cap;
+    total_capacity += cap;
+  }
+  const int rounds = 60 * total_capacity;
+  for (int i = 0; i < rounds; ++i) {
+    const auto backend = must(sw.route());
+    sw.on_request_complete(backend.address);
+  }
+  for (const auto& [addr, cap] : capacity) {
+    // Smooth WRR is exact over full cycles.
+    EXPECT_EQ(sw.routed_to(net::Ipv4Address(addr)),
+              static_cast<std::uint64_t>(60 * cap));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WrrProperty, ::testing::Values(301, 302, 303));
+
+// ---------- Filesystem: random ops tracked against a shadow model ----------
+
+class FsProperty : public SeededTest {};
+
+TEST_P(FsProperty, RandomOpsAgreeWithShadowModel) {
+  sim::Rng rng(GetParam());
+  os::FileSystem fs;
+  std::map<std::string, std::int64_t> shadow;  // regular files only
+
+  auto random_path = [&rng](bool from_shadow_ok,
+                            const std::map<std::string, std::int64_t>& shadow_map)
+      -> std::string {
+    if (from_shadow_ok && !shadow_map.empty() && rng.bernoulli(0.5)) {
+      auto it = std::next(shadow_map.begin(),
+                          rng.uniform_int(0, static_cast<std::int64_t>(
+                                                 shadow_map.size()) - 1));
+      return it->first;
+    }
+    std::string path;
+    const int depth = static_cast<int>(rng.uniform_int(1, 3));
+    for (int d = 0; d < depth; ++d) {
+      path += "/d" + std::to_string(rng.uniform_int(0, 4));
+    }
+    return path + "/f" + std::to_string(rng.uniform_int(0, 9));
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.uniform();
+    if (dice < 0.6) {
+      const std::string path = random_path(true, shadow);
+      const auto size = rng.uniform_int(0, 10'000);
+      if (fs.add_file(path, size).ok()) {
+        shadow[path] = size;
+      }
+    } else if (!shadow.empty()) {
+      // Remove a known file.
+      auto it = std::next(shadow.begin(),
+                          rng.uniform_int(0, static_cast<std::int64_t>(
+                                                 shadow.size()) - 1));
+      EXPECT_TRUE(fs.remove(it->first).ok());
+      shadow.erase(it);
+    }
+    // Invariants: every shadow file exists with its size; totals agree.
+    std::int64_t expected_total = 0;
+    for (const auto& [path, size] : shadow) expected_total += size;
+    EXPECT_EQ(fs.total_size(), expected_total);
+    EXPECT_EQ(fs.file_count(), shadow.size());
+  }
+  for (const auto& [path, size] : shadow) {
+    ASSERT_TRUE(fs.stat(path).has_value()) << path;
+    EXPECT_EQ(fs.stat(path)->size_bytes, size) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsProperty, ::testing::Values(501, 502, 503));
+
+// ---------- HTTP: fuzz safety + valid-message round trips ----------
+
+class HttpFuzz : public SeededTest {};
+
+TEST_P(HttpFuzz, RandomBytesNeverCrashParsers) {
+  sim::Rng rng(GetParam());
+  for (int round = 0; round < 300; ++round) {
+    std::string junk;
+    const auto length = rng.uniform_int(0, 200);
+    for (std::int64_t i = 0; i < length; ++i) {
+      // Bias toward protocol-looking bytes so framing paths get exercised.
+      const char alphabet[] = "GETPOST/HTP1.:\r\n 0123456789abcdef-";
+      junk += alphabet[rng.uniform_int(0, sizeof(alphabet) - 2)];
+    }
+    (void)net::HttpRequest::parse(junk);
+    (void)net::HttpResponse::parse(junk);
+    (void)net::chunk_decode(junk);  // must return errors, not crash
+  }
+  SUCCEED();
+}
+
+TEST_P(HttpFuzz, RandomValidRequestsRoundTrip) {
+  sim::Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    net::HttpRequest request;
+    request.method = rng.bernoulli(0.5) ? "GET" : "POST";
+    request.target = "/p" + std::to_string(rng.uniform_int(0, 999));
+    const auto header_count = rng.uniform_int(0, 5);
+    for (std::int64_t h = 0; h < header_count; ++h) {
+      request.headers.append("X-H" + std::to_string(h),
+                             "v" + std::to_string(rng.uniform_int(0, 99)));
+    }
+    const auto body_len = rng.uniform_int(0, 64);
+    for (std::int64_t b = 0; b < body_len; ++b) {
+      request.body += static_cast<char>('a' + rng.uniform_int(0, 25));
+    }
+    const auto parsed = net::HttpRequest::parse(request.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().method, request.method);
+    EXPECT_EQ(parsed.value().target, request.target);
+    EXPECT_EQ(parsed.value().body, request.body);
+    EXPECT_GE(parsed.value().headers.size(), request.headers.size());
+  }
+}
+
+TEST_P(HttpFuzz, RandomBodiesSurviveChunkedCoding) {
+  sim::Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    std::string body;
+    const auto length = rng.uniform_int(0, 500);
+    for (std::int64_t i = 0; i < length; ++i) {
+      body += static_cast<char>(rng.uniform_int(0, 255));
+    }
+    const auto chunk = static_cast<std::size_t>(rng.uniform_int(1, 100));
+    const auto decoded = net::chunk_decode(net::chunk_encode(body, chunk));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), body);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HttpFuzz, ::testing::Values(601, 602, 603));
+
+// ---------- Rng: uniform_int covers its range ----------
+
+class RngProperty : public SeededTest {};
+
+TEST_P(RngProperty, UniformIntHitsAllValuesInSmallRange) {
+  sim::Rng rng(GetParam());
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngProperty, ::testing::Values(401, 402));
+
+}  // namespace
+}  // namespace soda

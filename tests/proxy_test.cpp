@@ -1,0 +1,229 @@
+// Unit tests for the proxying alternative to bridging (paper §3.3
+// footnote 3): the ProxyTable itself, and end-to-end service creation in
+// proxy mode where nodes keep reserved addresses behind host ports.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/hup.hpp"
+#include "image/image.hpp"
+#include "net/proxy.hpp"
+
+namespace soda {
+namespace {
+
+const net::Ipv4Address kPublic(128, 10, 9, 220);
+const net::Ipv4Address kPrivate1(10, 0, 0, 1);
+const net::Ipv4Address kPrivate2(10, 0, 0, 2);
+
+// ---------- ProxyTable ----------
+
+TEST(ProxyTable, ForwardAllocatesSequentialPorts) {
+  net::ProxyTable proxy("seattle", kPublic);
+  EXPECT_EQ(must(proxy.forward({kPrivate1, 8080})), 20000);
+  EXPECT_EQ(must(proxy.forward({kPrivate2, 8080})), 20001);
+  EXPECT_EQ(proxy.entry_count(), 2u);
+  EXPECT_EQ(proxy.public_address(), kPublic);
+}
+
+TEST(ProxyTable, ForwardLookupResolvesAndCounts) {
+  net::ProxyTable proxy("seattle", kPublic);
+  const int port = must(proxy.forward({kPrivate1, 9000}));
+  const auto target = proxy.forward_lookup(port);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(target->private_address, kPrivate1);
+  EXPECT_EQ(target->private_port, 9000);
+  EXPECT_EQ(proxy.connections_forwarded(), 1u);
+  EXPECT_FALSE(proxy.forward_lookup(port + 1).has_value());
+  EXPECT_EQ(proxy.lookups_missed(), 1u);
+}
+
+TEST(ProxyTable, PeekDoesNotCount) {
+  net::ProxyTable proxy("seattle", kPublic);
+  const int port = must(proxy.forward({kPrivate1, 9000}));
+  EXPECT_TRUE(proxy.peek(port).has_value());
+  EXPECT_EQ(proxy.connections_forwarded(), 0u);
+}
+
+TEST(ProxyTable, RemoveFreesPortForReuse) {
+  net::ProxyTable proxy("seattle", kPublic, 20000, 2);
+  const int a = must(proxy.forward({kPrivate1, 80}));
+  must(proxy.forward({kPrivate2, 80}));
+  EXPECT_FALSE(proxy.forward({kPrivate1, 81}).ok());  // range exhausted
+  EXPECT_TRUE(proxy.remove(a));
+  EXPECT_FALSE(proxy.remove(a));
+  EXPECT_EQ(must(proxy.forward({kPrivate1, 81})), a);  // reused after wrap
+}
+
+TEST(ProxyTable, ExplicitPortRespectsRangeAndConflicts) {
+  net::ProxyTable proxy("seattle", kPublic, 20000, 10);
+  must(proxy.forward_on(20005, {kPrivate1, 80}));
+  EXPECT_FALSE(proxy.forward_on(20005, {kPrivate2, 80}).ok());  // taken
+  EXPECT_FALSE(proxy.forward_on(19999, {kPrivate2, 80}).ok());  // below range
+  EXPECT_FALSE(proxy.forward_on(20010, {kPrivate2, 80}).ok());  // above range
+  // Auto allocation skips the explicitly taken port.
+  for (int i = 0; i < 9; ++i) EXPECT_TRUE(proxy.forward({kPrivate2, 80}).ok());
+  EXPECT_FALSE(proxy.forward({kPrivate2, 80}).ok());
+}
+
+// ---------- HupHost proxy wiring ----------
+
+TEST(HostProxy, DefaultPublicAddressConvention) {
+  host::HupHost host(host::HostSpec::tacoma(), net::NodeId{0},
+                     net::IpPool(net::Ipv4Address(128, 10, 9, 140), 16));
+  EXPECT_EQ(host.public_address(), net::Ipv4Address(128, 10, 9, 240));
+  EXPECT_EQ(&host.proxy(), &host.proxy());  // stable instance
+}
+
+TEST(HostProxy, PublicAddressOverride) {
+  host::HupHost host(host::HostSpec::tacoma(), net::NodeId{0},
+                     net::IpPool(net::Ipv4Address(10, 0, 0, 1), 8));
+  host.set_public_address(kPublic);
+  EXPECT_EQ(host.proxy().public_address(), kPublic);
+}
+
+// ---------- End-to-end proxy-mode service creation ----------
+
+struct ProxyBed {
+  core::Hup::PaperTestbed tb;
+  core::Hup& hup;
+  image::ImageLocation loc;
+
+  ProxyBed() : tb(make()), hup(*tb.hup) {
+    hup.agent().register_asp("asp", "key");
+    loc = must(tb.repo->publish(image::honeypot_image()));
+  }
+
+  static core::Hup::PaperTestbed make() {
+    core::MasterConfig config;
+    config.address_mode = core::AddressMode::kProxying;
+    return core::Hup::paper_testbed(config);
+  }
+
+  core::ServiceCreationReply create(const std::string& name, int n) {
+    core::ServiceCreationRequest request;
+    request.credentials = {"asp", "key"};
+    request.service_name = name;
+    request.image_location = loc;
+    request.requirement = {n, {}};
+    core::ServiceCreationReply out;
+    hup.agent().service_creation(request, [&](auto reply, sim::SimTime) {
+      out = must(std::move(reply));
+    });
+    hup.engine().run();
+    return out;
+  }
+};
+
+TEST(ProxyMode, NodesAdvertiseHostPublicEndpoints) {
+  ProxyBed bed;
+  const auto reply = bed.create("svc", 2);  // lands on one host (worst-fit)
+  ASSERT_EQ(reply.nodes.size(), 1u);
+  const auto& node = reply.nodes[0];
+  host::HupHost* carrier = bed.hup.find_host(node.host_name);
+  EXPECT_EQ(node.address, carrier->public_address());
+  EXPECT_GE(node.port, 20000);
+  // The proxy resolves the public port to the node's reserved address.
+  const auto target = carrier->proxy().peek(node.port);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_TRUE(carrier->ip_pool().contains(target->private_address));
+  EXPECT_EQ(target->private_port, 8080);  // honeypot's listen port
+  // Nothing was bridged.
+  EXPECT_EQ(carrier->bridge().attached_count(), 0u);
+}
+
+TEST(ProxyMode, SwitchUsesPublicEndpoints) {
+  ProxyBed bed;
+  bed.create("svc", 2);
+  core::ServiceSwitch* sw = bed.hup.master().find_switch("svc");
+  ASSERT_NE(sw, nullptr);
+  const auto backend = must(sw->route());
+  EXPECT_GE(backend.port, 20000);
+}
+
+TEST(ProxyMode, TeardownRemovesForwardingEntries) {
+  ProxyBed bed;
+  const auto reply = bed.create("svc", 1);
+  host::HupHost* carrier = bed.hup.find_host(reply.nodes[0].host_name);
+  EXPECT_EQ(carrier->proxy().entry_count(), 1u);
+  must(bed.hup.agent().service_teardown(
+      core::ServiceTeardownRequest{{"asp", "key"}, "svc"}));
+  EXPECT_EQ(carrier->proxy().entry_count(), 0u);
+  EXPECT_EQ(carrier->ip_pool().in_use(), 0u);
+}
+
+TEST(ProxyMode, TwoServicesShareHostPublicAddress) {
+  ProxyBed bed;
+  const auto a = bed.create("svc-a", 1);
+  const auto b = bed.create("svc-b", 1);
+  // Both on seattle (worst-fit), same public address, distinct ports.
+  if (a.nodes[0].host_name == b.nodes[0].host_name) {
+    EXPECT_EQ(a.nodes[0].address, b.nodes[0].address);
+    EXPECT_NE(a.nodes[0].port, b.nodes[0].port);
+  }
+  // Monitoring still resolves both.
+  EXPECT_TRUE(bed.hup.agent().service_status({"asp", "key"}, "svc-a").ok());
+}
+
+TEST(ProxyMode, ResizeKeepsProxyConsistent) {
+  ProxyBed bed;
+  const auto reply = bed.create("svc", 1);
+  host::HupHost* carrier = bed.hup.find_host(reply.nodes[0].host_name);
+  bool resized = false;
+  bed.hup.agent().service_resizing(
+      core::ServiceResizingRequest{{"asp", "key"}, "svc", 2},
+      [&](auto result, sim::SimTime) {
+        must(std::move(result));
+        resized = true;
+      });
+  bed.hup.engine().run();
+  EXPECT_TRUE(resized);
+  EXPECT_EQ(carrier->proxy().entry_count(), 1u);  // grown in place, same port
+}
+
+TEST(ProxyMode, PartitionedServiceProxiesEveryComponent) {
+  ProxyBed bed;
+  const auto shop_loc = must(bed.tb.repo->publish(image::online_shop_image()));
+  core::ServiceCreationRequest request;
+  request.credentials = {"asp", "key"};
+  request.service_name = "shop";
+  request.image_location = shop_loc;
+  request.requirement = {4, host::MachineConfig::table1_example()};
+  core::ServiceCreationReply reply;
+  bed.hup.agent().service_creation(request, [&](auto result, sim::SimTime) {
+    reply = must(std::move(result));
+  });
+  bed.hup.engine().run();
+  ASSERT_EQ(reply.nodes.size(), 3u);
+  for (const auto& node : reply.nodes) {
+    host::HupHost* carrier = bed.hup.find_host(node.host_name);
+    EXPECT_EQ(node.address, carrier->public_address()) << node.component;
+    const auto target = carrier->proxy().peek(node.port);
+    ASSERT_TRUE(target.has_value()) << node.component;
+    // The proxy forwards to the component's own guest port.
+    if (node.component == "db") {
+      EXPECT_EQ(target->private_port, 5432);
+    }
+    if (node.component == "frontend") {
+      EXPECT_EQ(target->private_port, 8080);
+    }
+  }
+  // Two components on the same host share its public address but not ports.
+  std::map<std::string, std::vector<int>> ports_by_host;
+  for (const auto& node : reply.nodes) {
+    ports_by_host[node.host_name].push_back(node.port);
+  }
+  for (const auto& [host, ports] : ports_by_host) {
+    std::set<int> unique(ports.begin(), ports.end());
+    EXPECT_EQ(unique.size(), ports.size()) << host;
+  }
+}
+
+TEST(ProxyMode, AddressModeNames) {
+  EXPECT_EQ(core::address_mode_name(core::AddressMode::kBridging), "bridging");
+  EXPECT_EQ(core::address_mode_name(core::AddressMode::kProxying), "proxying");
+}
+
+}  // namespace
+}  // namespace soda

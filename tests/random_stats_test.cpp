@@ -1,0 +1,237 @@
+// Unit tests for the deterministic PRNG, samplers, and online statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace soda::sim {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 6.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(6);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, PoissonGapMeanMatchesRate) {
+  Rng rng(7);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.poisson_gap(50.0).to_seconds();
+  EXPECT_NEAR(total / n, 1.0 / 50.0, 0.002);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.bounded_pareto(1.2, 100, 10000);
+    EXPECT_GE(x, 100.0 * (1 - 1e-9));
+    EXPECT_LE(x, 10000.0 * (1 + 1e-9));
+  }
+}
+
+TEST(Rng, BernoulliEdgesAndRate) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(11);
+  Rng child1 = a.fork();
+  Rng b(11);
+  Rng child2 = b.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1(), child2());
+}
+
+// ---------- ZipfSampler ----------
+
+TEST(Zipf, RankZeroMostPopular) {
+  Rng rng(12);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, ZeroSkewIsUniformish) {
+  Rng rng(13);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Zipf, SingleElement) {
+  Rng rng(14);
+  ZipfSampler zipf(1, 2.0);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+// ---------- RunningStats ----------
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 4.571428, 1e-5);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+// ---------- SampleSet ----------
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.p95(), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSet, MeanAndEmptyBehaviour) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SampleSet, AddAfterQuantileStillCorrect) {
+  SampleSet s;
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+// ---------- TimeSeries ----------
+
+TEST(TimeSeries, MeanAndDeviation) {
+  TimeSeries series;
+  series.add(SimTime::seconds(1), 0.30);
+  series.add(SimTime::seconds(2), 0.35);
+  series.add(SimTime::seconds(3), 0.40);
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_NEAR(series.mean_value(), 0.35, 1e-12);
+  EXPECT_NEAR(series.max_abs_deviation(1.0 / 3), 0.4 - 1.0 / 3, 1e-9);
+}
+
+TEST(TimeSeries, EmptyDefaults) {
+  TimeSeries series;
+  EXPECT_DOUBLE_EQ(series.mean_value(), 0.0);
+  EXPECT_DOUBLE_EQ(series.max_abs_deviation(0.5), 0.0);
+}
+
+// ---------- Histogram ----------
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(-1);   // clamps to first
+  h.add(0.5);
+  h.add(3.9);
+  h.add(99);   // clamps to last
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+}
+
+}  // namespace
+}  // namespace soda::sim

@@ -1,0 +1,218 @@
+// Tests for the scenario language: strict parsing, execution transcripts,
+// and expectation verbs.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace soda::core {
+namespace {
+
+constexpr const char* kBaseSetup = R"(
+# the paper testbed
+host seattle 128.10.9.120
+host tacoma  128.10.9.140
+repo asp-repo
+asp bioinfo key-123
+publish web content-mb=8
+)";
+
+std::string with_base(const std::string& rest) {
+  return std::string(kBaseSetup) + rest;
+}
+
+// ---------- Parsing ----------
+
+TEST(ScenarioParse, AcceptsCommentsAndBlankLines) {
+  const auto scenario = must(Scenario::parse("# hello\n\n  # more\nrepo r\n"));
+  ASSERT_EQ(scenario.commands().size(), 1u);
+  EXPECT_EQ(scenario.commands()[0].verb, "repo");
+  EXPECT_EQ(scenario.commands()[0].line, 4);
+}
+
+TEST(ScenarioParse, RejectsUnknownVerbWithLineNumber) {
+  const auto result = Scenario::parse("repo r\nfrobnicate x\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(result.error().message.find("frobnicate"), std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsWrongArity) {
+  EXPECT_FALSE(Scenario::parse("host seattle\n").ok());          // too few
+  EXPECT_FALSE(Scenario::parse("repo a b\n").ok());              // too many
+  EXPECT_FALSE(Scenario::parse("create svc web\n").ok());        // missing n
+  EXPECT_TRUE(Scenario::parse("host seattle 10.0.0.1 8\n").ok()); // optional ok
+}
+
+// ---------- Execution ----------
+
+TEST(ScenarioRun, FullLifecycle) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+create web-content web n=3
+expect-services 1
+expect-state web-content running
+status web-content
+resize web-content 2
+billing bioinfo
+teardown web-content
+expect-services 0
+)")));
+  const auto transcript = must(scenario.run());
+  // Transcript mentions the key effects in order.
+  std::string joined;
+  for (const auto& line : transcript) joined += line + "\n";
+  EXPECT_NE(joined.find("host seattle joined"), std::string::npos);
+  EXPECT_NE(joined.find("created web-content"), std::string::npos);
+  EXPECT_NE(joined.find("resized web-content to n=2"), std::string::npos);
+  EXPECT_NE(joined.find("instance-hours"), std::string::npos);
+  EXPECT_NE(joined.find("tore down web-content"), std::string::npos);
+}
+
+TEST(ScenarioRun, ExpectNodesCountsAggregatedNodes) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+create web-content web n=3
+expect-nodes web-content 1
+)")));
+  EXPECT_TRUE(scenario.run().ok());
+}
+
+TEST(ScenarioRun, FailedExpectationNamesLine) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+create web-content web n=1
+expect-nodes web-content 7
+)")));
+  const auto result = scenario.run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("expected 7 node(s)"), std::string::npos);
+}
+
+TEST(ScenarioRun, ExpectErrorInvertsFailure) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+expect-error create huge web n=99
+expect-services 0
+)")));
+  EXPECT_TRUE(scenario.run().ok());
+}
+
+TEST(ScenarioRun, ExpectErrorFailsOnSuccess) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+expect-error create fine web n=1
+)")));
+  const auto result = scenario.run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("expected 'create' to fail"),
+            std::string::npos);
+}
+
+TEST(ScenarioRun, ExpectErrorRefusesToWrapExpectations) {
+  const auto scenario =
+      must(Scenario::parse("expect-error expect-services 1\n"));
+  EXPECT_FALSE(scenario.run().ok());
+}
+
+TEST(ScenarioRun, CreateWithoutPublishFails) {
+  const auto scenario = must(Scenario::parse(
+      "host seattle 10.0.0.1\nrepo r\nasp a k\ncreate svc web n=1\n"));
+  const auto result = scenario.run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("not published"), std::string::npos);
+}
+
+TEST(ScenarioRun, PublishWithoutRepoFails) {
+  const auto result = must(Scenario::parse("publish web\n")).run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("no repository"), std::string::npos);
+}
+
+TEST(ScenarioRun, UnknownImageKindFails) {
+  const auto scenario = must(Scenario::parse(
+      "host seattle 10.0.0.1\nrepo r\nasp a k\npublish warez\n"));
+  EXPECT_FALSE(scenario.run().ok());
+}
+
+TEST(ScenarioRun, DuplicateHostSpecsGetUniqueNames) {
+  const auto scenario = must(Scenario::parse(
+      "host tacoma 10.0.0.1\nhost tacoma 10.0.1.1\nrepo r\nasp a k\n"
+      "publish honeypot\ncreate a honeypot n=1\ncreate b honeypot n=1\n"
+      "expect-services 2\n"));
+  EXPECT_TRUE(scenario.run().ok());
+}
+
+TEST(ScenarioRun, ConfigVerbsBeforeHosts) {
+  const auto scenario = must(Scenario::parse(R"(
+mode proxying
+placement best-fit
+inflate 200
+host seattle 128.10.9.120
+repo r
+asp a k
+publish honeypot
+create pot honeypot n=1
+expect-state pot running
+)"));
+  EXPECT_TRUE(scenario.run().ok());
+}
+
+TEST(ScenarioRun, ConfigAfterHostFails) {
+  const auto scenario = must(Scenario::parse(
+      "host seattle 10.0.0.1\nmode proxying\n"));
+  const auto result = scenario.run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("must precede"), std::string::npos);
+}
+
+TEST(ScenarioRun, BadConfigValuesFail) {
+  EXPECT_FALSE(must(Scenario::parse("mode tunneling\n")).run().ok());
+  EXPECT_FALSE(must(Scenario::parse("placement random\n")).run().ok());
+  EXPECT_FALSE(must(Scenario::parse("inflate 50\n")).run().ok());
+}
+
+TEST(ScenarioRun, CrashProbeTraceRoundTrip) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+create web-content web n=1
+crash web-content 0
+probe
+trace web-content
+)")));
+  const auto transcript = must(scenario.run());
+  std::string joined;
+  for (const auto& line : transcript) joined += line + "\n";
+  EXPECT_NE(joined.find("crashed guest web-content/0"), std::string::npos);
+  EXPECT_NE(joined.find("health probe: 1 transition(s)"), std::string::npos);
+  EXPECT_NE(joined.find("health-changed web-content/0: unhealthy"),
+            std::string::npos);
+  EXPECT_NE(joined.find("service-running web-content"), std::string::npos);
+}
+
+TEST(ScenarioRun, CrashUnknownNodeFails) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+create web-content web n=1
+crash web-content 7
+)")));
+  EXPECT_FALSE(scenario.run().ok());
+}
+
+TEST(ScenarioRun, PartitionedShopThroughTheDsl) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+publish shop
+create online-shop shop n=4
+expect-nodes online-shop 3
+expect-state online-shop running
+)")));
+  EXPECT_TRUE(scenario.run().ok());
+}
+
+TEST(ScenarioRun, StatusShowsRunningVm) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+create web-content web n=1
+status web-content
+)")));
+  const auto transcript = must(scenario.run());
+  bool found = false;
+  for (const auto& line : transcript) {
+    if (line.find("vm=running") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace soda::core

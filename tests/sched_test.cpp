@@ -1,0 +1,225 @@
+// Unit tests for the CPU schedulers and the quantum-level simulator,
+// including parameterized sweeps over the service-aware policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "sched/cpu_sim.hpp"
+#include "sched/scheduler.hpp"
+
+namespace soda::sched {
+namespace {
+
+using PolicyFactory = std::function<std::unique_ptr<CpuScheduler>()>;
+
+const sim::SimTime kRun = sim::SimTime::seconds(30);
+
+double share_of(const CpuSimResult& result, const std::string& uid) {
+  double total = 0;
+  for (const auto& [u, s] : result.total_cpu_s) total += s;
+  return total == 0 ? 0 : result.total_cpu_s.at(uid) / total;
+}
+
+// ---------- Service-aware policies behave proportionally (TEST_P) ----------
+
+struct PolicyCase {
+  std::string name;
+  PolicyFactory make;
+  double tolerance;  // absolute share tolerance
+  // Whether the policy compensates a service that blocks briefly (keeps
+  // history). Memoryless lottery does not — a documented weakness the
+  // Figure 5 ablation shows.
+  bool compensates_blocking = true;
+};
+
+class ServicePolicyTest : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(ServicePolicyTest, EqualWeightsCpuBoundGetEqualShares) {
+  CpuSimulator sim(GetParam().make());
+  sim.add_thread("a", DemandPattern::cpu_bound());
+  sim.add_thread("b", DemandPattern::cpu_bound());
+  sim.add_thread("c", DemandPattern::cpu_bound());
+  const auto result = sim.run(kRun);
+  EXPECT_NEAR(share_of(result, "a"), 1.0 / 3, GetParam().tolerance);
+  EXPECT_NEAR(share_of(result, "b"), 1.0 / 3, GetParam().tolerance);
+  EXPECT_NEAR(share_of(result, "c"), 1.0 / 3, GetParam().tolerance);
+}
+
+TEST_P(ServicePolicyTest, WeightsTwoToOneRespected) {
+  CpuSimulator sim(GetParam().make());
+  sim.add_thread("big", DemandPattern::cpu_bound());
+  sim.add_thread("small", DemandPattern::cpu_bound());
+  sim.set_weight("big", 2.0);
+  sim.set_weight("small", 1.0);
+  const auto result = sim.run(kRun);
+  EXPECT_NEAR(share_of(result, "big"), 2.0 / 3, GetParam().tolerance);
+  EXPECT_NEAR(share_of(result, "small"), 1.0 / 3, GetParam().tolerance);
+}
+
+TEST_P(ServicePolicyTest, ThreadCountDoesNotBuyShare) {
+  // The isolation property unmodified Linux lacks: a service with 4 threads
+  // must not out-consume a 1-thread service of equal weight.
+  CpuSimulator sim(GetParam().make());
+  for (int i = 0; i < 4; ++i) sim.add_thread("many", DemandPattern::cpu_bound());
+  sim.add_thread("one", DemandPattern::cpu_bound());
+  const auto result = sim.run(kRun);
+  EXPECT_NEAR(share_of(result, "many"), 0.5, GetParam().tolerance);
+  EXPECT_NEAR(share_of(result, "one"), 0.5, GetParam().tolerance);
+}
+
+TEST_P(ServicePolicyTest, BlockedServiceForfeitsOnlyBlockedTime) {
+  CpuSimulator sim(GetParam().make());
+  sim.add_thread("steady", DemandPattern::cpu_bound());
+  // Runs 5 ms then blocks 5 ms: can use at most ~50% of the CPU.
+  sim.add_thread("bursty", DemandPattern::io_cycle(sim::SimTime::milliseconds(5),
+                                                   sim::SimTime::milliseconds(5)));
+  const auto result = sim.run(kRun);
+  // bursty gets close to its offered load; steady soaks up the rest. A
+  // memoryless policy lets bursty keep only its availability-weighted odds.
+  EXPECT_GT(share_of(result, "bursty"),
+            GetParam().compensates_blocking ? 0.30 : 0.15);
+  EXPECT_GT(share_of(result, "steady"), 0.45);
+}
+
+TEST_P(ServicePolicyTest, ThreeWeightClasses) {
+  CpuSimulator sim(GetParam().make());
+  sim.add_thread("w1", DemandPattern::cpu_bound());
+  sim.add_thread("w2", DemandPattern::cpu_bound());
+  sim.add_thread("w4", DemandPattern::cpu_bound());
+  sim.set_weight("w1", 1.0);
+  sim.set_weight("w2", 2.0);
+  sim.set_weight("w4", 4.0);
+  const auto result = sim.run(kRun);
+  EXPECT_NEAR(share_of(result, "w1"), 1.0 / 7, 2 * GetParam().tolerance);
+  EXPECT_NEAR(share_of(result, "w2"), 2.0 / 7, 2 * GetParam().tolerance);
+  EXPECT_NEAR(share_of(result, "w4"), 4.0 / 7, 2 * GetParam().tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ServicePolicyTest,
+    ::testing::Values(
+        PolicyCase{"proportional", [] { return make_proportional_scheduler(); },
+                   0.02},
+        PolicyCase{"stride", [] { return make_stride_scheduler(); }, 0.02},
+        PolicyCase{"lottery", [] { return make_lottery_scheduler(1234); }, 0.06,
+                   /*compensates_blocking=*/false}),
+    [](const auto& info) { return info.param.name; });
+
+// ---------- Baseline time-share behaviour ----------
+
+TEST(TimeShare, ThreadCountBuysShare) {
+  CpuSimulator sim(make_timeshare_scheduler());
+  for (int i = 0; i < 3; ++i) sim.add_thread("many", DemandPattern::cpu_bound());
+  sim.add_thread("one", DemandPattern::cpu_bound());
+  const auto result = sim.run(kRun);
+  EXPECT_NEAR(share_of(result, "many"), 0.75, 0.02);
+  EXPECT_NEAR(share_of(result, "one"), 0.25, 0.02);
+}
+
+TEST(TimeShare, WeightsAreIgnored) {
+  CpuSimulator sim(make_timeshare_scheduler());
+  sim.add_thread("a", DemandPattern::cpu_bound());
+  sim.add_thread("b", DemandPattern::cpu_bound());
+  sim.set_weight("a", 10.0);  // no effect on the per-thread policy
+  const auto result = sim.run(kRun);
+  EXPECT_NEAR(share_of(result, "a"), 0.5, 0.02);
+}
+
+TEST(TimeShare, CpuBoundServiceStarvesBlockingOne) {
+  // The Figure 5(a) failure mode in miniature.
+  CpuSimulator sim(make_timeshare_scheduler());
+  sim.add_thread("comp", DemandPattern::cpu_bound());
+  sim.add_thread("log", DemandPattern::io_cycle(sim::SimTime::milliseconds(2),
+                                                sim::SimTime::milliseconds(6)));
+  const auto result = sim.run(kRun);
+  EXPECT_GT(share_of(result, "comp"), 0.70);
+  EXPECT_LT(share_of(result, "log"), 0.30);
+}
+
+// ---------- Simulator mechanics ----------
+
+TEST(CpuSim, IdleWhenEveryoneBlocked) {
+  CpuSimulator sim(make_proportional_scheduler());
+  sim.add_thread("solo", DemandPattern::io_cycle(sim::SimTime::milliseconds(1),
+                                                 sim::SimTime::milliseconds(9)));
+  const auto result = sim.run(sim::SimTime::seconds(10));
+  // ~10% duty cycle -> ~90% idle.
+  EXPECT_NEAR(result.idle_fraction, 0.9, 0.03);
+  EXPECT_NEAR(result.total_cpu_s.at("solo"), 1.0, 0.15);
+}
+
+TEST(CpuSim, SharesSeriesHasOnePointPerWindow) {
+  CpuSimulator sim(make_proportional_scheduler());
+  sim.add_thread("a", DemandPattern::cpu_bound());
+  const auto result = sim.run(sim::SimTime::seconds(10), sim::SimTime::seconds(1));
+  EXPECT_EQ(result.shares.at("a").size(), 10u);
+  // Alone on the CPU: every window at 100%.
+  EXPECT_NEAR(result.shares.at("a").mean_value(), 1.0, 1e-9);
+}
+
+TEST(CpuSim, WindowSharesSumToUtilization) {
+  CpuSimulator sim(make_proportional_scheduler());
+  sim.add_thread("x", DemandPattern::cpu_bound());
+  sim.add_thread("y", DemandPattern::cpu_bound());
+  const auto result = sim.run(sim::SimTime::seconds(5), sim::SimTime::seconds(1));
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double sum = result.shares.at("x").points()[i].value +
+                       result.shares.at("y").points()[i].value;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(CpuSim, TotalsConserveDuration) {
+  CpuSimulator sim(make_stride_scheduler());
+  sim.add_thread("a", DemandPattern::cpu_bound());
+  sim.add_thread("b", DemandPattern::cpu_bound());
+  const auto result = sim.run(sim::SimTime::seconds(12));
+  const double total = result.total_cpu_s.at("a") + result.total_cpu_s.at("b");
+  EXPECT_NEAR(total + result.idle_fraction * 12.0, 12.0, 1e-6);
+}
+
+TEST(CpuSim, LotteryIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    CpuSimulator sim(make_lottery_scheduler(seed));
+    sim.add_thread("a", DemandPattern::cpu_bound());
+    sim.add_thread("b", DemandPattern::cpu_bound());
+    return sim.run(sim::SimTime::seconds(5)).total_cpu_s.at("a");
+  };
+  EXPECT_DOUBLE_EQ(run_once(99), run_once(99));
+  EXPECT_NE(run_once(99), run_once(100));
+}
+
+TEST(CpuSim, SchedulerNames) {
+  EXPECT_EQ(make_timeshare_scheduler()->name(), "timeshare");
+  EXPECT_EQ(make_proportional_scheduler()->name(), "proportional-share");
+  EXPECT_EQ(make_stride_scheduler()->name(), "stride");
+  EXPECT_EQ(make_lottery_scheduler(1)->name(), "lottery");
+}
+
+TEST(CpuSim, PickOnEmptySchedulerIsInvalid) {
+  auto sched = make_proportional_scheduler();
+  EXPECT_FALSE(sched->pick_next().valid());
+}
+
+TEST(CpuSim, RemoveThreadStopsScheduling) {
+  auto sched = make_proportional_scheduler();
+  sched->add_thread(ThreadInfo{ThreadId{0}, "a"});
+  sched->on_wake(ThreadId{0});
+  EXPECT_TRUE(sched->pick_next().valid());
+  sched->remove_thread(ThreadId{0});
+  EXPECT_FALSE(sched->pick_next().valid());
+}
+
+TEST(CpuSim, DoubleWakeIsIdempotent) {
+  auto sched = make_proportional_scheduler();
+  sched->add_thread(ThreadInfo{ThreadId{0}, "a"});
+  sched->on_wake(ThreadId{0});
+  sched->on_wake(ThreadId{0});
+  sched->on_block(ThreadId{0});
+  EXPECT_FALSE(sched->pick_next().valid());  // no stale duplicate remains
+}
+
+}  // namespace
+}  // namespace soda::sched

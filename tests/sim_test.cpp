@@ -1,0 +1,197 @@
+// Unit tests for the discrete-event kernel: SimTime, EventQueue, Engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace soda::sim {
+namespace {
+
+// ---------- SimTime ----------
+
+TEST(SimTime, ConstructorsAgree) {
+  EXPECT_EQ(SimTime::milliseconds(1), SimTime::microseconds(1000));
+  EXPECT_EQ(SimTime::seconds(0.5), SimTime::milliseconds(500));
+  EXPECT_EQ(SimTime::nanoseconds(7).ns(), 7);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::seconds(2);
+  const SimTime b = SimTime::seconds(0.5);
+  EXPECT_DOUBLE_EQ((a + b).to_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).to_seconds(), 1.5);
+  EXPECT_EQ(a * 3, SimTime::seconds(6));
+  EXPECT_EQ(2 * b, SimTime::seconds(1));
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::zero(), SimTime::seconds(1));
+  EXPECT_LE(SimTime::max(), SimTime::max());
+  EXPECT_GT(SimTime::milliseconds(2), SimTime::milliseconds(1));
+}
+
+TEST(SimTime, Formatting) {
+  EXPECT_EQ(to_string(SimTime::seconds(1.5)), "1.500000s");
+}
+
+// ---------- EventQueue ----------
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(SimTime::seconds(3), [&] { fired.push_back(3); });
+  queue.schedule(SimTime::seconds(1), [&] { fired.push_back(1); });
+  queue.schedule(SimTime::seconds(2), [&] { fired.push_back(2); });
+  while (!queue.empty()) queue.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFifo) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(SimTime::seconds(1), [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue queue;
+  int fired = 0;
+  const EventId id = queue.schedule(SimTime::seconds(1), [&] { ++fired; });
+  queue.schedule(SimTime::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_EQ(queue.size(), 1u);
+  while (!queue.empty()) queue.pop().callback();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue queue;
+  const EventId id = queue.schedule(SimTime::seconds(1), [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(EventId{999}));
+  EXPECT_FALSE(queue.cancel(EventId{0}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventId early = queue.schedule(SimTime::seconds(1), [] {});
+  queue.schedule(SimTime::seconds(5), [] {});
+  queue.cancel(early);
+  EXPECT_EQ(queue.next_time(), SimTime::seconds(5));
+}
+
+TEST(EventQueue, SizeCountsLiveOnly) {
+  EventQueue queue;
+  const EventId a = queue.schedule(SimTime::seconds(1), [] {});
+  queue.schedule(SimTime::seconds(2), [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_FALSE(queue.empty());
+}
+
+// ---------- Engine ----------
+
+TEST(Engine, ClockAdvancesToEventTimes) {
+  Engine engine;
+  std::vector<double> at;
+  engine.schedule_after(SimTime::seconds(1), [&] { at.push_back(engine.now().to_seconds()); });
+  engine.schedule_after(SimTime::seconds(3), [&] { at.push_back(engine.now().to_seconds()); });
+  const auto fired = engine.run();
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(at, (std::vector<double>{1.0, 3.0}));
+  EXPECT_DOUBLE_EQ(engine.now().to_seconds(), 3.0);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) engine.schedule_after(SimTime::seconds(1), chain);
+  };
+  engine.schedule_after(SimTime::seconds(1), chain);
+  engine.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(engine.now().to_seconds(), 5.0);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_after(SimTime::seconds(1), [&] { ++fired; });
+  engine.schedule_after(SimTime::seconds(10), [&] { ++fired; });
+  engine.run_until(SimTime::seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now().to_seconds(), 5.0);  // clock lands on deadline
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventExactlyAtDeadlineFires) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_after(SimTime::seconds(5), [&] { ++fired; });
+  engine.run_until(SimTime::seconds(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, StopAbortsRun) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_after(SimTime::seconds(1), [&] {
+    ++fired;
+    engine.stop();
+  });
+  engine.schedule_after(SimTime::seconds(2), [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(Engine, CancelScheduledEvent) {
+  Engine engine;
+  int fired = 0;
+  const EventId id = engine.schedule_after(SimTime::seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, ZeroDelayFiresAtCurrentTime) {
+  Engine engine;
+  double at = -1;
+  engine.schedule_after(SimTime::zero(), [&] { at = engine.now().to_seconds(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(at, 0.0);
+}
+
+TEST(Engine, ScheduleAtAbsoluteTime) {
+  Engine engine;
+  double at = -1;
+  engine.schedule_at(SimTime::seconds(2), [&] { at = engine.now().to_seconds(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(at, 2.0);
+}
+
+TEST(Engine, RunReturnsEventCount) {
+  Engine engine;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_after(SimTime::milliseconds(i), [] {});
+  }
+  EXPECT_EQ(engine.run(), 10u);
+}
+
+}  // namespace
+}  // namespace soda::sim

@@ -1,0 +1,125 @@
+// Control-plane soak: long random sequences of create / resize / teardown /
+// crash / probe against one HUP, checking resource-accounting invariants at
+// every step and exact restoration at the end. Seeds drive deterministic
+// xoshiro streams, so failures replay exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/hup.hpp"
+#include "core/monitor.hpp"
+#include "image/image.hpp"
+#include "sim/random.hpp"
+
+namespace soda::core {
+namespace {
+
+class SoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+struct LiveService {
+  std::string name;
+  int n = 1;
+};
+
+void check_invariants(Hup& hup) {
+  // Availability within [0, capacity] on every host; IP usage matches the
+  // daemon's node count; every node's guest is in a sane state.
+  for (const char* host_name : {"seattle", "tacoma"}) {
+    host::HupHost* host = hup.find_host(host_name);
+    SodaDaemon* daemon = hup.find_daemon(host_name);
+    ASSERT_NE(host, nullptr);
+    const auto avail = host->available();
+    EXPECT_TRUE(avail.non_negative()) << host_name << ": " << avail.to_string();
+    EXPECT_TRUE(host->capacity().fits(avail)) << host_name;
+    EXPECT_EQ(host->ip_pool().in_use(), daemon->node_count()) << host_name;
+  }
+}
+
+TEST_P(SoakTest, RandomLifecycleConservesResources) {
+  sim::Rng rng(GetParam());
+  auto tb = Hup::paper_testbed();
+  Hup& hup = *tb.hup;
+  hup.agent().register_asp("asp", "key");
+  const auto loc = must(tb.repo->publish(image::honeypot_image()));
+  const auto baseline = hup.master().hup_available();
+  const auto seattle_pool = hup.find_host("seattle")->ip_pool().in_use();
+
+  std::vector<LiveService> live;
+  int created_total = 0;
+
+  // Small M so many services fit and resizes have room.
+  host::MachineConfig m;
+  m.cpu_mhz = 200;
+  m.memory_mb = 64;
+  m.disk_mb = 256;
+  m.bandwidth_mbps = 4;
+
+  for (int step = 0; step < 120; ++step) {
+    const double dice = rng.uniform();
+    if (dice < 0.4 || live.empty()) {
+      // Create (may legitimately fail when full).
+      ServiceCreationRequest request;
+      request.credentials = {"asp", "key"};
+      request.service_name = "svc" + std::to_string(created_total++);
+      request.image_location = loc;
+      request.requirement = {static_cast<int>(rng.uniform_int(1, 4)), m};
+      bool ok = false;
+      hup.agent().service_creation(request, [&](auto reply, sim::SimTime) {
+        ok = reply.ok();
+      });
+      hup.engine().run();
+      if (ok) live.push_back({request.service_name, request.requirement.n});
+    } else if (dice < 0.7) {
+      // Resize a random live service (grow or shrink).
+      auto& victim = live[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+      const int n_new = static_cast<int>(rng.uniform_int(1, 6));
+      hup.agent().service_resizing(
+          ServiceResizingRequest{{"asp", "key"}, victim.name, n_new},
+          [&](auto reply, sim::SimTime) {
+            if (reply.ok()) victim.n = n_new;
+          });
+      hup.engine().run();
+    } else if (dice < 0.85) {
+      // Crash a random node, probe health, sometimes tear the service down.
+      const auto& victim = live[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+      const ServiceRecord* record = hup.master().find_service(victim.name);
+      ASSERT_NE(record, nullptr);
+      const auto& node = record->nodes[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(record->nodes.size()) - 1))];
+      hup.find_daemon(node.host_name)->find_node(node.node_name)->uml().crash();
+      hup.health_monitor().probe_once();
+    } else {
+      // Teardown a random live service.
+      const std::size_t idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      must(hup.agent().service_teardown(
+          ServiceTeardownRequest{{"asp", "key"}, live[idx].name}));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    check_invariants(hup);
+    // The master's books agree with its services' declared sizes.
+    EXPECT_EQ(hup.master().service_count(), live.size());
+  }
+
+  // Drain: tear everything down; the HUP must return to its exact baseline.
+  for (const auto& service : live) {
+    must(hup.agent().service_teardown(
+        ServiceTeardownRequest{{"asp", "key"}, service.name}));
+  }
+  EXPECT_EQ(hup.master().hup_available(), baseline);
+  EXPECT_EQ(hup.find_host("seattle")->ip_pool().in_use(), seattle_pool);
+  EXPECT_EQ(hup.find_host("tacoma")->ip_pool().in_use(), 0u);
+  EXPECT_EQ(hup.find_daemon("seattle")->node_count(), 0u);
+  EXPECT_EQ(hup.find_daemon("tacoma")->node_count(), 0u);
+  EXPECT_EQ(hup.master().service_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
+                         ::testing::Values(0xA1, 0xB2, 0xC3, 0xD4, 0xE5));
+
+}  // namespace
+}  // namespace soda::core
