@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_caveat.dir/ddos_caveat.cpp.o"
+  "CMakeFiles/ddos_caveat.dir/ddos_caveat.cpp.o.d"
+  "ddos_caveat"
+  "ddos_caveat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_caveat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/download_time.dir/download_time.cpp.o"
+  "CMakeFiles/download_time.dir/download_time.cpp.o.d"
+  "download_time"
+  "download_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/download_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_attack_isolation.dir/fig3_attack_isolation.cpp.o"
+  "CMakeFiles/fig3_attack_isolation.dir/fig3_attack_isolation.cpp.o.d"
+  "fig3_attack_isolation"
+  "fig3_attack_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_attack_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cpu_isolation.dir/fig5_cpu_isolation.cpp.o"
+  "CMakeFiles/fig5_cpu_isolation.dir/fig5_cpu_isolation.cpp.o.d"
+  "fig5_cpu_isolation"
+  "fig5_cpu_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cpu_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_table3_config.dir/table1_table3_config.cpp.o"
+  "CMakeFiles/table1_table3_config.dir/table1_table3_config.cpp.o.d"
+  "table1_table3_config"
+  "table1_table3_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_table3_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_syscall.dir/table4_syscall.cpp.o"
+  "CMakeFiles/table4_syscall.dir/table4_syscall.cpp.o.d"
+  "table4_syscall"
+  "table4_syscall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_syscall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_isolation.dir/cpu_isolation.cpp.o"
+  "CMakeFiles/cpu_isolation.dir/cpu_isolation.cpp.o.d"
+  "cpu_isolation"
+  "cpu_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

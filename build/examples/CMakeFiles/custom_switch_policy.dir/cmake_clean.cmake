@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_switch_policy.dir/custom_switch_policy.cpp.o"
+  "CMakeFiles/custom_switch_policy.dir/custom_switch_policy.cpp.o.d"
+  "custom_switch_policy"
+  "custom_switch_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_switch_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_service.dir/elastic_service.cpp.o"
+  "CMakeFiles/elastic_service.dir/elastic_service.cpp.o.d"
+  "elastic_service"
+  "elastic_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_hup.dir/federated_hup.cpp.o"
+  "CMakeFiles/federated_hup.dir/federated_hup.cpp.o.d"
+  "federated_hup"
+  "federated_hup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_hup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

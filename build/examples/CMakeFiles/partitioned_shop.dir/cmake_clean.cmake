@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_shop.dir/partitioned_shop.cpp.o"
+  "CMakeFiles/partitioned_shop.dir/partitioned_shop.cpp.o.d"
+  "partitioned_shop"
+  "partitioned_shop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_shop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_and_honeypot.dir/web_and_honeypot.cpp.o"
+  "CMakeFiles/web_and_honeypot.dir/web_and_honeypot.cpp.o.d"
+  "web_and_honeypot"
+  "web_and_honeypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_and_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

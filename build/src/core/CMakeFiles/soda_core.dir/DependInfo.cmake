@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cpp" "src/core/CMakeFiles/soda_core.dir/agent.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/agent.cpp.o.d"
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/soda_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/config_file.cpp" "src/core/CMakeFiles/soda_core.dir/config_file.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/config_file.cpp.o.d"
+  "/root/repo/src/core/daemon.cpp" "src/core/CMakeFiles/soda_core.dir/daemon.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/daemon.cpp.o.d"
+  "/root/repo/src/core/federation.cpp" "src/core/CMakeFiles/soda_core.dir/federation.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/federation.cpp.o.d"
+  "/root/repo/src/core/hup.cpp" "src/core/CMakeFiles/soda_core.dir/hup.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/hup.cpp.o.d"
+  "/root/repo/src/core/master.cpp" "src/core/CMakeFiles/soda_core.dir/master.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/master.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/soda_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/soda_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/soda_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/service.cpp" "src/core/CMakeFiles/soda_core.dir/service.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/service.cpp.o.d"
+  "/root/repo/src/core/switch.cpp" "src/core/CMakeFiles/soda_core.dir/switch.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/switch.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/soda_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/soda_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/soda_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/soda_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/soda_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/soda_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/soda_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

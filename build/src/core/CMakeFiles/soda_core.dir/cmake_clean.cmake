@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_core.dir/agent.cpp.o"
+  "CMakeFiles/soda_core.dir/agent.cpp.o.d"
+  "CMakeFiles/soda_core.dir/api.cpp.o"
+  "CMakeFiles/soda_core.dir/api.cpp.o.d"
+  "CMakeFiles/soda_core.dir/config_file.cpp.o"
+  "CMakeFiles/soda_core.dir/config_file.cpp.o.d"
+  "CMakeFiles/soda_core.dir/daemon.cpp.o"
+  "CMakeFiles/soda_core.dir/daemon.cpp.o.d"
+  "CMakeFiles/soda_core.dir/federation.cpp.o"
+  "CMakeFiles/soda_core.dir/federation.cpp.o.d"
+  "CMakeFiles/soda_core.dir/hup.cpp.o"
+  "CMakeFiles/soda_core.dir/hup.cpp.o.d"
+  "CMakeFiles/soda_core.dir/master.cpp.o"
+  "CMakeFiles/soda_core.dir/master.cpp.o.d"
+  "CMakeFiles/soda_core.dir/monitor.cpp.o"
+  "CMakeFiles/soda_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/soda_core.dir/profiler.cpp.o"
+  "CMakeFiles/soda_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/soda_core.dir/scenario.cpp.o"
+  "CMakeFiles/soda_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/soda_core.dir/service.cpp.o"
+  "CMakeFiles/soda_core.dir/service.cpp.o.d"
+  "CMakeFiles/soda_core.dir/switch.cpp.o"
+  "CMakeFiles/soda_core.dir/switch.cpp.o.d"
+  "CMakeFiles/soda_core.dir/trace.cpp.o"
+  "CMakeFiles/soda_core.dir/trace.cpp.o.d"
+  "libsoda_core.a"
+  "libsoda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_host.dir/host.cpp.o"
+  "CMakeFiles/soda_host.dir/host.cpp.o.d"
+  "CMakeFiles/soda_host.dir/resources.cpp.o"
+  "CMakeFiles/soda_host.dir/resources.cpp.o.d"
+  "libsoda_host.a"
+  "libsoda_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/downloader.cpp" "src/image/CMakeFiles/soda_image.dir/downloader.cpp.o" "gcc" "src/image/CMakeFiles/soda_image.dir/downloader.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/image/CMakeFiles/soda_image.dir/image.cpp.o" "gcc" "src/image/CMakeFiles/soda_image.dir/image.cpp.o.d"
+  "/root/repo/src/image/repository.cpp" "src/image/CMakeFiles/soda_image.dir/repository.cpp.o" "gcc" "src/image/CMakeFiles/soda_image.dir/repository.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/soda_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_image.dir/downloader.cpp.o"
+  "CMakeFiles/soda_image.dir/downloader.cpp.o.d"
+  "CMakeFiles/soda_image.dir/image.cpp.o"
+  "CMakeFiles/soda_image.dir/image.cpp.o.d"
+  "CMakeFiles/soda_image.dir/repository.cpp.o"
+  "CMakeFiles/soda_image.dir/repository.cpp.o.d"
+  "libsoda_image.a"
+  "libsoda_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

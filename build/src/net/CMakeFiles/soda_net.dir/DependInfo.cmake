@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/soda_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/bridge.cpp" "src/net/CMakeFiles/soda_net.dir/bridge.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/bridge.cpp.o.d"
+  "/root/repo/src/net/flow_network.cpp" "src/net/CMakeFiles/soda_net.dir/flow_network.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/flow_network.cpp.o.d"
+  "/root/repo/src/net/http.cpp" "src/net/CMakeFiles/soda_net.dir/http.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/http.cpp.o.d"
+  "/root/repo/src/net/proxy.cpp" "src/net/CMakeFiles/soda_net.dir/proxy.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/proxy.cpp.o.d"
+  "/root/repo/src/net/shaper.cpp" "src/net/CMakeFiles/soda_net.dir/shaper.cpp.o" "gcc" "src/net/CMakeFiles/soda_net.dir/shaper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_net.dir/address.cpp.o"
+  "CMakeFiles/soda_net.dir/address.cpp.o.d"
+  "CMakeFiles/soda_net.dir/bridge.cpp.o"
+  "CMakeFiles/soda_net.dir/bridge.cpp.o.d"
+  "CMakeFiles/soda_net.dir/flow_network.cpp.o"
+  "CMakeFiles/soda_net.dir/flow_network.cpp.o.d"
+  "CMakeFiles/soda_net.dir/http.cpp.o"
+  "CMakeFiles/soda_net.dir/http.cpp.o.d"
+  "CMakeFiles/soda_net.dir/proxy.cpp.o"
+  "CMakeFiles/soda_net.dir/proxy.cpp.o.d"
+  "CMakeFiles/soda_net.dir/shaper.cpp.o"
+  "CMakeFiles/soda_net.dir/shaper.cpp.o.d"
+  "libsoda_net.a"
+  "libsoda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/filesystem.cpp" "src/os/CMakeFiles/soda_os.dir/filesystem.cpp.o" "gcc" "src/os/CMakeFiles/soda_os.dir/filesystem.cpp.o.d"
+  "/root/repo/src/os/init.cpp" "src/os/CMakeFiles/soda_os.dir/init.cpp.o" "gcc" "src/os/CMakeFiles/soda_os.dir/init.cpp.o.d"
+  "/root/repo/src/os/package.cpp" "src/os/CMakeFiles/soda_os.dir/package.cpp.o" "gcc" "src/os/CMakeFiles/soda_os.dir/package.cpp.o.d"
+  "/root/repo/src/os/process.cpp" "src/os/CMakeFiles/soda_os.dir/process.cpp.o" "gcc" "src/os/CMakeFiles/soda_os.dir/process.cpp.o.d"
+  "/root/repo/src/os/rootfs.cpp" "src/os/CMakeFiles/soda_os.dir/rootfs.cpp.o" "gcc" "src/os/CMakeFiles/soda_os.dir/rootfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_os.dir/filesystem.cpp.o"
+  "CMakeFiles/soda_os.dir/filesystem.cpp.o.d"
+  "CMakeFiles/soda_os.dir/init.cpp.o"
+  "CMakeFiles/soda_os.dir/init.cpp.o.d"
+  "CMakeFiles/soda_os.dir/package.cpp.o"
+  "CMakeFiles/soda_os.dir/package.cpp.o.d"
+  "CMakeFiles/soda_os.dir/process.cpp.o"
+  "CMakeFiles/soda_os.dir/process.cpp.o.d"
+  "CMakeFiles/soda_os.dir/rootfs.cpp.o"
+  "CMakeFiles/soda_os.dir/rootfs.cpp.o.d"
+  "libsoda_os.a"
+  "libsoda_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cpu_sim.cpp" "src/sched/CMakeFiles/soda_sched.dir/cpu_sim.cpp.o" "gcc" "src/sched/CMakeFiles/soda_sched.dir/cpu_sim.cpp.o.d"
+  "/root/repo/src/sched/lottery_scheduler.cpp" "src/sched/CMakeFiles/soda_sched.dir/lottery_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/soda_sched.dir/lottery_scheduler.cpp.o.d"
+  "/root/repo/src/sched/proportional_scheduler.cpp" "src/sched/CMakeFiles/soda_sched.dir/proportional_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/soda_sched.dir/proportional_scheduler.cpp.o.d"
+  "/root/repo/src/sched/stride_scheduler.cpp" "src/sched/CMakeFiles/soda_sched.dir/stride_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/soda_sched.dir/stride_scheduler.cpp.o.d"
+  "/root/repo/src/sched/timeshare_scheduler.cpp" "src/sched/CMakeFiles/soda_sched.dir/timeshare_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/soda_sched.dir/timeshare_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

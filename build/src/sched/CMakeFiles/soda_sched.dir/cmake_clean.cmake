@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_sched.dir/cpu_sim.cpp.o"
+  "CMakeFiles/soda_sched.dir/cpu_sim.cpp.o.d"
+  "CMakeFiles/soda_sched.dir/lottery_scheduler.cpp.o"
+  "CMakeFiles/soda_sched.dir/lottery_scheduler.cpp.o.d"
+  "CMakeFiles/soda_sched.dir/proportional_scheduler.cpp.o"
+  "CMakeFiles/soda_sched.dir/proportional_scheduler.cpp.o.d"
+  "CMakeFiles/soda_sched.dir/stride_scheduler.cpp.o"
+  "CMakeFiles/soda_sched.dir/stride_scheduler.cpp.o.d"
+  "CMakeFiles/soda_sched.dir/timeshare_scheduler.cpp.o"
+  "CMakeFiles/soda_sched.dir/timeshare_scheduler.cpp.o.d"
+  "libsoda_sched.a"
+  "libsoda_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_sim.dir/engine.cpp.o"
+  "CMakeFiles/soda_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/soda_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/soda_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/soda_sim.dir/random.cpp.o"
+  "CMakeFiles/soda_sim.dir/random.cpp.o.d"
+  "CMakeFiles/soda_sim.dir/stats.cpp.o"
+  "CMakeFiles/soda_sim.dir/stats.cpp.o.d"
+  "libsoda_sim.a"
+  "libsoda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

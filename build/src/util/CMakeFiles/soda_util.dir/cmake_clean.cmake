@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_util.dir/csv.cpp.o"
+  "CMakeFiles/soda_util.dir/csv.cpp.o.d"
+  "CMakeFiles/soda_util.dir/log.cpp.o"
+  "CMakeFiles/soda_util.dir/log.cpp.o.d"
+  "CMakeFiles/soda_util.dir/strings.cpp.o"
+  "CMakeFiles/soda_util.dir/strings.cpp.o.d"
+  "CMakeFiles/soda_util.dir/table.cpp.o"
+  "CMakeFiles/soda_util.dir/table.cpp.o.d"
+  "libsoda_util.a"
+  "libsoda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/syscall.cpp" "src/vm/CMakeFiles/soda_vm.dir/syscall.cpp.o" "gcc" "src/vm/CMakeFiles/soda_vm.dir/syscall.cpp.o.d"
+  "/root/repo/src/vm/uml.cpp" "src/vm/CMakeFiles/soda_vm.dir/uml.cpp.o" "gcc" "src/vm/CMakeFiles/soda_vm.dir/uml.cpp.o.d"
+  "/root/repo/src/vm/vsnode.cpp" "src/vm/CMakeFiles/soda_vm.dir/vsnode.cpp.o" "gcc" "src/vm/CMakeFiles/soda_vm.dir/vsnode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/soda_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/soda_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_vm.dir/syscall.cpp.o"
+  "CMakeFiles/soda_vm.dir/syscall.cpp.o.d"
+  "CMakeFiles/soda_vm.dir/uml.cpp.o"
+  "CMakeFiles/soda_vm.dir/uml.cpp.o.d"
+  "CMakeFiles/soda_vm.dir/vsnode.cpp.o"
+  "CMakeFiles/soda_vm.dir/vsnode.cpp.o.d"
+  "libsoda_vm.a"
+  "libsoda_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

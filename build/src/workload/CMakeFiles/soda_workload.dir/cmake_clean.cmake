@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_workload.dir/apps.cpp.o"
+  "CMakeFiles/soda_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/soda_workload.dir/honeypot.cpp.o"
+  "CMakeFiles/soda_workload.dir/honeypot.cpp.o.d"
+  "CMakeFiles/soda_workload.dir/siege.cpp.o"
+  "CMakeFiles/soda_workload.dir/siege.cpp.o.d"
+  "CMakeFiles/soda_workload.dir/webservice.cpp.o"
+  "CMakeFiles/soda_workload.dir/webservice.cpp.o.d"
+  "libsoda_workload.a"
+  "libsoda_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_switch_test.dir/config_switch_test.cpp.o"
+  "CMakeFiles/config_switch_test.dir/config_switch_test.cpp.o.d"
+  "config_switch_test"
+  "config_switch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hup_test.dir/hup_test.cpp.o"
+  "CMakeFiles/hup_test.dir/hup_test.cpp.o.d"
+  "hup_test"
+  "hup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_http_test.dir/net_http_test.cpp.o"
+  "CMakeFiles/net_http_test.dir/net_http_test.cpp.o.d"
+  "net_http_test"
+  "net_http_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

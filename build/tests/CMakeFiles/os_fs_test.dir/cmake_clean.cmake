@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_fs_test.dir/os_fs_test.cpp.o"
+  "CMakeFiles/os_fs_test.dir/os_fs_test.cpp.o.d"
+  "os_fs_test"
+  "os_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_process_test.dir/os_process_test.cpp.o"
+  "CMakeFiles/os_process_test.dir/os_process_test.cpp.o.d"
+  "os_process_test"
+  "os_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

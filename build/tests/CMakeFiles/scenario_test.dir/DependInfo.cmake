@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/scenario_test.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/scenario_test.dir/scenario_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/soda_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/soda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/soda_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/soda_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/soda_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/soda_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/soda_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
