@@ -1,0 +1,15 @@
+// Global heap-allocation counter for the bench binaries. alloc_counter.cpp
+// replaces ::operator new/delete with counting versions; linking it into a
+// bench target makes allocation_count() observable, so the benches can
+// report allocations-per-event in BENCH_sim_core.json and catch the hot
+// path regressing from allocation-free back to alloc-per-event.
+#pragma once
+
+#include <cstdint>
+
+namespace soda::bench {
+
+/// Number of ::operator new calls (all variants) since process start.
+std::uint64_t allocation_count() noexcept;
+
+}  // namespace soda::bench

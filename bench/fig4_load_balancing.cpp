@@ -14,12 +14,16 @@
 // SODA Daemon set proportional to the node's capacity (2M -> 2x the
 // bandwidth share): proportional shares are what keep the per-request
 // response time equal while seattle carries twice the requests.
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/hup.hpp"
 #include "image/image.hpp"
+#include "sim/parallel_runner.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -120,6 +124,11 @@ SeriesPoint run_point(std::int64_t dataset_bytes, std::uint64_t requests,
   return point;
 }
 
+bool same_point(const SeriesPoint& a, const SeriesPoint& b) {
+  return a.served[0] == b.served[0] && a.served[1] == b.served[1] &&
+         a.mean_ms[0] == b.mean_ms[0] && a.mean_ms[1] == b.mean_ms[1];
+}
+
 }  // namespace
 
 int main() {
@@ -130,20 +139,44 @@ int main() {
   const std::int64_t kKiB = 1024;
   const std::int64_t sizes[] = {64 * kKiB,  128 * kKiB, 256 * kKiB,
                                 512 * kKiB, 1024 * kKiB, 2048 * kKiB};
+  constexpr std::size_t kPoints = 6;
+
+  // The six dataset sizes are independent replicas: run the sweep once
+  // serially and once fanned out over ParallelRunner, and require the merged
+  // statistics to be identical — thread scheduling must never leak into
+  // results. Each run_point builds its own Hup/Engine, so jobs share nothing.
+  using Clock = std::chrono::steady_clock;
+  const auto serial_start = Clock::now();
+  std::vector<SeriesPoint> serial_points;
+  for (const auto size : sizes) serial_points.push_back(run_point(size, 300));
+  const double serial_s =
+      std::chrono::duration<double>(Clock::now() - serial_start).count();
+
+  const sim::ParallelRunner runner;
+  const auto parallel_start = Clock::now();
+  const auto points = runner.map(
+      kPoints, [&](std::size_t i) { return run_point(sizes[i], 300); });
+  const double parallel_s =
+      std::chrono::duration<double>(Clock::now() - parallel_start).count();
+
+  bool identical = true;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    identical = identical && same_point(serial_points[i], points[i]);
+  }
 
   util::AsciiTable table({"Dataset size", "req (seattle)", "req (tacoma)",
                           "RT seattle (ms)", "RT tacoma (ms)", "RT ratio"});
   table.set_alignment({util::Align::kRight, util::Align::kRight,
                        util::Align::kRight, util::Align::kRight,
                        util::Align::kRight, util::Align::kRight});
-  for (const auto size : sizes) {
-    const auto point = run_point(size, 300);
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    const auto& point = points[i];
     char rt1[32], rt2[32], ratio[16];
     std::snprintf(rt1, sizeof rt1, "%.1f", point.mean_ms[0]);
     std::snprintf(rt2, sizeof rt2, "%.1f", point.mean_ms[1]);
     std::snprintf(ratio, sizeof ratio, "%.2f",
                   point.mean_ms[1] > 0 ? point.mean_ms[0] / point.mean_ms[1] : 0);
-    table.add_row({util::format_bytes(size), std::to_string(point.served[0]),
+    table.add_row({util::format_bytes(sizes[i]), std::to_string(point.served[0]),
                    std::to_string(point.served[1]), rt1, rt2, ratio});
   }
   std::printf("%s\n", table.render().c_str());
@@ -159,23 +192,29 @@ int main() {
   ab.set_alignment({util::Align::kLeft, util::Align::kRight,
                     util::Align::kRight, util::Align::kRight,
                     util::Align::kRight});
+  // Policies are constructed per-run (factories, not instances) so the
+  // ablation sweep can also fan out across the runner.
   struct PolicyRow {
     const char* name;
-    std::unique_ptr<core::SwitchPolicy> policy;
+    std::function<std::unique_ptr<core::SwitchPolicy>()> make;
   };
-  PolicyRow policies[] = {
-      {"weighted-rr (default)", nullptr},
-      {"plain round-robin", core::make_plain_round_robin()},
-      {"random", core::make_random_policy(7)},
-      {"least-connections", core::make_least_connections()},
-      {"fastest-response (EWMA)", core::make_fastest_response()},
+  const PolicyRow policies[] = {
+      {"weighted-rr (default)", [] { return std::unique_ptr<core::SwitchPolicy>(); }},
+      {"plain round-robin", [] { return core::make_plain_round_robin(); }},
+      {"random", [] { return core::make_random_policy(7); }},
+      {"least-connections", [] { return core::make_least_connections(); }},
+      {"fastest-response (EWMA)", [] { return core::make_fastest_response(); }},
   };
-  for (auto& row : policies) {
-    const auto point = run_point(sizes[5], 300, std::move(row.policy));
+  constexpr std::size_t kPolicies = 5;
+  const auto ablation_points = runner.map(kPolicies, [&](std::size_t i) {
+    return run_point(sizes[5], 300, policies[i].make());
+  });
+  for (std::size_t i = 0; i < kPolicies; ++i) {
+    const auto& point = ablation_points[i];
     char rt1[32], rt2[32];
     std::snprintf(rt1, sizeof rt1, "%.1f", point.mean_ms[0]);
     std::snprintf(rt2, sizeof rt2, "%.1f", point.mean_ms[1]);
-    ab.add_row({row.name, std::to_string(point.served[0]),
+    ab.add_row({policies[i].name, std::to_string(point.served[0]),
                 std::to_string(point.served[1]), rt1, rt2});
   }
   std::printf("%s\n", ab.render().c_str());
@@ -187,5 +226,17 @@ int main() {
       "closed-loop\nfeedback delayed by seconds-long transfers, its stale "
       "estimates pin nearly all load on one node.\nThe paper's default — WRR "
       "over declared capacities — is both stable and balanced.\n");
-  return 0;
+
+  std::printf("\nparallel sweep check: %s (serial %.2fs, parallel %.2fs on "
+              "%zu worker(s))\n",
+              identical ? "statistics identical to serial run"
+                        : "MISMATCH vs serial run",
+              serial_s, parallel_s, runner.thread_count());
+  soda::bench::BenchReport report;
+  report.record("fig4_sweep", {{"points", static_cast<double>(kPoints)},
+                               {"wall_s_serial", serial_s},
+                               {"wall_s_parallel", parallel_s},
+                               {"identical_to_serial", identical ? 1.0 : 0.0}});
+  report.write();
+  return identical ? 0 : 1;
 }

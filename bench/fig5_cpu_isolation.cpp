@@ -10,11 +10,15 @@
 //
 // Extra series (design ablation): stride and lottery scheduling at the
 // service level.
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <vector>
 
+#include "bench_report.hpp"
 #include "sched/cpu_sim.hpp"
+#include "sim/parallel_runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "workload/apps.hpp"
@@ -58,6 +62,26 @@ void print_series(const char* title, const sched::CpuSimResult& result,
                         result.shares.at("svc-log").max_abs_deviation(1.0 / 3)}));
 }
 
+/// Bitwise equality of two simulator results — the parallel sweep must
+/// reproduce the serial one exactly, not approximately.
+bool same_result(const sched::CpuSimResult& a, const sched::CpuSimResult& b) {
+  if (a.idle_fraction != b.idle_fraction) return false;
+  if (a.total_cpu_s != b.total_cpu_s) return false;
+  if (a.shares.size() != b.shares.size()) return false;
+  for (const auto& [uid, series] : a.shares) {
+    const auto it = b.shares.find(uid);
+    if (it == b.shares.end()) return false;
+    if (series.size() != it->second.size()) return false;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (series.points()[i].time != it->second.points()[i].time ||
+          series.points()[i].value != it->second.points()[i].value) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -65,17 +89,6 @@ int main() {
   std::printf("== Figure 5: CPU shares of web/comp/log (equal entitlements, "
               "all overloaded) ==\n\n");
 
-  print_series("(a) host OS: unmodified Linux (per-thread time sharing)",
-               run_policy(sched::make_timeshare_scheduler(), duration), 30);
-  print_series("(b) host OS: Linux + SODA CPU proportional-share scheduler",
-               run_policy(sched::make_proportional_scheduler(), duration), 30);
-
-  std::printf("== Ablation: alternative service-level schedulers ==\n\n");
-  util::AsciiTable summary({"Scheduler", "web share", "comp share", "log share",
-                            "max |share-1/3| per window"});
-  summary.set_alignment({util::Align::kLeft, util::Align::kRight,
-                         util::Align::kRight, util::Align::kRight,
-                         util::Align::kRight});
   struct Row {
     const char* name;
     std::function<std::unique_ptr<sched::CpuScheduler>()> make;
@@ -86,8 +99,47 @@ int main() {
       {"stride", [] { return sched::make_stride_scheduler(); }},
       {"lottery", [] { return sched::make_lottery_scheduler(0xF16); }},
   };
+  constexpr std::size_t kRows = 4;
+
+  // The four scheduler runs are independent replicas; each builds its own
+  // quantum simulator. Run the sweep serially and through ParallelRunner and
+  // require identical statistics before printing anything.
+  using Clock = std::chrono::steady_clock;
+  const auto serial_start = Clock::now();
+  std::vector<sched::CpuSimResult> serial_results;
   for (const auto& row : rows) {
-    const auto result = run_policy(row.make(), duration);
+    serial_results.push_back(run_policy(row.make(), duration));
+  }
+  const double serial_s =
+      std::chrono::duration<double>(Clock::now() - serial_start).count();
+
+  const sim::ParallelRunner runner;
+  const auto parallel_start = Clock::now();
+  const auto results = runner.map(kRows, [&](std::size_t i) {
+    return run_policy(rows[i].make(), duration);
+  });
+  const double parallel_s =
+      std::chrono::duration<double>(Clock::now() - parallel_start).count();
+
+  bool identical = true;
+  for (std::size_t i = 0; i < kRows; ++i) {
+    identical = identical && same_result(serial_results[i], results[i]);
+  }
+
+  print_series("(a) host OS: unmodified Linux (per-thread time sharing)",
+               results[0], 30);
+  print_series("(b) host OS: Linux + SODA CPU proportional-share scheduler",
+               results[1], 30);
+
+  std::printf("== Ablation: alternative service-level schedulers ==\n\n");
+  util::AsciiTable summary({"Scheduler", "web share", "comp share", "log share",
+                            "max |share-1/3| per window"});
+  summary.set_alignment({util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+  for (std::size_t i = 0; i < kRows; ++i) {
+    const auto& row = rows[i];
+    const auto& result = results[i];
     double total = 0;
     for (const char* uid : kServices) total += result.total_cpu_s.at(uid);
     double worst = 0;
@@ -108,5 +160,17 @@ int main() {
       "all three nodes near 1/3.\nMemoryless lottery drifts toward whoever is "
       "runnable when the ticket is drawn — it cannot\ncompensate services "
       "that block briefly, which is why SODA's scheduler keeps history.\n");
-  return 0;
+
+  std::printf("\nparallel sweep check: %s (serial %.2fs, parallel %.2fs on "
+              "%zu worker(s))\n",
+              identical ? "statistics identical to serial run"
+                        : "MISMATCH vs serial run",
+              serial_s, parallel_s, runner.thread_count());
+  soda::bench::BenchReport report;
+  report.record("fig5_sweep", {{"points", static_cast<double>(kRows)},
+                               {"wall_s_serial", serial_s},
+                               {"wall_s_parallel", parallel_s},
+                               {"identical_to_serial", identical ? 1.0 : 0.0}});
+  report.write();
+  return identical ? 0 : 1;
 }

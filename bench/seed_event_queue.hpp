@@ -1,0 +1,96 @@
+// Verbatim copy of the seed EventQueue (binary heap of std::function entries
+// + unordered_set lazy cancellation), kept as the performance baseline so
+// micro_substrate can measure the new queue against the old design in the
+// same process on the same machine — the ratio lands in BENCH_sim_core.json.
+// Not built into the library; bench-only.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/contract.hpp"
+
+namespace soda::bench {
+
+/// The seed design: max-heap via std::push_heap/std::pop_heap over entries
+/// that carry their std::function callback, with a side unordered_set of
+/// cancelled sequence numbers consulted (and linearly scanned on cancel!) at
+/// pop time.
+class SeedEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  struct EventId {
+    std::uint64_t value = 0;
+  };
+
+  EventId schedule(sim::SimTime when, Callback callback) {
+    SODA_EXPECTS(callback != nullptr);
+    const std::uint64_t seq = next_seq_++;
+    heap_.push_back(Entry{when, seq, std::move(callback)});
+    std::push_heap(heap_.begin(), heap_.end(), heap_less);
+    ++live_count_;
+    return EventId{seq};
+  }
+
+  bool cancel(EventId id) {
+    if (id.value == 0 || id.value >= next_seq_) return false;
+    const bool in_heap =
+        std::any_of(heap_.begin(), heap_.end(),
+                    [&](const Entry& e) { return e.seq == id.value; });
+    if (!in_heap) return false;
+    if (!cancelled_.insert(id.value).second) return false;
+    SODA_ENSURES(live_count_ > 0);
+    --live_count_;
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+
+  struct Fired {
+    sim::SimTime time;
+    Callback callback;
+  };
+
+  Fired pop() {
+    skim_cancelled();
+    SODA_EXPECTS(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), heap_less);
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    SODA_ENSURES(live_count_ > 0);
+    --live_count_;
+    return Fired{entry.time, std::move(entry.callback)};
+  }
+
+ private:
+  struct Entry {
+    sim::SimTime time;
+    std::uint64_t seq = 0;
+    Callback callback;
+  };
+  static bool heap_less(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  void skim_cancelled() {
+    while (!heap_.empty() && cancelled_.count(heap_.front().seq) > 0) {
+      cancelled_.erase(heap_.front().seq);
+      std::pop_heap(heap_.begin(), heap_.end(), heap_less);
+      heap_.pop_back();
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace soda::bench

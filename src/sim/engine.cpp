@@ -4,16 +4,6 @@
 
 namespace soda::sim {
 
-EventId Engine::schedule_after(SimTime delay, Callback callback) {
-  SODA_EXPECTS(delay >= SimTime::zero());
-  return queue_.schedule(now_ + delay, std::move(callback));
-}
-
-EventId Engine::schedule_at(SimTime when, Callback callback) {
-  SODA_EXPECTS(when >= now_);
-  return queue_.schedule(when, std::move(callback));
-}
-
 std::uint64_t Engine::run() { return run_until(SimTime::max()); }
 
 std::uint64_t Engine::run_until(SimTime deadline) {

@@ -2,13 +2,17 @@
 // schedule callbacks against the engine's clock; run() fires them in time
 // order. Single-threaded by design: determinism matters more than wall-clock
 // speed for a reproduction harness, and all model state is engine-owned.
+// Parallelism lives one level up — see sim/parallel_runner.hpp, which runs
+// one Engine per worker across independent replicas.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "util/contract.hpp"
 
 namespace soda::sim {
 
@@ -16,6 +20,9 @@ namespace soda::sim {
 /// experiment, driven from one thread.
 class Engine {
  public:
+  /// Kept for call sites that store callbacks before scheduling them; the
+  /// schedule methods accept any `void()` callable directly (captures up to
+  /// InlineCallback::kInlineCapacity bytes are stored without allocating).
   using Callback = std::function<void()>;
 
   Engine() = default;
@@ -26,10 +33,18 @@ class Engine {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedules `callback` to run `delay` after the current time.
-  EventId schedule_after(SimTime delay, Callback callback);
+  template <typename F>
+  EventId schedule_after(SimTime delay, F&& callback) {
+    SODA_EXPECTS(delay >= SimTime::zero());
+    return queue_.schedule(now_ + delay, std::forward<F>(callback));
+  }
 
   /// Schedules `callback` at absolute time `when` (must be >= now()).
-  EventId schedule_at(SimTime when, Callback callback);
+  template <typename F>
+  EventId schedule_at(SimTime when, F&& callback) {
+    SODA_EXPECTS(when >= now_);
+    return queue_.schedule(when, std::forward<F>(callback));
+  }
 
   /// Cancels a pending event; returns false if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }

@@ -1,0 +1,60 @@
+#include "sim/parallel_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace soda::sim {
+
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t index) noexcept {
+  // splitmix64 over base ^ index: a single weak bit of difference between
+  // replica indices diffuses across all 64 output bits.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+ParallelRunner::ParallelRunner(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+void ParallelRunner::dispatch(std::size_t n, const IndexJob& job) const {
+  if (n == 0) return;
+  const std::size_t workers = threads_ < n ? threads_ : n;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) job.invoke(job.context, i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        job.invoke(job.context, i);
+      } catch (...) {
+        std::lock_guard lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();  // the calling thread pulls its share instead of idling
+  for (auto& thread : pool) thread.join();
+
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace soda::sim

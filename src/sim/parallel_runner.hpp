@@ -1,0 +1,77 @@
+// Fans independent simulation replicas / sweep points out across a thread
+// pool. The engine itself stays single-threaded (sim/engine.hpp); this layer
+// exploits the embarrassing parallelism *between* runs: each worker drives
+// its own Engine, seeds derive deterministically from the replica index, and
+// results land in a replica-indexed vector — so the merged output is
+// bit-identical to a serial loop no matter how the OS schedules the workers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace soda::sim {
+
+/// Derives the RNG seed for replica `index` from `base_seed`. A splitmix64
+/// step keeps neighbouring replicas statistically independent while staying
+/// identical across serial and parallel execution orders.
+[[nodiscard]] std::uint64_t replica_seed(std::uint64_t base_seed,
+                                         std::size_t index) noexcept;
+
+/// Runs `job(i)` for i in [0, n) across worker threads. Jobs must be
+/// independent (each owns its Engine/Rng/stats); the runner guarantees
+/// deterministic merge order, not deterministic execution order.
+class ParallelRunner {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency(). One worker
+  /// degenerates to a plain serial loop on the calling thread — handy for
+  /// serial-vs-parallel equivalence checks.
+  explicit ParallelRunner(std::size_t threads = 0);
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return threads_; }
+
+  /// Invokes job(i) for every i in [0, n); blocks until all complete. The
+  /// first exception thrown by a job is rethrown on the calling thread after
+  /// the remaining workers drain.
+  template <typename F>
+  void run(std::size_t n, F&& job) const {
+    run_dynamic(n, [&job](std::size_t i) { job(i); });
+  }
+
+  /// Like run(), but collects each job's return value; out[i] == job(i)
+  /// exactly as a serial loop would produce.
+  template <typename F>
+  auto map(std::size_t n, F&& job) const
+      -> std::vector<decltype(job(std::size_t{0}))> {
+    using R = decltype(job(std::size_t{0}));
+    std::vector<std::optional<R>> staged(n);
+    run_dynamic(n, [&](std::size_t i) { staged[i].emplace(job(i)); });
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& slot : staged) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  /// Type-erased work loop: workers pull indices from a shared atomic
+  /// counter until [0, n) is exhausted.
+  struct IndexJob {
+    void* context;
+    void (*invoke)(void* context, std::size_t index);
+  };
+  void dispatch(std::size_t n, const IndexJob& job) const;
+
+  template <typename F>
+  void run_dynamic(std::size_t n, F&& job) const {
+    IndexJob erased{&job, [](void* context, std::size_t index) {
+                      (*static_cast<std::remove_reference_t<F>*>(context))(index);
+                    }};
+    dispatch(n, erased);
+  }
+
+  std::size_t threads_;
+};
+
+}  // namespace soda::sim
