@@ -22,10 +22,13 @@
 namespace soda::bench {
 
 /// Accumulates metric rows and rewrites the report file on write().
+/// `benchmark` names the suite in the file header; benches writing to their
+/// own file (e.g. BENCH_recovery.json) pass both.
 class BenchReport {
  public:
-  explicit BenchReport(std::string path = "BENCH_sim_core.json")
-      : path_(std::move(path)) {}
+  explicit BenchReport(std::string path = "BENCH_sim_core.json",
+                       std::string benchmark = "soda-sim-core")
+      : path_(std::move(path)), benchmark_(std::move(benchmark)) {}
 
   /// Records (or overwrites) one named entry. Fields render in the order
   /// given; values use %.6g so the file stays readable.
@@ -48,7 +51,8 @@ class BenchReport {
     merge_existing();
     std::FILE* out = std::fopen(path_.c_str(), "w");
     if (!out) return false;
-    std::fprintf(out, "{\n  \"benchmark\": \"soda-sim-core\",\n  \"entries\": {\n");
+    std::fprintf(out, "{\n  \"benchmark\": \"%s\",\n  \"entries\": {\n",
+                 benchmark_.c_str());
     std::size_t i = 0;
     for (const auto& [name, body] : entries_) {
       std::fprintf(out, "    \"%s\": %s%s\n", name.c_str(), body.c_str(),
@@ -85,6 +89,7 @@ class BenchReport {
   }
 
   std::string path_;
+  std::string benchmark_;
   std::map<std::string, std::string> entries_;
 };
 

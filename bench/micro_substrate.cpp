@@ -137,7 +137,7 @@ void BM_SwitchRouteWrr(benchmark::State& state) {
   for (auto _ : state) {
     auto backend = sw.route();
     benchmark::DoNotOptimize(backend);
-    sw.on_request_complete(backend.value().address);
+    sw.on_request_complete(backend.value().address, backend.value().port);
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -41,6 +41,10 @@ void SodaDaemon::prime_node(PrimeCommand command, PrimeCallback done) {
   auto& log = util::global_logger();
   const std::string tag = "daemon@" + host_.name();
 
+  if (!alive_) {
+    done(Error{"daemon@" + host_.name() + ": host is down"}, engine_.now());
+    return;
+  }
   if (nodes_.count(command.node_name) > 0) {
     done(Error{"node already exists: " + command.node_name}, engine_.now());
     return;
@@ -72,6 +76,13 @@ void SodaDaemon::prime_node(PrimeCommand command, PrimeCallback done) {
        download_started,
        done = std::move(done)](Result<image::ServiceImage> image,
                                sim::SimTime now) mutable {
+        if (!alive_) {
+          // crash_host() already released the slice with the rest of the
+          // host state; releasing again would double-free it.
+          done(Error{"daemon@" + host_.name() + ": host crashed mid-priming"},
+               now);
+          return;
+        }
         if (!image.ok()) {
           must(host_.release(slice));
           done(Error{"image download failed: " + image.error().message}, now);
@@ -218,8 +229,17 @@ void SodaDaemon::continue_priming(PrimeCommand command,
                     ", boot plan " + std::to_string(ready_in.to_seconds()) + "s" +
                     (boot_plan.used_ram_disk ? " (ram disk)" : " (disk)"));
   engine_.schedule_after(
-      ready_in, [this, node_ptr, entry = entry_command, app_mem = app_memory_mb,
-                 done = std::move(done)] {
+      ready_in, [this, name = command.node_name, entry = entry_command,
+                 app_mem = app_memory_mb, done = std::move(done)] {
+        // Re-find the node: if the host crashed while the guest was booting,
+        // crash_host() destroyed the NodeRecord and the pointer is gone.
+        auto it = nodes_.find(name);
+        if (!alive_ || it == nodes_.end()) {
+          done(Error{"daemon@" + host_.name() + ": host crashed mid-priming"},
+               engine_.now());
+          return;
+        }
+        vm::VirtualServiceNode* node_ptr = it->second.node.get();
         must(node_ptr->uml().finish_boot(engine_.now()));
         const std::string uid = "svc-" + node_ptr->service_name();
         must(node_ptr->uml().spawn_process(entry, uid, engine_.now()));
@@ -287,6 +307,53 @@ const PrimingReport* SodaDaemon::priming_report(
     const std::string& node_name) const {
   auto it = nodes_.find(node_name);
   return it == nodes_.end() ? nullptr : &it->second.report;
+}
+
+void SodaDaemon::crash_host() {
+  if (!alive_) return;
+  alive_ = false;
+  // Fail-stop: every guest dies with the host, and a rebooting machine comes
+  // back with nothing reserved — release all host-side state now so recover()
+  // reports a free host.
+  for (auto& [name, record] : nodes_) {
+    vm::VirtualServiceNode& node = *record.node;
+    node.uml().crash();
+    if (record.address_mode == AddressMode::kBridging) {
+      must(host_.bridge().detach(node.address()));
+    } else {
+      host_.proxy().remove(record.public_port);
+    }
+    shaper_.remove(node.address());
+    host_.ip_pool().release(node.address());
+    must(host_.release(node.slice()));
+  }
+  nodes_.clear();
+  util::global_logger().warn("daemon@" + host_.name(), "host crashed");
+}
+
+void SodaDaemon::recover() {
+  if (alive_) return;
+  alive_ = true;
+  util::global_logger().info("daemon@" + host_.name(),
+                             "host rebooted, daemon back");
+}
+
+void SodaDaemon::start_heartbeat(sim::SimTime interval, HeartbeatSink sink) {
+  SODA_EXPECTS(interval > sim::SimTime::zero());
+  SODA_EXPECTS(sink != nullptr);
+  heartbeat_interval_ = interval;
+  heartbeat_sink_ = std::move(sink);
+  if (heartbeating_) return;
+  heartbeating_ = true;
+  engine_.schedule_after(heartbeat_interval_, [this] { heartbeat_tick(); });
+}
+
+void SodaDaemon::heartbeat_tick() {
+  if (!heartbeating_) return;
+  // A dead host sends nothing, but the loop keeps ticking so heartbeats
+  // resume by themselves once the host recovers.
+  if (alive_) heartbeat_sink_(*this, engine_.now());
+  engine_.schedule_after(heartbeat_interval_, [this] { heartbeat_tick(); });
 }
 
 }  // namespace soda::core

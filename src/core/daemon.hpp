@@ -117,6 +117,35 @@ class SodaDaemon {
   [[nodiscard]] const PrimingReport* priming_report(
       const std::string& node_name) const;
 
+  // --- Host-level failure model -------------------------------------------
+
+  /// False after crash_host() until recover(): the host OS (and with it the
+  /// daemon) is down, heartbeats stop, and every virtual service node it
+  /// carried is gone.
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+
+  /// Fail-stop host crash: kills every guest and releases all host state
+  /// (slices, IPs, bridge/proxy entries, shaper shares) — a crashed machine
+  /// reboots empty. The Master learns of the loss through the failure
+  /// detector, not from this call.
+  void crash_host();
+
+  /// The host rebooted: the daemon is back, reporting a fully free host.
+  /// Lost nodes are NOT resurrected — re-creation is the Master's recovery
+  /// policy's job.
+  void recover();
+
+  /// Delivered on each heartbeat tick while the daemon is alive.
+  using HeartbeatSink = std::function<void(SodaDaemon&, sim::SimTime)>;
+
+  /// Starts the periodic heartbeat loop (idempotent). Ticks are swallowed
+  /// while the host is down and resume on recover(). While the loop runs the
+  /// engine always has a pending event — drive the simulation with
+  /// Engine::run_until (or stop_heartbeat()) rather than Engine::run().
+  void start_heartbeat(sim::SimTime interval, HeartbeatSink sink);
+  /// Stops the loop after the current tick.
+  void stop_heartbeat() noexcept { heartbeating_ = false; }
+
   /// Attaches a trace log (emission is skipped when unset).
   void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
 
@@ -134,6 +163,8 @@ class SodaDaemon {
                         host::SliceId slice, sim::SimTime download_started,
                         sim::SimTime downloaded_at, PrimeCallback done);
 
+  void heartbeat_tick();
+
   sim::Engine& engine_;
   net::FlowNetwork& network_;
   host::HupHost& host_;
@@ -141,6 +172,10 @@ class SodaDaemon {
   image::HttpDownloader downloader_;
   std::map<std::string, NodeRecord> nodes_;
   TraceLog* trace_ = nullptr;
+  bool alive_ = true;
+  bool heartbeating_ = false;
+  sim::SimTime heartbeat_interval_ = sim::SimTime::zero();
+  HeartbeatSink heartbeat_sink_;
 };
 
 }  // namespace soda::core

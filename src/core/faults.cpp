@@ -1,0 +1,102 @@
+#include "core/faults.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/hup.hpp"
+#include "util/contract.hpp"
+#include "util/log.hpp"
+#include "vm/vsnode.hpp"
+
+namespace soda::core {
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kHostCrash: return "host-crash";
+    case FaultKind::kHostRecover: return "host-recover";
+    case FaultKind::kGuestCrash: return "guest-crash";
+    case FaultKind::kSlowHost: return "slow-host";
+    case FaultKind::kLossyLink: return "lossy-link";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::crash_host(sim::SimTime at, std::string host) {
+  return add(FaultEvent{at, FaultKind::kHostCrash, std::move(host), 1.0});
+}
+
+FaultPlan& FaultPlan::recover_host(sim::SimTime at, std::string host) {
+  return add(FaultEvent{at, FaultKind::kHostRecover, std::move(host), 1.0});
+}
+
+FaultPlan& FaultPlan::crash_guest(sim::SimTime at, std::string node_name) {
+  return add(FaultEvent{at, FaultKind::kGuestCrash, std::move(node_name), 1.0});
+}
+
+FaultPlan& FaultPlan::slow_host(sim::SimTime at, std::string host,
+                                double factor) {
+  return add(FaultEvent{at, FaultKind::kSlowHost, std::move(host), factor});
+}
+
+FaultPlan& FaultPlan::restore_host_speed(sim::SimTime at, std::string host) {
+  return add(FaultEvent{at, FaultKind::kSlowHost, std::move(host), 1.0});
+}
+
+FaultPlan& FaultPlan::lossy_link(sim::SimTime at, std::string host,
+                                 double factor) {
+  return add(FaultEvent{at, FaultKind::kLossyLink, std::move(host), factor});
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  SODA_EXPECTS(!event.target.empty());
+  SODA_EXPECTS(event.severity > 0);
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::build() const {
+  std::vector<FaultEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return sorted;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  sim::Engine& engine = hup_.engine();
+  for (const FaultEvent& event : plan.build()) {
+    if (event.at < engine.now()) continue;
+    engine.schedule_at(event.at, [this, event] { inject(event); });
+  }
+}
+
+void FaultInjector::inject(const FaultEvent& event) {
+  ++injected_;
+  util::global_logger().warn(
+      "faults", std::string(fault_kind_name(event.kind)) + " -> " + event.target);
+  switch (event.kind) {
+    case FaultKind::kHostCrash:
+      hup_.crash_host(event.target);
+      return;
+    case FaultKind::kHostRecover:
+      hup_.recover_host(event.target);
+      return;
+    case FaultKind::kGuestCrash:
+      for (SodaDaemon* daemon : hup_.master().daemons()) {
+        if (vm::VirtualServiceNode* node = daemon->find_node(event.target)) {
+          if (node->running()) node->uml().crash();
+          return;
+        }
+      }
+      return;
+    case FaultKind::kSlowHost:
+    case FaultKind::kLossyLink:
+      // Both degrade the host's uplink; a lossy link's goodput collapse is
+      // modeled as the effective-rate factor the caller picked.
+      hup_.scale_host_uplink(event.target, event.severity);
+      return;
+  }
+}
+
+}  // namespace soda::core

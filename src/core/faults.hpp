@@ -1,0 +1,82 @@
+// Scriptable fault injection: a FaultPlan lists what breaks when (host
+// crashes, guest crashes, slow hosts, lossy links), and a FaultInjector
+// schedules the whole plan onto the simulation engine against a Hup. Faults
+// fire at exact sim-times, so a run with a given plan and seed is fully
+// deterministic — serial and parallel replicas see identical failures.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace soda::core {
+
+class Hup;
+
+enum class FaultKind {
+  kHostCrash,    // fail-stop: host dies with all its guests
+  kHostRecover,  // crashed host reboots empty, daemon resumes heartbeating
+  kGuestCrash,   // one virtual service node's UML panics (target = node name)
+  kSlowHost,     // host uplink degraded to severity x nominal rate
+  kLossyLink,    // heavy loss ~ goodput collapse: like kSlowHost, harsher
+};
+
+std::string_view fault_kind_name(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  sim::SimTime at;
+  FaultKind kind = FaultKind::kHostCrash;
+  /// Host name, or node name for kGuestCrash.
+  std::string target;
+  /// kSlowHost / kLossyLink: the factor applied to the nominal uplink rate
+  /// (1.0 restores full speed). Ignored by the other kinds.
+  double severity = 1.0;
+};
+
+/// Builder for a deterministic fault schedule. Events may be added in any
+/// order; build() sorts them by time (stable, so same-time events keep
+/// insertion order).
+class FaultPlan {
+ public:
+  FaultPlan& crash_host(sim::SimTime at, std::string host);
+  FaultPlan& recover_host(sim::SimTime at, std::string host);
+  FaultPlan& crash_guest(sim::SimTime at, std::string node_name);
+  FaultPlan& slow_host(sim::SimTime at, std::string host, double factor);
+  FaultPlan& restore_host_speed(sim::SimTime at, std::string host);
+  FaultPlan& lossy_link(sim::SimTime at, std::string host, double factor);
+  FaultPlan& add(FaultEvent event);
+
+  /// The schedule, sorted by time.
+  [[nodiscard]] std::vector<FaultEvent> build() const;
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Arms a plan against a HUP: schedules one engine event per fault. The
+/// injector must outlive the simulation run.
+class FaultInjector {
+ public:
+  explicit FaultInjector(Hup& hup) : hup_(hup) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event of `plan` at its absolute sim-time (events in the
+  /// past are dropped). Can be called repeatedly to layer plans.
+  void arm(const FaultPlan& plan);
+
+  /// Applies one fault right now (also used by the scheduled events).
+  void inject(const FaultEvent& event);
+
+  [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+
+ private:
+  Hup& hup_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace soda::core

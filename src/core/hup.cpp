@@ -33,9 +33,12 @@ host::HupHost& Hup::add_host(host::HostSpec spec, net::Ipv4Address pool_start,
                              std::size_t pool_size) {
   SODA_EXPECTS(hosts_.count(spec.name) == 0);
   const net::NodeId lan_node = network_->add_node(spec.name);
-  network_->add_duplex_link(lan_node, lan_switch_, spec.nic_mbps, lan_.latency);
+  const auto uplink =
+      network_->add_duplex_link(lan_node, lan_switch_, spec.nic_mbps, lan_.latency);
 
   HostBundle bundle;
+  bundle.uplink = uplink;
+  bundle.uplink_mbps = spec.nic_mbps;
   bundle.host = std::make_unique<host::HupHost>(
       spec, lan_node, net::IpPool(pool_start, pool_size));
   bundle.shaper = std::make_unique<net::TrafficShaper>(*network_);
@@ -80,6 +83,34 @@ SodaDaemon* Hup::find_daemon(const std::string& host_name) {
 net::TrafficShaper* Hup::find_shaper(const std::string& host_name) {
   auto it = hosts_.find(host_name);
   return it == hosts_.end() ? nullptr : it->second.shaper.get();
+}
+
+void Hup::enable_failure_detection(FailureDetectorConfig config) {
+  master_->start_failure_detector(config);
+  for (auto& [name, bundle] : hosts_) {
+    bundle.daemon->start_heartbeat(
+        config.heartbeat_interval,
+        [this](SodaDaemon& daemon, sim::SimTime now) {
+          master_->on_heartbeat(daemon, now);
+        });
+  }
+}
+
+void Hup::crash_host(const std::string& host_name) {
+  if (SodaDaemon* daemon = find_daemon(host_name)) daemon->crash_host();
+}
+
+void Hup::recover_host(const std::string& host_name) {
+  if (SodaDaemon* daemon = find_daemon(host_name)) daemon->recover();
+}
+
+void Hup::scale_host_uplink(const std::string& host_name, double factor) {
+  SODA_EXPECTS(factor > 0);
+  auto it = hosts_.find(host_name);
+  if (it == hosts_.end()) return;
+  const HostBundle& bundle = it->second;
+  network_->set_link_capacity(bundle.uplink.first, bundle.uplink_mbps * factor);
+  network_->set_link_capacity(bundle.uplink.second, bundle.uplink_mbps * factor);
 }
 
 Hup::PaperTestbed Hup::paper_testbed(MasterConfig master_config) {

@@ -70,6 +70,23 @@ class Hup {
   [[nodiscard]] net::TrafficShaper* find_shaper(const std::string& host_name);
   [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
 
+  // --- Failure handling ----------------------------------------------------
+
+  /// Wires the failure detector end to end: every daemon heartbeats into the
+  /// Master, and the Master's periodic timeout sweep runs. The loops keep
+  /// the event queue non-empty — drive the simulation with run_until.
+  void enable_failure_detection(FailureDetectorConfig config = {});
+
+  /// Fail-stop host crash: kills every guest on the host and releases its
+  /// resources; detection/recovery is the Master's job. No-ops when unknown.
+  void crash_host(const std::string& host_name);
+  /// The crashed host reboots empty and its daemon resumes heartbeating.
+  void recover_host(const std::string& host_name);
+
+  /// Scales a host's LAN uplink to `factor` x its base NIC rate in both
+  /// directions (slow-host / lossy-link injection; 1.0 restores it).
+  void scale_host_uplink(const std::string& host_name, double factor);
+
   /// The paper's two-host testbed (§4): seattle + tacoma + one ASP
   /// repository ("asp-repo") + one client machine ("client-0").
   struct PaperTestbed {
@@ -84,6 +101,10 @@ class Hup {
     std::unique_ptr<host::HupHost> host;
     std::unique_ptr<net::TrafficShaper> shaper;
     std::unique_ptr<SodaDaemon> daemon;
+    /// The host<->LAN-switch link pair and its nominal rate, kept so fault
+    /// injection can degrade and restore the uplink.
+    std::pair<net::LinkId, net::LinkId> uplink;
+    double uplink_mbps = 0;
   };
 
   // Owned in standalone mode; null when attached to a federation's world.

@@ -87,7 +87,10 @@ void SodaMaster::register_repository(const image::ImageRepository* repository) {
 
 host::ResourceVector SodaMaster::hup_available() const {
   host::ResourceVector total;
-  for (const SodaDaemon* daemon : daemons_) total += daemon->available();
+  for (const SodaDaemon* daemon : daemons_) {
+    if (down_hosts_.count(daemon->host_name())) continue;
+    total += daemon->available();
+  }
   return total;
 }
 
@@ -101,7 +104,13 @@ host::ResourceVector SodaMaster::inflated_unit(const host::MachineConfig& m) con
 }
 
 std::vector<SodaDaemon*> SodaMaster::ordered_daemons() const {
-  std::vector<SodaDaemon*> ordered = daemons_;
+  // Hosts the failure detector has declared dead receive no placements
+  // until their heartbeats resume.
+  std::vector<SodaDaemon*> ordered;
+  ordered.reserve(daemons_.size());
+  for (SodaDaemon* daemon : daemons_) {
+    if (down_hosts_.count(daemon->host_name()) == 0) ordered.push_back(daemon);
+  }
   switch (config_.placement) {
     case PlacementPolicy::kFirstFit:
       break;
@@ -376,7 +385,9 @@ void SodaMaster::finish_creation(ServiceRecord& record, CreateCallback done) {
 void SodaMaster::rollback_nodes(ServiceRecord& record) {
   for (const NodeDescriptor& node : record.nodes) {
     for (SodaDaemon* daemon : daemons_) {
-      if (daemon->host_name() == node.host_name) {
+      // A crashed host already released everything it carried; there is
+      // nothing left to tear down there.
+      if (daemon->host_name() == node.host_name && daemon->alive()) {
         must(daemon->teardown_node(node.node_name));
       }
     }
@@ -504,7 +515,7 @@ void SodaMaster::resize_service(const std::string& name, int n_new,
                                });
       SODA_ENSURES(desc != record.nodes.end());
       if (new_units == 0) {
-        must(record.service_switch->remove_backend(desc->address));
+        must(record.service_switch->remove_backend(desc->address, desc->port));
         must(placement.daemon->teardown_node(placement.node_name));
         record.nodes.erase(desc);
         record.placements.erase(record.placements.begin() +
@@ -512,7 +523,8 @@ void SodaMaster::resize_service(const std::string& name, int n_new,
       } else {
         must(placement.daemon->resize_node(placement.node_name, new_units,
                                            unit.scaled(new_units)));
-        must(record.service_switch->set_backend_capacity(desc->address, new_units));
+        must(record.service_switch->set_backend_capacity(desc->address,
+                                                          desc->port, new_units));
         desc->capacity_units = new_units;
         placement.units = new_units;
       }
@@ -570,7 +582,8 @@ void SodaMaster::resize_service(const std::string& name, int n_new,
                                return d.node_name == placement.node_name;
                              });
     SODA_ENSURES(desc != record.nodes.end());
-    must(record.service_switch->set_backend_capacity(desc->address, new_units));
+    must(record.service_switch->set_backend_capacity(desc->address, desc->port,
+                                                     new_units));
     desc->capacity_units = new_units;
     placement.units = new_units;
   }
@@ -643,6 +656,318 @@ void SodaMaster::resize_service(const std::string& name, int n_new,
           reply.service_name = name;
           reply.nodes = rec.nodes;
           done(reply, now);
+        });
+  }
+}
+
+// --- Failure detection & recovery -----------------------------------------
+
+void SodaMaster::enable_failure_detection(FailureDetectorConfig config) {
+  SODA_EXPECTS(config.heartbeat_interval > sim::SimTime::zero());
+  SODA_EXPECTS(config.timeout >= config.heartbeat_interval);
+  detector_config_ = config;
+  detection_enabled_ = true;
+  // Every registered host counts as heard-from now, so an idle HUP does not
+  // mass-expire at the first check.
+  for (const SodaDaemon* daemon : daemons_) {
+    last_heartbeat_[daemon->host_name()] = engine_.now();
+  }
+}
+
+void SodaMaster::start_failure_detector(FailureDetectorConfig config) {
+  if (!detection_enabled_) enable_failure_detection(config);
+  if (detector_running_) return;
+  detector_running_ = true;
+  engine_.schedule_after(detector_config_.heartbeat_interval,
+                         [this] { detector_tick(); });
+}
+
+void SodaMaster::detector_tick() {
+  if (!detector_running_) return;
+  check_failures_once();
+  engine_.schedule_after(detector_config_.heartbeat_interval,
+                         [this] { detector_tick(); });
+}
+
+void SodaMaster::on_heartbeat(SodaDaemon& daemon, sim::SimTime now) {
+  last_heartbeat_[daemon.host_name()] = now;
+  if (down_hosts_.count(daemon.host_name())) handle_host_recovery(daemon);
+}
+
+std::size_t SodaMaster::check_failures_once() {
+  SODA_EXPECTS(detection_enabled_);
+  const sim::SimTime now = engine_.now();
+  std::size_t newly_dead = 0;
+  for (SodaDaemon* daemon : daemons_) {
+    if (down_hosts_.count(daemon->host_name())) continue;
+    const sim::SimTime last = last_heartbeat_[daemon->host_name()];
+    if (now - last >= detector_config_.timeout) {
+      handle_host_failure(*daemon);
+      ++newly_dead;
+    }
+  }
+  return newly_dead;
+}
+
+std::size_t SodaMaster::poll_liveness_once() {
+  std::size_t changed = 0;
+  for (SodaDaemon* daemon : daemons_) {
+    const bool marked_down = down_hosts_.count(daemon->host_name()) > 0;
+    if (!daemon->alive() && !marked_down) {
+      handle_host_failure(*daemon);
+      ++changed;
+    } else if (daemon->alive() && marked_down) {
+      handle_host_recovery(*daemon);
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+void SodaMaster::handle_host_failure(SodaDaemon& daemon) {
+  const std::string host = daemon.host_name();
+  if (!down_hosts_.insert(host).second) return;
+  ++host_failures_;
+  util::global_logger().warn("master", "host " + host + " declared dead");
+  if (trace_) {
+    trace_->record(engine_.now(), TraceKind::kHostDown, "master", host);
+  }
+
+  std::vector<std::string> degraded;
+  for (auto& [name, record] : services_) {
+    bool lost_any = false;
+    int units_lost = 0;
+    for (auto p_it = record.placements.begin();
+         p_it != record.placements.end();) {
+      if (p_it->daemon != &daemon) {
+        ++p_it;
+        continue;
+      }
+      lost_any = true;
+      units_lost += p_it->units;
+      ++placements_lost_;
+      if (trace_) {
+        trace_->record(engine_.now(), TraceKind::kNodeLost, "master",
+                       p_it->node_name, "host " + host + " down");
+      }
+      auto d_it = std::find_if(record.nodes.begin(), record.nodes.end(),
+                               [&](const NodeDescriptor& d) {
+                                 return d.node_name == p_it->node_name;
+                               });
+      if (d_it != record.nodes.end()) {
+        if (record.service_switch) {
+          // The backend may still be mid-priming and absent from the switch.
+          (void)record.service_switch->remove_backend(d_it->address,
+                                                      d_it->port);
+        }
+        record.nodes.erase(d_it);
+      }
+      p_it = record.placements.erase(p_it);
+    }
+    if (!lost_any) continue;
+    maybe_rehome_switch(record);
+    if (record.lifecycle.state() == ServiceState::kRunning) {
+      must(record.lifecycle.transition(ServiceState::kDegraded));
+      if (trace_) {
+        trace_->record(engine_.now(), TraceKind::kDegraded, "master", name,
+                       std::to_string(units_lost) + " unit(s) lost with " +
+                           host);
+      }
+    }
+    if (record.lifecycle.state() == ServiceState::kDegraded) {
+      degraded.push_back(name);
+    }
+  }
+  for (const std::string& name : degraded) attempt_recovery(name);
+}
+
+void SodaMaster::handle_host_recovery(SodaDaemon& daemon) {
+  if (down_hosts_.erase(daemon.host_name()) == 0) return;
+  last_heartbeat_[daemon.host_name()] = engine_.now();
+  util::global_logger().info("master", "host " + daemon.host_name() + " is back");
+  if (trace_) {
+    trace_->record(engine_.now(), TraceKind::kHostUp, "master",
+                   daemon.host_name());
+  }
+  // The returned capacity may complete recoveries that were stuck short.
+  std::vector<std::string> degraded;
+  for (const auto& [name, record] : services_) {
+    if (record.lifecycle.state() == ServiceState::kDegraded) {
+      degraded.push_back(name);
+    }
+  }
+  for (const std::string& name : degraded) attempt_recovery(name);
+}
+
+void SodaMaster::maybe_rehome_switch(ServiceRecord& record) {
+  if (!record.service_switch || record.nodes.empty()) return;
+  const net::Ipv4Address listen = record.service_switch->listen_address();
+  for (const NodeDescriptor& node : record.nodes) {
+    if (node.address == listen) return;  // colocation node is still alive
+  }
+  // Deterministic choice: the surviving node with the smallest name.
+  const NodeDescriptor* front = &record.nodes.front();
+  for (const NodeDescriptor& node : record.nodes) {
+    if (node.node_name < front->node_name) front = &node;
+  }
+  record.service_switch->rehome(front->address, record.listen_port);
+  if (trace_) {
+    trace_->record(engine_.now(), TraceKind::kSwitchCreated, "master",
+                   record.service_name,
+                   "rehomed to " + front->address.to_string() + ":" +
+                       std::to_string(record.listen_port));
+  }
+}
+
+void SodaMaster::attempt_recovery(const std::string& service_name) {
+  auto it = services_.find(service_name);
+  if (it == services_.end()) return;
+  ServiceRecord& record = it->second;
+  if (record.lifecycle.state() != ServiceState::kDegraded ||
+      !record.service_switch) {
+    return;
+  }
+  const host::ResourceVector unit = inflated_unit(record.requirement.m);
+
+  auto finish_if_restored = [this](ServiceRecord& rec) {
+    bool restored;
+    if (!rec.components.empty()) {
+      restored = std::all_of(
+          rec.components.begin(), rec.components.end(),
+          [&](const image::ServiceComponent& component) {
+            return std::any_of(rec.placements.begin(), rec.placements.end(),
+                               [&](const Placement& p) {
+                                 return p.component == component.name;
+                               });
+          });
+    } else {
+      int have = 0;
+      for (const Placement& p : rec.placements) have += p.units;
+      restored = have >= rec.requirement.n;
+    }
+    if (restored && rec.lifecycle.state() == ServiceState::kDegraded) {
+      must(rec.lifecycle.transition(ServiceState::kRunning));
+      ++recoveries_;
+      if (trace_) {
+        trace_->record(engine_.now(), TraceKind::kRecovered, "master",
+                       rec.service_name,
+                       std::to_string(rec.nodes.size()) + " node(s)");
+      }
+      util::global_logger().info(
+          "master", rec.service_name + " recovered to full capacity");
+    }
+  };
+
+  // Re-run admission for the lost capacity on the surviving hosts.
+  std::vector<Placement> plan;
+  if (!record.components.empty()) {
+    std::vector<image::ServiceComponent> lost;
+    for (const auto& component : record.components) {
+      if (std::none_of(record.placements.begin(), record.placements.end(),
+                       [&](const Placement& p) {
+                         return p.component == component.name;
+                       })) {
+        lost.push_back(component);
+      }
+    }
+    if (lost.empty()) {
+      finish_if_restored(record);
+      return;
+    }
+    auto planned = plan_components(record.requirement.m, lost);
+    if (!planned.ok()) return;  // no host fits: stay degraded
+    plan = std::move(planned).value();
+  } else {
+    int have = 0;
+    for (const Placement& p : record.placements) have += p.units;
+    int missing = record.requirement.n - have;
+    if (missing <= 0) {
+      finish_if_restored(record);
+      return;
+    }
+    for (SodaDaemon* daemon : ordered_daemons()) {
+      if (missing == 0) break;
+      const bool used = std::any_of(
+          record.placements.begin(), record.placements.end(),
+          [&](const Placement& p) { return p.daemon == daemon; });
+      if (used) continue;
+      const int k = std::min(units_that_fit(daemon->available(), unit), missing);
+      if (k >= 1) {
+        plan.push_back(Placement{daemon, "", k});
+        missing -= k;
+      }
+    }
+    // Whatever fits is re-created now; a later host-up retries the rest.
+    if (plan.empty()) return;
+  }
+
+  for (Placement& placement : plan) {
+    placement.node_name =
+        service_name + "/" + std::to_string(record.next_ordinal++);
+    record.placements.push_back(placement);
+  }
+  util::global_logger().info(
+      "master", "recovering " + service_name + ": re-priming " +
+                    std::to_string(plan.size()) + " node(s)");
+
+  auto join = std::make_shared<PrimeJoin>();
+  join->pending = plan.size();
+  for (const Placement& placement : plan) {
+    PrimeCommand command;
+    command.node_name = placement.node_name;
+    command.service_name = service_name;
+    command.repository = record.repository;
+    command.location = record.image_location;
+    command.unit = record.requirement.m;
+    command.capacity_units = placement.units;
+    command.reserve = unit.scaled(placement.units);
+    command.customize_rootfs = config_.customize_rootfs;
+    command.address_mode = config_.address_mode;
+    command.listen_port = record.listen_port;
+    if (!placement.component.empty()) {
+      for (const auto& component : record.components) {
+        if (component.name == placement.component) command.component = component;
+      }
+    }
+    placement.daemon->prime_node(
+        std::move(command),
+        [this, join, name = service_name, finish_if_restored](
+            Result<vm::VirtualServiceNode*> node, sim::SimTime now) {
+          auto record_it = services_.find(name);
+          if (record_it == services_.end()) return;  // torn down meanwhile
+          ServiceRecord& rec = record_it->second;
+          if (node.ok()) {
+            const NodeDescriptor descriptor =
+                describe_node(*node.value(), rec.listen_port);
+            must(rec.service_switch->add_backend(BackEndEntry{
+                descriptor.address, descriptor.port, descriptor.capacity_units,
+                descriptor.component}));
+            rec.nodes.push_back(descriptor);
+          } else if (!join->failed) {
+            join->failed = true;
+            join->first_error = node.error().message;
+          }
+          if (--join->pending > 0) return;
+          if (join->failed) {
+            // Drop the placements whose re-priming never produced a node;
+            // the service stays degraded with whatever did come up.
+            auto& placements = rec.placements;
+            placements.erase(
+                std::remove_if(placements.begin(), placements.end(),
+                               [&](const Placement& p) {
+                                 return std::none_of(
+                                     rec.nodes.begin(), rec.nodes.end(),
+                                     [&](const NodeDescriptor& d) {
+                                       return d.node_name == p.node_name;
+                                     });
+                               }),
+                placements.end());
+            util::global_logger().warn(
+                "master", name + " recovery incomplete: " + join->first_error);
+          }
+          maybe_rehome_switch(rec);
+          finish_if_restored(rec);
+          (void)now;
         });
   }
 }

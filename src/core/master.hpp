@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,14 @@ struct MasterConfig {
   AddressMode address_mode = AddressMode::kBridging;
   /// Upper bound of nodes per service (one per host is the natural limit).
   int max_nodes_per_service = 16;
+};
+
+/// Failure-detector tuning. The Master declares a host dead when no
+/// heartbeat arrived for `timeout` (several missed intervals, so one late
+/// heartbeat does not flap the host).
+struct FailureDetectorConfig {
+  sim::SimTime heartbeat_interval = sim::SimTime::milliseconds(250);
+  sim::SimTime timeout = sim::SimTime::seconds(1);
 };
 
 /// One planned (or live) node placement.
@@ -138,6 +147,51 @@ class SodaMaster {
       const host::MachineConfig& m,
       const std::vector<image::ServiceComponent>& components) const;
 
+  // --- Failure detection & recovery ---------------------------------------
+
+  /// Arms the timeout-based failure detector: every registered daemon is
+  /// considered heard-from now, and check_failures_once() declares any host
+  /// silent for `config.timeout` dead. Call once, after registering hosts;
+  /// daemons' heartbeat loops should deliver into on_heartbeat().
+  void enable_failure_detection(FailureDetectorConfig config = {});
+
+  /// Starts the periodic detector loop: one check_failures_once() per
+  /// heartbeat interval (arms detection first if needed). While the loop
+  /// runs the engine always has pending events — drive the simulation with
+  /// Engine::run_until.
+  void start_failure_detector(FailureDetectorConfig config = {});
+  void stop_failure_detector() noexcept { detector_running_ = false; }
+
+  /// Heartbeat sink for SodaDaemon::start_heartbeat. A heartbeat from a
+  /// host previously declared dead brings it back (host-up) and re-attempts
+  /// recovery of every degraded service.
+  void on_heartbeat(SodaDaemon& daemon, sim::SimTime now);
+
+  /// One timeout sweep: declares hosts whose last heartbeat is older than
+  /// the configured timeout dead and runs the recovery policy for every
+  /// service that lost placements. Returns the number of hosts newly
+  /// declared dead. Requires enable_failure_detection().
+  std::size_t check_failures_once();
+
+  /// Active-probe variant for synchronous callers (scenarios, tests): polls
+  /// each daemon's liveness directly instead of waiting out the heartbeat
+  /// timeout; detects both failures and recoveries. Returns the number of
+  /// hosts whose detected state changed.
+  std::size_t poll_liveness_once();
+
+  [[nodiscard]] bool host_down(const std::string& host_name) const {
+    return down_hosts_.count(host_name) > 0;
+  }
+  [[nodiscard]] std::uint64_t host_failures_detected() const noexcept {
+    return host_failures_;
+  }
+  [[nodiscard]] std::uint64_t placements_lost() const noexcept {
+    return placements_lost_;
+  }
+  [[nodiscard]] std::uint64_t recoveries_completed() const noexcept {
+    return recoveries_;
+  }
+
  private:
   struct PrimeJoin;  // collects per-node priming completions
 
@@ -145,12 +199,34 @@ class SodaMaster {
   void rollback_nodes(ServiceRecord& record);
   [[nodiscard]] std::vector<SodaDaemon*> ordered_daemons() const;
 
+  void detector_tick();
+  /// Declares `daemon`'s host dead: strips its placements from every
+  /// service (switch backends included), degrades affected services, then
+  /// attempts to re-create the lost capacity on surviving hosts.
+  void handle_host_failure(SodaDaemon& daemon);
+  /// A dead host came back (heartbeat resumed or probe saw it alive).
+  void handle_host_recovery(SodaDaemon& daemon);
+  /// Re-creates as much of a degraded service's lost capacity as fits on
+  /// live hosts; transitions Degraded -> Running when fully restored.
+  void attempt_recovery(const std::string& service_name);
+  /// Keeps the switch's colocation endpoint pointing at a live node.
+  void maybe_rehome_switch(ServiceRecord& record);
+
   sim::Engine& engine_;
   MasterConfig config_;
   std::vector<SodaDaemon*> daemons_;
   std::map<std::string, const image::ImageRepository*> repositories_;
   std::map<std::string, ServiceRecord> services_;
   TraceLog* trace_ = nullptr;
+
+  bool detection_enabled_ = false;
+  bool detector_running_ = false;
+  FailureDetectorConfig detector_config_;
+  std::map<std::string, sim::SimTime> last_heartbeat_;
+  std::set<std::string> down_hosts_;
+  std::uint64_t host_failures_ = 0;
+  std::uint64_t placements_lost_ = 0;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace soda::core

@@ -30,6 +30,9 @@ const std::map<std::string, std::pair<int, int>>& verb_arity() {
       {"status", {1, 1}},        // status <service>
       {"billing", {1, 1}},       // billing <asp>
       {"crash", {2, 2}},         // crash <service> <node-ordinal>
+      {"crash-host", {1, 1}},    // crash-host <host> (fail-stop, guests die)
+      {"recover-host", {1, 1}},  // recover-host <host> (reboots empty)
+      {"detect", {0, 0}},        // one liveness poll + recovery pass
       {"probe", {0, 0}},         // run one health-monitor sweep
       {"trace", {0, 1}},         // trace [subject] -> dump control-plane events
       {"expect-nodes", {2, 2}},  // expect-nodes <service> <count>
@@ -144,6 +147,31 @@ Status execute(Runtime& rt, const ScenarioCommand& cmd) {
       return {};
     }
     return Error{error_at(cmd.line, "no node " + node_name)};
+  }
+  if (cmd.verb == "crash-host" || cmd.verb == "recover-host") {
+    if (!rt.hup().find_daemon(cmd.args[0])) {
+      return Error{error_at(cmd.line, "no host " + cmd.args[0])};
+    }
+    if (cmd.verb == "crash-host") {
+      rt.hup().crash_host(cmd.args[0]);
+      rt.say("host " + cmd.args[0] + " crashed");
+    } else {
+      rt.hup().recover_host(cmd.args[0]);
+      rt.say("host " + cmd.args[0] + " recovered");
+    }
+    return {};
+  }
+  if (cmd.verb == "detect") {
+    // Active poll: scenario verbs run the engine to quiescence, so the
+    // heartbeat-timeout path (which keeps the queue busy) is not used here.
+    const std::size_t changed = rt.hup().master().poll_liveness_once();
+    rt.hup().engine().run();
+    rt.say("detect: " + std::to_string(changed) + " host(s) changed, " +
+           std::to_string(rt.hup().master().placements_lost()) +
+           " placement(s) lost, " +
+           std::to_string(rt.hup().master().recoveries_completed()) +
+           " recovery(ies) completed");
+    return {};
   }
   if (cmd.verb == "probe") {
     const std::size_t transitions = rt.hup().health_monitor().probe_once();

@@ -9,6 +9,7 @@ std::string_view service_state_name(ServiceState state) noexcept {
     case ServiceState::kPriming:     return "priming";
     case ServiceState::kRunning:     return "running";
     case ServiceState::kResizing:    return "resizing";
+    case ServiceState::kDegraded:    return "degraded";
     case ServiceState::kTearingDown: return "tearing-down";
     case ServiceState::kGone:        return "gone";
     case ServiceState::kFailed:      return "failed";
@@ -30,9 +31,13 @@ Status ServiceLifecycle::transition(ServiceState to) {
       legal = to == ServiceState::kRunning || to == ServiceState::kFailed;
       break;
     case ServiceState::kRunning:
-      legal = to == ServiceState::kResizing || to == ServiceState::kTearingDown;
+      legal = to == ServiceState::kResizing || to == ServiceState::kTearingDown ||
+              to == ServiceState::kDegraded;
       break;
     case ServiceState::kResizing:
+      legal = to == ServiceState::kRunning || to == ServiceState::kTearingDown;
+      break;
+    case ServiceState::kDegraded:
       legal = to == ServiceState::kRunning || to == ServiceState::kTearingDown;
       break;
     case ServiceState::kTearingDown:
@@ -58,6 +63,7 @@ bool ServiceLifecycle::holds_resources() const noexcept {
     case ServiceState::kPriming:
     case ServiceState::kRunning:
     case ServiceState::kResizing:
+    case ServiceState::kDegraded:
     case ServiceState::kTearingDown:
       return true;
     default:

@@ -1,6 +1,7 @@
 // Service lifecycle. A SODA service moves through a strict state machine:
 // Requested -> Admitted -> Priming -> Running -> (Resizing <-> Running)
-// -> TearingDown -> Gone, with Failed reachable from the setup states.
+// -> TearingDown -> Gone, with Failed reachable from the setup states and
+// Degraded <-> Running when host failures cost the service capacity.
 #pragma once
 
 #include <string>
@@ -15,6 +16,7 @@ enum class ServiceState {
   kPriming,      // daemons are downloading images / booting nodes
   kRunning,      // switch created, nodes serving
   kResizing,     // SODA_service_resizing in progress
+  kDegraded,     // running below admitted capacity after a host failure
   kTearingDown,  // SODA_service_teardown in progress
   kGone,         // fully released
   kFailed,       // creation failed (resources / image / priming)

@@ -9,6 +9,15 @@ namespace soda::core {
 
 namespace {
 
+/// Policy state is keyed by the full (address, port) endpoint: two backends
+/// of one service may share their host's public address on different ports
+/// (proxied components), and an address-only key would alias their state.
+using EndpointKey = std::pair<std::uint32_t, int>;
+
+EndpointKey endpoint_key(const BackEndEntry& entry) noexcept {
+  return {entry.address.value(), entry.port};
+}
+
 /// Nginx-style smooth weighted round-robin: each pick, every backend's
 /// current weight grows by its capacity; the largest current weight wins and
 /// is decremented by the total capacity. Produces evenly interleaved 2:1
@@ -22,22 +31,22 @@ class SmoothWrr final : public SwitchPolicy {
     std::size_t best = 0;
     long long best_weight = LLONG_MIN;
     for (std::size_t i = 0; i < backends.size(); ++i) {
-      const auto key = backends[i].entry.address;
-      current_[key.value()] += backends[i].entry.capacity;
+      const auto key = endpoint_key(backends[i].entry);
+      current_[key] += backends[i].entry.capacity;
       total += backends[i].entry.capacity;
-      if (current_[key.value()] > best_weight) {
-        best_weight = current_[key.value()];
+      if (current_[key] > best_weight) {
+        best_weight = current_[key];
         best = i;
       }
     }
-    current_[backends[best].entry.address.value()] -= total;
+    current_[endpoint_key(backends[best].entry)] -= total;
     return best;
   }
   [[nodiscard]] std::string name() const override { return "weighted-round-robin"; }
   void on_backends_changed() override { current_.clear(); }
 
  private:
-  std::map<std::uint32_t, long long> current_;
+  std::map<EndpointKey, long long> current_;
 };
 
 class PlainRr final : public SwitchPolicy {
@@ -106,7 +115,7 @@ class FastestResponse final : public SwitchPolicy {
     std::size_t best = backends.size();
     double best_score = 0;
     for (std::size_t i = 0; i < backends.size(); ++i) {
-      const auto it = ewma_.find(backends[i].entry.address.value());
+      const auto it = ewma_.find(endpoint_key(backends[i].entry));
       if (it == ewma_.end()) return i;  // explore unsampled backends first
       const double score =
           it->second / static_cast<double>(std::max(1, backends[i].entry.capacity));
@@ -119,7 +128,7 @@ class FastestResponse final : public SwitchPolicy {
   }
 
   void on_response_time(const BackEndEntry& backend, double seconds) override {
-    auto [it, inserted] = ewma_.emplace(backend.address.value(), seconds);
+    auto [it, inserted] = ewma_.emplace(endpoint_key(backend), seconds);
     if (!inserted) {
       it->second = alpha_ * seconds + (1 - alpha_) * it->second;
     }
@@ -130,7 +139,7 @@ class FastestResponse final : public SwitchPolicy {
 
  private:
   double alpha_;
-  std::map<std::uint32_t, double> ewma_;
+  std::map<EndpointKey, double> ewma_;
 };
 
 class CustomPolicy final : public SwitchPolicy {
@@ -212,20 +221,49 @@ Status ServiceSwitch::add_backend(const BackEndEntry& entry) {
 }
 
 Status ServiceSwitch::remove_backend(net::Ipv4Address address) {
+  BackEndState* backend = find(address);
+  if (!backend) return Error{"no backend " + address.to_string()};
+  return remove_backend(backend->entry.address, backend->entry.port);
+}
+
+Status ServiceSwitch::remove_backend(net::Ipv4Address address, int port) {
   auto it = std::find_if(backends_.begin(), backends_.end(),
                          [&](const BackEndState& b) {
-                           return b.entry.address == address;
+                           return b.entry.address == address &&
+                                  b.entry.port == port;
                          });
-  if (it == backends_.end()) return Error{"no backend " + address.to_string()};
+  if (it == backends_.end()) {
+    return Error{"no backend " + address.to_string() + ":" +
+                 std::to_string(port)};
+  }
+  if (it->active_connections > 0) {
+    // In-flight requests keep the backend alive; healthy_view() hides
+    // draining entries, so no new requests arrive, and the last
+    // on_request_complete() erases it.
+    it->draining = true;
+    policy_->on_backends_changed();
+    return {};
+  }
   backends_.erase(it);
   policy_->on_backends_changed();
   return {};
 }
 
 Status ServiceSwitch::set_backend_capacity(net::Ipv4Address address, int capacity) {
-  SODA_EXPECTS(capacity >= 1);
   BackEndState* backend = find(address);
   if (!backend) return Error{"no backend " + address.to_string()};
+  return set_backend_capacity(backend->entry.address, backend->entry.port,
+                              capacity);
+}
+
+Status ServiceSwitch::set_backend_capacity(net::Ipv4Address address, int port,
+                                           int capacity) {
+  SODA_EXPECTS(capacity >= 1);
+  BackEndState* backend = find(address, port);
+  if (!backend) {
+    return Error{"no backend " + address.to_string() + ":" +
+                 std::to_string(port)};
+  }
   backend->entry.capacity = capacity;
   policy_->on_backends_changed();
   return {};
@@ -263,11 +301,18 @@ void ServiceSwitch::set_policy(std::unique_ptr<SwitchPolicy> policy) {
   policy_->on_backends_changed();
 }
 
+void ServiceSwitch::rehome(net::Ipv4Address listen, int port) {
+  SODA_EXPECTS(port > 0);
+  listen_ = listen;
+  port_ = port;
+}
+
 std::vector<BackEndState> ServiceSwitch::healthy_view(
     std::string_view component) const {
   std::vector<BackEndState> view;
   for (const auto& backend : backends_) {
-    if (backend.healthy && backend.entry.component == component) {
+    if (backend.healthy && !backend.draining &&
+        backend.entry.component == component) {
       view.push_back(backend);
     }
   }
@@ -322,15 +367,50 @@ Result<BackEndEntry> ServiceSwitch::route(std::string_view component) {
 
 void ServiceSwitch::on_request_complete(net::Ipv4Address backend_address) {
   BackEndState* backend = find(backend_address);
-  if (backend && backend->active_connections > 0) {
-    --backend->active_connections;
+  if (backend) {
+    on_request_complete(backend->entry.address, backend->entry.port);
+  }
+}
+
+void ServiceSwitch::on_request_complete(net::Ipv4Address backend_address,
+                                        int port) {
+  BackEndState* backend = find(backend_address, port);
+  if (!backend) return;
+  if (backend->active_connections > 0) --backend->active_connections;
+  if (backend->draining && backend->active_connections == 0) {
+    backends_.erase(backends_.begin() + (backend - backends_.data()));
+    policy_->on_backends_changed();
   }
 }
 
 void ServiceSwitch::report_response_time(net::Ipv4Address backend_address,
                                          double seconds) {
   BackEndState* backend = find(backend_address);
+  if (backend) {
+    report_response_time(backend->entry.address, backend->entry.port, seconds);
+  }
+}
+
+void ServiceSwitch::report_response_time(net::Ipv4Address backend_address,
+                                         int port, double seconds) {
+  BackEndState* backend = find(backend_address, port);
   if (backend) policy_->on_response_time(backend->entry, seconds);
+}
+
+void ServiceSwitch::report_backend_failure(net::Ipv4Address backend_address,
+                                           int port) {
+  BackEndState* backend = find(backend_address, port);
+  if (!backend) return;
+  backend->healthy = false;
+  if (backend->active_connections > 0) --backend->active_connections;
+}
+
+Result<BackEndEntry> ServiceSwitch::route_failover(const BackEndEntry& dead,
+                                                   std::string_view component) {
+  report_backend_failure(dead.address, dead.port);
+  auto retried = route(component);
+  if (retried.ok()) ++failovers_;
+  return retried;
 }
 
 std::string ServiceSwitch::config_text() const {

@@ -28,6 +28,9 @@ struct BackEndState {
   std::uint64_t requests_routed = 0;
   std::uint64_t active_connections = 0;
   bool healthy = true;
+  /// Removal requested while connections were still in flight: the backend
+  /// receives no new requests and is erased when the last one completes.
+  bool draining = false;
 };
 
 /// A request-switching policy. pick() returns an index into `backends`
@@ -85,10 +88,17 @@ class ServiceSwitch {
 
   /// Master-side maintenance of the configuration file. Backends are keyed
   /// by (address, port): proxied components of one partitioned service may
-  /// share their host's public address on different ports.
+  /// share their host's public address on different ports. The port-aware
+  /// overloads are canonical; the address-only ones act on the first
+  /// matching backend and exist for callers that predate shared addresses.
   Status add_backend(const BackEndEntry& entry);
   Status remove_backend(net::Ipv4Address address);
+  /// Removes (address, port). When requests are still in flight the backend
+  /// drains instead: it stops receiving new requests immediately and is
+  /// erased once its last active connection completes.
+  Status remove_backend(net::Ipv4Address address, int port);
   Status set_backend_capacity(net::Ipv4Address address, int capacity);
+  Status set_backend_capacity(net::Ipv4Address address, int port, int capacity);
   /// Replaces the whole file (resize bulk update).
   void load_config(const ServiceConfigFile& file);
 
@@ -101,6 +111,11 @@ class ServiceSwitch {
 
   /// ASP hook: replaces the request-switching policy.
   void set_policy(std::unique_ptr<SwitchPolicy> policy);
+
+  /// Failure recovery: the node the switch was colocated in died with its
+  /// host; the Master re-homes the switch into another live node and clients
+  /// reconnect there.
+  void rehome(net::Ipv4Address listen, int port);
 
   /// Routes one request: returns the chosen backend entry, or an error when
   /// no healthy backend exists / the policy refuses. `component` restricts
@@ -120,12 +135,28 @@ class ServiceSwitch {
   /// The component a target resolves to (empty if no rule matches).
   [[nodiscard]] std::string component_for(std::string_view target) const;
 
-  /// Connection lifecycle for least-connections-style policies.
+  /// Connection lifecycle for least-connections-style policies. The
+  /// port-aware overload is canonical — with shared addresses the
+  /// address-only one credits the first matching backend.
   void on_request_complete(net::Ipv4Address backend);
+  void on_request_complete(net::Ipv4Address backend, int port);
 
   /// Feedback for response-time-aware policies: the request sent to
   /// `backend` completed in `seconds` (no-op for unknown backends).
   void report_response_time(net::Ipv4Address backend, double seconds);
+  void report_response_time(net::Ipv4Address backend, int port, double seconds);
+
+  /// Data-path failure feedback: the routed backend turned out dead before
+  /// it could serve. Marks it unhealthy (the health monitor may later flip
+  /// it back) and releases the routed connection. Unknown backends are a
+  /// no-op.
+  void report_backend_failure(net::Ipv4Address backend, int port);
+
+  /// One-shot failover: reports `dead` as failed, then routes the request
+  /// again among the remaining healthy backends of `component`. Counted in
+  /// failovers().
+  Result<BackEndEntry> route_failover(const BackEndEntry& dead,
+                                      std::string_view component = "");
 
   [[nodiscard]] const std::string& service_name() const noexcept {
     return service_name_;
@@ -138,6 +169,8 @@ class ServiceSwitch {
   [[nodiscard]] const SwitchPolicy& policy() const noexcept { return *policy_; }
   [[nodiscard]] std::uint64_t requests_routed() const noexcept { return routed_; }
   [[nodiscard]] std::uint64_t requests_refused() const noexcept { return refused_; }
+  /// Requests re-routed after their first backend turned out dead.
+  [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
 
   /// Renders the current configuration file (Table 3 format).
   [[nodiscard]] std::string config_text() const;
@@ -158,6 +191,7 @@ class ServiceSwitch {
   std::unique_ptr<SwitchPolicy> policy_;
   std::uint64_t routed_ = 0;
   std::uint64_t refused_ = 0;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace soda::core

@@ -20,6 +20,11 @@ std::string_view trace_kind_name(TraceKind kind) noexcept {
     case TraceKind::kTornDown:        return "torn-down";
     case TraceKind::kHealthChanged:   return "health-changed";
     case TraceKind::kPrimingFailed:   return "priming-failed";
+    case TraceKind::kHostDown:        return "host-down";
+    case TraceKind::kHostUp:          return "host-up";
+    case TraceKind::kNodeLost:        return "node-lost";
+    case TraceKind::kDegraded:        return "degraded";
+    case TraceKind::kRecovered:       return "recovered";
   }
   return "unknown";
 }

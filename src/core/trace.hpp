@@ -27,6 +27,11 @@ enum class TraceKind {
   kTornDown,          // service gone
   kHealthChanged,     // monitor flipped a backend
   kPrimingFailed,     // a node's priming pipeline failed
+  kHostDown,          // failure detector declared a HUP host dead
+  kHostUp,            // a dead host's heartbeats resumed
+  kNodeLost,          // a placement died with its host
+  kDegraded,          // service running below its admitted capacity
+  kRecovered,         // lost capacity re-created on surviving hosts
 };
 
 std::string_view trace_kind_name(TraceKind kind) noexcept;

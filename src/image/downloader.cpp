@@ -1,9 +1,11 @@
 #include "image/downloader.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "net/http.hpp"
 #include "util/contract.hpp"
+#include "util/log.hpp"
 
 namespace soda::image {
 
@@ -15,12 +17,31 @@ constexpr std::int64_t kHandshakeBytes = 128;
 
 HttpDownloader::HttpDownloader(sim::Engine& engine, net::FlowNetwork& network,
                                net::NodeId host_node)
-    : engine_(engine), network_(network), host_node_(host_node) {}
+    : engine_(engine),
+      network_(network),
+      host_node_(host_node),
+      // Key the jitter stream by the host's network attachment so co-located
+      // downloaders desynchronize while every replica stays deterministic.
+      rng_(0x0DA1'10AD ^ (static_cast<std::uint64_t>(host_node.value) << 17)) {}
+
+sim::SimTime HttpDownloader::backoff_delay(int attempts_made) noexcept {
+  double delay_sec = policy_.base_delay.to_seconds();
+  for (int i = 1; i < attempts_made; ++i) delay_sec *= policy_.multiplier;
+  delay_sec = std::min(delay_sec, policy_.max_delay.to_seconds());
+  delay_sec *= rng_.uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+  return sim::SimTime::seconds(delay_sec);
+}
 
 void HttpDownloader::download(const ImageRepository& repo,
                               const ImageLocation& location, Callback on_done) {
   SODA_EXPECTS(on_done != nullptr);
+  SODA_EXPECTS(policy_.max_attempts >= 1);
+  attempt(repo, location, std::move(on_done), policy_.max_attempts);
+}
 
+void HttpDownloader::attempt(const ImageRepository& repo,
+                             const ImageLocation& location, Callback on_done,
+                             int tries_left) {
   net::HttpRequest request;
   request.method = "GET";
   request.target = location.path;
@@ -40,8 +61,26 @@ void HttpDownloader::download(const ImageRepository& repo,
   // Phase 1: request travels daemon -> repository.
   auto result = network_.start_flow(
       host_node_, repo.node(), request_cost,
-      [this, repo_node = repo.node(), response = std::move(response),
-       image_lookup, on_done = std::move(on_done)](sim::SimTime) mutable {
+      [this, &repo, location, response = std::move(response), image_lookup,
+       on_done = std::move(on_done), tries_left](sim::SimTime) mutable {
+        if (response.status >= 500 && tries_left > 1) {
+          // Transient server failure: back off and try again. Permanent
+          // errors (404/400) fall through and fail immediately.
+          ++retries_;
+          const int attempts_made = policy_.max_attempts - tries_left + 1;
+          const sim::SimTime delay = backoff_delay(attempts_made);
+          util::global_logger().warn(
+              "downloader", "HTTP " + std::to_string(response.status) +
+                                " from " + repo.name() + "; retrying in " +
+                                std::to_string(delay.to_seconds()) + "s (" +
+                                std::to_string(tries_left - 1) + " left)");
+          engine_.schedule_after(
+              delay, [this, &repo, location, on_done = std::move(on_done),
+                      tries_left]() mutable {
+                attempt(repo, location, std::move(on_done), tries_left - 1);
+              });
+          return;
+        }
         if (response.status != 200 || !image_lookup.ok()) {
           ++failed_;
           on_done(Error{"HTTP " + std::to_string(response.status) + " " +
@@ -53,7 +92,7 @@ void HttpDownloader::download(const ImageRepository& repo,
         const std::int64_t body_bytes = image.packaged_bytes();
         // Phase 2: response body travels repository -> daemon.
         auto body_flow = network_.start_flow(
-            repo_node, host_node_, body_bytes,
+            repo.node(), host_node_, body_bytes,
             [this, image, body_bytes,
              on_done = std::move(on_done)](sim::SimTime finished) mutable {
               ++completed_;

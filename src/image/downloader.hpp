@@ -14,9 +14,23 @@
 #include "image/repository.hpp"
 #include "net/flow_network.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 #include "util/result.hpp"
 
 namespace soda::image {
+
+/// Retry tuning for transient (5xx) repository failures: exponential
+/// backoff with deterministic jitter drawn from the downloader's own RNG
+/// stream, so every replica of a seeded experiment retries at identical
+/// sim-times. Permanent errors (404, 400) are never retried.
+struct RetryPolicy {
+  int max_attempts = 4;  // total tries, including the first
+  sim::SimTime base_delay = sim::SimTime::milliseconds(200);
+  double multiplier = 2.0;
+  sim::SimTime max_delay = sim::SimTime::seconds(5);
+  /// Each delay is scaled by uniform(1 - jitter, 1 + jitter).
+  double jitter = 0.1;
+};
 
 /// Downloads images from repositories for one HUP host.
 class HttpDownloader {
@@ -25,28 +39,45 @@ class HttpDownloader {
       std::function<void(Result<ServiceImage> image, sim::SimTime finished_at)>;
 
   /// `host_node` is the downloading HUP host's flow-network attachment.
+  /// `seed` feeds the backoff-jitter RNG (keyed by the host node so two
+  /// hosts retrying the same outage do not synchronize).
   HttpDownloader(sim::Engine& engine, net::FlowNetwork& network,
                  net::NodeId host_node);
 
   /// Fetches `location` from `repo`. `on_done` fires with a copy of the
-  /// image when the last byte arrives, or with the repository's error
-  /// (e.g. 404) after the request round trip.
+  /// image when the last byte arrives, or with the repository's error after
+  /// the request round trip. Transient failures (HTTP 5xx) are retried per
+  /// the RetryPolicy before the error is surfaced.
   void download(const ImageRepository& repo, const ImageLocation& location,
                 Callback on_done);
+
+  void set_retry_policy(RetryPolicy policy) { policy_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return policy_;
+  }
 
   [[nodiscard]] std::uint64_t downloads_completed() const noexcept {
     return completed_;
   }
   [[nodiscard]] std::uint64_t downloads_failed() const noexcept { return failed_; }
+  /// Attempts beyond the first, across all downloads.
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
   [[nodiscard]] std::int64_t bytes_downloaded() const noexcept { return bytes_; }
 
  private:
+  void attempt(const ImageRepository& repo, const ImageLocation& location,
+               Callback on_done, int tries_left);
+  [[nodiscard]] sim::SimTime backoff_delay(int attempts_made) noexcept;
+
   sim::Engine& engine_;
   net::FlowNetwork& network_;
   net::NodeId host_node_;
+  RetryPolicy policy_;
+  sim::Rng rng_;
   std::set<std::string> connected_;  // repositories with a live keep-alive
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
   std::int64_t bytes_ = 0;
 };
 

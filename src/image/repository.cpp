@@ -34,6 +34,15 @@ Result<const ServiceImage*> ImageRepository::lookup(const std::string& path) con
 }
 
 net::HttpResponse ImageRepository::handle(const net::HttpRequest& request) const {
+  if (fail_next_ > 0) {
+    --fail_next_;
+    net::HttpResponse resp;
+    resp.status = 503;
+    resp.reason = "Service Unavailable";
+    resp.headers.set("Retry-After", "1");
+    resp.body = "transient overload";
+    return resp;
+  }
   if (request.method != "GET") {
     net::HttpResponse resp;
     resp.status = 400;

@@ -42,6 +42,11 @@ class ImageRepository {
   /// bytes — transfer cost is modeled by the flow network.
   [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request) const;
 
+  /// Fault injection: the next `n` requests answer 503 Service Unavailable
+  /// (transient overload), then the repository serves normally again.
+  void fail_next_requests(int n) { fail_next_ = n; }
+  [[nodiscard]] int failing_requests() const noexcept { return fail_next_; }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] net::NodeId node() const noexcept { return node_; }
   [[nodiscard]] std::size_t image_count() const noexcept { return images_.size(); }
@@ -53,6 +58,9 @@ class ImageRepository {
   net::NodeId node_;
   std::map<std::string, ServiceImage> by_path_;
   std::map<std::string, std::string> images_;  // name -> path
+  /// mutable: serving a 503 consumes one injected failure, but handle() is
+  /// semantically const for callers (content is untouched).
+  mutable int fail_next_ = 0;
 };
 
 }  // namespace soda::image

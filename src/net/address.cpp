@@ -7,14 +7,33 @@
 
 namespace soda::net {
 
+namespace {
+
+/// Strict dotted-quad component: 1-3 decimal digits, nothing else — no
+/// whitespace, no sign, no zero padding. util::parse_int deliberately trims
+/// (config files rely on that), so the strictness lives here.
+std::optional<std::uint32_t> parse_strict_quad(std::string_view part) noexcept {
+  if (part.empty() || part.size() > 3) return std::nullopt;
+  if (part.size() > 1 && part.front() == '0') return std::nullopt;
+  std::uint32_t quad = 0;
+  for (const char c : part) {
+    if (c < '0' || c > '9') return std::nullopt;
+    quad = quad * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (quad > 255) return std::nullopt;
+  return quad;
+}
+
+}  // namespace
+
 std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) noexcept {
   const auto parts = util::split(text, '.');
   if (parts.size() != 4) return std::nullopt;
   std::uint32_t value = 0;
   for (const auto& part : parts) {
-    const auto quad = util::parse_int(part);
-    if (!quad || *quad > 255 || part.empty() || part.size() > 3) return std::nullopt;
-    value = (value << 8) | static_cast<std::uint32_t>(*quad);
+    const auto quad = parse_strict_quad(part);
+    if (!quad) return std::nullopt;
+    value = (value << 8) | *quad;
   }
   return Ipv4Address(value);
 }

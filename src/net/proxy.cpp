@@ -20,7 +20,7 @@ Result<int> ProxyTable::forward(ProxyTarget target) {
   for (int probe = 0; probe < port_count_; ++probe) {
     const int port = first_port_ + (next_port_ - first_port_ + probe) % port_count_;
     if (table_.count(port) == 0) {
-      table_.emplace(port, target);
+      table_.emplace(port, Entry{target, 0, false});
       next_port_ = port + 1;
       if (next_port_ >= first_port_ + port_count_) next_port_ = first_port_;
       return port;
@@ -34,7 +34,7 @@ Status ProxyTable::forward_on(int public_port, ProxyTarget target) {
     return Error{"proxy@" + host_name_ + ": port " + std::to_string(public_port) +
                  " outside managed range"};
   }
-  auto [it, inserted] = table_.emplace(public_port, target);
+  auto [it, inserted] = table_.emplace(public_port, Entry{target, 0, false});
   (void)it;
   if (!inserted) {
     return Error{"proxy@" + host_name_ + ": port " + std::to_string(public_port) +
@@ -45,20 +45,45 @@ Status ProxyTable::forward_on(int public_port, ProxyTarget target) {
 
 bool ProxyTable::remove(int public_port) { return table_.erase(public_port) > 0; }
 
+bool ProxyTable::begin_drain(int public_port) {
+  auto it = table_.find(public_port);
+  if (it == table_.end()) return false;
+  if (it->second.active == 0) {
+    table_.erase(it);
+  } else {
+    it->second.draining = true;
+  }
+  return true;
+}
+
+void ProxyTable::connection_closed(int public_port) {
+  auto it = table_.find(public_port);
+  if (it == table_.end()) return;
+  SODA_EXPECTS(it->second.active > 0);
+  --it->second.active;
+  if (it->second.draining && it->second.active == 0) table_.erase(it);
+}
+
 std::optional<ProxyTarget> ProxyTable::forward_lookup(int public_port) {
   auto it = table_.find(public_port);
-  if (it == table_.end()) {
+  if (it == table_.end() || it->second.draining) {
     ++missed_;
     return std::nullopt;
   }
   ++forwarded_;
-  return it->second;
+  ++it->second.active;
+  return it->second.target;
 }
 
 std::optional<ProxyTarget> ProxyTable::peek(int public_port) const {
   auto it = table_.find(public_port);
   if (it == table_.end()) return std::nullopt;
-  return it->second;
+  return it->second.target;
+}
+
+bool ProxyTable::draining(int public_port) const {
+  auto it = table_.find(public_port);
+  return it != table_.end() && it->second.draining;
 }
 
 }  // namespace soda::net

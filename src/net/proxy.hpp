@@ -43,15 +43,27 @@ class ProxyTable {
   /// port is outside the range or already taken.
   Status forward_on(int public_port, ProxyTarget target);
 
-  /// Removes the entry for `public_port`; false when absent.
+  /// Removes the entry for `public_port` immediately, in-flight connections
+  /// or not; false when absent.
   bool remove(int public_port);
 
-  /// The private endpoint behind `public_port`, if mapped. Counts the
-  /// lookup as a forwarded connection when found.
+  /// Graceful removal: the entry stops accepting new connections now and is
+  /// erased when its last in-flight connection closes (immediately when
+  /// idle). False when absent.
+  bool begin_drain(int public_port);
+
+  /// A connection previously handed out by forward_lookup closed. Erases
+  /// the entry when it is draining and this was its last connection.
+  void connection_closed(int public_port);
+
+  /// The private endpoint behind `public_port`, if mapped and not draining.
+  /// Counts the lookup as a forwarded connection when found (draining
+  /// entries count as misses — the port is closing to new traffic).
   std::optional<ProxyTarget> forward_lookup(int public_port);
 
-  /// Read-only lookup (no counter).
+  /// Read-only lookup (no counter; draining entries still visible).
   [[nodiscard]] std::optional<ProxyTarget> peek(int public_port) const;
+  [[nodiscard]] bool draining(int public_port) const;
 
   [[nodiscard]] std::size_t entry_count() const noexcept { return table_.size(); }
   [[nodiscard]] std::uint64_t connections_forwarded() const noexcept {
@@ -60,12 +72,18 @@ class ProxyTable {
   [[nodiscard]] std::uint64_t lookups_missed() const noexcept { return missed_; }
 
  private:
+  struct Entry {
+    ProxyTarget target;
+    std::uint64_t active = 0;  // connections handed out and not yet closed
+    bool draining = false;
+  };
+
   std::string host_name_;
   Ipv4Address public_;
   int first_port_;
   int port_count_;
   int next_port_;
-  std::map<int, ProxyTarget> table_;
+  std::map<int, Entry> table_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t missed_ = 0;
 };

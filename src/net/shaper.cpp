@@ -1,6 +1,7 @@
 #include "net/shaper.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/contract.hpp"
 
@@ -21,6 +22,7 @@ void TokenBucket::refill(sim::SimTime now) const {
 
 bool TokenBucket::try_consume(double bytes, sim::SimTime now) {
   SODA_EXPECTS(bytes >= 0);
+  SODA_EXPECTS(bytes <= burst_);
   refill(now);
   if (tokens_ + 1e-9 < bytes) return false;
   tokens_ -= bytes;
@@ -28,11 +30,16 @@ bool TokenBucket::try_consume(double bytes, sim::SimTime now) {
 }
 
 sim::SimTime TokenBucket::available_at(double bytes, sim::SimTime now) const {
+  SODA_EXPECTS(bytes >= 0);
   SODA_EXPECTS(bytes <= burst_);
   refill(now);
   if (tokens_ >= bytes) return now;
+  // Round the wait up to a whole simulated nanosecond so that consuming at
+  // the returned instant always succeeds; truncating would promise a time at
+  // which the bucket is still up to one tick of refill short.
   const double wait_sec = (bytes - tokens_) / rate_;
-  return now + sim::SimTime::seconds(wait_sec);
+  return now + sim::SimTime::nanoseconds(
+                   static_cast<std::int64_t>(std::ceil(wait_sec * 1e9)));
 }
 
 double TokenBucket::tokens(sim::SimTime now) const {

@@ -68,8 +68,10 @@ void SiegeClient::issue_request() {
     const auto& [key, backend] = *backends_.begin();
     must(network_.start_flow(client_, backend.node, kRequestBytes,
                              [this, key, started](sim::SimTime) {
-                               dispatch_to(net::Ipv4Address(key),
-                                           backends_.at(key), started);
+                               dispatch_to(
+                                   core::BackEndEntry{net::Ipv4Address(key), 0,
+                                                      1, {}},
+                                   backends_.at(key), started);
                              }));
     return;
   }
@@ -87,43 +89,66 @@ void SiegeClient::issue_request() {
         maybe_continue();
         return;
       }
-      const net::Ipv4Address address = routed.value().address;
-      auto it = backends_.find(address.value());
+      core::BackEndEntry entry = routed.value();
+      auto it = backends_.find(entry.address.value());
       if (it == backends_.end()) {
         // Configuration names a backend we have no server object for.
         ++refused_;
-        switch_->on_request_complete(address);
+        switch_->on_request_complete(entry.address, entry.port);
         maybe_continue();
         return;
       }
+      if (it->second.server->down()) {
+        // The routed backend died after the health monitor's last probe.
+        // One-shot failover: report the failure and retry among the
+        // remaining healthy backends; a second dead pick is refused.
+        const std::string component =
+            config_.target.empty() ? std::string()
+                                   : switch_->component_for(config_.target);
+        auto retried = switch_->route_failover(entry, component);
+        if (!retried.ok()) {
+          ++refused_;
+          maybe_continue();
+          return;
+        }
+        entry = retried.value();
+        it = backends_.find(entry.address.value());
+        if (it == backends_.end() || it->second.server->down()) {
+          ++refused_;
+          switch_->on_request_complete(entry.address, entry.port);
+          maybe_continue();
+          return;
+        }
+        ++failed_over_;
+      }
       const Backend backend = it->second;
       must(network_.start_flow(*switch_node_, backend.node, kRequestBytes,
-                               [this, address, backend, started](sim::SimTime) {
-                                 dispatch_to(address, backend, started);
+                               [this, entry, backend, started](sim::SimTime) {
+                                 dispatch_to(entry, backend, started);
                                }));
     });
   }));
 }
 
-void SiegeClient::dispatch_to(net::Ipv4Address address, const Backend& backend,
-                              sim::SimTime started) {
+void SiegeClient::dispatch_to(const core::BackEndEntry& entry,
+                              const Backend& backend, sim::SimTime started) {
   backend.server->handle_request(
       client_, config_.response_bytes,
-      [this, address, started](sim::SimTime delivered) {
-        on_response(address, started, delivered);
+      [this, entry, started](sim::SimTime delivered) {
+        on_response(entry, started, delivered);
       });
 }
 
-void SiegeClient::on_response(net::Ipv4Address address, sim::SimTime started,
-                              sim::SimTime delivered) {
+void SiegeClient::on_response(const core::BackEndEntry& entry,
+                              sim::SimTime started, sim::SimTime delivered) {
   const double rt = (delivered - started).to_seconds();
   overall_.add(rt);
-  per_backend_[address.value()].add(rt);
-  ++completed_per_backend_[address.value()];
+  per_backend_[entry.address.value()].add(rt);
+  ++completed_per_backend_[entry.address.value()];
   ++completed_;
   if (switch_) {
-    switch_->on_request_complete(address);
-    switch_->report_response_time(address, rt);
+    switch_->on_request_complete(entry.address, entry.port);
+    switch_->report_response_time(entry.address, entry.port, rt);
   }
   maybe_continue();
 }

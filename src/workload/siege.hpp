@@ -64,6 +64,8 @@ class SiegeClient {
   }
   [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
   [[nodiscard]] std::uint64_t refused() const noexcept { return refused_; }
+  /// Requests that were re-routed after their first backend was down.
+  [[nodiscard]] std::uint64_t failed_over() const noexcept { return failed_over_; }
 
   /// Response-time samples (seconds) across all backends.
   [[nodiscard]] const sim::SampleSet& response_times() const noexcept {
@@ -86,9 +88,9 @@ class SiegeClient {
   /// Closed loop: after a request ends (served or refused), think then issue
   /// the next one. Open loop: no-op (arrivals self-schedule).
   void maybe_continue();
-  void dispatch_to(net::Ipv4Address address, const Backend& backend,
+  void dispatch_to(const core::BackEndEntry& entry, const Backend& backend,
                    sim::SimTime started);
-  void on_response(net::Ipv4Address address, sim::SimTime started,
+  void on_response(const core::BackEndEntry& entry, sim::SimTime started,
                    sim::SimTime delivered);
 
   sim::Engine& engine_;
@@ -106,6 +108,7 @@ class SiegeClient {
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t refused_ = 0;
+  std::uint64_t failed_over_ = 0;
 };
 
 /// CPU cost of the switch's own forwarding work per request (accept + parse

@@ -307,11 +307,120 @@ TEST(Switch, ActiveConnectionsTracked) {
   EXPECT_EQ(active, 0u);
 }
 
+// Two proxied components of one partitioned service may share their host's
+// public address on different ports (add_backend permits this). Policy
+// state must be keyed by (address, port), not address alone: with an
+// address-only key the two backends alias one smooth-WRR weight slot and
+// the interleave degenerates (one backend starves).
+TEST(Switch, WrrKeysStateByAddressAndPort) {
+  ServiceSwitch sw("shop", kNode1, 8080);
+  must(sw.add_backend(BackEndEntry{kNode1, 8080, 2, {}}));
+  must(sw.add_backend(BackEndEntry{kNode1, 9090, 1, {}}));
+  std::map<int, int> by_port;
+  for (int i = 0; i < 300; ++i) ++by_port[must(sw.route()).port];
+  EXPECT_EQ(by_port[8080], 200);
+  EXPECT_EQ(by_port[9090], 100);
+}
+
 TEST(Switch, ListenEndpointExposed) {
   auto sw = make_switch();
   EXPECT_EQ(sw.listen_address(), kNode1);
   EXPECT_EQ(sw.listen_port(), 8080);
   EXPECT_EQ(sw.service_name(), "web-content");
+}
+
+// Same-address backends must also keep separate EWMA estimates and
+// connection counts — a shared slot would let one component's slow
+// responses poison its sibling's estimate.
+TEST(Switch, FastestResponseKeysEwmaByAddressAndPort) {
+  ServiceSwitch sw("shop", kNode1, 8080);
+  must(sw.add_backend(BackEndEntry{kNode1, 8080, 1, {}}));
+  must(sw.add_backend(BackEndEntry{kNode1, 9090, 1, {}}));
+  sw.set_policy(make_fastest_response(1.0));  // alpha 1: last sample wins
+  sw.report_response_time(kNode1, 8080, 0.500);
+  sw.report_response_time(kNode1, 9090, 0.001);
+  std::map<int, int> by_port;
+  for (int i = 0; i < 20; ++i) {
+    const auto backend = must(sw.route());
+    ++by_port[backend.port];
+    sw.on_request_complete(backend.address, backend.port);
+  }
+  EXPECT_EQ(by_port[9090], 20);
+  EXPECT_EQ(by_port[8080], 0);
+}
+
+TEST(Switch, LeastConnectionsKeysActiveByAddressAndPort) {
+  ServiceSwitch sw("shop", kNode1, 8080);
+  must(sw.add_backend(BackEndEntry{kNode1, 8080, 1, {}}));
+  must(sw.add_backend(BackEndEntry{kNode1, 9090, 1, {}}));
+  sw.set_policy(make_least_connections());
+  const auto first = must(sw.route());
+  const auto second = must(sw.route());
+  EXPECT_NE(first.port, second.port);
+  // Completing on one port credits only that backend.
+  sw.on_request_complete(kNode1, first.port);
+  const auto third = must(sw.route());
+  EXPECT_EQ(third.port, first.port);
+}
+
+// ---------- Draining and failover ----------
+
+TEST(Switch, RemoveWithActiveConnectionsDrains) {
+  auto sw = make_switch(1, 1);
+  // Open a connection to each backend.
+  const auto a = must(sw.route());
+  const auto b = must(sw.route());
+  ASSERT_NE(a.address, b.address);
+  must(sw.remove_backend(kNode2, 8080));
+  // Still present (draining), but invisible to routing.
+  EXPECT_EQ(sw.backends().size(), 2u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(must(sw.route()).address, kNode1);
+    sw.on_request_complete(kNode1, 8080);
+  }
+  // The last in-flight completion erases the drained backend.
+  const auto& drained = a.address == kNode2 ? a : b;
+  sw.on_request_complete(drained.address, drained.port);
+  EXPECT_EQ(sw.backends().size(), 1u);
+  EXPECT_EQ(sw.backends().front().entry.address, kNode1);
+}
+
+TEST(Switch, RemoveIdleBackendErasesImmediately) {
+  auto sw = make_switch(1, 1);
+  must(sw.remove_backend(kNode2, 8080));
+  EXPECT_EQ(sw.backends().size(), 1u);
+}
+
+TEST(Switch, RouteFailoverRetriesOnceAndMarksDead) {
+  auto sw = make_switch(1, 1);
+  const auto first = must(sw.route());
+  // The data path discovered `first` is dead: failover must route the
+  // request to the other backend and count it.
+  const auto retried = must(sw.route_failover(first));
+  EXPECT_NE(retried.address, first.address);
+  EXPECT_EQ(sw.failovers(), 1u);
+  // The dead backend is now unhealthy; fresh routes avoid it.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(must(sw.route()).address, retried.address);
+    sw.on_request_complete(retried.address, retried.port);
+  }
+}
+
+TEST(Switch, RouteFailoverRefusesWhenNoAlternative) {
+  ServiceSwitch sw("web", kNode1, 8080);
+  must(sw.add_backend(BackEndEntry{kNode1, 8080, 1, {}}));
+  const auto only = must(sw.route());
+  const std::uint64_t refused_before = sw.requests_refused();
+  EXPECT_FALSE(sw.route_failover(only).ok());
+  EXPECT_EQ(sw.failovers(), 0u);
+  EXPECT_GT(sw.requests_refused(), refused_before);
+}
+
+TEST(Switch, RehomeMovesListenEndpoint) {
+  auto sw = make_switch();
+  sw.rehome(kNode3, 9000);
+  EXPECT_EQ(sw.listen_address(), kNode3);
+  EXPECT_EQ(sw.listen_port(), 9000);
 }
 
 }  // namespace

@@ -23,6 +23,23 @@ TEST(Ipv4, ParseRejectsMalformed) {
   EXPECT_FALSE(Ipv4Address::parse("0001.2.3.4").has_value());
 }
 
+// Quads must be strict: digits only — no interior whitespace (which a
+// lenient trimming integer parser would accept), no signs, no zero padding.
+TEST(Ipv4, ParseRejectsLooseQuads) {
+  EXPECT_FALSE(Ipv4Address::parse("1. 2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3. 4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse(" 1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4\n").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.\t2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("+1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.+4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("01.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.003.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.00").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("0x1.2.3.4").has_value());
+}
+
 TEST(Ipv4, ParseAcceptsEdges) {
   EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
   EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);

@@ -82,6 +82,38 @@ TEST(TokenBucket, AvailableAtPredictsWait) {
   EXPECT_EQ(bucket.available_at(0, sim::SimTime::zero()), sim::SimTime::zero());
 }
 
+// A request larger than the burst can never be satisfied; both halves of
+// the contract must say so the same way. available_at already asserts —
+// try_consume must not silently return false forever.
+TEST(TokenBucket, OversizedRequestViolatesContractSymmetrically) {
+  TokenBucket bucket(1000, 500);
+  EXPECT_DEATH(bucket.try_consume(501, sim::SimTime::zero()), "precondition");
+  EXPECT_DEATH(bucket.available_at(501, sim::SimTime::zero()), "precondition");
+}
+
+// Epsilon consistency: consuming `bytes` at exactly the instant
+// available_at(bytes, now) promises must always succeed, despite the
+// floating-point refill arithmetic in between.
+TEST(TokenBucket, ConsumeAtAvailableAtAlwaysSucceeds) {
+  const double rates[] = {3.0, 997.0, 1e6, 0.125};
+  const double bursts[] = {1.0, 499.5, 1e5, 7.3};
+  for (const double rate : rates) {
+    for (const double burst : bursts) {
+      if (burst < 1) continue;  // constructor requires burst >= 1
+      TokenBucket bucket(rate, burst);
+      sim::SimTime now = sim::SimTime::zero();
+      for (int i = 1; i <= 50; ++i) {
+        const double bytes = burst * (static_cast<double>(i % 10) + 0.37) / 10.5;
+        const sim::SimTime ready = bucket.available_at(bytes, now);
+        ASSERT_GE(ready, now);
+        ASSERT_TRUE(bucket.try_consume(bytes, ready))
+            << "rate=" << rate << " burst=" << burst << " bytes=" << bytes;
+        now = ready;
+      }
+    }
+  }
+}
+
 TEST(TokenBucket, MonotonicRefillIgnoresPastTimes) {
   TokenBucket bucket(1000, 500);
   ASSERT_TRUE(bucket.try_consume(400, sim::SimTime::seconds(1)));

@@ -67,6 +67,44 @@ TEST(ProxyTable, ExplicitPortRespectsRangeAndConflicts) {
   EXPECT_FALSE(proxy.forward({kPrivate2, 80}).ok());
 }
 
+TEST(ProxyTable, BeginDrainOnIdleEntryErasesImmediately) {
+  net::ProxyTable proxy("seattle", kPublic);
+  const int port = must(proxy.forward({kPrivate1, 80}));
+  EXPECT_TRUE(proxy.begin_drain(port));
+  EXPECT_EQ(proxy.entry_count(), 0u);
+  EXPECT_FALSE(proxy.begin_drain(port));  // already gone
+}
+
+TEST(ProxyTable, DrainingEntryRefusesNewKeepsExistingConnections) {
+  net::ProxyTable proxy("seattle", kPublic);
+  const int port = must(proxy.forward({kPrivate1, 80}));
+  ASSERT_TRUE(proxy.forward_lookup(port).has_value());  // conn 1
+  ASSERT_TRUE(proxy.forward_lookup(port).has_value());  // conn 2
+  EXPECT_TRUE(proxy.begin_drain(port));
+  EXPECT_TRUE(proxy.draining(port));
+  EXPECT_EQ(proxy.entry_count(), 1u);  // still present while draining
+  // New connections are refused (and counted as misses); the mapping is
+  // still visible to peek for diagnostics.
+  EXPECT_FALSE(proxy.forward_lookup(port).has_value());
+  EXPECT_EQ(proxy.lookups_missed(), 1u);
+  EXPECT_TRUE(proxy.peek(port).has_value());
+  // The last close erases the entry and frees the port.
+  proxy.connection_closed(port);
+  EXPECT_EQ(proxy.entry_count(), 1u);
+  proxy.connection_closed(port);
+  EXPECT_EQ(proxy.entry_count(), 0u);
+  EXPECT_FALSE(proxy.peek(port).has_value());
+}
+
+TEST(ProxyTable, CloseWithoutDrainKeepsEntry) {
+  net::ProxyTable proxy("seattle", kPublic);
+  const int port = must(proxy.forward({kPrivate1, 80}));
+  ASSERT_TRUE(proxy.forward_lookup(port).has_value());
+  proxy.connection_closed(port);
+  EXPECT_EQ(proxy.entry_count(), 1u);
+  EXPECT_TRUE(proxy.forward_lookup(port).has_value());
+}
+
 // ---------- HupHost proxy wiring ----------
 
 TEST(HostProxy, DefaultPublicAddressConvention) {
