@@ -32,7 +32,7 @@ SodaDaemon::SodaDaemon(sim::Engine& engine, net::FlowNetwork& network,
       network_(network),
       host_(host),
       shaper_(shaper),
-      downloader_(engine, network, host.lan_node()) {}
+      distributor_(engine, network, host.lan_node(), host.name()) {}
 
 void SodaDaemon::prime_node(PrimeCommand command, PrimeCallback done) {
   SODA_EXPECTS(done != nullptr);
@@ -70,7 +70,7 @@ void SodaDaemon::prime_node(PrimeCommand command, PrimeCallback done) {
   const sim::SimTime download_started = engine_.now();
   const image::ImageRepository& repository = *command.repository;
   const image::ImageLocation location = command.location;
-  downloader_.download(
+  distributor_.fetch(
       repository, location,
       [this, command = std::move(command), slice = slice.value(),
        download_started,
@@ -328,6 +328,11 @@ void SodaDaemon::crash_host() {
     must(host_.release(node.slice()));
   }
   nodes_.clear();
+  // Image distribution dies with the host: in-flight fetches fail (their
+  // prime callbacks observe !alive_), the chunk cache and keep-alive
+  // connections are gone, and the Master's chunk registry drops this host
+  // so peers fail over mid-transfer.
+  distributor_.handle_local_crash();
   util::global_logger().warn("daemon@" + host_.name(), "host crashed");
 }
 

@@ -17,7 +17,7 @@
 #include <string>
 
 #include "host/host.hpp"
-#include "image/downloader.hpp"
+#include "image/distributor.hpp"
 #include "image/repository.hpp"
 #include "net/flow_network.hpp"
 #include "net/shaper.hpp"
@@ -91,6 +91,16 @@ class SodaDaemon {
   }
   [[nodiscard]] host::HupHost& host() noexcept { return host_; }
   [[nodiscard]] const host::HupHost& host() const noexcept { return host_; }
+
+  /// This host's image-distribution front end (chunk cache, coalescing,
+  /// P2P priming). The Master wires its registry/directory/config at
+  /// daemon registration.
+  [[nodiscard]] image::ImageDistributor& distributor() noexcept {
+    return distributor_;
+  }
+  [[nodiscard]] const image::ImageDistributor& distributor() const noexcept {
+    return distributor_;
+  }
 
   using PrimeCallback =
       std::function<void(Result<vm::VirtualServiceNode*> node, sim::SimTime now)>;
@@ -169,7 +179,7 @@ class SodaDaemon {
   net::FlowNetwork& network_;
   host::HupHost& host_;
   net::TrafficShaper& shaper_;
-  image::HttpDownloader downloader_;
+  image::ImageDistributor distributor_;
   std::map<std::string, NodeRecord> nodes_;
   TraceLog* trace_ = nullptr;
   bool alive_ = true;

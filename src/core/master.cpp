@@ -77,12 +77,71 @@ Status SodaMaster::register_daemon(SodaDaemon* daemon) {
     }
   }
   daemons_.push_back(daemon);
+  // Wire the host's image-distribution front end into the HUP: shared
+  // repository directory (per-attempt name resolution), shared chunk
+  // registry (P2P priming), and the Master's distribution policy.
+  daemon->distributor().configure(config_.distribution);
+  daemon->distributor().set_directory(&directory_);
+  daemon->distributor().set_registry(&chunk_registry_);
   return {};
 }
 
 void SodaMaster::register_repository(const image::ImageRepository* repository) {
   SODA_EXPECTS(repository != nullptr);
-  repositories_[repository->name()] = repository;
+  directory_.add(repository);
+}
+
+bool SodaMaster::unregister_repository(const std::string& name) {
+  return directory_.remove(name);
+}
+
+void SodaMaster::warm_hosts(const image::ImageLocation& location,
+                            const std::vector<std::string>& hosts,
+                            WarmCallback done) {
+  SODA_EXPECTS(done != nullptr);
+  const image::ImageRepository* repo = directory_.find(location.repository);
+  if (repo == nullptr) {
+    done(Error{"unknown repository: " + location.repository}, engine_.now());
+    return;
+  }
+  std::vector<SodaDaemon*> targets;
+  for (const std::string& host : hosts) {
+    for (SodaDaemon* daemon : daemons_) {
+      if (daemon->host_name() == host && daemon->alive() &&
+          down_hosts_.count(host) == 0) {
+        targets.push_back(daemon);
+      }
+    }
+  }
+  if (targets.empty()) {
+    done(Error{"no live host to warm with " + location.url()}, engine_.now());
+    return;
+  }
+  struct WarmJoin {
+    std::size_t pending = 0;
+    bool failed = false;
+    std::string first_error;
+  };
+  auto join = std::make_shared<WarmJoin>();
+  join->pending = targets.size();
+  for (SodaDaemon* daemon : targets) {
+    // The fetch lands the chunks in the host's cache (and registry); the
+    // image copy itself is discarded — priming re-fetches it for free.
+    daemon->distributor().fetch(
+        *repo, location,
+        [join, done](Result<image::ServiceImage> image, sim::SimTime now) {
+          if (!image.ok() && !join->failed) {
+            join->failed = true;
+            join->first_error = image.error().message;
+          }
+          if (--join->pending > 0) return;
+          if (join->failed) {
+            done(Error{join->first_error}, now);
+          } else {
+            done({}, now);
+          }
+        });
+  }
 }
 
 host::ResourceVector SodaMaster::hup_available() const {
@@ -210,14 +269,14 @@ void SodaMaster::create_service(const ServiceCreationRequest& request,
          engine_.now());
     return;
   }
-  auto repo_it = repositories_.find(request.image_location.repository);
-  if (repo_it == repositories_.end()) {
+  const image::ImageRepository* repo =
+      directory_.find(request.image_location.repository);
+  if (repo == nullptr) {
     done(ApiError{ApiErrorCode::kImageNotFound,
                   "unknown repository: " + request.image_location.repository},
          engine_.now());
     return;
   }
-  const image::ImageRepository* repo = repo_it->second;
   auto image = repo->lookup(request.image_location.path);
   if (!image.ok()) {
     done(ApiError{ApiErrorCode::kImageNotFound, image.error().message},
@@ -732,6 +791,9 @@ void SodaMaster::handle_host_failure(SodaDaemon& daemon) {
   if (trace_) {
     trace_->record(engine_.now(), TraceKind::kHostDown, "master", host);
   }
+  // The crashed host's chunks are unreachable: purge them from the registry
+  // so peers stop selecting it and fail over their in-flight transfers.
+  chunk_registry_.remove_host(host);
 
   std::vector<std::string> degraded;
   for (auto& [name, record] : services_) {

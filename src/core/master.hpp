@@ -20,6 +20,8 @@
 #include "core/service.hpp"
 #include "core/trace.hpp"
 #include "core/switch.hpp"
+#include "image/distributor.hpp"
+#include "image/repository.hpp"
 #include "sim/engine.hpp"
 #include "util/result.hpp"
 
@@ -47,6 +49,10 @@ struct MasterConfig {
   AddressMode address_mode = AddressMode::kBridging;
   /// Upper bound of nodes per service (one per host is the natural limit).
   int max_nodes_per_service = 16;
+  /// Image-distribution tuning (chunk cache / coalescing / P2P priming),
+  /// applied to every daemon's distributor at registration. Disabled by
+  /// default: priming then uses the legacy whole-image download path.
+  image::DistributionConfig distribution;
 };
 
 /// Failure-detector tuning. The Master declares a host dead when no
@@ -97,6 +103,35 @@ class SodaMaster {
 
   /// Makes a repository resolvable by name in image locations.
   void register_repository(const image::ImageRepository* repository);
+
+  /// Withdraws a repository from name resolution: downloads already past
+  /// their lookup finish, but every later attempt (including retries backing
+  /// off right now) fails cleanly instead of dangling. False if unknown.
+  bool unregister_repository(const std::string& name);
+
+  /// HUP-wide repository name resolution (daemons' downloaders re-resolve
+  /// through this on every attempt).
+  [[nodiscard]] const image::RepositoryDirectory& repository_directory()
+      const noexcept {
+    return directory_;
+  }
+
+  /// The chunk-location registry behind peer-to-peer priming.
+  [[nodiscard]] image::ChunkRegistry& chunk_registry() noexcept {
+    return chunk_registry_;
+  }
+  [[nodiscard]] const image::ChunkRegistry& chunk_registry() const noexcept {
+    return chunk_registry_;
+  }
+
+  using WarmCallback = std::function<void(Status, sim::SimTime)>;
+  /// Admission-time prefetch: pre-populates the named hosts' chunk caches
+  /// with `location`'s image (coalescing with any priming already in
+  /// flight), so subsequent creations/boots on them skip the origin. Fires
+  /// `done` once every target finished (first error wins). Hosts that are
+  /// unknown, dead, or down are skipped; erroring only if none remain.
+  void warm_hosts(const image::ImageLocation& location,
+                  const std::vector<std::string>& hosts, WarmCallback done);
 
   using CreateCallback =
       std::function<void(ApiResult<ServiceCreationReply>, sim::SimTime)>;
@@ -215,7 +250,8 @@ class SodaMaster {
   sim::Engine& engine_;
   MasterConfig config_;
   std::vector<SodaDaemon*> daemons_;
-  std::map<std::string, const image::ImageRepository*> repositories_;
+  image::RepositoryDirectory directory_;
+  image::ChunkRegistry chunk_registry_;
   std::map<std::string, ServiceRecord> services_;
   TraceLog* trace_ = nullptr;
 

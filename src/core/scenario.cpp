@@ -20,6 +20,7 @@ const std::map<std::string, std::pair<int, int>>& verb_arity() {
       {"mode", {1, 1}},          // mode <bridging|proxying> (before any host)
       {"placement", {1, 1}},     // placement <first-fit|best-fit|worst-fit>
       {"inflate", {1, 1}},       // inflate <factor-percent> (e.g. 150)
+      {"distribution", {1, 1}},  // distribution <origin|cache|p2p> (pre-host)
       {"host", {2, 3}},          // host <seattle|tacoma> <pool-start> [size]
       {"repo", {1, 1}},          // repo <name>
       {"asp", {2, 2}},           // asp <id> <key>
@@ -35,6 +36,9 @@ const std::map<std::string, std::pair<int, int>>& verb_arity() {
       {"detect", {0, 0}},        // one liveness poll + recovery pass
       {"probe", {0, 0}},         // run one health-monitor sweep
       {"trace", {0, 1}},         // trace [subject] -> dump control-plane events
+      {"warm", {2, 2}},          // warm <image> <host> (prefetch chunks)
+      {"drop-cache", {1, 1}},    // drop-cache <host>
+      {"expect-cached", {2, 2}}, // expect-cached <host> <min-chunks> (0: none)
       {"expect-nodes", {2, 2}},  // expect-nodes <service> <count>
       {"expect-state", {2, 2}},  // expect-state <service> <running|...>
       {"expect-services", {1, 1}},   // expect-services <count>
@@ -99,7 +103,8 @@ Result<image::ServiceImage> make_image(const ScenarioCommand& cmd) {
 /// Runs one command; expectation failures and API errors become errors.
 Status execute(Runtime& rt, const ScenarioCommand& cmd) {
   char buf[256];
-  if (cmd.verb == "mode" || cmd.verb == "placement" || cmd.verb == "inflate") {
+  if (cmd.verb == "mode" || cmd.verb == "placement" || cmd.verb == "inflate" ||
+      cmd.verb == "distribution") {
     if (rt.hup_built()) {
       return Error{error_at(cmd.line,
                             "'" + cmd.verb + "' must precede the first host")};
@@ -121,6 +126,19 @@ Status execute(Runtime& rt, const ScenarioCommand& cmd) {
         rt.config.placement = PlacementPolicy::kWorstFit;
       } else {
         return Error{error_at(cmd.line, "unknown placement '" + cmd.args[0] + "'")};
+      }
+    } else if (cmd.verb == "distribution") {
+      if (cmd.args[0] == "origin") {
+        rt.config.distribution.enabled = false;
+      } else if (cmd.args[0] == "cache") {
+        rt.config.distribution.enabled = true;
+        rt.config.distribution.p2p = false;
+      } else if (cmd.args[0] == "p2p") {
+        rt.config.distribution.enabled = true;
+        rt.config.distribution.p2p = true;
+      } else {
+        return Error{error_at(cmd.line,
+                              "unknown distribution '" + cmd.args[0] + "'")};
       }
     } else {
       auto percent = arg_int(cmd, cmd.args[0]);
@@ -309,6 +327,49 @@ Status execute(Runtime& rt, const ScenarioCommand& cmd) {
                   rt.hup().agent().billing().instance_hours(
                       cmd.args[0], rt.hup().engine().now()));
     rt.say(buf);
+    return {};
+  }
+  if (cmd.verb == "warm") {
+    auto it = rt.images.find(cmd.args[0]);
+    if (it == rt.images.end()) {
+      return Error{error_at(cmd.line, "image '" + cmd.args[0] + "' not published")};
+    }
+    std::optional<Error> failure;
+    sim::SimTime warmed_at = sim::SimTime::zero();
+    rt.hup().master().warm_hosts(
+        it->second, {cmd.args[1]}, [&](Status status, sim::SimTime now) {
+          if (!status.ok()) failure = status.error();
+          warmed_at = now;
+        });
+    rt.hup().engine().run();
+    if (failure) return Error{error_at(cmd.line, failure->message)};
+    std::snprintf(buf, sizeof buf, "warmed %s on %s at t=%.2fs",
+                  cmd.args[0].c_str(), cmd.args[1].c_str(),
+                  warmed_at.to_seconds());
+    rt.say(buf);
+    return {};
+  }
+  if (cmd.verb == "drop-cache") {
+    SodaDaemon* daemon = rt.hup().find_daemon(cmd.args[0]);
+    if (!daemon) return Error{error_at(cmd.line, "no host " + cmd.args[0])};
+    daemon->distributor().drop_cache();
+    rt.say("dropped " + cmd.args[0] + "'s chunk cache");
+    return {};
+  }
+  if (cmd.verb == "expect-cached") {
+    auto want = arg_int(cmd, cmd.args[1]);
+    if (!want.ok()) return want.error();
+    const SodaDaemon* daemon = rt.hup().find_daemon(cmd.args[0]);
+    if (!daemon) return Error{error_at(cmd.line, "no host " + cmd.args[0])};
+    const auto got = daemon->distributor().cache().chunk_count();
+    const auto min = static_cast<std::size_t>(want.value());
+    const bool pass = min == 0 ? got == 0 : got >= min;
+    if (!pass) {
+      return Error{error_at(cmd.line, "expected " + cmd.args[1] +
+                                          (min == 0 ? " (exactly)" : "+") +
+                                          " cached chunk(s) on " + cmd.args[0] +
+                                          ", got " + std::to_string(got))};
+    }
     return {};
   }
   if (cmd.verb == "expect-nodes") {

@@ -1,0 +1,86 @@
+#include "image/cache.hpp"
+
+#include "util/contract.hpp"
+
+namespace soda::image {
+
+ImageCache::ImageCache(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {
+  SODA_EXPECTS(capacity_bytes >= 0);
+}
+
+bool ImageCache::contains(ChunkId id) const {
+  return index_.count(id.digest) > 0;
+}
+
+bool ImageCache::touch(ChunkId id) {
+  auto it = index_.find(id.digest);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+std::vector<ChunkId> ImageCache::insert(const ChunkInfo& chunk) {
+  SODA_EXPECTS(chunk.bytes >= 0);
+  std::vector<ChunkId> evicted;
+  if (chunk.bytes > capacity_) return evicted;  // can never fit
+  if (auto it = index_.find(chunk.id.digest); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return evicted;
+  }
+  while (used_ + chunk.bytes > capacity_) {
+    const Entry& victim = lru_.back();
+    evicted.push_back(victim.id);
+    used_ -= victim.bytes;
+    ++evictions_;
+    index_.erase(victim.id.digest);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{chunk.id, chunk.bytes});
+  index_[chunk.id.digest] = lru_.begin();
+  used_ += chunk.bytes;
+  ++insertions_;
+  return evicted;
+}
+
+bool ImageCache::erase(ChunkId id) {
+  auto it = index_.find(id.digest);
+  if (it == index_.end()) return false;
+  used_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void ImageCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+std::vector<ChunkId> ImageCache::set_capacity(std::int64_t capacity_bytes) {
+  SODA_EXPECTS(capacity_bytes >= 0);
+  capacity_ = capacity_bytes;
+  std::vector<ChunkId> evicted;
+  while (used_ > capacity_) {
+    const Entry& victim = lru_.back();
+    evicted.push_back(victim.id);
+    used_ -= victim.bytes;
+    ++evictions_;
+    index_.erase(victim.id.digest);
+    lru_.pop_back();
+  }
+  return evicted;
+}
+
+std::vector<ChunkId> ImageCache::chunks() const {
+  std::vector<ChunkId> ids;
+  ids.reserve(lru_.size());
+  for (const Entry& entry : lru_) ids.push_back(entry.id);
+  return ids;
+}
+
+}  // namespace soda::image

@@ -1,0 +1,279 @@
+// Content-addressed image distribution for one HUP host (the scaling layer
+// the paper's single-ASP-repository testbed lacks):
+//
+//   * per-host chunk cache — chunks survive node teardown and service
+//     re-creation (cache.hpp), so the Nth creation is cheap;
+//   * download coalescing — concurrent fetches of the same image (or the
+//     same chunk) on one host share a single in-flight transfer;
+//   * peer-to-peer priming — the Master's ChunkRegistry tracks which hosts
+//     hold which chunks; a priming host pulls chunks from already-primed
+//     peers over the LAN and only falls back to the origin repository
+//     (through HttpDownloader, keeping its keep-alive/retry/backoff
+//     machinery) for chunks nobody has yet.
+//
+// Chunk fetch order is rotated per host so N replicas priming the same
+// image simultaneously pull distinct chunks from the origin and then trade
+// the rest among themselves, BitTorrent-style. Everything is deterministic:
+// peer choice is a hash spread over the sorted holder set, never a race.
+//
+// Failure semantics: a crashed host drops its cache, keep-alive state, and
+// registry entries; peers with in-flight transfers from it cancel them and
+// re-dispatch (another peer if one holds the chunk, else the origin).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "image/cache.hpp"
+#include "image/chunk.hpp"
+#include "image/downloader.hpp"
+#include "image/repository.hpp"
+#include "net/flow_network.hpp"
+#include "sim/engine.hpp"
+#include "util/result.hpp"
+
+namespace soda::image {
+
+class ImageDistributor;
+
+/// Distribution tuning, carried in MasterConfig and applied to every
+/// registered daemon's distributor. Disabled by default: the legacy
+/// whole-image HTTP download path is used unchanged (and timing-identical),
+/// so experiments opt in explicitly.
+struct DistributionConfig {
+  bool enabled = false;
+  /// Per-host chunk cache bound; 0 disables caching even when enabled.
+  std::int64_t cache_bytes = 512ll * 1024 * 1024;
+  std::int64_t chunk_bytes = kDefaultChunkBytes;
+  /// Fetch chunk-wise from peer hosts via the registry. When off, misses
+  /// are fetched from the origin as one ranged transfer (pure caching).
+  bool p2p = true;
+  /// In-flight chunk transfers per image job (p2p mode).
+  int max_parallel_chunk_fetches = 4;
+};
+
+/// Master-side chunk-location registry: which live hosts hold which chunks.
+/// Daemons report per chunk as soon as it lands in their cache (and report
+/// drops on eviction), so the registry is current mid-priming — that is
+/// what lets simultaneous replicas swarm. remove_host() severs a crashed
+/// host: its holdings vanish and every other member is told to fail over
+/// in-flight transfers from it.
+class ChunkRegistry {
+ public:
+  struct Peer {
+    std::string host;
+    net::NodeId node;
+  };
+
+  ChunkRegistry() = default;
+  ChunkRegistry(const ChunkRegistry&) = delete;
+  ChunkRegistry& operator=(const ChunkRegistry&) = delete;
+  /// Members and registry deregister from each other whichever dies first
+  /// (a Hup destroys the Master — and this registry — before the daemons).
+  ~ChunkRegistry();
+
+  /// Adds a host's distributor as a registry member (idempotent per host;
+  /// the latest distributor under a name wins).
+  void attach(ImageDistributor* distributor);
+  void detach(const ImageDistributor* distributor);
+
+  void report_chunk(const std::string& host, ChunkId chunk);
+  void drop_chunk(const std::string& host, ChunkId chunk);
+
+  /// Forgets every chunk `host` held and notifies the other members so
+  /// they fail over transfers sourced from it. The membership survives —
+  /// a recovered host reports afresh.
+  void remove_host(const std::string& host);
+
+  /// A live holder of `chunk` other than `requester`, or nullopt. The
+  /// choice spreads load deterministically: a hash of (requester, chunk)
+  /// indexes the sorted holder list.
+  [[nodiscard]] std::optional<Peer> locate(ChunkId chunk,
+                                           const std::string& requester) const;
+
+  [[nodiscard]] std::size_t holder_count(ChunkId chunk) const;
+  [[nodiscard]] std::size_t tracked_chunks() const noexcept {
+    return holders_.size();
+  }
+  [[nodiscard]] std::uint64_t reports() const noexcept { return reports_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t hosts_removed() const noexcept {
+    return removals_;
+  }
+
+ private:
+  std::map<std::uint64_t, std::vector<std::string>> holders_;  // sorted hosts
+  std::map<std::string, ImageDistributor*> members_;
+  std::uint64_t reports_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t removals_ = 0;
+};
+
+/// The image-fetch front end of one SODA Daemon. fetch() replaces the
+/// daemon's direct HttpDownloader::download() call; with distribution
+/// disabled it delegates to exactly that.
+class ImageDistributor {
+ public:
+  using Callback = HttpDownloader::Callback;
+
+  ImageDistributor(sim::Engine& engine, net::FlowNetwork& network,
+                   net::NodeId host_node, std::string host_name,
+                   DistributionConfig config = {});
+  ImageDistributor(const ImageDistributor&) = delete;
+  ImageDistributor& operator=(const ImageDistributor&) = delete;
+  ~ImageDistributor();
+
+  /// Re-tunes the distributor (Master applies MasterConfig.distribution at
+  /// daemon registration). Only valid while no fetch is in flight.
+  void configure(const DistributionConfig& config);
+
+  /// Joins / leaves the HUP-wide chunk registry.
+  void set_registry(ChunkRegistry* registry);
+  /// Repository resolution for this host (also wired into the downloader).
+  void set_directory(const RepositoryDirectory* directory);
+
+  /// Delivers a copy of the image at `location`, assembling it from the
+  /// local cache, peer hosts, and the origin repository as configured.
+  /// Concurrent fetches of the same image coalesce onto one job: every
+  /// callback fires with the same finished_at.
+  void fetch(const ImageRepository& repo, const ImageLocation& location,
+             Callback on_done);
+
+  /// Host fail-stop: cancels in-flight peer transfers, fails every pending
+  /// fetch, drops the cache and keep-alive connections, and leaves the
+  /// registry. Origin transfers already in flight die silently (their
+  /// completions find no job).
+  void handle_local_crash();
+
+  /// Registry callback: `host` crashed. Cancels transfers sourced from it
+  /// and re-dispatches them (another peer, else origin).
+  void on_peer_lost(const std::string& host);
+
+  /// Evicts everything, reporting the drops to the registry.
+  void drop_cache();
+
+  [[nodiscard]] const std::string& host_name() const noexcept {
+    return host_name_;
+  }
+  [[nodiscard]] net::NodeId node() const noexcept { return host_node_; }
+  [[nodiscard]] const DistributionConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] ImageCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const ImageCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] HttpDownloader& downloader() noexcept { return downloader_; }
+  [[nodiscard]] std::size_t inflight_jobs() const noexcept {
+    return jobs_.size();
+  }
+
+  // --- Distribution statistics ---------------------------------------------
+  [[nodiscard]] std::uint64_t images_fetched() const noexcept {
+    return images_fetched_;
+  }
+  [[nodiscard]] std::uint64_t images_coalesced() const noexcept {
+    return images_coalesced_;
+  }
+  [[nodiscard]] std::uint64_t chunks_coalesced() const noexcept {
+    return chunks_coalesced_;
+  }
+  [[nodiscard]] std::uint64_t chunks_from_cache() const noexcept {
+    return chunks_from_cache_;
+  }
+  [[nodiscard]] std::uint64_t chunks_from_peers() const noexcept {
+    return chunks_from_peers_;
+  }
+  [[nodiscard]] std::uint64_t chunks_from_origin() const noexcept {
+    return chunks_from_origin_;
+  }
+  [[nodiscard]] std::int64_t bytes_from_cache() const noexcept {
+    return cache_bytes_read_;
+  }
+  [[nodiscard]] std::int64_t bytes_from_peers() const noexcept {
+    return peer_bytes_;
+  }
+  [[nodiscard]] std::int64_t bytes_from_origin() const noexcept {
+    return origin_bytes_;
+  }
+  [[nodiscard]] std::uint64_t peer_failovers() const noexcept {
+    return peer_failovers_;
+  }
+
+ private:
+  friend class ChunkRegistry;  // nulls registry_ when it dies first
+
+  /// One coalesced image fetch (all callbacks waiting on one location).
+  struct Job {
+    std::string key;  // location.url()
+    std::string repo_name;
+    const ImageRepository* fallback = nullptr;  // used only sans directory
+    ImageLocation location;
+    ImageManifest manifest;
+    std::vector<Callback> callbacks;
+    std::deque<std::size_t> queue;       // chunk indices still to dispatch
+    std::set<std::uint64_t> inflight;    // chunk digests awaited
+    std::vector<ChunkInfo> missing;      // p2p-off: chunks in the range fetch
+    std::size_t done = 0;
+    bool dead = false;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  /// One in-flight chunk transfer, shared by every job that wants it.
+  struct Transfer {
+    ChunkInfo chunk;
+    std::string repo_name;
+    const ImageRepository* fallback = nullptr;
+    ImageLocation location;
+    bool from_peer = false;
+    std::string peer;
+    net::FlowId flow{};
+    std::vector<JobPtr> jobs;
+  };
+
+  [[nodiscard]] const ImageRepository* resolve(
+      const std::string& repo_name, const ImageRepository* fallback) const;
+
+  void pump(const JobPtr& job);
+  void begin_chunk_fetch(const JobPtr& job, const ChunkInfo& chunk);
+  /// Dispatches (or re-dispatches) the transfer: preferred peer, else origin.
+  void start_transfer(Transfer& transfer);
+  void finish_transfer(std::uint64_t digest, sim::SimTime at, bool from_peer);
+  void fail_transfer(std::uint64_t digest, const Error& error);
+  /// Caches the chunk and reports it (and any evictions) to the registry.
+  void store_chunk(const ChunkInfo& chunk);
+  /// Schedules job completion for this timestep if nothing is outstanding.
+  void maybe_complete(const JobPtr& job);
+  void finish_job(const JobPtr& job, sim::SimTime at);
+  void fail_job(const JobPtr& job, const Error& error);
+
+  sim::Engine& engine_;
+  net::FlowNetwork& network_;
+  net::NodeId host_node_;
+  std::string host_name_;
+  DistributionConfig config_;
+  HttpDownloader downloader_;
+  ImageCache cache_;
+  ChunkRegistry* registry_ = nullptr;
+  const RepositoryDirectory* directory_ = nullptr;
+  std::map<std::string, JobPtr> jobs_;          // location url -> job
+  std::map<std::uint64_t, Transfer> transfers_;  // chunk digest -> transfer
+
+  std::uint64_t images_fetched_ = 0;
+  std::uint64_t images_coalesced_ = 0;
+  std::uint64_t chunks_coalesced_ = 0;
+  std::uint64_t chunks_from_cache_ = 0;
+  std::uint64_t chunks_from_peers_ = 0;
+  std::uint64_t chunks_from_origin_ = 0;
+  std::int64_t cache_bytes_read_ = 0;
+  std::int64_t peer_bytes_ = 0;
+  std::int64_t origin_bytes_ = 0;
+  std::uint64_t peer_failovers_ = 0;
+};
+
+}  // namespace soda::image

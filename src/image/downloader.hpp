@@ -3,7 +3,8 @@
 // repository over HTTP/1.1; the transfer shares the LAN with everything
 // else, so its duration comes from the flow network. Connections to the
 // same repository are persistent (HTTP/1.1 keep-alive): only the first
-// download from a given host pays the connection-setup round trip.
+// download from a given host pays the connection-setup round trip, and a
+// host crash drops every connection (reset_connections()).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +38,9 @@ class HttpDownloader {
  public:
   using Callback =
       std::function<void(Result<ServiceImage> image, sim::SimTime finished_at)>;
+  /// Byte-range fetch completion: the number of body bytes transferred.
+  using RangeCallback =
+      std::function<void(Result<std::int64_t> bytes, sim::SimTime finished_at)>;
 
   /// `host_node` is the downloading HUP host's flow-network attachment.
   /// `seed` feeds the backoff-jitter RNG (keyed by the host node so two
@@ -44,12 +48,32 @@ class HttpDownloader {
   HttpDownloader(sim::Engine& engine, net::FlowNetwork& network,
                  net::NodeId host_node);
 
+  /// With a directory set, every attempt (including retries scheduled
+  /// across backoff) re-resolves the repository by name, so a repository
+  /// withdrawn mid-transfer fails cleanly. Without one, the repository
+  /// reference passed to download() must outlive the transfer.
+  void set_directory(const RepositoryDirectory* directory) noexcept {
+    directory_ = directory;
+  }
+
   /// Fetches `location` from `repo`. `on_done` fires with a copy of the
   /// image when the last byte arrives, or with the repository's error after
   /// the request round trip. Transient failures (HTTP 5xx) are retried per
   /// the RetryPolicy before the error is surfaced.
   void download(const ImageRepository& repo, const ImageLocation& location,
                 Callback on_done);
+
+  /// Fetches `bytes` of the packaged image (an HTTP Range request) with the
+  /// same keep-alive, retry, and directory-resolution behavior as
+  /// download(). The chunk distributor's origin path.
+  void download_range(const ImageRepository& repo,
+                      const ImageLocation& location, std::int64_t bytes,
+                      RangeCallback on_done);
+
+  /// Drops all keep-alive connection state: the next request to any
+  /// repository pays the handshake round trip again. Wired into the host
+  /// fail-stop path — a rebooted host has no live TCP connections.
+  void reset_connections() noexcept { connected_.clear(); }
 
   void set_retry_policy(RetryPolicy policy) { policy_ = policy; }
   [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
@@ -65,8 +89,17 @@ class HttpDownloader {
   [[nodiscard]] std::int64_t bytes_downloaded() const noexcept { return bytes_; }
 
  private:
-  void attempt(const ImageRepository& repo, const ImageLocation& location,
-               Callback on_done, int tries_left);
+  /// One logical transfer: held by value across retries so nothing in it can
+  /// dangle. `fallback` is only consulted when no directory is set.
+  struct Transfer {
+    std::string repo_name;
+    const ImageRepository* fallback = nullptr;
+    ImageLocation location;
+    std::int64_t range_bytes = -1;  // -1: whole packaged image
+  };
+
+  [[nodiscard]] const ImageRepository* resolve(const Transfer& transfer) const;
+  void attempt(Transfer transfer, RangeCallback on_done, int tries_left);
   [[nodiscard]] sim::SimTime backoff_delay(int attempts_made) noexcept;
 
   sim::Engine& engine_;
@@ -74,6 +107,7 @@ class HttpDownloader {
   net::NodeId host_node_;
   RetryPolicy policy_;
   sim::Rng rng_;
+  const RepositoryDirectory* directory_ = nullptr;
   std::set<std::string> connected_;  // repositories with a live keep-alive
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;

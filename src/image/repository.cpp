@@ -1,5 +1,7 @@
 #include "image/repository.hpp"
 
+#include "util/contract.hpp"
+
 namespace soda::image {
 
 ImageRepository::ImageRepository(std::string name, net::NodeId node)
@@ -59,6 +61,20 @@ net::HttpResponse ImageRepository::handle(const net::HttpRequest& request) const
   resp.headers.set("Connection", "keep-alive");
   resp.body = "<rpm:" + image.name + "-" + image.version + ">";
   return resp;
+}
+
+void RepositoryDirectory::add(const ImageRepository* repository) {
+  SODA_EXPECTS(repository != nullptr);
+  by_name_[repository->name()] = repository;
+}
+
+bool RepositoryDirectory::remove(const std::string& name) {
+  return by_name_.erase(name) > 0;
+}
+
+const ImageRepository* RepositoryDirectory::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
 }
 
 }  // namespace soda::image

@@ -63,4 +63,26 @@ class ImageRepository {
   mutable int fail_next_ = 0;
 };
 
+/// Name -> repository resolution. Downloads that span sim-time (retry
+/// backoff, chunk pipelines) hold the repository *name* and re-resolve it
+/// through the directory at each attempt, so a repository withdrawn from the
+/// HUP mid-transfer surfaces as a clean error instead of a dangling
+/// reference. The Master owns the HUP-wide instance.
+class RepositoryDirectory {
+ public:
+  /// Registers (or re-registers) a repository under its name.
+  void add(const ImageRepository* repository);
+
+  /// Unregisters by name; false if unknown.
+  bool remove(const std::string& name);
+
+  /// The live repository, or null if none is registered under `name`.
+  [[nodiscard]] const ImageRepository* find(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return by_name_.size(); }
+
+ private:
+  std::map<std::string, const ImageRepository*> by_name_;
+};
+
 }  // namespace soda::image

@@ -405,6 +405,144 @@ TEST(DownloaderRetry, PermanentErrorsNotRetried) {
   EXPECT_EQ(downloader.downloads_failed(), 1u);
 }
 
+TEST(DistributionFaults, PeerFetchFailsOverToOriginWhenPeerCrashes) {
+  // host-0 primes the image first and becomes the swarm's seed. host-1 then
+  // primes the same image, pulling chunks from host-0 — which crashes
+  // mid-transfer. The in-flight peer fetches must fail over (to the origin,
+  // since no other host holds the chunks) and the creation still succeed.
+  util::global_logger().set_level(util::LogLevel::kOff);
+  MasterConfig config;
+  config.distribution.enabled = true;
+  config.distribution.p2p = true;
+  Hup hup(config);
+  for (int i = 0; i < 3; ++i) {
+    host::HostSpec spec = host::HostSpec::seattle();
+    spec.name = "host-" + std::to_string(i);
+    hup.add_host(spec, net::Ipv4Address(10, 0, static_cast<std::uint8_t>(i), 16),
+                 16);
+  }
+  auto& repo = hup.add_repository("asp-repo");
+  hup.agent().register_asp("asp", "key");
+  const auto location =
+      must(repo.publish(image::web_content_image(16 * 1024 * 1024)));
+
+  auto create = [&](const std::string& name, bool expect_ok) {
+    ServiceCreationRequest request;
+    request.credentials = {"asp", "key"};
+    request.service_name = name;
+    request.image_location = location;
+    request.requirement = {1, small_unit()};
+    bool ok = false;
+    hup.agent().service_creation(
+        request, [&](auto reply, sim::SimTime) { ok = reply.ok(); });
+    hup.engine().run();
+    EXPECT_EQ(ok, expect_ok) << name;
+  };
+
+  create("seed", true);  // worst-fit lands it on host-0
+  ASSERT_GT(hup.find_daemon("host-0")->distributor().cache().chunk_count(), 0u);
+
+  // Second service primes on host-1; kill the seed shortly after it starts
+  // pulling chunks from host-0.
+  ServiceCreationRequest request;
+  request.credentials = {"asp", "key"};
+  request.service_name = "web";
+  request.image_location = location;
+  request.requirement = {1, small_unit()};
+  bool ok = false;
+  hup.agent().service_creation(
+      request, [&](auto reply, sim::SimTime) { ok = reply.ok(); });
+  // ~1.3 s of peer transfers total; at 500 ms some chunks have landed and
+  // several more are in flight from the seed.
+  hup.engine().schedule_after(sim::SimTime::milliseconds(500),
+                              [&] { hup.crash_host("host-0"); });
+  hup.engine().run();
+  EXPECT_TRUE(ok);
+
+  const auto& distributor = hup.find_daemon("host-1")->distributor();
+  EXPECT_GT(distributor.chunks_from_peers(), 0u);   // the swarm did start
+  EXPECT_GE(distributor.peer_failovers(), 1u);      // and was cut mid-chunk
+  EXPECT_GT(distributor.chunks_from_origin(), 0u);  // origin finished the job
+  // The crashed seed's holdings are gone from the registry; host-1's own
+  // reports replaced them.
+  EXPECT_GT(hup.master().chunk_registry().tracked_chunks(), 0u);
+}
+
+TEST(DistributionFaults, RebootedHostPaysHandshakeAgain) {
+  // Keep-alive survives service teardown (second download skips the TCP
+  // handshake) but not a host crash: a rebooted host pays it again, and the
+  // cold-path timing is bit-identical to the first boot.
+  util::global_logger().set_level(util::LogLevel::kOff);
+  Hup hup;  // distribution disabled: the legacy downloader path
+  hup.add_host(host::HostSpec::seattle(), net::Ipv4Address(10, 0, 0, 16), 16);
+  auto& repo = hup.add_repository("asp-repo");
+  hup.agent().register_asp("asp", "key");
+  const auto location =
+      must(repo.publish(image::web_content_image(4 * 1024 * 1024)));
+
+  auto timed_create = [&](const std::string& name) {
+    ServiceCreationRequest request;
+    request.credentials = {"asp", "key"};
+    request.service_name = name;
+    request.image_location = location;
+    request.requirement = {1, small_unit()};
+    hup.agent().service_creation(
+        request, [](auto reply, sim::SimTime) { must(std::move(reply)); });
+    hup.engine().run();
+    const auto download =
+        hup.find_daemon("seattle")->priming_report(name + "/0")->download_time;
+    must(hup.agent().service_teardown(
+        ServiceTeardownRequest{{"asp", "key"}, name}));
+    return download;
+  };
+
+  const sim::SimTime first = timed_create("a");
+  const sim::SimTime kept_alive = timed_create("b");
+  EXPECT_LT(kept_alive, first);  // no handshake on the persistent connection
+
+  hup.crash_host("seattle");
+  hup.recover_host("seattle");
+  hup.master().poll_liveness_once();
+  const sim::SimTime rebooted = timed_create("c");
+  EXPECT_EQ(rebooted, first);  // the handshake is back, to the nanosecond
+}
+
+TEST(DistributionFaults, RepositoryRemovedDuringBackoffFailsCleanly) {
+  // A transient 5xx puts the downloader into backoff; the repository is
+  // destroyed before the retry fires. The retry must re-resolve through the
+  // directory and fail with a clean error instead of touching freed memory.
+  util::global_logger().set_level(util::LogLevel::kOff);
+  sim::Engine engine;
+  net::FlowNetwork network(engine);
+  const auto client = network.add_node("client");
+  const auto repo_node = network.add_node("repo");
+  network.add_duplex_link(client, repo_node, 100, sim::SimTime::microseconds(100));
+  auto repo = std::make_unique<image::ImageRepository>("repo", repo_node);
+  const auto location = must(repo->publish(image::honeypot_image()));
+  image::RepositoryDirectory directory;
+  directory.add(repo.get());
+
+  image::HttpDownloader downloader(engine, network, client);
+  downloader.set_directory(&directory);
+  repo->fail_next_requests(1);
+  std::string error;
+  downloader.download(*repo, location, [&](auto image, sim::SimTime) {
+    ASSERT_FALSE(image.ok());
+    error = image.error().message;
+  });
+  // The first attempt fails in ~1 ms; the retry backs off ~200 ms. Tear the
+  // repository down in between.
+  engine.schedule_after(sim::SimTime::milliseconds(100), [&] {
+    EXPECT_TRUE(directory.remove("repo"));
+    repo.reset();
+  });
+  engine.run();
+  EXPECT_NE(error.find("no longer available"), std::string::npos);
+  EXPECT_EQ(downloader.retries(), 1u);
+  EXPECT_EQ(downloader.downloads_failed(), 1u);
+  EXPECT_EQ(downloader.downloads_completed(), 0u);
+}
+
 TEST(DownloaderRetry, GivesUpAfterMaxAttempts) {
   util::global_logger().set_level(util::LogLevel::kOff);
   sim::Engine engine;
