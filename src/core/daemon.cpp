@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/events.hpp"
 #include "os/rootfs.hpp"
 #include "util/contract.hpp"
 #include "util/log.hpp"
@@ -17,6 +18,17 @@ const sim::SimTime kBridgeLatency = sim::SimTime::microseconds(20);
 constexpr double kCustomizePerServiceGhzS = 0.02;
 
 }  // namespace
+
+void SodaDaemon::emit(sim::SimTime at, TraceKind kind,
+                      const std::string& subject, std::string detail) {
+  if (bus_ != nullptr) {
+    bus_->publish(at, kind, "daemon@" + host_.name(), subject,
+                  std::move(detail));
+  } else if (trace_ != nullptr) {
+    trace_->record(at, kind, "daemon@" + host_.name(), subject,
+                   std::move(detail));
+  }
+}
 
 std::string_view address_mode_name(AddressMode mode) noexcept {
   switch (mode) {
@@ -58,11 +70,8 @@ void SodaDaemon::prime_node(PrimeCommand command, PrimeCallback done) {
   }
   log.info(tag, "reserved slice for " + command.node_name + " (" +
                     command.reserve.to_string() + ")");
-  if (trace_) {
-    trace_->record(engine_.now(), TraceKind::kPrimingStarted,
-                   "daemon@" + host_.name(), command.node_name,
-                   command.reserve.to_string());
-  }
+  emit(engine_.now(), TraceKind::kPrimingStarted, command.node_name,
+       command.reserve.to_string());
 
   // 2. Download the service image from the ASP's repository. Copy the
   //    arguments out first: `command` moves into the callback, and argument
@@ -88,12 +97,8 @@ void SodaDaemon::prime_node(PrimeCommand command, PrimeCallback done) {
           done(Error{"image download failed: " + image.error().message}, now);
           return;
         }
-        if (trace_) {
-          trace_->record(now, TraceKind::kImageDownloaded,
-                         "daemon@" + host_.name(), command.node_name,
-                         std::to_string(image.value().packaged_bytes()) +
-                             " bytes");
-        }
+        emit(now, TraceKind::kImageDownloaded, command.node_name,
+             std::to_string(image.value().packaged_bytes()) + " bytes");
         continue_priming(std::move(command), std::move(image).value(), slice,
                          download_started, now, std::move(done));
       });
@@ -244,12 +249,8 @@ void SodaDaemon::continue_priming(PrimeCommand command,
         const std::string uid = "svc-" + node_ptr->service_name();
         must(node_ptr->uml().spawn_process(entry, uid, engine_.now()));
         must(node_ptr->uml().allocate_memory(app_mem));
-        if (trace_) {
-          trace_->record(engine_.now(), TraceKind::kNodeBooted,
-                         "daemon@" + host_.name(), node_ptr->name().value,
-                         "ip " + node_ptr->address().to_string() + " runs " +
-                             entry);
-        }
+        emit(engine_.now(), TraceKind::kNodeBooted, node_ptr->name().value,
+             "ip " + node_ptr->address().to_string() + " runs " + entry);
         done(node_ptr, engine_.now());
       });
 }

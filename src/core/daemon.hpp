@@ -28,6 +28,8 @@
 
 namespace soda::core {
 
+class ControlPlaneBus;
+
 /// Timing breakdown of one node's priming, kept for the Table 2 bench and
 /// the download-time series.
 struct PrimingReport {
@@ -159,6 +161,11 @@ class SodaDaemon {
   /// Attaches a trace log (emission is skipped when unset).
   void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
 
+  /// Attaches the Master's control-plane bus (done by register_daemon).
+  /// When set, the daemon's events flow through the bus — which feeds the
+  /// trace, metrics, and subscribers — instead of the bare trace log.
+  void set_bus(ControlPlaneBus* bus) noexcept { bus_ = bus; }
+
  private:
   struct NodeRecord {
     std::unique_ptr<vm::VirtualServiceNode> node;
@@ -175,6 +182,11 @@ class SodaDaemon {
 
   void heartbeat_tick();
 
+  /// Emits one control-plane event: through the bus when wired, otherwise
+  /// straight to the trace log (both skipped when unset).
+  void emit(sim::SimTime at, TraceKind kind, const std::string& subject,
+            std::string detail);
+
   sim::Engine& engine_;
   net::FlowNetwork& network_;
   host::HupHost& host_;
@@ -182,6 +194,7 @@ class SodaDaemon {
   image::ImageDistributor distributor_;
   std::map<std::string, NodeRecord> nodes_;
   TraceLog* trace_ = nullptr;
+  ControlPlaneBus* bus_ = nullptr;
   bool alive_ = true;
   bool heartbeating_ = false;
   sim::SimTime heartbeat_interval_ = sim::SimTime::zero();

@@ -1,0 +1,101 @@
+// The control-plane event bus: the observability seam of the HUP. The
+// Master's subsystems (planner admission, priming, recovery) and the
+// daemons publish typed events into one ControlPlaneBus; the TraceLog (the
+// operator-facing record tests assert sequences on), the MetricsRegistry
+// (named counters/gauges), and any ad-hoc subscriber (HealthMonitor, tests)
+// observe them. Publishing is synchronous and deterministic: the trace
+// records first, then metrics, then subscribers in subscription order — so
+// replica runs see identical event streams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "sim/time.hpp"
+
+namespace soda::core {
+
+/// One typed control-plane event (the bus-level view of a TraceEvent).
+struct ControlPlaneEvent {
+  sim::SimTime at;
+  TraceKind kind;
+  std::string actor;    // "master", "daemon@seattle", "monitor", ...
+  std::string subject;  // service or node name
+  std::string detail;   // free-form specifics
+};
+
+/// Named counters and gauges fed by the bus. Counters accumulate from
+/// events (admissions, rejections, primings, failures, recoveries, ...);
+/// gauges are registered read-callbacks evaluated on demand (e.g. the
+/// HUP-wide bytes-from-origin sum over every daemon's distributor).
+class MetricsRegistry {
+ public:
+  /// The standard counters start at zero so "expect-metric admissions 0"
+  /// style assertions hold before the first event.
+  MetricsRegistry();
+
+  void increment(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  /// Registers (or replaces) a gauge evaluated at read time.
+  void register_gauge(const std::string& name, std::function<double()> read) {
+    gauges_[name] = std::move(read);
+  }
+
+  /// Counter or gauge value; counters win on a name collision.
+  [[nodiscard]] double value(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// All metric names, sorted (counters and gauges interleaved).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Applies the standard kind -> counter mapping for one bus event.
+  void observe(const ControlPlaneEvent& event);
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::function<double()>> gauges_;
+};
+
+/// The bus itself. Not thread-safe (the simulation is single-threaded);
+/// cheap enough to stay on everywhere, like the TraceLog it feeds.
+class ControlPlaneBus {
+ public:
+  using Subscriber = std::function<void(const ControlPlaneEvent&)>;
+
+  /// Adds a subscriber; returns an id for unsubscribe().
+  std::size_t subscribe(Subscriber subscriber);
+  void unsubscribe(std::size_t id);
+
+  /// Attaches the operator trace (emission is skipped when unset).
+  void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
+  [[nodiscard]] TraceLog* trace() const noexcept { return trace_; }
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Publishes one event: trace, then metrics, then subscribers in
+  /// subscription order.
+  void publish(sim::SimTime at, TraceKind kind, std::string actor,
+               std::string subject, std::string detail = {});
+
+  [[nodiscard]] std::uint64_t published() const noexcept { return published_; }
+  [[nodiscard]] std::size_t subscriber_count() const noexcept {
+    return subscribers_.size();
+  }
+
+ private:
+  TraceLog* trace_ = nullptr;
+  MetricsRegistry metrics_;
+  std::vector<std::pair<std::size_t, Subscriber>> subscribers_;
+  std::size_t next_id_ = 0;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace soda::core

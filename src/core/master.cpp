@@ -1,7 +1,6 @@
 #include "core/master.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <memory>
 
 #include "util/contract.hpp"
@@ -9,59 +8,38 @@
 
 namespace soda::core {
 
-namespace {
-
-/// A node's client-facing endpoint: the proxied public endpoint when the
-/// daemon proxied it, otherwise the node's own address and service port.
-NodeDescriptor describe_node(const vm::VirtualServiceNode& vsn, int listen_port) {
-  NodeDescriptor descriptor;
-  descriptor.node_name = vsn.name().value;
-  descriptor.host_name = vsn.host_name();
-  descriptor.capacity_units = vsn.capacity_units();
-  descriptor.component = vsn.component();
-  if (vsn.public_endpoint()) {
-    descriptor.address = vsn.public_endpoint()->address;
-    descriptor.port = vsn.public_endpoint()->port;
-  } else {
-    descriptor.address = vsn.address();
-    descriptor.port = vsn.service_port() > 0 ? vsn.service_port() : listen_port;
-  }
-  return descriptor;
-}
-
-/// How many machine instances of `unit` fit into `avail`.
-int units_that_fit(const host::ResourceVector& avail,
-                   const host::ResourceVector& unit) {
-  double k = std::floor(avail.cpu_mhz / unit.cpu_mhz + 1e-9);
-  if (unit.memory_mb > 0) {
-    k = std::min(k, std::floor(static_cast<double>(avail.memory_mb) /
-                               static_cast<double>(unit.memory_mb)));
-  }
-  if (unit.disk_mb > 0) {
-    k = std::min(k, std::floor(static_cast<double>(avail.disk_mb) /
-                               static_cast<double>(unit.disk_mb)));
-  }
-  if (unit.bandwidth_mbps > 0) {
-    k = std::min(k, std::floor(avail.bandwidth_mbps / unit.bandwidth_mbps + 1e-9));
-  }
-  return std::max(0, static_cast<int>(k));
-}
-
-}  // namespace
-
-std::string_view placement_policy_name(PlacementPolicy policy) noexcept {
-  switch (policy) {
-    case PlacementPolicy::kFirstFit: return "first-fit";
-    case PlacementPolicy::kBestFit:  return "best-fit";
-    case PlacementPolicy::kWorstFit: return "worst-fit";
-  }
-  return "unknown";
-}
-
 SodaMaster::SodaMaster(sim::Engine& engine, MasterConfig config)
-    : engine_(engine), config_(config) {
-  SODA_EXPECTS(config_.slowdown_factor >= 1.0);
-  SODA_EXPECTS(config_.max_nodes_per_service >= 1);
+    : engine_(engine),
+      config_(config),
+      planner_(daemons_, down_hosts_),
+      priming_(engine, directory_, daemons_),
+      recovery_(engine,
+                ControlPlaneView{services_, daemons_, down_hosts_,
+                                 chunk_registry_},
+                planner_, priming_, bus_) {
+  planner_.configure(config_.placement, config_.slowdown_factor,
+                     config_.max_nodes_per_service);
+  // HUP-wide distribution byte totals, read on demand. With distribution
+  // enabled the chunk layer accounts origin bytes itself; the legacy
+  // whole-image path is counted by each host's downloader.
+  bus_.metrics().register_gauge("bytes_from_origin", [this] {
+    double total = 0;
+    for (SodaDaemon* daemon : daemons_) {
+      total += config_.distribution.enabled
+                   ? static_cast<double>(
+                         daemon->distributor().bytes_from_origin())
+                   : static_cast<double>(
+                         daemon->distributor().downloader().bytes_downloaded());
+    }
+    return total;
+  });
+  bus_.metrics().register_gauge("bytes_from_peers", [this] {
+    double total = 0;
+    for (const SodaDaemon* daemon : daemons_) {
+      total += static_cast<double>(daemon->distributor().bytes_from_peers());
+    }
+    return total;
+  });
 }
 
 Status SodaMaster::register_daemon(SodaDaemon* daemon) {
@@ -79,10 +57,12 @@ Status SodaMaster::register_daemon(SodaDaemon* daemon) {
   daemons_.push_back(daemon);
   // Wire the host's image-distribution front end into the HUP: shared
   // repository directory (per-attempt name resolution), shared chunk
-  // registry (P2P priming), and the Master's distribution policy.
+  // registry (P2P priming), and the Master's distribution policy. The
+  // daemon's control-plane events flow into the Master's bus.
   daemon->distributor().configure(config_.distribution);
   daemon->distributor().set_directory(&directory_);
   daemon->distributor().set_registry(&chunk_registry_);
+  daemon->set_bus(&bus_);
   return {};
 }
 
@@ -153,106 +133,6 @@ host::ResourceVector SodaMaster::hup_available() const {
   return total;
 }
 
-host::ResourceVector SodaMaster::inflated_unit(const host::MachineConfig& m) const {
-  host::ResourceVector unit = m.to_vector();
-  // Only processing and transmission slow down under the guest OS; memory
-  // and disk footprints are unchanged (paper §3.5).
-  unit.cpu_mhz *= config_.slowdown_factor;
-  unit.bandwidth_mbps *= config_.slowdown_factor;
-  return unit;
-}
-
-std::vector<SodaDaemon*> SodaMaster::ordered_daemons() const {
-  // Hosts the failure detector has declared dead receive no placements
-  // until their heartbeats resume.
-  std::vector<SodaDaemon*> ordered;
-  ordered.reserve(daemons_.size());
-  for (SodaDaemon* daemon : daemons_) {
-    if (down_hosts_.count(daemon->host_name()) == 0) ordered.push_back(daemon);
-  }
-  switch (config_.placement) {
-    case PlacementPolicy::kFirstFit:
-      break;
-    case PlacementPolicy::kBestFit:
-      std::stable_sort(ordered.begin(), ordered.end(),
-                       [](const SodaDaemon* a, const SodaDaemon* b) {
-                         return a->available().cpu_mhz < b->available().cpu_mhz;
-                       });
-      break;
-    case PlacementPolicy::kWorstFit:
-      std::stable_sort(ordered.begin(), ordered.end(),
-                       [](const SodaDaemon* a, const SodaDaemon* b) {
-                         return a->available().cpu_mhz > b->available().cpu_mhz;
-                       });
-      break;
-  }
-  return ordered;
-}
-
-ApiResult<std::vector<Placement>> SodaMaster::plan_allocation(
-    const std::string& service_name, const host::ResourceRequirement& req) const {
-  if (req.n < 1) {
-    return ApiError{ApiErrorCode::kInvalidRequest, "requirement n must be >= 1"};
-  }
-  const host::ResourceVector unit = inflated_unit(req.m);
-  std::vector<Placement> plan;
-  int remaining = req.n;
-  for (SodaDaemon* daemon : ordered_daemons()) {
-    if (static_cast<int>(plan.size()) >= config_.max_nodes_per_service) break;
-    if (remaining == 0) break;
-    // One node per host per service: replicas on the same host would share
-    // the same failure domain and buy nothing.
-    if (daemon->find_node(service_name + "/0") != nullptr) continue;
-    const int k = std::min(units_that_fit(daemon->available(), unit), remaining);
-    if (k >= 1) {
-      plan.push_back(Placement{daemon, "", k});
-      remaining -= k;
-    }
-  }
-  if (remaining > 0) {
-    return ApiError{ApiErrorCode::kInsufficientResources,
-                    "HUP cannot satisfy " + req.to_string() + " (short by " +
-                        std::to_string(remaining) + " instance(s) of M)"};
-  }
-  return plan;
-}
-
-ApiResult<std::vector<Placement>> SodaMaster::plan_components(
-    const host::MachineConfig& m,
-    const std::vector<image::ServiceComponent>& components) const {
-  SODA_EXPECTS(!components.empty());
-  // Hypothetical usage per host while planning (nothing is reserved yet).
-  std::map<std::string, host::ResourceVector> planned;
-  std::vector<Placement> plan;
-  for (const auto& component : components) {
-    const host::ResourceVector need =
-        inflated_unit(m).scaled(component.units);
-    bool placed = false;
-    for (SodaDaemon* daemon : ordered_daemons()) {
-      const host::ResourceVector avail =
-          daemon->available() - planned[daemon->host_name()];
-      if (avail.fits(need)) {
-        plan.push_back(Placement{daemon, "", component.units, component.name});
-        planned[daemon->host_name()] += need;
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) {
-      return ApiError{ApiErrorCode::kInsufficientResources,
-                      "no host fits component '" + component.name + "' (" +
-                          need.to_string() + ")"};
-    }
-  }
-  return plan;
-}
-
-struct SodaMaster::PrimeJoin {
-  std::size_t pending = 0;
-  bool failed = false;
-  std::string first_error;
-};
-
 void SodaMaster::create_service(const ServiceCreationRequest& request,
                                 CreateCallback done) {
   SODA_EXPECTS(done != nullptr);
@@ -295,15 +175,23 @@ void SodaMaster::create_service(const ServiceCreationRequest& request,
          engine_.now());
     return;
   }
+  // Cache-affinity placement consults per-host chunk caches through the
+  // image's manifest; the other policies ignore the query.
+  image::ImageManifest manifest;
+  PlacementQuery query;
+  if (config_.placement == PlacementPolicy::kCacheAffinity) {
+    manifest = image::build_manifest(*image.value(),
+                                     config_.distribution.chunk_bytes);
+    query.manifest = &manifest;
+  }
   auto plan = partitioned
-                  ? plan_components(request.requirement.m,
-                                    image.value()->components)
-                  : plan_allocation(request.service_name, request.requirement);
+                  ? planner_.plan_components(request.requirement.m,
+                                             image.value()->components, query)
+                  : planner_.plan_allocation(request.service_name,
+                                             request.requirement, query);
   if (!plan.ok()) {
-    if (trace_) {
-      trace_->record(engine_.now(), TraceKind::kRejected, "master",
-                     request.service_name, plan.error().to_string());
-    }
+    bus_.publish(engine_.now(), TraceKind::kRejected, "master",
+                 request.service_name, plan.error().to_string());
     done(plan.error(), engine_.now());
     return;
   }
@@ -314,9 +202,10 @@ void SodaMaster::create_service(const ServiceCreationRequest& request,
   record.asp_id = request.credentials.asp_id;
   record.requirement = request.requirement;
   record.image_location = request.image_location;
-  record.repository = repo;
   record.listen_port = partitioned ? image.value()->components.front().listen_port
                                    : image.value()->listen_port;
+  record.customize_rootfs = config_.customize_rootfs;
+  record.address_mode = config_.address_mode;
   record.components = image.value()->components;
   record.placements = std::move(plan).value();
   record.lifecycle = ServiceLifecycle(request.service_name);
@@ -333,68 +222,46 @@ void SodaMaster::create_service(const ServiceCreationRequest& request,
   log.info("master", "admitted " + request.service_name + " " +
                          request.requirement.to_string() + " onto " +
                          std::to_string(live.placements.size()) + " node(s)");
-  if (trace_) {
-    trace_->record(engine_.now(), TraceKind::kAdmitted, "master",
-                   request.service_name,
-                   request.requirement.to_string() + " -> " +
-                       std::to_string(live.placements.size()) + " node(s)");
-  }
+  bus_.publish(engine_.now(), TraceKind::kAdmitted, "master",
+               request.service_name,
+               request.requirement.to_string() + " -> " +
+                   std::to_string(live.placements.size()) + " node(s)");
 
-  // Prime every node; join on the last completion. Dispatch from a snapshot:
-  // a synchronously failing prime may erase the service record (and with it
-  // live.placements) mid-loop.
-  const std::vector<Placement> to_prime = live.placements;
-  auto join = std::make_shared<PrimeJoin>();
-  join->pending = to_prime.size();
-  for (const Placement& placement : to_prime) {
-    PrimeCommand command;
-    command.node_name = placement.node_name;
-    command.service_name = request.service_name;
-    command.repository = repo;
-    command.location = request.image_location;
-    command.unit = request.requirement.m;
-    command.capacity_units = placement.units;
-    command.reserve =
-        inflated_unit(request.requirement.m).scaled(placement.units);
-    command.customize_rootfs = config_.customize_rootfs;
-    command.address_mode = config_.address_mode;
-    command.listen_port = live.listen_port;
-    if (!placement.component.empty()) {
-      for (const auto& component : live.components) {
-        if (component.name == placement.component) command.component = component;
-      }
-    }
-    placement.daemon->prime_node(
-        std::move(command),
-        [this, join, name = request.service_name,
-         done](Result<vm::VirtualServiceNode*> node, sim::SimTime now) {
-          auto record_it = services_.find(name);
-          SODA_ENSURES(record_it != services_.end());
-          ServiceRecord& rec = record_it->second;
-          if (!node.ok()) {
-            if (!join->failed) {
-              join->failed = true;
-              join->first_error = node.error().message;
-            }
-          } else {
-            rec.nodes.push_back(describe_node(*node.value(), rec.listen_port));
-          }
-          if (--join->pending > 0) return;
-          if (join->failed) {
-            rollback_nodes(rec);
-            must(rec.lifecycle.transition(ServiceState::kFailed));
-            const std::string message = join->first_error;
-            services_.erase(record_it);
-            if (trace_) {
-              trace_->record(now, TraceKind::kPrimingFailed, "master", name,
-                             message);
-            }
-            done(ApiError{ApiErrorCode::kPrimingFailed, message}, now);
-            return;
-          }
-          finish_creation(rec, done);
-        });
-  }
+  // Prime every node; the coordinator joins on the last completion.
+  PrimeSpec spec;
+  spec.service_name = live.service_name;
+  spec.location = live.image_location;
+  spec.unit = live.requirement.m;
+  spec.inflated_unit = planner_.inflated_unit(live.requirement.m);
+  spec.listen_port = live.listen_port;
+  spec.components = &live.components;
+  spec.customize_rootfs = live.customize_rootfs;
+  spec.address_mode = live.address_mode;
+  priming_.prime(
+      live.placements, spec,
+      [this, name = live.service_name](vm::VirtualServiceNode& node,
+                                       sim::SimTime) {
+        auto record_it = services_.find(name);
+        SODA_ENSURES(record_it != services_.end());
+        ServiceRecord& rec = record_it->second;
+        rec.nodes.push_back(describe_node(node, rec.listen_port));
+      },
+      [this, name = live.service_name,
+       done](const PrimingCoordinator::Outcome& outcome, sim::SimTime now) {
+        auto record_it = services_.find(name);
+        SODA_ENSURES(record_it != services_.end());
+        ServiceRecord& rec = record_it->second;
+        if (outcome.failed) {
+          priming_.rollback(rec.nodes);
+          must(rec.lifecycle.transition(ServiceState::kFailed));
+          const std::string message = outcome.first_error;
+          services_.erase(record_it);
+          bus_.publish(now, TraceKind::kPrimingFailed, "master", name, message);
+          done(ApiError{ApiErrorCode::kPrimingFailed, message}, now);
+          return;
+        }
+        finish_creation(rec, done);
+      });
 }
 
 void SodaMaster::finish_creation(ServiceRecord& record, CreateCallback done) {
@@ -418,15 +285,13 @@ void SodaMaster::finish_creation(ServiceRecord& record, CreateCallback done) {
     }
   }
   must(record.lifecycle.transition(ServiceState::kRunning));
-  if (trace_) {
-    trace_->record(engine_.now(), TraceKind::kSwitchCreated, "master",
-                   record.service_name,
-                   front.address.to_string() + ":" +
-                       std::to_string(record.listen_port));
-    trace_->record(engine_.now(), TraceKind::kServiceRunning, "master",
-                   record.service_name,
-                   std::to_string(record.nodes.size()) + " node(s)");
-  }
+  bus_.publish(engine_.now(), TraceKind::kSwitchCreated, "master",
+               record.service_name,
+               front.address.to_string() + ":" +
+                   std::to_string(record.listen_port));
+  bus_.publish(engine_.now(), TraceKind::kServiceRunning, "master",
+               record.service_name,
+               std::to_string(record.nodes.size()) + " node(s)");
   util::global_logger().info(
       "master", record.service_name + " running; switch at " +
                     front.address.to_string() + ":" +
@@ -439,19 +304,6 @@ void SodaMaster::finish_creation(ServiceRecord& record, CreateCallback done) {
   reply.switch_address = front.address;
   reply.switch_port = record.listen_port;
   done(reply, engine_.now());
-}
-
-void SodaMaster::rollback_nodes(ServiceRecord& record) {
-  for (const NodeDescriptor& node : record.nodes) {
-    for (SodaDaemon* daemon : daemons_) {
-      // A crashed host already released everything it carried; there is
-      // nothing left to tear down there.
-      if (daemon->host_name() == node.host_name && daemon->alive()) {
-        must(daemon->teardown_node(node.node_name));
-      }
-    }
-  }
-  record.nodes.clear();
 }
 
 ApiResult<ServiceCreationReply> SodaMaster::describe_service(
@@ -479,12 +331,10 @@ Result<void, ApiError> SodaMaster::teardown_service(const std::string& name) {
       !moved.ok()) {
     return ApiError{ApiErrorCode::kInvalidRequest, moved.error().message};
   }
-  rollback_nodes(record);
+  priming_.rollback(record.nodes);
   must(record.lifecycle.transition(ServiceState::kGone));
   services_.erase(it);
-  if (trace_) {
-    trace_->record(engine_.now(), TraceKind::kTornDown, "master", name);
-  }
+  bus_.publish(engine_.now(), TraceKind::kTornDown, "master", name);
   util::global_logger().info("master", "tore down " + name);
   return {};
 }
@@ -537,14 +387,12 @@ void SodaMaster::resize_service(const std::string& name, int n_new,
 
   int current = 0;
   for (const Placement& p : record.placements) current += p.units;
-  const host::ResourceVector unit = inflated_unit(record.requirement.m);
+  const host::ResourceVector unit = planner_.inflated_unit(record.requirement.m);
 
   auto reply_now = [&] {
     must(record.lifecycle.transition(ServiceState::kRunning));
-    if (trace_) {
-      trace_->record(engine_.now(), TraceKind::kResized, "master", name,
-                     "n=" + std::to_string(n_new));
-    }
+    bus_.publish(engine_.now(), TraceKind::kResized, "master", name,
+                 "n=" + std::to_string(n_new));
     record.requirement.n = n_new;
     ServiceResizingReply reply;
     reply.service_name = name;
@@ -608,7 +456,7 @@ void SodaMaster::resize_service(const std::string& name, int n_new,
   }
   std::vector<Placement> new_nodes;
   if (to_add > 0) {
-    for (SodaDaemon* daemon : ordered_daemons()) {
+    for (SodaDaemon* daemon : planner_.ordered_daemons()) {
       if (to_add == 0) break;
       const bool already_used = std::any_of(
           record.placements.begin(), record.placements.end(),
@@ -651,387 +499,61 @@ void SodaMaster::resize_service(const std::string& name, int n_new,
     return;
   }
 
-  // Prime the additional nodes. Dispatch from the local snapshot: callbacks
-  // may mutate record.placements synchronously on failure.
-  auto join = std::make_shared<PrimeJoin>();
-  join->pending = new_nodes.size();
+  // Prime the additional nodes through the shared coordinator (which
+  // re-resolves the repository by name — never a cached pointer).
   for (Placement& placement : new_nodes) {
     placement.node_name = name + "/" + std::to_string(record.next_ordinal++);
     record.placements.push_back(placement);
   }
-  for (const Placement& placement : new_nodes) {
-    PrimeCommand command;
-    command.node_name = placement.node_name;
-    command.service_name = name;
-    command.repository = record.repository;
-    command.location = record.image_location;
-    command.unit = record.requirement.m;
-    command.capacity_units = placement.units;
-    command.reserve = unit.scaled(placement.units);
-    command.customize_rootfs = config_.customize_rootfs;
-    command.address_mode = config_.address_mode;
-    command.listen_port = record.listen_port;
-    placement.daemon->prime_node(
-        std::move(command),
-        [this, join, name, n_new,
-         done](Result<vm::VirtualServiceNode*> node, sim::SimTime now) {
-          auto record_it = services_.find(name);
-          SODA_ENSURES(record_it != services_.end());
-          ServiceRecord& rec = record_it->second;
-          if (!node.ok()) {
-            if (!join->failed) {
-              join->failed = true;
-              join->first_error = node.error().message;
-            }
-          } else {
-            const NodeDescriptor descriptor =
-                describe_node(*node.value(), rec.listen_port);
-            must(rec.service_switch->add_backend(BackEndEntry{
-                descriptor.address, descriptor.port,
-                descriptor.capacity_units}));
-            rec.nodes.push_back(descriptor);
-          }
-          if (--join->pending > 0) return;
-          if (join->failed) {
-            // Drop the placements whose priming never produced a node.
-            auto& placements = rec.placements;
-            placements.erase(
-                std::remove_if(placements.begin(), placements.end(),
-                               [&](const Placement& p) {
-                                 return std::none_of(
-                                     rec.nodes.begin(), rec.nodes.end(),
-                                     [&](const NodeDescriptor& d) {
-                                       return d.node_name == p.node_name;
-                                     });
-                               }),
-                placements.end());
-            must(rec.lifecycle.transition(ServiceState::kRunning));
-            done(ApiError{ApiErrorCode::kPrimingFailed, join->first_error}, now);
-            return;
-          }
+  PrimeSpec spec;
+  spec.service_name = name;
+  spec.location = record.image_location;
+  spec.unit = record.requirement.m;
+  spec.inflated_unit = unit;
+  spec.listen_port = record.listen_port;
+  spec.customize_rootfs = record.customize_rootfs;
+  spec.address_mode = record.address_mode;
+  priming_.prime(
+      std::move(new_nodes), spec,
+      [this, name](vm::VirtualServiceNode& node, sim::SimTime) {
+        auto record_it = services_.find(name);
+        SODA_ENSURES(record_it != services_.end());
+        ServiceRecord& rec = record_it->second;
+        const NodeDescriptor descriptor = describe_node(node, rec.listen_port);
+        must(rec.service_switch->add_backend(BackEndEntry{
+            descriptor.address, descriptor.port, descriptor.capacity_units}));
+        rec.nodes.push_back(descriptor);
+      },
+      [this, name, n_new, done](const PrimingCoordinator::Outcome& outcome,
+                                sim::SimTime now) {
+        auto record_it = services_.find(name);
+        SODA_ENSURES(record_it != services_.end());
+        ServiceRecord& rec = record_it->second;
+        if (outcome.failed) {
+          // Drop the placements whose priming never produced a node.
+          auto& placements = rec.placements;
+          placements.erase(
+              std::remove_if(placements.begin(), placements.end(),
+                             [&](const Placement& p) {
+                               return std::none_of(
+                                   rec.nodes.begin(), rec.nodes.end(),
+                                   [&](const NodeDescriptor& d) {
+                                     return d.node_name == p.node_name;
+                                   });
+                             }),
+              placements.end());
           must(rec.lifecycle.transition(ServiceState::kRunning));
-          rec.requirement.n = n_new;
-          ServiceResizingReply reply;
-          reply.service_name = name;
-          reply.nodes = rec.nodes;
-          done(reply, now);
-        });
-  }
-}
-
-// --- Failure detection & recovery -----------------------------------------
-
-void SodaMaster::enable_failure_detection(FailureDetectorConfig config) {
-  SODA_EXPECTS(config.heartbeat_interval > sim::SimTime::zero());
-  SODA_EXPECTS(config.timeout >= config.heartbeat_interval);
-  detector_config_ = config;
-  detection_enabled_ = true;
-  // Every registered host counts as heard-from now, so an idle HUP does not
-  // mass-expire at the first check.
-  for (const SodaDaemon* daemon : daemons_) {
-    last_heartbeat_[daemon->host_name()] = engine_.now();
-  }
-}
-
-void SodaMaster::start_failure_detector(FailureDetectorConfig config) {
-  if (!detection_enabled_) enable_failure_detection(config);
-  if (detector_running_) return;
-  detector_running_ = true;
-  engine_.schedule_after(detector_config_.heartbeat_interval,
-                         [this] { detector_tick(); });
-}
-
-void SodaMaster::detector_tick() {
-  if (!detector_running_) return;
-  check_failures_once();
-  engine_.schedule_after(detector_config_.heartbeat_interval,
-                         [this] { detector_tick(); });
-}
-
-void SodaMaster::on_heartbeat(SodaDaemon& daemon, sim::SimTime now) {
-  last_heartbeat_[daemon.host_name()] = now;
-  if (down_hosts_.count(daemon.host_name())) handle_host_recovery(daemon);
-}
-
-std::size_t SodaMaster::check_failures_once() {
-  SODA_EXPECTS(detection_enabled_);
-  const sim::SimTime now = engine_.now();
-  std::size_t newly_dead = 0;
-  for (SodaDaemon* daemon : daemons_) {
-    if (down_hosts_.count(daemon->host_name())) continue;
-    const sim::SimTime last = last_heartbeat_[daemon->host_name()];
-    if (now - last >= detector_config_.timeout) {
-      handle_host_failure(*daemon);
-      ++newly_dead;
-    }
-  }
-  return newly_dead;
-}
-
-std::size_t SodaMaster::poll_liveness_once() {
-  std::size_t changed = 0;
-  for (SodaDaemon* daemon : daemons_) {
-    const bool marked_down = down_hosts_.count(daemon->host_name()) > 0;
-    if (!daemon->alive() && !marked_down) {
-      handle_host_failure(*daemon);
-      ++changed;
-    } else if (daemon->alive() && marked_down) {
-      handle_host_recovery(*daemon);
-      ++changed;
-    }
-  }
-  return changed;
-}
-
-void SodaMaster::handle_host_failure(SodaDaemon& daemon) {
-  const std::string host = daemon.host_name();
-  if (!down_hosts_.insert(host).second) return;
-  ++host_failures_;
-  util::global_logger().warn("master", "host " + host + " declared dead");
-  if (trace_) {
-    trace_->record(engine_.now(), TraceKind::kHostDown, "master", host);
-  }
-  // The crashed host's chunks are unreachable: purge them from the registry
-  // so peers stop selecting it and fail over their in-flight transfers.
-  chunk_registry_.remove_host(host);
-
-  std::vector<std::string> degraded;
-  for (auto& [name, record] : services_) {
-    bool lost_any = false;
-    int units_lost = 0;
-    for (auto p_it = record.placements.begin();
-         p_it != record.placements.end();) {
-      if (p_it->daemon != &daemon) {
-        ++p_it;
-        continue;
-      }
-      lost_any = true;
-      units_lost += p_it->units;
-      ++placements_lost_;
-      if (trace_) {
-        trace_->record(engine_.now(), TraceKind::kNodeLost, "master",
-                       p_it->node_name, "host " + host + " down");
-      }
-      auto d_it = std::find_if(record.nodes.begin(), record.nodes.end(),
-                               [&](const NodeDescriptor& d) {
-                                 return d.node_name == p_it->node_name;
-                               });
-      if (d_it != record.nodes.end()) {
-        if (record.service_switch) {
-          // The backend may still be mid-priming and absent from the switch.
-          (void)record.service_switch->remove_backend(d_it->address,
-                                                      d_it->port);
+          done(ApiError{ApiErrorCode::kPrimingFailed, outcome.first_error},
+               now);
+          return;
         }
-        record.nodes.erase(d_it);
-      }
-      p_it = record.placements.erase(p_it);
-    }
-    if (!lost_any) continue;
-    maybe_rehome_switch(record);
-    if (record.lifecycle.state() == ServiceState::kRunning) {
-      must(record.lifecycle.transition(ServiceState::kDegraded));
-      if (trace_) {
-        trace_->record(engine_.now(), TraceKind::kDegraded, "master", name,
-                       std::to_string(units_lost) + " unit(s) lost with " +
-                           host);
-      }
-    }
-    if (record.lifecycle.state() == ServiceState::kDegraded) {
-      degraded.push_back(name);
-    }
-  }
-  for (const std::string& name : degraded) attempt_recovery(name);
-}
-
-void SodaMaster::handle_host_recovery(SodaDaemon& daemon) {
-  if (down_hosts_.erase(daemon.host_name()) == 0) return;
-  last_heartbeat_[daemon.host_name()] = engine_.now();
-  util::global_logger().info("master", "host " + daemon.host_name() + " is back");
-  if (trace_) {
-    trace_->record(engine_.now(), TraceKind::kHostUp, "master",
-                   daemon.host_name());
-  }
-  // The returned capacity may complete recoveries that were stuck short.
-  std::vector<std::string> degraded;
-  for (const auto& [name, record] : services_) {
-    if (record.lifecycle.state() == ServiceState::kDegraded) {
-      degraded.push_back(name);
-    }
-  }
-  for (const std::string& name : degraded) attempt_recovery(name);
-}
-
-void SodaMaster::maybe_rehome_switch(ServiceRecord& record) {
-  if (!record.service_switch || record.nodes.empty()) return;
-  const net::Ipv4Address listen = record.service_switch->listen_address();
-  for (const NodeDescriptor& node : record.nodes) {
-    if (node.address == listen) return;  // colocation node is still alive
-  }
-  // Deterministic choice: the surviving node with the smallest name.
-  const NodeDescriptor* front = &record.nodes.front();
-  for (const NodeDescriptor& node : record.nodes) {
-    if (node.node_name < front->node_name) front = &node;
-  }
-  record.service_switch->rehome(front->address, record.listen_port);
-  if (trace_) {
-    trace_->record(engine_.now(), TraceKind::kSwitchCreated, "master",
-                   record.service_name,
-                   "rehomed to " + front->address.to_string() + ":" +
-                       std::to_string(record.listen_port));
-  }
-}
-
-void SodaMaster::attempt_recovery(const std::string& service_name) {
-  auto it = services_.find(service_name);
-  if (it == services_.end()) return;
-  ServiceRecord& record = it->second;
-  if (record.lifecycle.state() != ServiceState::kDegraded ||
-      !record.service_switch) {
-    return;
-  }
-  const host::ResourceVector unit = inflated_unit(record.requirement.m);
-
-  auto finish_if_restored = [this](ServiceRecord& rec) {
-    bool restored;
-    if (!rec.components.empty()) {
-      restored = std::all_of(
-          rec.components.begin(), rec.components.end(),
-          [&](const image::ServiceComponent& component) {
-            return std::any_of(rec.placements.begin(), rec.placements.end(),
-                               [&](const Placement& p) {
-                                 return p.component == component.name;
-                               });
-          });
-    } else {
-      int have = 0;
-      for (const Placement& p : rec.placements) have += p.units;
-      restored = have >= rec.requirement.n;
-    }
-    if (restored && rec.lifecycle.state() == ServiceState::kDegraded) {
-      must(rec.lifecycle.transition(ServiceState::kRunning));
-      ++recoveries_;
-      if (trace_) {
-        trace_->record(engine_.now(), TraceKind::kRecovered, "master",
-                       rec.service_name,
-                       std::to_string(rec.nodes.size()) + " node(s)");
-      }
-      util::global_logger().info(
-          "master", rec.service_name + " recovered to full capacity");
-    }
-  };
-
-  // Re-run admission for the lost capacity on the surviving hosts.
-  std::vector<Placement> plan;
-  if (!record.components.empty()) {
-    std::vector<image::ServiceComponent> lost;
-    for (const auto& component : record.components) {
-      if (std::none_of(record.placements.begin(), record.placements.end(),
-                       [&](const Placement& p) {
-                         return p.component == component.name;
-                       })) {
-        lost.push_back(component);
-      }
-    }
-    if (lost.empty()) {
-      finish_if_restored(record);
-      return;
-    }
-    auto planned = plan_components(record.requirement.m, lost);
-    if (!planned.ok()) return;  // no host fits: stay degraded
-    plan = std::move(planned).value();
-  } else {
-    int have = 0;
-    for (const Placement& p : record.placements) have += p.units;
-    int missing = record.requirement.n - have;
-    if (missing <= 0) {
-      finish_if_restored(record);
-      return;
-    }
-    for (SodaDaemon* daemon : ordered_daemons()) {
-      if (missing == 0) break;
-      const bool used = std::any_of(
-          record.placements.begin(), record.placements.end(),
-          [&](const Placement& p) { return p.daemon == daemon; });
-      if (used) continue;
-      const int k = std::min(units_that_fit(daemon->available(), unit), missing);
-      if (k >= 1) {
-        plan.push_back(Placement{daemon, "", k});
-        missing -= k;
-      }
-    }
-    // Whatever fits is re-created now; a later host-up retries the rest.
-    if (plan.empty()) return;
-  }
-
-  for (Placement& placement : plan) {
-    placement.node_name =
-        service_name + "/" + std::to_string(record.next_ordinal++);
-    record.placements.push_back(placement);
-  }
-  util::global_logger().info(
-      "master", "recovering " + service_name + ": re-priming " +
-                    std::to_string(plan.size()) + " node(s)");
-
-  auto join = std::make_shared<PrimeJoin>();
-  join->pending = plan.size();
-  for (const Placement& placement : plan) {
-    PrimeCommand command;
-    command.node_name = placement.node_name;
-    command.service_name = service_name;
-    command.repository = record.repository;
-    command.location = record.image_location;
-    command.unit = record.requirement.m;
-    command.capacity_units = placement.units;
-    command.reserve = unit.scaled(placement.units);
-    command.customize_rootfs = config_.customize_rootfs;
-    command.address_mode = config_.address_mode;
-    command.listen_port = record.listen_port;
-    if (!placement.component.empty()) {
-      for (const auto& component : record.components) {
-        if (component.name == placement.component) command.component = component;
-      }
-    }
-    placement.daemon->prime_node(
-        std::move(command),
-        [this, join, name = service_name, finish_if_restored](
-            Result<vm::VirtualServiceNode*> node, sim::SimTime now) {
-          auto record_it = services_.find(name);
-          if (record_it == services_.end()) return;  // torn down meanwhile
-          ServiceRecord& rec = record_it->second;
-          if (node.ok()) {
-            const NodeDescriptor descriptor =
-                describe_node(*node.value(), rec.listen_port);
-            must(rec.service_switch->add_backend(BackEndEntry{
-                descriptor.address, descriptor.port, descriptor.capacity_units,
-                descriptor.component}));
-            rec.nodes.push_back(descriptor);
-          } else if (!join->failed) {
-            join->failed = true;
-            join->first_error = node.error().message;
-          }
-          if (--join->pending > 0) return;
-          if (join->failed) {
-            // Drop the placements whose re-priming never produced a node;
-            // the service stays degraded with whatever did come up.
-            auto& placements = rec.placements;
-            placements.erase(
-                std::remove_if(placements.begin(), placements.end(),
-                               [&](const Placement& p) {
-                                 return std::none_of(
-                                     rec.nodes.begin(), rec.nodes.end(),
-                                     [&](const NodeDescriptor& d) {
-                                       return d.node_name == p.node_name;
-                                     });
-                               }),
-                placements.end());
-            util::global_logger().warn(
-                "master", name + " recovery incomplete: " + join->first_error);
-          }
-          maybe_rehome_switch(rec);
-          finish_if_restored(rec);
-          (void)now;
-        });
-  }
+        must(rec.lifecycle.transition(ServiceState::kRunning));
+        rec.requirement.n = n_new;
+        ServiceResizingReply reply;
+        reply.service_name = name;
+        reply.nodes = rec.nodes;
+        done(reply, now);
+      });
 }
 
 }  // namespace soda::core

@@ -6,6 +6,15 @@
 // the paper's prototype, no resource aggregation), drives the daemons'
 // priming, creates the per-service switch with its configuration file, and
 // executes resizing and tear-down.
+//
+// The class itself is a thin façade over four composable subsystems:
+//   * PlacementPlanner (core/placement) — strategy-ordered host selection;
+//   * PrimingCoordinator (core/priming) — the prime fan-out/join shared by
+//     creation, resize growth, and recovery;
+//   * RecoveryManager (core/recovery) — failure detection and the recovery
+//     policy over the Master's service table;
+//   * ControlPlaneBus (core/events) — the typed event bus every subsystem
+//     publishes into (trace, metrics, subscribers).
 #pragma once
 
 #include <functional>
@@ -17,6 +26,10 @@
 
 #include "core/api.hpp"
 #include "core/daemon.hpp"
+#include "core/events.hpp"
+#include "core/placement.hpp"
+#include "core/priming.hpp"
+#include "core/recovery.hpp"
 #include "core/service.hpp"
 #include "core/trace.hpp"
 #include "core/switch.hpp"
@@ -26,15 +39,6 @@
 #include "util/result.hpp"
 
 namespace soda::core {
-
-/// How the Master orders hosts when placing slices.
-enum class PlacementPolicy {
-  kFirstFit,  // registration order
-  kBestFit,   // least spare CPU first (pack tightly)
-  kWorstFit,  // most spare CPU first (spread load)
-};
-
-std::string_view placement_policy_name(PlacementPolicy policy) noexcept;
 
 /// Master tuning knobs. Defaults follow the paper's prototype.
 struct MasterConfig {
@@ -55,30 +59,18 @@ struct MasterConfig {
   image::DistributionConfig distribution;
 };
 
-/// Failure-detector tuning. The Master declares a host dead when no
-/// heartbeat arrived for `timeout` (several missed intervals, so one late
-/// heartbeat does not flap the host).
-struct FailureDetectorConfig {
-  sim::SimTime heartbeat_interval = sim::SimTime::milliseconds(250);
-  sim::SimTime timeout = sim::SimTime::seconds(1);
-};
-
-/// One planned (or live) node placement.
-struct Placement {
-  SodaDaemon* daemon = nullptr;
-  std::string node_name;
-  int units = 1;
-  std::string component;  // partitioned services only
-};
-
-/// Everything the Master tracks per service.
+/// Everything the Master tracks per service. Priming-relevant config is
+/// snapshotted here at admission; the image's repository is deliberately
+/// NOT cached — every priming path re-resolves it by name through the
+/// repository directory, so an unregistered repository fails cleanly.
 struct ServiceRecord {
   std::string service_name;
   std::string asp_id;
   host::ResourceRequirement requirement;
   image::ImageLocation image_location;
-  const image::ImageRepository* repository = nullptr;
   int listen_port = 0;
+  bool customize_rootfs = true;
+  AddressMode address_mode = AddressMode::kBridging;
   std::vector<NodeDescriptor> nodes;
   std::vector<Placement> placements;
   std::vector<image::ServiceComponent> components;  // empty when replicated
@@ -86,9 +78,6 @@ struct ServiceRecord {
   ServiceLifecycle lifecycle{""};
   int next_ordinal = 0;  // node-name counter, never reused after teardown
 };
-
-template <typename T>
-using ApiResult = Result<T, ApiError>;
 
 class SodaMaster {
  public:
@@ -155,12 +144,29 @@ class SodaMaster {
   [[nodiscard]] std::size_t service_count() const noexcept { return services_.size(); }
   /// Names of all services currently known (any lifecycle state).
   [[nodiscard]] std::vector<std::string> service_names() const;
-  /// Attaches a trace log (emission is skipped when unset).
-  void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
-  [[nodiscard]] TraceLog* trace() const noexcept { return trace_; }
+
+  /// Attaches a trace log: the bus routes every published event into it
+  /// (emission is skipped when unset).
+  void set_trace(TraceLog* trace) noexcept { bus_.set_trace(trace); }
+  [[nodiscard]] TraceLog* trace() const noexcept { return bus_.trace(); }
+
+  /// The control-plane event bus (publish/subscribe; owns the metrics).
+  [[nodiscard]] ControlPlaneBus& bus() noexcept { return bus_; }
+  [[nodiscard]] const ControlPlaneBus& bus() const noexcept { return bus_; }
+  /// Named control-plane counters/gauges (admissions, rejections, primings,
+  /// failures, recoveries, bytes_from_origin, bytes_from_peers, ...).
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return bus_.metrics(); }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return bus_.metrics();
+  }
+
   [[nodiscard]] const MasterConfig& config() const noexcept { return config_; }
   [[nodiscard]] const std::vector<SodaDaemon*>& daemons() const noexcept {
     return daemons_;
+  }
+  /// The placement subsystem (exposed for tests and benches).
+  [[nodiscard]] const PlacementPlanner& planner() const noexcept {
+    return planner_;
   }
 
   /// Total resources currently available across the HUP (sum of daemon
@@ -168,84 +174,88 @@ class SodaMaster {
   [[nodiscard]] host::ResourceVector hup_available() const;
 
   /// The inflated per-unit reservation for `m` under this config.
-  [[nodiscard]] host::ResourceVector inflated_unit(const host::MachineConfig& m) const;
+  [[nodiscard]] host::ResourceVector inflated_unit(const host::MachineConfig& m) const {
+    return planner_.inflated_unit(m);
+  }
 
   /// Pure planning (exposed for tests and the allocation ablation bench):
-  /// how would <n, M> land on the current HUP? Error when it cannot.
+  /// how would <n, M> land on the current HUP? Error when it cannot. The
+  /// manifest overload lets cache-affinity placement consult per-host chunk
+  /// caches; without one the policy degrades to worst-fit ordering.
   ApiResult<std::vector<Placement>> plan_allocation(
-      const std::string& service_name, const host::ResourceRequirement& req) const;
+      const std::string& service_name,
+      const host::ResourceRequirement& req) const {
+    return planner_.plan_allocation(service_name, req);
+  }
+  ApiResult<std::vector<Placement>> plan_allocation(
+      const std::string& service_name, const host::ResourceRequirement& req,
+      const image::ImageManifest* manifest) const {
+    return planner_.plan_allocation(service_name, req,
+                                    PlacementQuery{manifest});
+  }
 
   /// Planning for a partitioned image: one node per component, each sized
   /// component.units x M; a host may carry several components. Error when
   /// the HUP cannot fit them all.
   ApiResult<std::vector<Placement>> plan_components(
       const host::MachineConfig& m,
-      const std::vector<image::ServiceComponent>& components) const;
+      const std::vector<image::ServiceComponent>& components) const {
+    return planner_.plan_components(m, components);
+  }
 
-  // --- Failure detection & recovery ---------------------------------------
+  // --- Failure detection & recovery (forwarded to the RecoveryManager) ----
 
   /// Arms the timeout-based failure detector: every registered daemon is
   /// considered heard-from now, and check_failures_once() declares any host
   /// silent for `config.timeout` dead. Call once, after registering hosts;
   /// daemons' heartbeat loops should deliver into on_heartbeat().
-  void enable_failure_detection(FailureDetectorConfig config = {});
+  void enable_failure_detection(FailureDetectorConfig config = {}) {
+    recovery_.enable(config);
+  }
 
   /// Starts the periodic detector loop: one check_failures_once() per
   /// heartbeat interval (arms detection first if needed). While the loop
   /// runs the engine always has pending events — drive the simulation with
   /// Engine::run_until.
-  void start_failure_detector(FailureDetectorConfig config = {});
-  void stop_failure_detector() noexcept { detector_running_ = false; }
+  void start_failure_detector(FailureDetectorConfig config = {}) {
+    recovery_.start(config);
+  }
+  void stop_failure_detector() noexcept { recovery_.stop(); }
 
   /// Heartbeat sink for SodaDaemon::start_heartbeat. A heartbeat from a
   /// host previously declared dead brings it back (host-up) and re-attempts
   /// recovery of every degraded service.
-  void on_heartbeat(SodaDaemon& daemon, sim::SimTime now);
+  void on_heartbeat(SodaDaemon& daemon, sim::SimTime now) {
+    recovery_.on_heartbeat(daemon, now);
+  }
 
   /// One timeout sweep: declares hosts whose last heartbeat is older than
   /// the configured timeout dead and runs the recovery policy for every
   /// service that lost placements. Returns the number of hosts newly
   /// declared dead. Requires enable_failure_detection().
-  std::size_t check_failures_once();
+  std::size_t check_failures_once() { return recovery_.check_once(); }
 
   /// Active-probe variant for synchronous callers (scenarios, tests): polls
   /// each daemon's liveness directly instead of waiting out the heartbeat
   /// timeout; detects both failures and recoveries. Returns the number of
   /// hosts whose detected state changed.
-  std::size_t poll_liveness_once();
+  std::size_t poll_liveness_once() { return recovery_.poll_once(); }
 
   [[nodiscard]] bool host_down(const std::string& host_name) const {
     return down_hosts_.count(host_name) > 0;
   }
   [[nodiscard]] std::uint64_t host_failures_detected() const noexcept {
-    return host_failures_;
+    return recovery_.host_failures();
   }
   [[nodiscard]] std::uint64_t placements_lost() const noexcept {
-    return placements_lost_;
+    return recovery_.placements_lost();
   }
   [[nodiscard]] std::uint64_t recoveries_completed() const noexcept {
-    return recoveries_;
+    return recovery_.recoveries();
   }
 
  private:
-  struct PrimeJoin;  // collects per-node priming completions
-
   void finish_creation(ServiceRecord& record, CreateCallback done);
-  void rollback_nodes(ServiceRecord& record);
-  [[nodiscard]] std::vector<SodaDaemon*> ordered_daemons() const;
-
-  void detector_tick();
-  /// Declares `daemon`'s host dead: strips its placements from every
-  /// service (switch backends included), degrades affected services, then
-  /// attempts to re-create the lost capacity on surviving hosts.
-  void handle_host_failure(SodaDaemon& daemon);
-  /// A dead host came back (heartbeat resumed or probe saw it alive).
-  void handle_host_recovery(SodaDaemon& daemon);
-  /// Re-creates as much of a degraded service's lost capacity as fits on
-  /// live hosts; transitions Degraded -> Running when fully restored.
-  void attempt_recovery(const std::string& service_name);
-  /// Keeps the switch's colocation endpoint pointing at a live node.
-  void maybe_rehome_switch(ServiceRecord& record);
 
   sim::Engine& engine_;
   MasterConfig config_;
@@ -253,16 +263,11 @@ class SodaMaster {
   image::RepositoryDirectory directory_;
   image::ChunkRegistry chunk_registry_;
   std::map<std::string, ServiceRecord> services_;
-  TraceLog* trace_ = nullptr;
-
-  bool detection_enabled_ = false;
-  bool detector_running_ = false;
-  FailureDetectorConfig detector_config_;
-  std::map<std::string, sim::SimTime> last_heartbeat_;
   std::set<std::string> down_hosts_;
-  std::uint64_t host_failures_ = 0;
-  std::uint64_t placements_lost_ = 0;
-  std::uint64_t recoveries_ = 0;
+  ControlPlaneBus bus_;
+  PlacementPlanner planner_;
+  PrimingCoordinator priming_;
+  RecoveryManager recovery_;
 };
 
 }  // namespace soda::core

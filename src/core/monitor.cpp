@@ -65,7 +65,13 @@ HealthMonitor::HealthMonitor(sim::Engine& engine, SodaMaster& master,
                              sim::SimTime interval)
     : engine_(engine), master_(master), interval_(interval) {
   SODA_EXPECTS(interval > sim::SimTime::zero());
+  // A passive bus tap: the monitor observes the control plane it probes
+  // (host-down/up, recoveries) without polling the Master for them.
+  subscription_ = master_.bus().subscribe(
+      [this](const ControlPlaneEvent&) { ++bus_events_seen_; });
 }
+
+HealthMonitor::~HealthMonitor() { master_.bus().unsubscribe(subscription_); }
 
 void HealthMonitor::start() {
   if (running_) return;
@@ -105,11 +111,9 @@ std::size_t HealthMonitor::probe_once() {
         } else {
           ++to_unhealthy_;
         }
-        if (master_.trace()) {
-          master_.trace()->record(engine_.now(), TraceKind::kHealthChanged,
-                                  "monitor", descriptor.node_name,
-                                  alive ? "healthy" : "unhealthy");
-        }
+        master_.bus().publish(engine_.now(), TraceKind::kHealthChanged,
+                              "monitor", descriptor.node_name,
+                              alive ? "healthy" : "unhealthy");
         util::global_logger().warn(
             "monitor", descriptor.node_name + " marked " +
                            (alive ? "healthy" : "unhealthy") + " in switch");

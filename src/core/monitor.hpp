@@ -53,9 +53,13 @@ Result<ServiceStatusReport> collect_service_status(SodaMaster& master,
 /// state. One monitor per HUP; it watches every service the Master knows.
 class HealthMonitor {
  public:
-  /// Probes every `interval` once started.
+  /// Probes every `interval` once started. Subscribes to the Master's
+  /// control-plane bus for the monitor's passive view of the HUP.
   HealthMonitor(sim::Engine& engine, SodaMaster& master,
                 sim::SimTime interval = sim::SimTime::milliseconds(500));
+  ~HealthMonitor();
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
 
   /// Starts the periodic probing loop (idempotent). While the loop runs the
   /// engine always has a pending event, so drive the simulation with
@@ -77,6 +81,10 @@ class HealthMonitor {
   [[nodiscard]] std::uint64_t transitions_to_healthy() const noexcept {
     return to_healthy_;
   }
+  /// Control-plane events observed through the bus subscription.
+  [[nodiscard]] std::uint64_t bus_events_seen() const noexcept {
+    return bus_events_seen_;
+  }
 
  private:
   void tick();
@@ -88,6 +96,8 @@ class HealthMonitor {
   std::uint64_t probes_ = 0;
   std::uint64_t to_unhealthy_ = 0;
   std::uint64_t to_healthy_ = 0;
+  std::uint64_t bus_events_seen_ = 0;
+  std::size_t subscription_ = 0;
 };
 
 }  // namespace soda::core

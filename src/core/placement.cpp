@@ -1,0 +1,263 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/daemon.hpp"
+#include "util/contract.hpp"
+
+namespace soda::core {
+
+namespace {
+
+/// Decorates hosts with their registration index so every comparator can
+/// close with an explicit, stable tie-break — determinism never leans on
+/// sort stability.
+struct Candidate {
+  SodaDaemon* daemon;
+  std::size_t index;
+};
+
+std::vector<Candidate> decorate(const std::vector<SodaDaemon*>& hosts) {
+  std::vector<Candidate> out;
+  out.reserve(hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) out.push_back({hosts[i], i});
+  return out;
+}
+
+void strip(const std::vector<Candidate>& ordered,
+           std::vector<SodaDaemon*>& hosts) {
+  hosts.clear();
+  for (const Candidate& candidate : ordered) hosts.push_back(candidate.daemon);
+}
+
+class FirstFitStrategy final : public PlacementStrategy {
+ public:
+  [[nodiscard]] PlacementPolicy policy() const noexcept override {
+    return PlacementPolicy::kFirstFit;
+  }
+  void order(std::vector<SodaDaemon*>&, const PlacementQuery&) const override {
+    // Registration order is the first-fit order.
+  }
+};
+
+class BestFitStrategy final : public PlacementStrategy {
+ public:
+  [[nodiscard]] PlacementPolicy policy() const noexcept override {
+    return PlacementPolicy::kBestFit;
+  }
+  void order(std::vector<SodaDaemon*>& hosts,
+             const PlacementQuery&) const override {
+    auto ordered = decorate(hosts);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Candidate& a, const Candidate& b) {
+                const double ca = a.daemon->available().cpu_mhz;
+                const double cb = b.daemon->available().cpu_mhz;
+                if (ca != cb) return ca < cb;
+                return a.index < b.index;
+              });
+    strip(ordered, hosts);
+  }
+};
+
+class WorstFitStrategy final : public PlacementStrategy {
+ public:
+  [[nodiscard]] PlacementPolicy policy() const noexcept override {
+    return PlacementPolicy::kWorstFit;
+  }
+  void order(std::vector<SodaDaemon*>& hosts,
+             const PlacementQuery&) const override {
+    auto ordered = decorate(hosts);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Candidate& a, const Candidate& b) {
+                const double ca = a.daemon->available().cpu_mhz;
+                const double cb = b.daemon->available().cpu_mhz;
+                if (ca != cb) return ca > cb;
+                return a.index < b.index;
+              });
+    strip(ordered, hosts);
+  }
+};
+
+/// Prefers hosts that already hold the image's chunks in their distribution
+/// cache (the Nth creation of a popular image lands where priming is nearly
+/// free); ties break worst-fit-style on spare CPU, then registration order.
+/// Without a manifest (image unknown, distribution disabled) it degrades to
+/// worst-fit.
+class CacheAffinityStrategy final : public PlacementStrategy {
+ public:
+  [[nodiscard]] PlacementPolicy policy() const noexcept override {
+    return PlacementPolicy::kCacheAffinity;
+  }
+  void order(std::vector<SodaDaemon*>& hosts,
+             const PlacementQuery& query) const override {
+    auto ordered = decorate(hosts);
+    std::map<std::size_t, std::size_t> cached;  // candidate index -> chunks
+    if (query.manifest != nullptr) {
+      for (const Candidate& candidate : ordered) {
+        std::size_t held = 0;
+        const auto& cache = candidate.daemon->distributor().cache();
+        for (const auto& chunk : query.manifest->chunks) {
+          if (cache.contains(chunk.id)) ++held;
+        }
+        cached[candidate.index] = held;
+      }
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [&](const Candidate& a, const Candidate& b) {
+                const std::size_t ha = query.manifest ? cached.at(a.index) : 0;
+                const std::size_t hb = query.manifest ? cached.at(b.index) : 0;
+                if (ha != hb) return ha > hb;
+                const double ca = a.daemon->available().cpu_mhz;
+                const double cb = b.daemon->available().cpu_mhz;
+                if (ca != cb) return ca > cb;
+                return a.index < b.index;
+              });
+    strip(ordered, hosts);
+  }
+};
+
+}  // namespace
+
+std::string_view placement_policy_name(PlacementPolicy policy) noexcept {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kBestFit: return "best-fit";
+    case PlacementPolicy::kWorstFit: return "worst-fit";
+    case PlacementPolicy::kCacheAffinity: return "cache-affinity";
+  }
+  return "unknown";
+}
+
+int units_that_fit(const host::ResourceVector& avail,
+                   const host::ResourceVector& unit) noexcept {
+  double k = std::floor(avail.cpu_mhz / unit.cpu_mhz + 1e-9);
+  if (unit.memory_mb > 0) {
+    k = std::min(k, std::floor(static_cast<double>(avail.memory_mb) /
+                               static_cast<double>(unit.memory_mb)));
+  }
+  if (unit.disk_mb > 0) {
+    k = std::min(k, std::floor(static_cast<double>(avail.disk_mb) /
+                               static_cast<double>(unit.disk_mb)));
+  }
+  if (unit.bandwidth_mbps > 0) {
+    k = std::min(k, std::floor(avail.bandwidth_mbps / unit.bandwidth_mbps + 1e-9));
+  }
+  return std::max(0, static_cast<int>(k));
+}
+
+std::unique_ptr<PlacementStrategy> make_placement_strategy(
+    PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit:
+      return std::make_unique<FirstFitStrategy>();
+    case PlacementPolicy::kBestFit:
+      return std::make_unique<BestFitStrategy>();
+    case PlacementPolicy::kWorstFit:
+      return std::make_unique<WorstFitStrategy>();
+    case PlacementPolicy::kCacheAffinity:
+      return std::make_unique<CacheAffinityStrategy>();
+  }
+  return std::make_unique<FirstFitStrategy>();
+}
+
+PlacementPlanner::PlacementPlanner(const std::vector<SodaDaemon*>& daemons,
+                                   const std::set<std::string>& down_hosts)
+    : daemons_(daemons),
+      down_hosts_(down_hosts),
+      strategy_(make_placement_strategy(PlacementPolicy::kWorstFit)) {}
+
+void PlacementPlanner::configure(PlacementPolicy policy,
+                                 double slowdown_factor,
+                                 int max_nodes_per_service) {
+  SODA_EXPECTS(slowdown_factor >= 1.0);
+  SODA_EXPECTS(max_nodes_per_service >= 1);
+  strategy_ = make_placement_strategy(policy);
+  slowdown_factor_ = slowdown_factor;
+  max_nodes_per_service_ = max_nodes_per_service;
+}
+
+host::ResourceVector PlacementPlanner::inflated_unit(
+    const host::MachineConfig& m) const {
+  host::ResourceVector unit = m.to_vector();
+  // Only processing and transmission slow down under the guest OS; memory
+  // and disk footprints are unchanged (paper §3.5).
+  unit.cpu_mhz *= slowdown_factor_;
+  unit.bandwidth_mbps *= slowdown_factor_;
+  return unit;
+}
+
+std::vector<SodaDaemon*> PlacementPlanner::ordered_daemons(
+    const PlacementQuery& query) const {
+  // Hosts the failure detector has declared dead receive no placements
+  // until their heartbeats resume.
+  std::vector<SodaDaemon*> ordered;
+  ordered.reserve(daemons_.size());
+  for (SodaDaemon* daemon : daemons_) {
+    if (down_hosts_.count(daemon->host_name()) == 0) ordered.push_back(daemon);
+  }
+  strategy_->order(ordered, query);
+  return ordered;
+}
+
+ApiResult<std::vector<Placement>> PlacementPlanner::plan_allocation(
+    const std::string& service_name, const host::ResourceRequirement& req,
+    const PlacementQuery& query) const {
+  if (req.n < 1) {
+    return ApiError{ApiErrorCode::kInvalidRequest, "requirement n must be >= 1"};
+  }
+  const host::ResourceVector unit = inflated_unit(req.m);
+  std::vector<Placement> plan;
+  int remaining = req.n;
+  for (SodaDaemon* daemon : ordered_daemons(query)) {
+    if (static_cast<int>(plan.size()) >= max_nodes_per_service_) break;
+    if (remaining == 0) break;
+    // One node per host per service: replicas on the same host would share
+    // the same failure domain and buy nothing.
+    if (daemon->find_node(service_name + "/0") != nullptr) continue;
+    const int k = std::min(units_that_fit(daemon->available(), unit), remaining);
+    if (k >= 1) {
+      plan.push_back(Placement{daemon, "", k});
+      remaining -= k;
+    }
+  }
+  if (remaining > 0) {
+    return ApiError{ApiErrorCode::kInsufficientResources,
+                    "HUP cannot satisfy " + req.to_string() + " (short by " +
+                        std::to_string(remaining) + " instance(s) of M)"};
+  }
+  return plan;
+}
+
+ApiResult<std::vector<Placement>> PlacementPlanner::plan_components(
+    const host::MachineConfig& m,
+    const std::vector<image::ServiceComponent>& components,
+    const PlacementQuery& query) const {
+  SODA_EXPECTS(!components.empty());
+  // Hypothetical usage per host while planning (nothing is reserved yet).
+  std::map<std::string, host::ResourceVector> planned;
+  std::vector<Placement> plan;
+  for (const auto& component : components) {
+    const host::ResourceVector need = inflated_unit(m).scaled(component.units);
+    bool placed = false;
+    for (SodaDaemon* daemon : ordered_daemons(query)) {
+      const host::ResourceVector avail =
+          daemon->available() - planned[daemon->host_name()];
+      if (avail.fits(need)) {
+        plan.push_back(Placement{daemon, "", component.units, component.name});
+        planned[daemon->host_name()] += need;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      return ApiError{ApiErrorCode::kInsufficientResources,
+                      "no host fits component '" + component.name + "' (" +
+                          need.to_string() + ")"};
+    }
+  }
+  return plan;
+}
+
+}  // namespace soda::core

@@ -1,0 +1,118 @@
+// Placement planning (paper §3.2's mapping of <n, M> onto n' <= n virtual
+// service nodes), extracted from the Master into a strategy-driven planner.
+// A PlacementStrategy orders candidate hosts; the planner then packs units
+// host by host. Every ordering is explicitly deterministic: ties (equal
+// spare CPU, equal cache affinity) break on daemon registration order, so
+// two equal hosts place identically across repeated runs and under the
+// parallel experiment runner.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/api.hpp"
+#include "host/resources.hpp"
+#include "image/chunk.hpp"
+#include "image/image.hpp"
+#include "util/result.hpp"
+
+namespace soda::core {
+
+class SodaDaemon;
+
+/// How the Master orders hosts when placing slices.
+enum class PlacementPolicy {
+  kFirstFit,       // registration order
+  kBestFit,        // least spare CPU first (pack tightly)
+  kWorstFit,       // most spare CPU first (spread load)
+  kCacheAffinity,  // most image chunks already cached first (cheap priming)
+};
+
+std::string_view placement_policy_name(PlacementPolicy policy) noexcept;
+
+/// One planned (or live) node placement.
+struct Placement {
+  SodaDaemon* daemon = nullptr;
+  std::string node_name;
+  int units = 1;
+  std::string component;  // partitioned services only
+};
+
+template <typename T>
+using ApiResult = Result<T, ApiError>;
+
+/// How many machine instances of `unit` fit into `avail`.
+[[nodiscard]] int units_that_fit(const host::ResourceVector& avail,
+                                 const host::ResourceVector& unit) noexcept;
+
+/// Context a strategy may consult when ordering hosts. All fields optional:
+/// a query without a manifest degrades cache-affinity to worst-fit.
+struct PlacementQuery {
+  const image::ImageManifest* manifest = nullptr;
+};
+
+/// Strategy object: orders candidate hosts most-preferred first. The input
+/// vector arrives in daemon registration order; implementations must be
+/// deterministic (total order — ties broken on the registration index).
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+  [[nodiscard]] virtual PlacementPolicy policy() const noexcept = 0;
+  virtual void order(std::vector<SodaDaemon*>& hosts,
+                     const PlacementQuery& query) const = 0;
+};
+
+/// Builds the strategy object for a policy.
+[[nodiscard]] std::unique_ptr<PlacementStrategy> make_placement_strategy(
+    PlacementPolicy policy);
+
+/// The planner: pure planning over the registered daemons (nothing is
+/// reserved), shared by creation, resizing, and recovery. It reads the
+/// Master's daemon list and down-host set by reference, so it always plans
+/// against the live HUP view.
+class PlacementPlanner {
+ public:
+  PlacementPlanner(const std::vector<SodaDaemon*>& daemons,
+                   const std::set<std::string>& down_hosts);
+
+  /// Applies the Master's tuning (policy, slow-down inflation, node cap).
+  void configure(PlacementPolicy policy, double slowdown_factor,
+                 int max_nodes_per_service);
+
+  [[nodiscard]] PlacementPolicy policy() const noexcept {
+    return strategy_->policy();
+  }
+
+  /// The inflated per-unit reservation for `m` (paper footnote 2: CPU and
+  /// bandwidth only; memory and disk footprints are unchanged).
+  [[nodiscard]] host::ResourceVector inflated_unit(
+      const host::MachineConfig& m) const;
+
+  /// Live hosts in strategy preference order (dead hosts excluded).
+  [[nodiscard]] std::vector<SodaDaemon*> ordered_daemons(
+      const PlacementQuery& query = {}) const;
+
+  /// How would <n, M> land on the current HUP? Error when it cannot.
+  [[nodiscard]] ApiResult<std::vector<Placement>> plan_allocation(
+      const std::string& service_name, const host::ResourceRequirement& req,
+      const PlacementQuery& query = {}) const;
+
+  /// Planning for a partitioned image: one node per component, each sized
+  /// component.units x M; a host may carry several components.
+  [[nodiscard]] ApiResult<std::vector<Placement>> plan_components(
+      const host::MachineConfig& m,
+      const std::vector<image::ServiceComponent>& components,
+      const PlacementQuery& query = {}) const;
+
+ private:
+  const std::vector<SodaDaemon*>& daemons_;
+  const std::set<std::string>& down_hosts_;
+  std::unique_ptr<PlacementStrategy> strategy_;
+  double slowdown_factor_ = 1.5;
+  int max_nodes_per_service_ = 16;
+};
+
+}  // namespace soda::core

@@ -1,0 +1,305 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+
+#include "core/master.hpp"
+#include "util/contract.hpp"
+#include "util/log.hpp"
+
+namespace soda::core {
+
+RecoveryManager::RecoveryManager(sim::Engine& engine, ControlPlaneView view,
+                                 const PlacementPlanner& planner,
+                                 PrimingCoordinator& priming,
+                                 ControlPlaneBus& bus)
+    : engine_(engine), view_(view), planner_(planner), priming_(priming),
+      bus_(bus) {}
+
+void RecoveryManager::enable(FailureDetectorConfig config) {
+  SODA_EXPECTS(config.heartbeat_interval > sim::SimTime::zero());
+  SODA_EXPECTS(config.timeout >= config.heartbeat_interval);
+  config_ = config;
+  enabled_ = true;
+  // Every registered host counts as heard-from now, so an idle HUP does not
+  // mass-expire at the first check.
+  for (const SodaDaemon* daemon : view_.daemons) {
+    last_heartbeat_[daemon->host_name()] = engine_.now();
+  }
+}
+
+void RecoveryManager::start(FailureDetectorConfig config) {
+  if (!enabled_) enable(config);
+  if (running_) return;
+  running_ = true;
+  engine_.schedule_after(config_.heartbeat_interval, [this] { tick(); });
+}
+
+void RecoveryManager::tick() {
+  if (!running_) return;
+  check_once();
+  engine_.schedule_after(config_.heartbeat_interval, [this] { tick(); });
+}
+
+void RecoveryManager::on_heartbeat(SodaDaemon& daemon, sim::SimTime now) {
+  last_heartbeat_[daemon.host_name()] = now;
+  if (view_.down_hosts.count(daemon.host_name())) handle_host_recovery(daemon);
+}
+
+std::size_t RecoveryManager::check_once() {
+  SODA_EXPECTS(enabled_);
+  const sim::SimTime now = engine_.now();
+  std::size_t newly_dead = 0;
+  for (SodaDaemon* daemon : view_.daemons) {
+    if (view_.down_hosts.count(daemon->host_name())) continue;
+    const sim::SimTime last = last_heartbeat_[daemon->host_name()];
+    if (now - last >= config_.timeout) {
+      handle_host_failure(*daemon);
+      ++newly_dead;
+    }
+  }
+  return newly_dead;
+}
+
+std::size_t RecoveryManager::poll_once() {
+  std::size_t changed = 0;
+  for (SodaDaemon* daemon : view_.daemons) {
+    const bool marked_down = view_.down_hosts.count(daemon->host_name()) > 0;
+    if (!daemon->alive() && !marked_down) {
+      handle_host_failure(*daemon);
+      ++changed;
+    } else if (daemon->alive() && marked_down) {
+      handle_host_recovery(*daemon);
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+void RecoveryManager::handle_host_failure(SodaDaemon& daemon) {
+  const std::string host = daemon.host_name();
+  if (!view_.down_hosts.insert(host).second) return;
+  ++host_failures_;
+  util::global_logger().warn("master", "host " + host + " declared dead");
+  bus_.publish(engine_.now(), TraceKind::kHostDown, "master", host);
+  // The crashed host's chunks are unreachable: purge them from the registry
+  // so peers stop selecting it and fail over their in-flight transfers.
+  view_.chunk_registry.remove_host(host);
+
+  std::vector<std::string> degraded;
+  for (auto& [name, record] : view_.services) {
+    bool lost_any = false;
+    int units_lost = 0;
+    for (auto p_it = record.placements.begin();
+         p_it != record.placements.end();) {
+      if (p_it->daemon != &daemon) {
+        ++p_it;
+        continue;
+      }
+      lost_any = true;
+      units_lost += p_it->units;
+      ++placements_lost_;
+      bus_.publish(engine_.now(), TraceKind::kNodeLost, "master",
+                   p_it->node_name, "host " + host + " down");
+      auto d_it = std::find_if(record.nodes.begin(), record.nodes.end(),
+                               [&](const NodeDescriptor& d) {
+                                 return d.node_name == p_it->node_name;
+                               });
+      if (d_it != record.nodes.end()) {
+        if (record.service_switch) {
+          // The backend may still be mid-priming and absent from the switch.
+          (void)record.service_switch->remove_backend(d_it->address,
+                                                      d_it->port);
+        }
+        record.nodes.erase(d_it);
+      }
+      p_it = record.placements.erase(p_it);
+    }
+    if (!lost_any) continue;
+    maybe_rehome_switch(record);
+    if (record.lifecycle.state() == ServiceState::kRunning) {
+      must(record.lifecycle.transition(ServiceState::kDegraded));
+      bus_.publish(engine_.now(), TraceKind::kDegraded, "master", name,
+                   std::to_string(units_lost) + " unit(s) lost with " + host);
+    }
+    if (record.lifecycle.state() == ServiceState::kDegraded) {
+      degraded.push_back(name);
+    }
+  }
+  for (const std::string& name : degraded) attempt_recovery(name);
+}
+
+void RecoveryManager::handle_host_recovery(SodaDaemon& daemon) {
+  if (view_.down_hosts.erase(daemon.host_name()) == 0) return;
+  last_heartbeat_[daemon.host_name()] = engine_.now();
+  util::global_logger().info("master",
+                             "host " + daemon.host_name() + " is back");
+  bus_.publish(engine_.now(), TraceKind::kHostUp, "master", daemon.host_name());
+  // The returned capacity may complete recoveries that were stuck short.
+  std::vector<std::string> degraded;
+  for (const auto& [name, record] : view_.services) {
+    if (record.lifecycle.state() == ServiceState::kDegraded) {
+      degraded.push_back(name);
+    }
+  }
+  for (const std::string& name : degraded) attempt_recovery(name);
+}
+
+void RecoveryManager::maybe_rehome_switch(ServiceRecord& record) {
+  if (!record.service_switch || record.nodes.empty()) return;
+  const net::Ipv4Address listen = record.service_switch->listen_address();
+  for (const NodeDescriptor& node : record.nodes) {
+    if (node.address == listen) return;  // colocation node is still alive
+  }
+  // Deterministic choice: the surviving node with the smallest name.
+  const NodeDescriptor* front = &record.nodes.front();
+  for (const NodeDescriptor& node : record.nodes) {
+    if (node.node_name < front->node_name) front = &node;
+  }
+  record.service_switch->rehome(front->address, record.listen_port);
+  bus_.publish(engine_.now(), TraceKind::kSwitchCreated, "master",
+               record.service_name,
+               "rehomed to " + front->address.to_string() + ":" +
+                   std::to_string(record.listen_port));
+}
+
+void RecoveryManager::finish_if_restored(ServiceRecord& record) {
+  bool restored;
+  if (!record.components.empty()) {
+    restored = std::all_of(
+        record.components.begin(), record.components.end(),
+        [&](const image::ServiceComponent& component) {
+          return std::any_of(record.placements.begin(),
+                             record.placements.end(),
+                             [&](const Placement& p) {
+                               return p.component == component.name;
+                             });
+        });
+  } else {
+    int have = 0;
+    for (const Placement& p : record.placements) have += p.units;
+    restored = have >= record.requirement.n;
+  }
+  if (restored && record.lifecycle.state() == ServiceState::kDegraded) {
+    must(record.lifecycle.transition(ServiceState::kRunning));
+    ++recoveries_;
+    bus_.publish(engine_.now(), TraceKind::kRecovered, "master",
+                 record.service_name,
+                 std::to_string(record.nodes.size()) + " node(s)");
+    util::global_logger().info(
+        "master", record.service_name + " recovered to full capacity");
+  }
+}
+
+void RecoveryManager::attempt_recovery(const std::string& service_name) {
+  auto it = view_.services.find(service_name);
+  if (it == view_.services.end()) return;
+  ServiceRecord& record = it->second;
+  if (record.lifecycle.state() != ServiceState::kDegraded ||
+      !record.service_switch) {
+    return;
+  }
+
+  // Re-run admission for the lost capacity on the surviving hosts.
+  std::vector<Placement> plan;
+  if (!record.components.empty()) {
+    std::vector<image::ServiceComponent> lost;
+    for (const auto& component : record.components) {
+      if (std::none_of(record.placements.begin(), record.placements.end(),
+                       [&](const Placement& p) {
+                         return p.component == component.name;
+                       })) {
+        lost.push_back(component);
+      }
+    }
+    if (lost.empty()) {
+      finish_if_restored(record);
+      return;
+    }
+    auto planned = planner_.plan_components(record.requirement.m, lost);
+    if (!planned.ok()) return;  // no host fits: stay degraded
+    plan = std::move(planned).value();
+  } else {
+    const host::ResourceVector unit =
+        planner_.inflated_unit(record.requirement.m);
+    int have = 0;
+    for (const Placement& p : record.placements) have += p.units;
+    int missing = record.requirement.n - have;
+    if (missing <= 0) {
+      finish_if_restored(record);
+      return;
+    }
+    for (SodaDaemon* daemon : planner_.ordered_daemons()) {
+      if (missing == 0) break;
+      const bool used = std::any_of(
+          record.placements.begin(), record.placements.end(),
+          [&](const Placement& p) { return p.daemon == daemon; });
+      if (used) continue;
+      const int k = std::min(units_that_fit(daemon->available(), unit), missing);
+      if (k >= 1) {
+        plan.push_back(Placement{daemon, "", k});
+        missing -= k;
+      }
+    }
+    // Whatever fits is re-created now; a later host-up retries the rest.
+    if (plan.empty()) return;
+  }
+
+  for (Placement& placement : plan) {
+    placement.node_name =
+        service_name + "/" + std::to_string(record.next_ordinal++);
+    record.placements.push_back(placement);
+  }
+  util::global_logger().info(
+      "master", "recovering " + service_name + ": re-priming " +
+                    std::to_string(plan.size()) + " node(s)");
+
+  PrimeSpec spec;
+  spec.service_name = service_name;
+  spec.location = record.image_location;
+  spec.unit = record.requirement.m;
+  spec.inflated_unit = planner_.inflated_unit(record.requirement.m);
+  spec.listen_port = record.listen_port;
+  spec.components = &record.components;
+  spec.customize_rootfs = record.customize_rootfs;
+  spec.address_mode = record.address_mode;
+  priming_.prime(
+      std::move(plan), spec,
+      [this, name = service_name](vm::VirtualServiceNode& node,
+                                  sim::SimTime) {
+        auto record_it = view_.services.find(name);
+        if (record_it == view_.services.end()) return;  // torn down meanwhile
+        ServiceRecord& rec = record_it->second;
+        const NodeDescriptor descriptor = describe_node(node, rec.listen_port);
+        must(rec.service_switch->add_backend(BackEndEntry{
+            descriptor.address, descriptor.port, descriptor.capacity_units,
+            descriptor.component}));
+        rec.nodes.push_back(descriptor);
+      },
+      [this, name = service_name](const PrimingCoordinator::Outcome& outcome,
+                                  sim::SimTime) {
+        auto record_it = view_.services.find(name);
+        if (record_it == view_.services.end()) return;  // torn down meanwhile
+        ServiceRecord& rec = record_it->second;
+        if (outcome.failed) {
+          // Drop the placements whose re-priming never produced a node;
+          // the service stays degraded with whatever did come up.
+          auto& placements = rec.placements;
+          placements.erase(
+              std::remove_if(placements.begin(), placements.end(),
+                             [&](const Placement& p) {
+                               return std::none_of(
+                                   rec.nodes.begin(), rec.nodes.end(),
+                                   [&](const NodeDescriptor& d) {
+                                     return d.node_name == p.node_name;
+                                   });
+                             }),
+              placements.end());
+          util::global_logger().warn(
+              "master", name + " recovery incomplete: " + outcome.first_error);
+        }
+        maybe_rehome_switch(rec);
+        finish_if_restored(rec);
+      });
+}
+
+}  // namespace soda::core

@@ -1,0 +1,114 @@
+// Failure detection & recovery, extracted from the Master behind a narrow
+// view of its service table. The detector declares hosts dead when their
+// heartbeats lapse (or an active probe finds them down), strips the lost
+// placements, rehomes switches off dead colocation nodes, and re-creates
+// lost capacity on surviving hosts through the shared planner and priming
+// coordinator. Every state change publishes into the control-plane bus.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/events.hpp"
+#include "core/placement.hpp"
+#include "core/priming.hpp"
+#include "image/distributor.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace soda::core {
+
+struct ServiceRecord;
+
+/// Failure-detector tuning. The Master declares a host dead when no
+/// heartbeat arrived for `timeout` (several missed intervals, so one late
+/// heartbeat does not flap the host).
+struct FailureDetectorConfig {
+  sim::SimTime heartbeat_interval = sim::SimTime::milliseconds(250);
+  sim::SimTime timeout = sim::SimTime::seconds(1);
+};
+
+/// The narrow interface the recovery subsystem holds onto the Master: its
+/// service table, daemon list, down-host set, and chunk registry — all by
+/// reference, so recovery always operates on the live control plane.
+struct ControlPlaneView {
+  std::map<std::string, ServiceRecord>& services;
+  const std::vector<SodaDaemon*>& daemons;
+  std::set<std::string>& down_hosts;
+  image::ChunkRegistry& chunk_registry;
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(sim::Engine& engine, ControlPlaneView view,
+                  const PlacementPlanner& planner,
+                  PrimingCoordinator& priming, ControlPlaneBus& bus);
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Arms the timeout-based detector: every registered daemon is considered
+  /// heard-from now; check_once() declares any host silent for
+  /// `config.timeout` dead.
+  void enable(FailureDetectorConfig config);
+
+  /// Starts the periodic detector loop (arms detection first if needed).
+  void start(FailureDetectorConfig config);
+  void stop() noexcept { running_ = false; }
+
+  /// Heartbeat sink. A heartbeat from a host previously declared dead
+  /// brings it back (host-up) and re-attempts recovery of every degraded
+  /// service.
+  void on_heartbeat(SodaDaemon& daemon, sim::SimTime now);
+
+  /// One timeout sweep; returns the number of hosts newly declared dead.
+  std::size_t check_once();
+
+  /// Active-probe variant: polls each daemon's liveness directly; detects
+  /// both failures and recoveries. Returns hosts whose state changed.
+  std::size_t poll_once();
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::uint64_t host_failures() const noexcept {
+    return host_failures_;
+  }
+  [[nodiscard]] std::uint64_t placements_lost() const noexcept {
+    return placements_lost_;
+  }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept {
+    return recoveries_;
+  }
+
+ private:
+  void tick();
+  /// Declares `daemon`'s host dead: strips its placements from every
+  /// service (switch backends included), degrades affected services, then
+  /// attempts to re-create the lost capacity on surviving hosts.
+  void handle_host_failure(SodaDaemon& daemon);
+  /// A dead host came back (heartbeat resumed or probe saw it alive).
+  void handle_host_recovery(SodaDaemon& daemon);
+  /// Re-creates as much of a degraded service's lost capacity as fits on
+  /// live hosts; transitions Degraded -> Running when fully restored.
+  void attempt_recovery(const std::string& service_name);
+  /// Keeps the switch's colocation endpoint pointing at a live node.
+  void maybe_rehome_switch(ServiceRecord& record);
+  void finish_if_restored(ServiceRecord& record);
+
+  sim::Engine& engine_;
+  ControlPlaneView view_;
+  const PlacementPlanner& planner_;
+  PrimingCoordinator& priming_;
+  ControlPlaneBus& bus_;
+
+  bool enabled_ = false;
+  bool running_ = false;
+  FailureDetectorConfig config_;
+  std::map<std::string, sim::SimTime> last_heartbeat_;
+  std::uint64_t host_failures_ = 0;
+  std::uint64_t placements_lost_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace soda::core

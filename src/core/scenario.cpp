@@ -18,7 +18,7 @@ namespace {
 const std::map<std::string, std::pair<int, int>>& verb_arity() {
   static const std::map<std::string, std::pair<int, int>> arity = {
       {"mode", {1, 1}},          // mode <bridging|proxying> (before any host)
-      {"placement", {1, 1}},     // placement <first-fit|best-fit|worst-fit>
+      {"placement", {1, 1}},     // placement <first-fit|best-fit|worst-fit|cache-affinity>
       {"inflate", {1, 1}},       // inflate <factor-percent> (e.g. 150)
       {"distribution", {1, 1}},  // distribution <origin|cache|p2p> (pre-host)
       {"host", {2, 3}},          // host <seattle|tacoma> <pool-start> [size]
@@ -42,6 +42,7 @@ const std::map<std::string, std::pair<int, int>>& verb_arity() {
       {"expect-nodes", {2, 2}},  // expect-nodes <service> <count>
       {"expect-state", {2, 2}},  // expect-state <service> <running|...>
       {"expect-services", {1, 1}},   // expect-services <count>
+      {"expect-metric", {2, 2}},     // expect-metric <name> <value>
       {"expect-error", {2, 99}},     // expect-error <verb> <args...>
   };
   return arity;
@@ -124,6 +125,8 @@ Status execute(Runtime& rt, const ScenarioCommand& cmd) {
         rt.config.placement = PlacementPolicy::kBestFit;
       } else if (cmd.args[0] == "worst-fit") {
         rt.config.placement = PlacementPolicy::kWorstFit;
+      } else if (cmd.args[0] == "cache-affinity") {
+        rt.config.placement = PlacementPolicy::kCacheAffinity;
       } else {
         return Error{error_at(cmd.line, "unknown placement '" + cmd.args[0] + "'")};
       }
@@ -403,6 +406,21 @@ Status execute(Runtime& rt, const ScenarioCommand& cmd) {
       return Error{error_at(
           cmd.line, "expected " + cmd.args[0] + " service(s), got " +
                         std::to_string(rt.hup().master().service_count()))};
+    }
+    return {};
+  }
+  if (cmd.verb == "expect-metric") {
+    auto want = arg_int(cmd, cmd.args[1]);
+    if (!want.ok()) return want.error();
+    const MetricsRegistry& metrics = rt.hup().master().metrics();
+    if (!metrics.has(cmd.args[0])) {
+      return Error{error_at(cmd.line, "unknown metric '" + cmd.args[0] + "'")};
+    }
+    const double got = metrics.value(cmd.args[0]);
+    if (got != static_cast<double>(want.value())) {
+      return Error{error_at(cmd.line, "expected metric " + cmd.args[0] + " = " +
+                                          cmd.args[1] + ", got " +
+                                          std::to_string(got))};
     }
     return {};
   }
