@@ -1,0 +1,271 @@
+// The pre-dataplane service switch, preserved verbatim as the baseline for
+// bench/fig_switch_dataplane (the same role seed_event_queue.hpp plays for
+// micro_substrate): every route() materializes a fresh vector<BackEndState>
+// of the healthy backends, policies key their state in std::map by
+// (address, port), and the winning view index is mapped back to real state
+// by a linear find() rescan. The production switch (core/switch.hpp) now
+// serves from epoch-cached dense snapshots; the routes/sec and
+// allocations-per-route ratios against this copy are the headline numbers
+// of the data-plane rebuild.
+#pragma once
+
+#include <algorithm>
+#include <climits>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config_file.hpp"
+#include "core/switch.hpp"
+#include "net/address.hpp"
+#include "sim/random.hpp"
+#include "util/contract.hpp"
+
+namespace soda::bench {
+
+/// Policy over the materialized healthy view (the seed interface).
+class SeedSwitchPolicy {
+ public:
+  virtual ~SeedSwitchPolicy() = default;
+  virtual std::optional<std::size_t> pick(
+      const std::vector<core::BackEndState>& backends) = 0;
+  virtual void on_backends_changed() {}
+  virtual void on_response_time(const core::BackEndEntry& backend,
+                                double seconds) {
+    (void)backend;
+    (void)seconds;
+  }
+};
+
+namespace seed_detail {
+
+using EndpointKey = std::pair<std::uint32_t, int>;
+
+inline EndpointKey endpoint_key(const core::BackEndEntry& entry) noexcept {
+  return {entry.address.value(), entry.port};
+}
+
+class SeedSmoothWrr final : public SeedSwitchPolicy {
+ public:
+  std::optional<std::size_t> pick(
+      const std::vector<core::BackEndState>& backends) override {
+    if (backends.empty()) return std::nullopt;
+    int total = 0;
+    std::size_t best = 0;
+    long long best_weight = LLONG_MIN;
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      const auto key = endpoint_key(backends[i].entry);
+      current_[key] += backends[i].entry.capacity;
+      total += backends[i].entry.capacity;
+      if (current_[key] > best_weight) {
+        best_weight = current_[key];
+        best = i;
+      }
+    }
+    current_[endpoint_key(backends[best].entry)] -= total;
+    return best;
+  }
+  void on_backends_changed() override { current_.clear(); }
+
+ private:
+  std::map<EndpointKey, long long> current_;
+};
+
+class SeedPlainRr final : public SeedSwitchPolicy {
+ public:
+  std::optional<std::size_t> pick(
+      const std::vector<core::BackEndState>& backends) override {
+    if (backends.empty()) return std::nullopt;
+    return next_++ % backends.size();
+  }
+  void on_backends_changed() override { next_ = 0; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class SeedRandomPolicy final : public SeedSwitchPolicy {
+ public:
+  explicit SeedRandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  std::optional<std::size_t> pick(
+      const std::vector<core::BackEndState>& backends) override {
+    if (backends.empty()) return std::nullopt;
+    return static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(backends.size()) - 1));
+  }
+
+ private:
+  sim::Rng rng_;
+};
+
+class SeedLeastConnections final : public SeedSwitchPolicy {
+ public:
+  std::optional<std::size_t> pick(
+      const std::vector<core::BackEndState>& backends) override {
+    if (backends.empty()) return std::nullopt;
+    std::size_t best = 0;
+    double best_load = load(backends[0]);
+    for (std::size_t i = 1; i < backends.size(); ++i) {
+      const double l = load(backends[i]);
+      if (l < best_load) {
+        best_load = l;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+ private:
+  static double load(const core::BackEndState& b) {
+    return static_cast<double>(b.active_connections) /
+           static_cast<double>(std::max(1, b.entry.capacity));
+  }
+};
+
+class SeedFastestResponse final : public SeedSwitchPolicy {
+ public:
+  explicit SeedFastestResponse(double alpha) : alpha_(alpha) {
+    SODA_EXPECTS(alpha > 0 && alpha <= 1);
+  }
+
+  std::optional<std::size_t> pick(
+      const std::vector<core::BackEndState>& backends) override {
+    if (backends.empty()) return std::nullopt;
+    std::size_t best = backends.size();
+    double best_score = 0;
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      const auto it = ewma_.find(endpoint_key(backends[i].entry));
+      if (it == ewma_.end()) return i;
+      const double score =
+          it->second / static_cast<double>(std::max(1, backends[i].entry.capacity));
+      if (best == backends.size() || score < best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  void on_response_time(const core::BackEndEntry& backend,
+                        double seconds) override {
+    auto [it, inserted] = ewma_.emplace(endpoint_key(backend), seconds);
+    if (!inserted) {
+      it->second = alpha_ * seconds + (1 - alpha_) * it->second;
+    }
+  }
+
+  void on_backends_changed() override { ewma_.clear(); }
+
+ private:
+  double alpha_;
+  std::map<EndpointKey, double> ewma_;
+};
+
+}  // namespace seed_detail
+
+inline std::unique_ptr<SeedSwitchPolicy> make_seed_weighted_round_robin() {
+  return std::make_unique<seed_detail::SeedSmoothWrr>();
+}
+inline std::unique_ptr<SeedSwitchPolicy> make_seed_plain_round_robin() {
+  return std::make_unique<seed_detail::SeedPlainRr>();
+}
+inline std::unique_ptr<SeedSwitchPolicy> make_seed_random_policy(
+    std::uint64_t seed) {
+  return std::make_unique<seed_detail::SeedRandomPolicy>(seed);
+}
+inline std::unique_ptr<SeedSwitchPolicy> make_seed_least_connections() {
+  return std::make_unique<seed_detail::SeedLeastConnections>();
+}
+inline std::unique_ptr<SeedSwitchPolicy> make_seed_fastest_response(
+    double alpha) {
+  return std::make_unique<seed_detail::SeedFastestResponse>(alpha);
+}
+
+/// The seed switch data path, reduced to what the route loop exercises.
+class SeedServiceSwitch {
+ public:
+  SeedServiceSwitch() : policy_(make_seed_weighted_round_robin()) {}
+
+  void set_policy(std::unique_ptr<SeedSwitchPolicy> policy) {
+    SODA_EXPECTS(policy != nullptr);
+    policy_ = std::move(policy);
+    policy_->on_backends_changed();
+  }
+
+  Status add_backend(const core::BackEndEntry& entry) {
+    if (find(entry.address, entry.port)) {
+      return Error{"backend already present"};
+    }
+    backends_.push_back(core::BackEndState{entry, 0, 0, true, false});
+    policy_->on_backends_changed();
+    return {};
+  }
+
+  Result<core::BackEndEntry> route() {
+    const auto view = healthy_view();
+    if (view.empty()) {
+      return Error{"no healthy backend"};
+    }
+    const auto choice = policy_->pick(view);
+    if (!choice || *choice >= view.size()) {
+      return Error{"policy refused the request"};
+    }
+    core::BackEndState* backend =
+        find(view[*choice].entry.address, view[*choice].entry.port);
+    SODA_ENSURES(backend != nullptr);
+    ++backend->requests_routed;
+    ++backend->active_connections;
+    ++routed_;
+    return backend->entry;
+  }
+
+  void on_request_complete(net::Ipv4Address address, int port) {
+    core::BackEndState* backend = find(address, port);
+    if (!backend) return;
+    if (backend->active_connections > 0) --backend->active_connections;
+  }
+
+  void report_response_time(net::Ipv4Address address, int port,
+                            double seconds) {
+    core::BackEndState* backend = find(address, port);
+    if (backend) policy_->on_response_time(backend->entry, seconds);
+  }
+
+  [[nodiscard]] std::uint64_t requests_routed() const noexcept { return routed_; }
+  [[nodiscard]] std::uint64_t routed_to(net::Ipv4Address address,
+                                        int port) const {
+    for (const auto& backend : backends_) {
+      if (backend.entry.address == address && backend.entry.port == port) {
+        return backend.requests_routed;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  std::vector<core::BackEndState> healthy_view() const {
+    std::vector<core::BackEndState> view;
+    for (const auto& backend : backends_) {
+      if (backend.healthy && !backend.draining) view.push_back(backend);
+    }
+    return view;
+  }
+
+  core::BackEndState* find(net::Ipv4Address address, int port) {
+    auto it = std::find_if(backends_.begin(), backends_.end(),
+                           [&](const core::BackEndState& b) {
+                             return b.entry.address == address &&
+                                    b.entry.port == port;
+                           });
+    return it == backends_.end() ? nullptr : &*it;
+  }
+
+  std::vector<core::BackEndState> backends_;
+  std::unique_ptr<SeedSwitchPolicy> policy_;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace soda::bench

@@ -48,7 +48,8 @@ Result<ServiceStatusReport> collect_service_status(
       status.memory_cap_mb = node->uml().memory_cap_mb();
     }
     if (service_switch) {
-      status.requests_routed = service_switch->routed_to(descriptor.address);
+      status.requests_routed =
+          service_switch->routed_to(descriptor.address, descriptor.port);
       for (const BackEndState& backend : service_switch->backends()) {
         if (backend.entry.address == descriptor.address &&
             backend.entry.port == descriptor.port) {

@@ -9,54 +9,59 @@ namespace soda::core {
 
 namespace {
 
-/// Policy state is keyed by the full (address, port) endpoint: two backends
-/// of one service may share their host's public address on different ports
-/// (proxied components), and an address-only key would alias their state.
-using EndpointKey = std::pair<std::uint32_t, int>;
-
-EndpointKey endpoint_key(const BackEndEntry& entry) noexcept {
-  return {entry.address.value(), entry.port};
-}
-
 /// Nginx-style smooth weighted round-robin: each pick, every backend's
 /// current weight grows by its capacity; the largest current weight wins and
 /// is decremented by the total capacity. Produces evenly interleaved 2:1
 /// patterns (A B A A B A ...), which is what keeps per-node response times
 /// flat in Figure 4.
+///
+/// Current weights live in a dense per-slot array (re-seeded to zero on
+/// membership changes, preserved across health flips — same lifecycle the
+/// old map-keyed state had, minus the per-pick tree lookups).
 class SmoothWrr final : public SwitchPolicy {
  public:
-  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
-    if (backends.empty()) return std::nullopt;
-    int total = 0;
+  std::optional<std::size_t> pick(const RoutableView& view) override {
+    if (view.empty()) return std::nullopt;
+    if (current_.size() != view.slot_count()) {
+      current_.assign(view.slot_count(), 0);
+    }
+    // Totals accumulate in long long: many backends with near-INT_MAX
+    // capacities must not overflow the running sum.
+    long long total = 0;
     std::size_t best = 0;
     long long best_weight = LLONG_MIN;
-    for (std::size_t i = 0; i < backends.size(); ++i) {
-      const auto key = endpoint_key(backends[i].entry);
-      current_[key] += backends[i].entry.capacity;
-      total += backends[i].entry.capacity;
-      if (current_[key] > best_weight) {
-        best_weight = current_[key];
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      const std::uint32_t slot = view.slot(i);
+      const int capacity = view[i].entry.capacity;
+      current_[slot] += capacity;
+      total += capacity;
+      if (current_[slot] > best_weight) {
+        best_weight = current_[slot];
         best = i;
       }
     }
-    current_[endpoint_key(backends[best].entry)] -= total;
+    current_[view.slot(best)] -= total;
     return best;
   }
   [[nodiscard]] std::string name() const override { return "weighted-round-robin"; }
-  void on_backends_changed() override { current_.clear(); }
+  void on_backends_changed(const std::vector<BackEndState>& slots) override {
+    current_.assign(slots.size(), 0);
+  }
 
  private:
-  std::map<EndpointKey, long long> current_;
+  std::vector<long long> current_;  // indexed by backend slot
 };
 
 class PlainRr final : public SwitchPolicy {
  public:
-  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
-    if (backends.empty()) return std::nullopt;
-    return next_++ % backends.size();
+  std::optional<std::size_t> pick(const RoutableView& view) override {
+    if (view.empty()) return std::nullopt;
+    return next_++ % view.size();
   }
   [[nodiscard]] std::string name() const override { return "round-robin"; }
-  void on_backends_changed() override { next_ = 0; }
+  void on_backends_changed(const std::vector<BackEndState>&) override {
+    next_ = 0;
+  }
 
  private:
   std::size_t next_ = 0;
@@ -65,10 +70,10 @@ class PlainRr final : public SwitchPolicy {
 class RandomPolicy final : public SwitchPolicy {
  public:
   explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
-  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
-    if (backends.empty()) return std::nullopt;
+  std::optional<std::size_t> pick(const RoutableView& view) override {
+    if (view.empty()) return std::nullopt;
     return static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(backends.size()) - 1));
+        rng_.uniform_int(0, static_cast<std::int64_t>(view.size()) - 1));
   }
   [[nodiscard]] std::string name() const override { return "random"; }
 
@@ -78,12 +83,12 @@ class RandomPolicy final : public SwitchPolicy {
 
 class LeastConnections final : public SwitchPolicy {
  public:
-  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
-    if (backends.empty()) return std::nullopt;
+  std::optional<std::size_t> pick(const RoutableView& view) override {
+    if (view.empty()) return std::nullopt;
     std::size_t best = 0;
-    double best_load = load(backends[0]);
-    for (std::size_t i = 1; i < backends.size(); ++i) {
-      const double l = load(backends[i]);
+    double best_load = load(view[0]);
+    for (std::size_t i = 1; i < view.size(); ++i) {
+      const double l = load(view[i]);
       if (l < best_load) {
         best_load = l;
         best = i;
@@ -100,9 +105,9 @@ class LeastConnections final : public SwitchPolicy {
   }
 };
 
-/// EWMA-of-response-time policy. Estimates are kept per backend address;
-/// the score divides by capacity so that, at equal observed response times,
-/// the larger node is preferred (it has more headroom to absorb the next
+/// EWMA-of-response-time policy. Estimates are kept per backend slot; the
+/// score divides by capacity so that, at equal observed response times, the
+/// larger node is preferred (it has more headroom to absorb the next
 /// request). Unsampled backends win ties so every backend gets probed.
 class FastestResponse final : public SwitchPolicy {
  public:
@@ -110,16 +115,17 @@ class FastestResponse final : public SwitchPolicy {
     SODA_EXPECTS(alpha > 0 && alpha <= 1);
   }
 
-  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
-    if (backends.empty()) return std::nullopt;
-    std::size_t best = backends.size();
+  std::optional<std::size_t> pick(const RoutableView& view) override {
+    if (view.empty()) return std::nullopt;
+    if (sampled_.size() != view.slot_count()) reseed(view.slot_count());
+    std::size_t best = view.size();
     double best_score = 0;
-    for (std::size_t i = 0; i < backends.size(); ++i) {
-      const auto it = ewma_.find(endpoint_key(backends[i].entry));
-      if (it == ewma_.end()) return i;  // explore unsampled backends first
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      const std::uint32_t slot = view.slot(i);
+      if (!sampled_[slot]) return i;  // explore unsampled backends first
       const double score =
-          it->second / static_cast<double>(std::max(1, backends[i].entry.capacity));
-      if (best == backends.size() || score < best_score) {
+          ewma_[slot] / static_cast<double>(std::max(1, view[i].entry.capacity));
+      if (best == view.size() || score < best_score) {
         best = i;
         best_score = score;
       }
@@ -127,21 +133,36 @@ class FastestResponse final : public SwitchPolicy {
     return best;
   }
 
-  void on_response_time(const BackEndEntry& backend, double seconds) override {
-    auto [it, inserted] = ewma_.emplace(endpoint_key(backend), seconds);
-    if (!inserted) {
-      it->second = alpha_ * seconds + (1 - alpha_) * it->second;
+  void on_response_time(std::uint32_t slot, const BackEndEntry&,
+                        double seconds) override {
+    if (slot >= sampled_.size()) reseed(slot + 1);
+    if (!sampled_[slot]) {
+      sampled_[slot] = 1;
+      ewma_[slot] = seconds;
+    } else {
+      ewma_[slot] = alpha_ * seconds + (1 - alpha_) * ewma_[slot];
     }
   }
 
   [[nodiscard]] std::string name() const override { return "fastest-response"; }
-  void on_backends_changed() override { ewma_.clear(); }
+  void on_backends_changed(const std::vector<BackEndState>& slots) override {
+    reseed(slots.size());
+  }
 
  private:
+  void reseed(std::size_t n) {
+    ewma_.assign(n, 0);
+    sampled_.assign(n, 0);
+  }
+
   double alpha_;
-  std::map<EndpointKey, double> ewma_;
+  std::vector<double> ewma_;            // indexed by backend slot
+  std::vector<unsigned char> sampled_;  // 1 once a sample arrived
 };
 
+/// Adapter for the ASP function hook: materializes the view into a reused
+/// buffer (element-wise assignment, so string capacity is recycled) and
+/// hands the legacy vector shape to the user function.
 class CustomPolicy final : public SwitchPolicy {
  public:
   CustomPolicy(std::string name,
@@ -150,14 +171,17 @@ class CustomPolicy final : public SwitchPolicy {
       : name_(std::move(name)), fn_(std::move(fn)) {
     SODA_EXPECTS(fn_ != nullptr);
   }
-  std::optional<std::size_t> pick(const std::vector<BackEndState>& backends) override {
-    return fn_(backends);
+  std::optional<std::size_t> pick(const RoutableView& view) override {
+    scratch_.resize(view.size());
+    for (std::size_t i = 0; i < view.size(); ++i) scratch_[i] = view[i];
+    return fn_(scratch_);
   }
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:
   std::string name_;
   std::function<std::optional<std::size_t>(const std::vector<BackEndState>&)> fn_;
+  std::vector<BackEndState> scratch_;
 };
 
 }  // namespace
@@ -210,13 +234,49 @@ BackEndState* ServiceSwitch::find(net::Ipv4Address address, int port) {
   return it == backends_.end() ? nullptr : &*it;
 }
 
+BackEndState* ServiceSwitch::resolve_unique(net::Ipv4Address address) {
+  BackEndState* match = nullptr;
+  for (auto& backend : backends_) {
+    if (backend.entry.address != address) continue;
+    if (match) return nullptr;  // shared address: not attributable
+    match = &backend;
+  }
+  return match;
+}
+
+BackEndState* ServiceSwitch::resolve_completion(net::Ipv4Address address) {
+  BackEndState* match = nullptr;
+  BackEndState* active = nullptr;
+  bool shared = false;
+  bool active_shared = false;
+  for (auto& backend : backends_) {
+    if (backend.entry.address != address) continue;
+    if (match) shared = true;
+    match = &backend;
+    if (backend.active_connections > 0) {
+      if (active) active_shared = true;
+      active = &backend;
+    }
+  }
+  if (!shared) return match;
+  // Several backends share the address: only one with an in-flight
+  // connection can be the one completing. Two or more active stays
+  // ambiguous — drop rather than guess wrong.
+  return active_shared ? nullptr : active;
+}
+
+void ServiceSwitch::on_membership_changed() {
+  touch();
+  policy_->on_backends_changed(backends_);
+}
+
 Status ServiceSwitch::add_backend(const BackEndEntry& entry) {
   if (find(entry.address, entry.port)) {
     return Error{"backend already present: " + entry.address.to_string() + ":" +
                  std::to_string(entry.port)};
   }
-  backends_.push_back(BackEndState{entry, 0, 0, true});
-  policy_->on_backends_changed();
+  backends_.push_back(BackEndState{entry, 0, 0, true, false});
+  on_membership_changed();
   return {};
 }
 
@@ -237,15 +297,15 @@ Status ServiceSwitch::remove_backend(net::Ipv4Address address, int port) {
                  std::to_string(port)};
   }
   if (it->active_connections > 0) {
-    // In-flight requests keep the backend alive; healthy_view() hides
-    // draining entries, so no new requests arrive, and the last
+    // In-flight requests keep the backend alive; the routable snapshot
+    // hides draining entries, so no new requests arrive, and the last
     // on_request_complete() erases it.
     it->draining = true;
-    policy_->on_backends_changed();
+    on_membership_changed();
     return {};
   }
   backends_.erase(it);
-  policy_->on_backends_changed();
+  on_membership_changed();
   return {};
 }
 
@@ -265,22 +325,25 @@ Status ServiceSwitch::set_backend_capacity(net::Ipv4Address address, int port,
                  std::to_string(port)};
   }
   backend->entry.capacity = capacity;
-  policy_->on_backends_changed();
+  on_membership_changed();
   return {};
 }
 
 void ServiceSwitch::load_config(const ServiceConfigFile& file) {
   backends_.clear();
   for (const auto& entry : file.entries()) {
-    backends_.push_back(BackEndState{entry, 0, 0, true});
+    backends_.push_back(BackEndState{entry, 0, 0, true, false});
   }
-  policy_->on_backends_changed();
+  on_membership_changed();
 }
 
 Status ServiceSwitch::set_backend_health(net::Ipv4Address address, bool healthy) {
   BackEndState* backend = find(address);
   if (!backend) return Error{"no backend " + address.to_string()};
-  backend->healthy = healthy;
+  if (backend->healthy != healthy) {
+    backend->healthy = healthy;
+    touch();  // routable set changed; policy state survives health flips
+  }
   return {};
 }
 
@@ -291,14 +354,17 @@ Status ServiceSwitch::set_backend_health(net::Ipv4Address address, int port,
     return Error{"no backend " + address.to_string() + ":" +
                  std::to_string(port)};
   }
-  backend->healthy = healthy;
+  if (backend->healthy != healthy) {
+    backend->healthy = healthy;
+    touch();
+  }
   return {};
 }
 
 void ServiceSwitch::set_policy(std::unique_ptr<SwitchPolicy> policy) {
   SODA_EXPECTS(policy != nullptr);
   policy_ = std::move(policy);
-  policy_->on_backends_changed();
+  policy_->on_backends_changed(backends_);
 }
 
 void ServiceSwitch::rehome(net::Ipv4Address listen, int port) {
@@ -307,34 +373,69 @@ void ServiceSwitch::rehome(net::Ipv4Address listen, int port) {
   port_ = port;
 }
 
-std::vector<BackEndState> ServiceSwitch::healthy_view(
-    std::string_view component) const {
-  std::vector<BackEndState> view;
-  for (const auto& backend : backends_) {
-    if (backend.healthy && !backend.draining &&
-        backend.entry.component == component) {
-      view.push_back(backend);
+void ServiceSwitch::rebuild_snapshots() {
+  // Reuse the snapshot vectors across rebuilds: clear() keeps their
+  // capacity, so a rebuild after a health flip usually allocates nothing
+  // either. Snapshots for components that vanished stay behind empty (they
+  // route-refuse exactly like a missing snapshot, and components per
+  // service are few).
+  for (auto& snapshot : snapshots_) snapshot.slots.clear();
+  for (std::uint32_t i = 0; i < backends_.size(); ++i) {
+    const BackEndState& backend = backends_[i];
+    if (!backend.healthy || backend.draining) continue;
+    ComponentSnapshot* snapshot = nullptr;
+    for (auto& existing : snapshots_) {
+      if (existing.component == backend.entry.component) {
+        snapshot = &existing;
+        break;
+      }
+    }
+    if (!snapshot) {
+      snapshots_.push_back(ComponentSnapshot{backend.entry.component, {}});
+      snapshot = &snapshots_.back();
+    }
+    snapshot->slots.push_back(i);
+  }
+  snapshot_epoch_ = epoch_;
+}
+
+const ServiceSwitch::ComponentSnapshot* ServiceSwitch::routable_snapshot(
+    std::string_view component) {
+  if (snapshot_epoch_ != epoch_) rebuild_snapshots();
+  for (const auto& snapshot : snapshots_) {
+    if (snapshot.component == component) {
+      return snapshot.slots.empty() ? nullptr : &snapshot;
     }
   }
-  return view;
+  return nullptr;
 }
 
 void ServiceSwitch::set_component_route(std::string prefix,
                                         std::string component) {
   SODA_EXPECTS(!prefix.empty());
-  routes_.emplace_back(std::move(prefix), std::move(component));
+  routes_.push_back(PrefixRoute{std::move(prefix), std::move(component)});
+  route_order_.resize(routes_.size());
+  for (std::uint32_t i = 0; i < route_order_.size(); ++i) route_order_[i] = i;
+  std::sort(route_order_.begin(), route_order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              const std::size_t la = routes_[a].prefix.size();
+              const std::size_t lb = routes_[b].prefix.size();
+              if (la != lb) return la > lb;
+              return a > b;  // equal length: later registration wins
+            });
 }
 
-std::string ServiceSwitch::component_for(std::string_view target) const {
-  std::size_t best_len = 0;
-  std::string best;
-  for (const auto& [prefix, component] : routes_) {
-    if (target.substr(0, prefix.size()) == prefix && prefix.size() >= best_len) {
-      best_len = prefix.size();
-      best = component;
+std::string_view ServiceSwitch::component_for(std::string_view target) const {
+  // route_order_ is sorted longest-prefix-first (ties: latest rule first),
+  // so the first match is the winning rule — no full scan, no copy.
+  for (const std::uint32_t index : route_order_) {
+    const PrefixRoute& route = routes_[index];
+    if (route.prefix.size() <= target.size() &&
+        target.substr(0, route.prefix.size()) == route.prefix) {
+      return route.component;
     }
   }
-  return best;
+  return {};
 }
 
 Result<BackEndEntry> ServiceSwitch::route_target(std::string_view target) {
@@ -342,31 +443,33 @@ Result<BackEndEntry> ServiceSwitch::route_target(std::string_view target) {
 }
 
 Result<BackEndEntry> ServiceSwitch::route(std::string_view component) {
-  const auto view = healthy_view(component);
-  if (view.empty()) {
+  const ComponentSnapshot* snapshot = routable_snapshot(component);
+  if (!snapshot) {
     ++refused_;
     return Error{"switch " + service_name_ + ": no healthy backend" +
                  (component.empty() ? std::string()
                                     : " for component '" + std::string(component) +
                                           "'")};
   }
+  const RoutableView view(backends_, snapshot->slots.data(),
+                          snapshot->slots.size());
   const auto choice = policy_->pick(view);
   if (!choice || *choice >= view.size()) {
     ++refused_;
     return Error{"switch " + service_name_ + ": policy '" + policy_->name() +
                  "' refused the request"};
   }
-  BackEndState* backend =
-      find(view[*choice].entry.address, view[*choice].entry.port);
-  SODA_ENSURES(backend != nullptr);
-  ++backend->requests_routed;
-  ++backend->active_connections;
+  // The winning view position maps straight back to its backend slot — no
+  // post-pick rescan of the backend table.
+  BackEndState& backend = backends_[snapshot->slots[*choice]];
+  ++backend.requests_routed;
+  ++backend.active_connections;
   ++routed_;
-  return backend->entry;
+  return backend.entry;
 }
 
 void ServiceSwitch::on_request_complete(net::Ipv4Address backend_address) {
-  BackEndState* backend = find(backend_address);
+  BackEndState* backend = resolve_completion(backend_address);
   if (backend) {
     on_request_complete(backend->entry.address, backend->entry.port);
   }
@@ -379,13 +482,13 @@ void ServiceSwitch::on_request_complete(net::Ipv4Address backend_address,
   if (backend->active_connections > 0) --backend->active_connections;
   if (backend->draining && backend->active_connections == 0) {
     backends_.erase(backends_.begin() + (backend - backends_.data()));
-    policy_->on_backends_changed();
+    on_membership_changed();
   }
 }
 
 void ServiceSwitch::report_response_time(net::Ipv4Address backend_address,
                                          double seconds) {
-  BackEndState* backend = find(backend_address);
+  BackEndState* backend = resolve_unique(backend_address);
   if (backend) {
     report_response_time(backend->entry.address, backend->entry.port, seconds);
   }
@@ -394,7 +497,11 @@ void ServiceSwitch::report_response_time(net::Ipv4Address backend_address,
 void ServiceSwitch::report_response_time(net::Ipv4Address backend_address,
                                          int port, double seconds) {
   BackEndState* backend = find(backend_address, port);
-  if (backend) policy_->on_response_time(backend->entry, seconds);
+  if (backend) {
+    policy_->on_response_time(
+        static_cast<std::uint32_t>(backend - backends_.data()), backend->entry,
+        seconds);
+  }
 }
 
 void ServiceSwitch::report_backend_failure(net::Ipv4Address backend_address,
@@ -402,6 +509,7 @@ void ServiceSwitch::report_backend_failure(net::Ipv4Address backend_address,
   BackEndState* backend = find(backend_address, port);
   if (!backend) return;
   backend->healthy = false;
+  touch();
   if (backend->active_connections > 0) --backend->active_connections;
 }
 
@@ -425,6 +533,16 @@ std::uint64_t ServiceSwitch::routed_to(net::Ipv4Address backend_address) const {
     if (backend.entry.address == backend_address) total += backend.requests_routed;
   }
   return total;
+}
+
+std::uint64_t ServiceSwitch::routed_to(net::Ipv4Address backend_address,
+                                       int port) const {
+  for (const auto& backend : backends_) {
+    if (backend.entry.address == backend_address && backend.entry.port == port) {
+      return backend.requests_routed;
+    }
+  }
+  return 0;
 }
 
 }  // namespace soda::core

@@ -5,14 +5,21 @@
 // of the configuration file as weights; the ASP can replace it with a
 // service-specific policy — and thanks to service isolation, an ill-behaved
 // custom policy only hurts its own service.
+//
+// The request path is an allocation-free data plane (DESIGN.md §10): the
+// control plane (add/remove/health/drain mutations) bumps an epoch counter,
+// and route() serves from an epoch-cached dense snapshot of routable slot
+// indices per component. Policies keep their state in dense per-slot arrays
+// indexed by those snapshots, so a steady-state route() never touches the
+// allocator.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/config_file.hpp"
@@ -33,20 +40,61 @@ struct BackEndState {
   bool draining = false;
 };
 
-/// A request-switching policy. pick() returns an index into `backends`
-/// (only healthy entries are offered) or nullopt to refuse the request.
+/// The dense, allocation-free view a policy picks from: the routable
+/// (healthy, non-draining, component-matching) backends of one request, in
+/// registration order. Position i of the view maps to backend slot
+/// `slot(i)` — an index into ServiceSwitch::backends() — which is what
+/// dense per-slot policy state is keyed by.
+class RoutableView {
+ public:
+  RoutableView(const std::vector<BackEndState>& slots,
+               const std::uint32_t* index, std::size_t count) noexcept
+      : slots_(&slots), index_(index), count_(count) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// The backend slot behind view position `i`.
+  [[nodiscard]] std::uint32_t slot(std::size_t i) const noexcept {
+    return index_[i];
+  }
+  /// The backend state at view position `i`.
+  [[nodiscard]] const BackEndState& operator[](std::size_t i) const noexcept {
+    return (*slots_)[index_[i]];
+  }
+  /// Total number of backend slots (for sizing dense per-slot arrays; slots
+  /// outside this view exist but are not routable right now).
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slots_->size(); }
+
+ private:
+  const std::vector<BackEndState>* slots_;
+  const std::uint32_t* index_;
+  std::size_t count_;
+};
+
+/// A request-switching policy. pick() returns a position into `view`
+/// (only routable entries are offered) or nullopt to refuse the request.
+/// pick() runs on the per-request path and must not allocate; state lives
+/// in dense arrays sized by on_backends_changed().
 class SwitchPolicy {
  public:
   virtual ~SwitchPolicy() = default;
-  virtual std::optional<std::size_t> pick(
-      const std::vector<BackEndState>& backends) = 0;
+  virtual std::optional<std::size_t> pick(const RoutableView& view) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
-  /// Notification that the backend set changed (resize); stateful policies
-  /// reset their cursors.
-  virtual void on_backends_changed() {}
-  /// Feedback: a request served by `backend` completed in `seconds`.
-  /// Response-time-aware policies learn from this; others ignore it.
-  virtual void on_response_time(const BackEndEntry& backend, double seconds) {
+  /// Notification that backend membership or capacities changed (resize);
+  /// `slots` is the new backend array in registration order. Stateful
+  /// policies re-seed their per-slot arrays here — deterministically, so
+  /// serial and parallel replicas of an experiment stay bit-identical.
+  /// Health flips do NOT reset policy state (matching the pre-dataplane
+  /// behavior: a backend returning from a crash keeps its old weight).
+  virtual void on_backends_changed(const std::vector<BackEndState>& slots) {
+    (void)slots;
+  }
+  /// Feedback: a request served by backend slot `slot` (entry `backend`)
+  /// completed in `seconds`. Response-time-aware policies learn from this;
+  /// others ignore it.
+  virtual void on_response_time(std::uint32_t slot, const BackEndEntry& backend,
+                                double seconds) {
+    (void)slot;
     (void)backend;
     (void)seconds;
   }
@@ -74,7 +122,9 @@ std::unique_ptr<SwitchPolicy> make_least_connections();
 std::unique_ptr<SwitchPolicy> make_fastest_response(double alpha = 0.2);
 
 /// Wraps an ASP-provided function as a policy (the "service-specific
-/// policy" replacement hook).
+/// policy" replacement hook). The function receives a materialized copy of
+/// the routable backends, so existing ASP policies keep working unchanged;
+/// the copy is refilled from a reused buffer, not reallocated per request.
 std::unique_ptr<SwitchPolicy> make_custom_policy(
     std::string name,
     std::function<std::optional<std::size_t>(const std::vector<BackEndState>&)> fn);
@@ -120,11 +170,13 @@ class ServiceSwitch {
   /// Routes one request: returns the chosen backend entry, or an error when
   /// no healthy backend exists / the policy refuses. `component` restricts
   /// the choice to backends of that component; empty means untagged
-  /// (replicated) backends.
+  /// (replicated) backends. Allocation-free in steady state: the routable
+  /// set is a cached snapshot rebuilt only after a control-plane mutation.
   Result<BackEndEntry> route(std::string_view component = "");
 
   /// Partitioned services: registers a target-prefix -> component rule
-  /// (longest prefix wins).
+  /// (longest prefix wins; among equal-length prefixes the last registered
+  /// rule wins).
   void set_component_route(std::string prefix, std::string component);
 
   /// Resolves the component for a request target via the registered
@@ -132,17 +184,26 @@ class ServiceSwitch {
   /// plain route().
   Result<BackEndEntry> route_target(std::string_view target);
 
-  /// The component a target resolves to (empty if no rule matches).
-  [[nodiscard]] std::string component_for(std::string_view target) const;
+  /// The component a target resolves to (empty if no rule matches). The
+  /// returned view points into the registered rule and stays valid until
+  /// the next set_component_route().
+  [[nodiscard]] std::string_view component_for(std::string_view target) const;
 
   /// Connection lifecycle for least-connections-style policies. The
-  /// port-aware overload is canonical — with shared addresses the
-  /// address-only one credits the first matching backend.
+  /// port-aware overload is canonical. The address-only one resolves the
+  /// full endpoint: the unique backend with that address, or — when several
+  /// backends share the address on different ports — the unique one with an
+  /// active connection (the only one that can be completing). A completion
+  /// that stays ambiguous is dropped rather than credited to the wrong
+  /// backend.
   void on_request_complete(net::Ipv4Address backend);
   void on_request_complete(net::Ipv4Address backend, int port);
 
   /// Feedback for response-time-aware policies: the request sent to
-  /// `backend` completed in `seconds` (no-op for unknown backends).
+  /// `backend` completed in `seconds` (no-op for unknown backends). The
+  /// address-only overload attributes the sample only when the address maps
+  /// to a single backend; ambiguous samples are dropped so one component's
+  /// latency can never poison a sibling's estimate.
   void report_response_time(net::Ipv4Address backend, double seconds);
   void report_response_time(net::Ipv4Address backend, int port, double seconds);
 
@@ -172,23 +233,64 @@ class ServiceSwitch {
   /// Requests re-routed after their first backend turned out dead.
   [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
 
+  /// Bumped on every mutation that can change the routable set (membership,
+  /// health, drain, capacity). route() rebuilds its snapshots only when
+  /// this moved — exposed so tests and benches can assert the steady state
+  /// really is steady.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
   /// Renders the current configuration file (Table 3 format).
   [[nodiscard]] std::string config_text() const;
 
-  /// Requests routed to `backend` so far (0 if unknown).
+  /// Requests routed to `backend` so far (0 if unknown). The address-only
+  /// overload sums across every port sharing the address; the port-aware
+  /// one counts a single backend.
   [[nodiscard]] std::uint64_t routed_to(net::Ipv4Address backend) const;
+  [[nodiscard]] std::uint64_t routed_to(net::Ipv4Address backend,
+                                        int port) const;
 
  private:
-  std::vector<BackEndState> healthy_view(std::string_view component) const;
+  /// One component's cached routable set: dense slot indices into
+  /// backends_, rebuilt lazily when the epoch moves.
+  struct ComponentSnapshot {
+    std::string component;
+    std::vector<std::uint32_t> slots;
+  };
+
+  /// Marks the routable set dirty (cheap; rebuild happens on next route).
+  void touch() noexcept { ++epoch_; }
+  /// Membership/capacity change: dirty + deterministic policy re-seed.
+  void on_membership_changed();
+  void rebuild_snapshots();
+  /// The snapshot for `component`, rebuilding all snapshots if stale;
+  /// nullptr when the component has no routable backends.
+  const ComponentSnapshot* routable_snapshot(std::string_view component);
+
   BackEndState* find(net::Ipv4Address address);
   BackEndState* find(net::Ipv4Address address, int port);
+  /// Resolves an address-only completion to a full endpoint (see
+  /// on_request_complete above); nullptr when ambiguous or unknown.
+  BackEndState* resolve_completion(net::Ipv4Address address);
+  /// Resolves an address-only sample: the single backend with `address`,
+  /// nullptr when shared or unknown.
+  BackEndState* resolve_unique(net::Ipv4Address address);
 
   std::string service_name_;
   net::Ipv4Address listen_;
   int port_;
   std::vector<BackEndState> backends_;
-  std::vector<std::pair<std::string, std::string>> routes_;  // prefix, component
+  struct PrefixRoute {
+    std::string prefix;
+    std::string component;
+  };
+  std::vector<PrefixRoute> routes_;  // registration order
+  /// Indices into routes_, sorted by (prefix length desc, registration
+  /// index desc): the first match during a scan is the winning rule.
+  std::vector<std::uint32_t> route_order_;
   std::unique_ptr<SwitchPolicy> policy_;
+  std::vector<ComponentSnapshot> snapshots_;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t snapshot_epoch_ = 0;  // != epoch_ => snapshots are stale
   std::uint64_t routed_ = 0;
   std::uint64_t refused_ = 0;
   std::uint64_t failovers_ = 0;

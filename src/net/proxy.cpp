@@ -10,17 +10,39 @@ ProxyTable::ProxyTable(std::string host_name, Ipv4Address public_address,
       public_(public_address),
       first_port_(first_port),
       port_count_(port_count),
-      next_port_(first_port) {
+      next_port_(first_port),
+      slots_(static_cast<std::size_t>(port_count)) {
   SODA_EXPECTS(first_port > 0 && first_port + port_count <= 65536);
   SODA_EXPECTS(port_count >= 1);
+}
+
+ProxyTable::Entry* ProxyTable::slot(int public_port) noexcept {
+  if (public_port < first_port_ || public_port >= first_port_ + port_count_) {
+    return nullptr;
+  }
+  return &slots_[static_cast<std::size_t>(public_port - first_port_)];
+}
+
+const ProxyTable::Entry* ProxyTable::slot(int public_port) const noexcept {
+  if (public_port < first_port_ || public_port >= first_port_ + port_count_) {
+    return nullptr;
+  }
+  return &slots_[static_cast<std::size_t>(public_port - first_port_)];
+}
+
+void ProxyTable::erase(Entry& entry) noexcept {
+  entry = Entry{};
+  --entries_;
 }
 
 Result<int> ProxyTable::forward(ProxyTarget target) {
   // Scan from the cursor for a free port; wrap once.
   for (int probe = 0; probe < port_count_; ++probe) {
     const int port = first_port_ + (next_port_ - first_port_ + probe) % port_count_;
-    if (table_.count(port) == 0) {
-      table_.emplace(port, Entry{target, 0, false});
+    Entry& entry = slots_[static_cast<std::size_t>(port - first_port_)];
+    if (!entry.in_use) {
+      entry = Entry{target, 0, true, false};
+      ++entries_;
       next_port_ = port + 1;
       if (next_port_ >= first_port_ + port_count_) next_port_ = first_port_;
       return port;
@@ -30,60 +52,66 @@ Result<int> ProxyTable::forward(ProxyTarget target) {
 }
 
 Status ProxyTable::forward_on(int public_port, ProxyTarget target) {
-  if (public_port < first_port_ || public_port >= first_port_ + port_count_) {
+  Entry* entry = slot(public_port);
+  if (!entry) {
     return Error{"proxy@" + host_name_ + ": port " + std::to_string(public_port) +
                  " outside managed range"};
   }
-  auto [it, inserted] = table_.emplace(public_port, Entry{target, 0, false});
-  (void)it;
-  if (!inserted) {
+  if (entry->in_use) {
     return Error{"proxy@" + host_name_ + ": port " + std::to_string(public_port) +
                  " already forwarded"};
   }
+  *entry = Entry{target, 0, true, false};
+  ++entries_;
   return {};
 }
 
-bool ProxyTable::remove(int public_port) { return table_.erase(public_port) > 0; }
+bool ProxyTable::remove(int public_port) {
+  Entry* entry = slot(public_port);
+  if (!entry || !entry->in_use) return false;
+  erase(*entry);
+  return true;
+}
 
 bool ProxyTable::begin_drain(int public_port) {
-  auto it = table_.find(public_port);
-  if (it == table_.end()) return false;
-  if (it->second.active == 0) {
-    table_.erase(it);
+  Entry* entry = slot(public_port);
+  if (!entry || !entry->in_use) return false;
+  if (entry->active == 0) {
+    erase(*entry);
   } else {
-    it->second.draining = true;
+    entry->draining = true;
   }
   return true;
 }
 
 void ProxyTable::connection_closed(int public_port) {
-  auto it = table_.find(public_port);
-  if (it == table_.end()) return;
-  SODA_EXPECTS(it->second.active > 0);
-  --it->second.active;
-  if (it->second.draining && it->second.active == 0) table_.erase(it);
+  Entry* entry = slot(public_port);
+  if (!entry || !entry->in_use) return;
+  SODA_EXPECTS(entry->active > 0);
+  --entry->active;
+  if (entry->draining && entry->active == 0) erase(*entry);
 }
 
 std::optional<ProxyTarget> ProxyTable::forward_lookup(int public_port) {
-  auto it = table_.find(public_port);
-  if (it == table_.end() || it->second.draining) {
+  Entry* entry = slot(public_port);
+  if (!entry || !entry->in_use || entry->draining) {
     ++missed_;
     return std::nullopt;
   }
   ++forwarded_;
-  ++it->second.active;
-  return it->second.target;
+  ++entry->active;
+  return entry->target;
 }
 
 std::optional<ProxyTarget> ProxyTable::peek(int public_port) const {
-  auto it = table_.find(public_port);
-  if (it == table_.end()) return std::nullopt;
-  return it->second.target;
+  const Entry* entry = slot(public_port);
+  if (!entry || !entry->in_use) return std::nullopt;
+  return entry->target;
 }
 
 bool ProxyTable::draining(int public_port) const {
-  auto it = table_.find(public_port);
-  return it != table_.end() && it->second.draining;
+  const Entry* entry = slot(public_port);
+  return entry != nullptr && entry->in_use && entry->draining;
 }
 
 }  // namespace soda::net

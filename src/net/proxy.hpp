@@ -3,12 +3,17 @@
 // (private) address and becomes reachable through a port on the HUP host's
 // public address. The ProxyTable is the host-OS forwarding table the SODA
 // Daemon programs: public port -> (private address, private port).
+//
+// The table is a dense per-port slot array over the managed range, sized
+// once at construction: the per-connection forward_lookup() is a bounds
+// check plus an index — no tree walk, no allocation — matching the
+// allocation-free switch data plane it sits in front of.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/address.hpp"
 #include "util/result.hpp"
@@ -65,7 +70,7 @@ class ProxyTable {
   [[nodiscard]] std::optional<ProxyTarget> peek(int public_port) const;
   [[nodiscard]] bool draining(int public_port) const;
 
-  [[nodiscard]] std::size_t entry_count() const noexcept { return table_.size(); }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_; }
   [[nodiscard]] std::uint64_t connections_forwarded() const noexcept {
     return forwarded_;
   }
@@ -75,15 +80,22 @@ class ProxyTable {
   struct Entry {
     ProxyTarget target;
     std::uint64_t active = 0;  // connections handed out and not yet closed
+    bool in_use = false;
     bool draining = false;
   };
+
+  /// The slot for `public_port`, or nullptr when outside the managed range.
+  [[nodiscard]] Entry* slot(int public_port) noexcept;
+  [[nodiscard]] const Entry* slot(int public_port) const noexcept;
+  void erase(Entry& entry) noexcept;
 
   std::string host_name_;
   Ipv4Address public_;
   int first_port_;
   int port_count_;
   int next_port_;
-  std::map<int, Entry> table_;
+  std::vector<Entry> slots_;  // dense, index = public_port - first_port_
+  std::size_t entries_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t missed_ = 0;
 };

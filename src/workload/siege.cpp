@@ -30,11 +30,39 @@ SiegeClient::SiegeClient(sim::Engine& engine, net::FlowNetwork& network,
   SODA_EXPECTS(switch_ == nullptr || switch_node_.has_value());
 }
 
+SiegeClient::Backend* SiegeClient::find_backend(std::uint32_t address) noexcept {
+  auto it = std::lower_bound(backends_.begin(), backends_.end(), address,
+                             [](const Backend& b, std::uint32_t key) {
+                               return b.address < key;
+                             });
+  if (it == backends_.end() || it->address != address) return nullptr;
+  return &*it;
+}
+
+const SiegeClient::Backend* SiegeClient::find_backend(
+    std::uint32_t address) const noexcept {
+  return const_cast<SiegeClient*>(this)->find_backend(address);
+}
+
 void SiegeClient::register_backend(net::Ipv4Address address,
                                    WebContentServer* server,
                                    net::NodeId server_node) {
   SODA_EXPECTS(server != nullptr);
-  backends_[address.value()] = Backend{server, server_node};
+  if (Backend* existing = find_backend(address.value())) {
+    existing->server = server;
+    existing->node = server_node;
+    return;
+  }
+  Backend backend;
+  backend.address = address.value();
+  backend.server = server;
+  backend.node = server_node;
+  const auto at = std::lower_bound(backends_.begin(), backends_.end(),
+                                   backend.address,
+                                   [](const Backend& b, std::uint32_t key) {
+                                     return b.address < key;
+                                   });
+  backends_.insert(at, std::move(backend));
 }
 
 void SiegeClient::start() {
@@ -65,13 +93,14 @@ void SiegeClient::issue_request() {
   if (switch_ == nullptr) {
     // Direct scenario: one backend, no switch hop.
     SODA_EXPECTS(backends_.size() == 1);
-    const auto& [key, backend] = *backends_.begin();
-    must(network_.start_flow(client_, backend.node, kRequestBytes,
-                             [this, key, started](sim::SimTime) {
+    const std::uint32_t key = backends_.front().address;
+    WebContentServer* server = backends_.front().server;
+    must(network_.start_flow(client_, backends_.front().node, kRequestBytes,
+                             [this, key, server, started](sim::SimTime) {
                                dispatch_to(
                                    core::BackEndEntry{net::Ipv4Address(key), 0,
                                                       1, {}},
-                                   backends_.at(key), started);
+                                   server, started);
                              }));
     return;
   }
@@ -90,20 +119,20 @@ void SiegeClient::issue_request() {
         return;
       }
       core::BackEndEntry entry = routed.value();
-      auto it = backends_.find(entry.address.value());
-      if (it == backends_.end()) {
+      Backend* backend = find_backend(entry.address.value());
+      if (!backend) {
         // Configuration names a backend we have no server object for.
         ++refused_;
         switch_->on_request_complete(entry.address, entry.port);
         maybe_continue();
         return;
       }
-      if (it->second.server->down()) {
+      if (backend->server->down()) {
         // The routed backend died after the health monitor's last probe.
         // One-shot failover: report the failure and retry among the
         // remaining healthy backends; a second dead pick is refused.
-        const std::string component =
-            config_.target.empty() ? std::string()
+        const std::string_view component =
+            config_.target.empty() ? std::string_view()
                                    : switch_->component_for(config_.target);
         auto retried = switch_->route_failover(entry, component);
         if (!retried.ok()) {
@@ -112,8 +141,8 @@ void SiegeClient::issue_request() {
           return;
         }
         entry = retried.value();
-        it = backends_.find(entry.address.value());
-        if (it == backends_.end() || it->second.server->down()) {
+        backend = find_backend(entry.address.value());
+        if (!backend || backend->server->down()) {
           ++refused_;
           switch_->on_request_complete(entry.address, entry.port);
           maybe_continue();
@@ -121,18 +150,18 @@ void SiegeClient::issue_request() {
         }
         ++failed_over_;
       }
-      const Backend backend = it->second;
-      must(network_.start_flow(*switch_node_, backend.node, kRequestBytes,
-                               [this, entry, backend, started](sim::SimTime) {
-                                 dispatch_to(entry, backend, started);
+      WebContentServer* server = backend->server;
+      must(network_.start_flow(*switch_node_, backend->node, kRequestBytes,
+                               [this, entry, server, started](sim::SimTime) {
+                                 dispatch_to(entry, server, started);
                                }));
     });
   }));
 }
 
 void SiegeClient::dispatch_to(const core::BackEndEntry& entry,
-                              const Backend& backend, sim::SimTime started) {
-  backend.server->handle_request(
+                              WebContentServer* server, sim::SimTime started) {
+  server->handle_request(
       client_, config_.response_bytes,
       [this, entry, started](sim::SimTime delivered) {
         on_response(entry, started, delivered);
@@ -143,8 +172,10 @@ void SiegeClient::on_response(const core::BackEndEntry& entry,
                               sim::SimTime started, sim::SimTime delivered) {
   const double rt = (delivered - started).to_seconds();
   overall_.add(rt);
-  per_backend_[entry.address.value()].add(rt);
-  ++completed_per_backend_[entry.address.value()];
+  if (Backend* backend = find_backend(entry.address.value())) {
+    backend->samples.add(rt);
+    ++backend->completed;
+  }
   ++completed_;
   if (switch_) {
     switch_->on_request_complete(entry.address, entry.port);
@@ -161,13 +192,13 @@ void SiegeClient::maybe_continue() {
 
 const sim::SampleSet& SiegeClient::response_times_for(
     net::Ipv4Address address) const {
-  auto it = per_backend_.find(address.value());
-  return it == per_backend_.end() ? empty_ : it->second;
+  const Backend* backend = find_backend(address.value());
+  return backend ? backend->samples : empty_;
 }
 
 std::uint64_t SiegeClient::completed_by(net::Ipv4Address address) const {
-  auto it = completed_per_backend_.find(address.value());
-  return it == completed_per_backend_.end() ? 0 : it->second;
+  const Backend* backend = find_backend(address.value());
+  return backend ? backend->completed : 0;
 }
 
 }  // namespace soda::workload

@@ -4,11 +4,15 @@
 // request response time end to end, and attributes every request to the
 // backend the service switch picked — the measurements behind Figures 4
 // and 6.
+//
+// The request loop rides the switch's allocation-free data plane: backend
+// attribution uses a sorted dense registry (binary search by address, built
+// at registration time) instead of per-request tree lookups.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "core/switch.hpp"
 #include "net/flow_network.hpp"
@@ -78,9 +82,14 @@ class SiegeClient {
   [[nodiscard]] std::uint64_t completed_by(net::Ipv4Address address) const;
 
  private:
+  /// One registered backend with its measurement state, stored sorted by
+  /// address so the per-request lookup is a binary search, not a tree walk.
   struct Backend {
+    std::uint32_t address = 0;
     WebContentServer* server = nullptr;
-    net::NodeId node;
+    net::NodeId node{};
+    sim::SampleSet samples;
+    std::uint64_t completed = 0;
   };
 
   void issue_request();
@@ -88,10 +97,13 @@ class SiegeClient {
   /// Closed loop: after a request ends (served or refused), think then issue
   /// the next one. Open loop: no-op (arrivals self-schedule).
   void maybe_continue();
-  void dispatch_to(const core::BackEndEntry& entry, const Backend& backend,
+  void dispatch_to(const core::BackEndEntry& entry, WebContentServer* server,
                    sim::SimTime started);
   void on_response(const core::BackEndEntry& entry, sim::SimTime started,
                    sim::SimTime delivered);
+
+  Backend* find_backend(std::uint32_t address) noexcept;
+  [[nodiscard]] const Backend* find_backend(std::uint32_t address) const noexcept;
 
   sim::Engine& engine_;
   net::FlowNetwork& network_;
@@ -100,9 +112,7 @@ class SiegeClient {
   std::optional<net::NodeId> switch_node_;
   SiegeConfig config_;
   sim::Rng rng_;
-  std::map<std::uint32_t, Backend> backends_;
-  std::map<std::uint32_t, sim::SampleSet> per_backend_;
-  std::map<std::uint32_t, std::uint64_t> completed_per_backend_;
+  std::vector<Backend> backends_;  // sorted by address
   sim::SampleSet overall_;
   sim::SampleSet empty_;
   std::uint64_t issued_ = 0;

@@ -290,9 +290,29 @@ TEST(Switch, CountsRoutedAndPerBackend) {
   auto sw = make_switch(2, 1);
   route_n(sw, 30);
   EXPECT_EQ(sw.requests_routed(), 30u);
+  EXPECT_EQ(sw.routed_to(kNode1, 8080), 20u);
+  EXPECT_EQ(sw.routed_to(kNode2, 8080), 10u);
+  EXPECT_EQ(sw.routed_to(kNode3, 8080), 0u);
+  // The address-only form sums across the host's ports (here: just one).
   EXPECT_EQ(sw.routed_to(kNode1), 20u);
   EXPECT_EQ(sw.routed_to(kNode2), 10u);
-  EXPECT_EQ(sw.routed_to(kNode3), 0u);
+}
+
+// routed_to(address) silently sums across every port on that host; per-
+// backend assertions about same-address components need the port-aware
+// overload.
+TEST(Switch, RoutedToDistinguishesPortsOnOneAddress) {
+  ServiceSwitch sw("shop", kNode1, 8080);
+  must(sw.add_backend(BackEndEntry{kNode1, 8080, 2, {}}));
+  must(sw.add_backend(BackEndEntry{kNode1, 9090, 1, {}}));
+  for (int i = 0; i < 30; ++i) {
+    const auto backend = must(sw.route());
+    sw.on_request_complete(backend.address, backend.port);
+  }
+  EXPECT_EQ(sw.routed_to(kNode1, 8080), 20u);
+  EXPECT_EQ(sw.routed_to(kNode1, 9090), 10u);
+  EXPECT_EQ(sw.routed_to(kNode1), 30u);  // address-only: the host total
+  EXPECT_EQ(sw.routed_to(kNode1, 7070), 0u);
 }
 
 TEST(Switch, ActiveConnectionsTracked) {
@@ -349,6 +369,74 @@ TEST(Switch, FastestResponseKeysEwmaByAddressAndPort) {
   EXPECT_EQ(by_port[8080], 0);
 }
 
+// Regression: the address-only on_request_complete(address) used to credit
+// the FIRST backend with that address, so with two components on one host
+// (ports 8080/9090) a completion on 9090 decremented 8080's connection
+// count — least-connections then saw phantom idle capacity on 8080 and
+// negative pressure on 9090. The overload now resolves the full endpoint:
+// unambiguous completions (only one sibling has an active connection) are
+// credited correctly, ambiguous ones are dropped.
+TEST(Switch, AddressOnlyCompletionResolvesThePortThatIsActive) {
+  ServiceSwitch sw("shop", kNode1, 8080);
+  must(sw.add_backend(BackEndEntry{kNode1, 8080, 1, {}}));
+  must(sw.add_backend(BackEndEntry{kNode1, 9090, 1, {}}));
+  const auto first = must(sw.route());  // exactly one sibling active
+  sw.on_request_complete(kNode1);       // address-only: must hit `first`
+  for (const auto& backend : sw.backends()) {
+    EXPECT_EQ(backend.active_connections, 0)
+        << "port " << backend.entry.port;
+  }
+  // Both siblings active: the completion is ambiguous and must be dropped,
+  // not guessed — active counts stay as they are.
+  const auto a = must(sw.route());
+  const auto b = must(sw.route());
+  ASSERT_NE(a.port, b.port);
+  sw.on_request_complete(kNode1);
+  std::uint64_t active = 0;
+  for (const auto& backend : sw.backends()) active += backend.active_connections;
+  EXPECT_EQ(active, 2u);
+  // Port-qualified completions still drain them.
+  sw.on_request_complete(kNode1, a.port);
+  sw.on_request_complete(kNode1, b.port);
+  for (const auto& backend : sw.backends()) {
+    EXPECT_EQ(backend.active_connections, 0);
+  }
+}
+
+// Same aliasing bug for response-time samples: an address-only report used
+// to update the first matching backend, poisoning a sibling's EWMA. With a
+// shared address the sample is now dropped (there is no right answer);
+// port-qualified reports remain exact.
+TEST(Switch, AddressOnlyResponseTimeDroppedWhenAddressIsShared) {
+  ServiceSwitch sw("shop", kNode1, 8080);
+  must(sw.add_backend(BackEndEntry{kNode1, 8080, 1, {}}));
+  must(sw.add_backend(BackEndEntry{kNode1, 9090, 1, {}}));
+  sw.set_policy(make_fastest_response(1.0));  // alpha 1: last sample wins
+  sw.report_response_time(kNode1, 8080, 0.500);
+  sw.report_response_time(kNode1, 9090, 0.001);
+  // Would previously have overwritten port 8080's estimate — and a huge
+  // sample on the shared address must not poison either sibling.
+  sw.report_response_time(kNode1, 9.0);
+  for (int i = 0; i < 10; ++i) {
+    const auto backend = must(sw.route());
+    EXPECT_EQ(backend.port, 9090);
+    sw.on_request_complete(backend.address, backend.port);
+  }
+}
+
+// Smooth WRR accumulated the per-pick weight total in `int`; two backends
+// at capacity 2^30 pushed the sum to 2^31 and overflowed. The accumulator
+// is `long long` now, and huge equal capacities alternate cleanly.
+TEST(Switch, WrrSurvivesHugeCapacities) {
+  constexpr int kHuge = 1 << 30;
+  ServiceSwitch sw("big", kNode1, 8080);
+  must(sw.add_backend(BackEndEntry{kNode1, 8080, kHuge, {}}));
+  must(sw.add_backend(BackEndEntry{kNode2, 8080, kHuge, {}}));
+  const auto counts = route_n(sw, 300);
+  EXPECT_EQ(counts.at(kNode1.value()), 150);
+  EXPECT_EQ(counts.at(kNode2.value()), 150);
+}
+
 TEST(Switch, LeastConnectionsKeysActiveByAddressAndPort) {
   ServiceSwitch sw("shop", kNode1, 8080);
   must(sw.add_backend(BackEndEntry{kNode1, 8080, 1, {}}));
@@ -361,6 +449,39 @@ TEST(Switch, LeastConnectionsKeysActiveByAddressAndPort) {
   sw.on_request_complete(kNode1, first.port);
   const auto third = must(sw.route());
   EXPECT_EQ(third.port, first.port);
+}
+
+// ---------- Prefix -> component resolution ----------
+
+// Pins the component_for contract the prefix table must preserve: longest
+// prefix wins; among equal-length prefixes the LAST registered rule wins;
+// no match (and the empty target) falls through to the default "" component.
+TEST(Switch, ComponentForLongestPrefixWins) {
+  auto sw = make_switch();
+  sw.set_component_route("/", "frontend");
+  sw.set_component_route("/cart", "db");
+  sw.set_component_route("/cart/admin", "admin");
+  EXPECT_EQ(sw.component_for("/index.html"), "frontend");
+  EXPECT_EQ(sw.component_for("/cart/42"), "db");
+  EXPECT_EQ(sw.component_for("/cart/admin/keys"), "admin");
+  EXPECT_EQ(sw.component_for("/cart"), "db");
+}
+
+TEST(Switch, ComponentForEqualLengthDuplicateLastRegistrationWins) {
+  auto sw = make_switch();
+  sw.set_component_route("/api", "v1");
+  sw.set_component_route("/api", "v2");  // re-registration supersedes
+  EXPECT_EQ(sw.component_for("/api/users"), "v2");
+}
+
+TEST(Switch, ComponentForNoMatchAndEmptyTarget) {
+  auto sw = make_switch();
+  EXPECT_EQ(sw.component_for("/anything"), "");  // no rules at all
+  sw.set_component_route("/shop", "shop");
+  EXPECT_EQ(sw.component_for("/blog"), "");  // no rule matches
+  EXPECT_EQ(sw.component_for(""), "");       // empty target matches nothing
+  EXPECT_EQ(sw.component_for("/sho"), "");   // prefix longer than target
+  EXPECT_EQ(sw.component_for("/shop"), "shop");  // exact-length match
 }
 
 // ---------- Draining and failover ----------
