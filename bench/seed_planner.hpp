@@ -1,0 +1,158 @@
+// The seed control-plane data layout, preserved as a benchmark baseline the
+// same way bench/seed_switch.hpp preserves the seed request path. Before the
+// fleet-scale refactor (DESIGN.md §11) the Master and its hosts were keyed
+// by strings end to end:
+//
+//   * a host's available() re-summed every slice on every call — including
+//     once per comparison inside the placement sort;
+//   * the one-node-per-host-per-service check built a "service/0" temporary
+//     string and looked it up in a std::map<std::string, Node>;
+//   * the down-host set was std::set<std::string>, one tree walk (with
+//     full string compares) per host per decision;
+//   * the failure detector kept std::map<std::string, SimTime> and scanned
+//     every host's entry on every check.
+//
+// SeedFleet/SeedDetector reproduce exactly that cost model so fig_fleet can
+// measure the interned/SoA control plane against it head-to-head. Not used
+// by the library.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "host/resources.hpp"
+#include "sim/time.hpp"
+
+namespace soda::bench {
+
+/// A host as the seed modelled it: slices in a vector, aggregates recomputed
+/// on demand, nodes keyed by name in an ordered map.
+class SeedHost {
+ public:
+  SeedHost(std::string name, host::ResourceVector capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// The seed's aggregate: capacity minus a fresh sum over all slices,
+  /// recomputed per call (the placement comparator called this twice per
+  /// comparison).
+  [[nodiscard]] host::ResourceVector available() const {
+    host::ResourceVector used;
+    for (const auto& slice : slices_) used += slice.second;
+    host::ResourceVector avail = capacity_;
+    avail.cpu_mhz -= used.cpu_mhz;
+    avail.memory_mb -= used.memory_mb;
+    avail.disk_mb -= used.disk_mb;
+    avail.bandwidth_mbps -= used.bandwidth_mbps;
+    return avail;
+  }
+
+  void reserve(const std::string& service, host::ResourceVector resources) {
+    slices_.emplace_back(service, resources);
+  }
+
+  void add_node(const std::string& node_name) { nodes_[node_name] = 1; }
+
+  /// The seed's membership probe: materialize "service/0" and find it.
+  [[nodiscard]] bool has_node(const std::string& node_name) const {
+    return nodes_.find(node_name) != nodes_.end();
+  }
+
+ private:
+  std::string name_;
+  host::ResourceVector capacity_;
+  std::vector<std::pair<std::string, host::ResourceVector>> slices_;
+  std::map<std::string, int> nodes_;
+};
+
+/// The seed planner: order hosts by comparing available() inside the sort
+/// comparator, skip down hosts through a string set, skip hosts already
+/// serving the service through a temporary "name/0" lookup, then pack.
+class SeedFleet {
+ public:
+  void add_host(std::string name, host::ResourceVector capacity) {
+    hosts_.emplace_back(std::move(name), capacity);
+  }
+
+  [[nodiscard]] SeedHost& host(std::size_t i) { return hosts_[i]; }
+  [[nodiscard]] std::size_t size() const noexcept { return hosts_.size(); }
+  [[nodiscard]] std::set<std::string>& down_hosts() noexcept {
+    return down_hosts_;
+  }
+
+  /// One worst-fit placement decision, seed cost model: fresh ordered
+  /// vector, comparator re-summing slices, string-keyed exclusion checks.
+  /// Returns the number of nodes planned (0 when the fleet cannot fit it).
+  [[nodiscard]] int plan_allocation(const std::string& service_name,
+                                    const host::ResourceRequirement& req,
+                                    double slowdown_factor) {
+    host::ResourceVector unit = req.m.to_vector();
+    unit.cpu_mhz *= slowdown_factor;
+    unit.bandwidth_mbps *= slowdown_factor;
+    std::vector<SeedHost*> ordered;
+    for (SeedHost& h : hosts_) {
+      if (down_hosts_.count(h.name()) > 0) continue;
+      ordered.push_back(&h);
+    }
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const SeedHost* a, const SeedHost* b) {
+                       return a->available().cpu_mhz > b->available().cpu_mhz;
+                     });
+    int remaining = req.n;
+    int planned = 0;
+    for (SeedHost* h : ordered) {
+      if (remaining == 0) break;
+      if (h->has_node(service_name + "/0")) continue;
+      const int k = std::min(
+          soda::core::units_that_fit(h->available(), unit), remaining);
+      if (k >= 1) {
+        ++planned;
+        remaining -= k;
+      }
+    }
+    return remaining == 0 ? planned : 0;
+  }
+
+ private:
+  std::vector<SeedHost> hosts_;
+  std::set<std::string> down_hosts_;
+};
+
+/// The seed failure detector: a name-keyed heartbeat map and an
+/// O(all-hosts) scan per check.
+class SeedDetector {
+ public:
+  explicit SeedDetector(sim::SimTime timeout) : timeout_(timeout) {}
+
+  void arm(const std::vector<std::string>& hosts, sim::SimTime now) {
+    for (const auto& h : hosts) last_heartbeat_[h] = now;
+  }
+
+  void on_heartbeat(const std::string& host, sim::SimTime now) {
+    last_heartbeat_[host] = now;
+  }
+
+  [[nodiscard]] std::size_t check_once(sim::SimTime now) {
+    std::size_t newly_dead = 0;
+    for (const auto& [host, last] : last_heartbeat_) {
+      if (down_hosts_.count(host) > 0) continue;
+      if (now - last >= timeout_) {
+        down_hosts_.insert(host);
+        ++newly_dead;
+      }
+    }
+    return newly_dead;
+  }
+
+ private:
+  sim::SimTime timeout_;
+  std::map<std::string, sim::SimTime> last_heartbeat_;
+  std::set<std::string> down_hosts_;
+};
+
+}  // namespace soda::bench

@@ -1,5 +1,6 @@
 #include "core/daemon.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/events.hpp"
@@ -17,7 +18,53 @@ const sim::SimTime kBridgeLatency = sim::SimTime::microseconds(20);
 // roughly proportional to the number of candidate services.
 constexpr double kCustomizePerServiceGhzS = 0.02;
 
+constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+// name < (service + "/"), evaluated without materializing the needle.
+bool name_below_service_slash(std::string_view name, std::string_view service) {
+  const std::size_t n = std::min(name.size(), service.size());
+  if (const int c = name.substr(0, n).compare(service.substr(0, n)); c != 0) {
+    return c < 0;
+  }
+  if (name.size() <= service.size()) return true;  // proper prefix of needle
+  return name[service.size()] < '/';
+}
+
 }  // namespace
+
+std::size_t SodaDaemon::node_index(std::string_view node_name) const {
+  const auto it =
+      std::lower_bound(node_names_.begin(), node_names_.end(), node_name);
+  if (it == node_names_.end() || *it != node_name) return kNoNode;
+  return static_cast<std::size_t>(it - node_names_.begin());
+}
+
+SodaDaemon::NodeRecord& SodaDaemon::insert_node(
+    std::string_view node_name, std::unique_ptr<NodeRecord> record) {
+  const auto it =
+      std::lower_bound(node_names_.begin(), node_names_.end(), node_name);
+  const auto at = it - node_names_.begin();
+  node_names_.insert(it, std::string(node_name));
+  NodeRecord& stable = *record;
+  node_records_.insert(node_records_.begin() + at, std::move(record));
+  return stable;
+}
+
+void SodaDaemon::erase_node(std::size_t index) {
+  node_names_.erase(node_names_.begin() + static_cast<std::ptrdiff_t>(index));
+  node_records_.erase(node_records_.begin() +
+                      static_cast<std::ptrdiff_t>(index));
+}
+
+bool SodaDaemon::serves_service(std::string_view service_name) const {
+  const auto it = std::lower_bound(node_names_.begin(), node_names_.end(),
+                                   service_name, name_below_service_slash);
+  if (it == node_names_.end()) return false;
+  const std::string_view name = *it;
+  return name.size() > service_name.size() &&
+         name[service_name.size()] == '/' &&
+         name.substr(0, service_name.size()) == service_name;
+}
 
 void SodaDaemon::emit(sim::SimTime at, TraceKind kind,
                       const std::string& subject, std::string detail) {
@@ -57,7 +104,7 @@ void SodaDaemon::prime_node(PrimeCommand command, PrimeCallback done) {
     done(Error{"daemon@" + host_.name() + ": host is down"}, engine_.now());
     return;
   }
-  if (nodes_.count(command.node_name) > 0) {
+  if (node_index(command.node_name) != kNoNode) {
     done(Error{"node already exists: " + command.node_name}, engine_.now());
     return;
   }
@@ -214,18 +261,18 @@ void SodaDaemon::continue_priming(PrimeCommand command,
   }
   vm::VirtualServiceNode* node_ptr = node.get();
 
-  NodeRecord record;
-  record.node = std::move(node);
-  record.address_mode = command.address_mode;
-  record.public_port = public_port;
-  record.report.download_time = downloaded_at - download_started;
-  record.report.customize_time = customize_time;
-  record.report.boot = boot_plan;
-  record.report.app_start_time = app_start_time;
-  record.report.image_bytes = image.packaged_bytes();
-  record.report.rootfs_bytes = node_ptr->uml().rootfs().image_bytes();
-  record.unit = command.unit;
-  nodes_.emplace(command.node_name, std::move(record));
+  auto record = std::make_unique<NodeRecord>();
+  record->node = std::move(node);
+  record->address_mode = command.address_mode;
+  record->public_port = public_port;
+  record->report.download_time = downloaded_at - download_started;
+  record->report.customize_time = customize_time;
+  record->report.boot = boot_plan;
+  record->report.app_start_time = app_start_time;
+  record->report.image_bytes = image.packaged_bytes();
+  record->report.rootfs_bytes = node_ptr->uml().rootfs().image_bytes();
+  record->unit = command.unit;
+  insert_node(command.node_name, std::move(record));
 
   // 6. Boot the guest, then start the application inside it.
   must(node_ptr->uml().begin_boot(engine_.now()));
@@ -238,13 +285,13 @@ void SodaDaemon::continue_priming(PrimeCommand command,
                  app_mem = app_memory_mb, done = std::move(done)] {
         // Re-find the node: if the host crashed while the guest was booting,
         // crash_host() destroyed the NodeRecord and the pointer is gone.
-        auto it = nodes_.find(name);
-        if (!alive_ || it == nodes_.end()) {
+        const std::size_t index = node_index(name);
+        if (!alive_ || index == kNoNode) {
           done(Error{"daemon@" + host_.name() + ": host crashed mid-priming"},
                engine_.now());
           return;
         }
-        vm::VirtualServiceNode* node_ptr = it->second.node.get();
+        vm::VirtualServiceNode* node_ptr = node_records_[index]->node.get();
         must(node_ptr->uml().finish_boot(engine_.now()));
         const std::string uid = "svc-" + node_ptr->service_name();
         must(node_ptr->uml().spawn_process(entry, uid, engine_.now()));
@@ -255,59 +302,69 @@ void SodaDaemon::continue_priming(PrimeCommand command,
       });
 }
 
-Status SodaDaemon::teardown_node(const std::string& node_name) {
-  auto it = nodes_.find(node_name);
-  if (it == nodes_.end()) {
-    return Error{"daemon@" + host_.name() + ": no node " + node_name};
+void SodaDaemon::release_node_state(NodeRecord& record, bool crashed) {
+  vm::VirtualServiceNode& node = *record.node;
+  if (crashed) {
+    node.uml().crash();
+  } else {
+    node.uml().shutdown();
   }
-  vm::VirtualServiceNode& node = *it->second.node;
-  node.uml().shutdown();
-  if (it->second.address_mode == AddressMode::kBridging) {
+  if (record.address_mode == AddressMode::kBridging) {
     must(host_.bridge().detach(node.address()));
   } else {
-    host_.proxy().remove(it->second.public_port);
+    host_.proxy().remove(record.public_port);
   }
   shaper_.remove(node.address());
   host_.ip_pool().release(node.address());
   must(host_.release(node.slice()));
-  nodes_.erase(it);
+}
+
+Status SodaDaemon::teardown_node(std::string_view node_name) {
+  const std::size_t index = node_index(node_name);
+  if (index == kNoNode) {
+    return Error{"daemon@" + host_.name() + ": no node " +
+                 std::string(node_name)};
+  }
+  release_node_state(*node_records_[index], /*crashed=*/false);
+  erase_node(index);
   // The VM's flow-network port remains in the topology (links cannot be
   // removed), but nothing routes to it once the bridge entry is gone.
   return {};
 }
 
-Status SodaDaemon::resize_node(const std::string& node_name, int new_units,
+Status SodaDaemon::resize_node(std::string_view node_name, int new_units,
                                const host::ResourceVector& new_reserve) {
   SODA_EXPECTS(new_units >= 1);
-  auto it = nodes_.find(node_name);
-  if (it == nodes_.end()) {
-    return Error{"daemon@" + host_.name() + ": no node " + node_name};
+  const std::size_t index = node_index(node_name);
+  if (index == kNoNode) {
+    return Error{"daemon@" + host_.name() + ": no node " +
+                 std::string(node_name)};
   }
-  vm::VirtualServiceNode& node = *it->second.node;
+  NodeRecord& record = *node_records_[index];
+  vm::VirtualServiceNode& node = *record.node;
   if (auto resized = host_.resize(node.slice(), new_reserve); !resized.ok()) {
     return resized;
   }
   node.set_capacity_units(new_units);
-  shaper_.configure(node.address(),
-                    it->second.unit.bandwidth_mbps * new_units);
+  shaper_.configure(node.address(), record.unit.bandwidth_mbps * new_units);
   return {};
 }
 
-vm::VirtualServiceNode* SodaDaemon::find_node(const std::string& node_name) {
-  auto it = nodes_.find(node_name);
-  return it == nodes_.end() ? nullptr : it->second.node.get();
+vm::VirtualServiceNode* SodaDaemon::find_node(std::string_view node_name) {
+  const std::size_t index = node_index(node_name);
+  return index == kNoNode ? nullptr : node_records_[index]->node.get();
 }
 
 const vm::VirtualServiceNode* SodaDaemon::find_node(
-    const std::string& node_name) const {
-  auto it = nodes_.find(node_name);
-  return it == nodes_.end() ? nullptr : it->second.node.get();
+    std::string_view node_name) const {
+  const std::size_t index = node_index(node_name);
+  return index == kNoNode ? nullptr : node_records_[index]->node.get();
 }
 
 const PrimingReport* SodaDaemon::priming_report(
-    const std::string& node_name) const {
-  auto it = nodes_.find(node_name);
-  return it == nodes_.end() ? nullptr : &it->second.report;
+    std::string_view node_name) const {
+  const std::size_t index = node_index(node_name);
+  return index == kNoNode ? nullptr : &node_records_[index]->report;
 }
 
 void SodaDaemon::crash_host() {
@@ -315,20 +372,12 @@ void SodaDaemon::crash_host() {
   alive_ = false;
   // Fail-stop: every guest dies with the host, and a rebooting machine comes
   // back with nothing reserved — release all host-side state now so recover()
-  // reports a free host.
-  for (auto& [name, record] : nodes_) {
-    vm::VirtualServiceNode& node = *record.node;
-    node.uml().crash();
-    if (record.address_mode == AddressMode::kBridging) {
-      must(host_.bridge().detach(node.address()));
-    } else {
-      host_.proxy().remove(record.public_port);
-    }
-    shaper_.remove(node.address());
-    host_.ip_pool().release(node.address());
-    must(host_.release(node.slice()));
+  // reports a free host. Records go in name order, as the seed's map did.
+  for (auto& record : node_records_) {
+    release_node_state(*record, /*crashed=*/true);
   }
-  nodes_.clear();
+  node_names_.clear();
+  node_records_.clear();
   // Image distribution dies with the host: in-flight fetches fail (their
   // prime callbacks observe !alive_), the chunk cache and keep-alive
   // connections are gone, and the Master's chunk registry drops this host

@@ -11,11 +11,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "core/ids.hpp"
 #include "host/host.hpp"
 #include "image/distributor.hpp"
 #include "image/repository.hpp"
@@ -94,6 +96,11 @@ class SodaDaemon {
   [[nodiscard]] host::HupHost& host() noexcept { return host_; }
   [[nodiscard]] const host::HupHost& host() const noexcept { return host_; }
 
+  /// Dense fleet-wide id, assigned by the Master at registration
+  /// (DESIGN.md §11). Invalid until then.
+  [[nodiscard]] HostId host_id() const noexcept { return host_id_; }
+  void set_host_id(HostId id) noexcept { host_id_ = id; }
+
   /// This host's image-distribution front end (chunk cache, coalescing,
   /// P2P priming). The Master wires its registry/directory/config at
   /// daemon registration.
@@ -113,21 +120,29 @@ class SodaDaemon {
 
   /// Stops a node and releases everything it held (slice, IP, bridge entry,
   /// shaper entry). The guest's processes die with it.
-  Status teardown_node(const std::string& node_name);
+  Status teardown_node(std::string_view node_name);
 
   /// Grows/shrinks a node in place: new slice reservation, capacity units,
   /// and shaper bandwidth. Fails if the host cannot fit the growth.
-  Status resize_node(const std::string& node_name, int new_units,
+  Status resize_node(std::string_view node_name, int new_units,
                      const host::ResourceVector& new_reserve);
 
-  [[nodiscard]] vm::VirtualServiceNode* find_node(const std::string& node_name);
+  [[nodiscard]] vm::VirtualServiceNode* find_node(std::string_view node_name);
   [[nodiscard]] const vm::VirtualServiceNode* find_node(
-      const std::string& node_name) const;
-  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+      std::string_view node_name) const;
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return node_names_.size();
+  }
+
+  /// True when this daemon runs at least one node of `service_name`
+  /// ("web" matches "web/3" but not "web-2/0"). Allocation-free: a binary
+  /// search over the sorted node-name vector against the virtual needle
+  /// `service_name + "/"`.
+  [[nodiscard]] bool serves_service(std::string_view service_name) const;
 
   /// Priming breakdown of a node created by this daemon.
   [[nodiscard]] const PrimingReport* priming_report(
-      const std::string& node_name) const;
+      std::string_view node_name) const;
 
   // --- Host-level failure model -------------------------------------------
 
@@ -175,6 +190,16 @@ class SodaDaemon {
     int public_port = 0;  // proxying only
   };
 
+  /// Index of `node_name` in the sorted name vector, or npos.
+  [[nodiscard]] std::size_t node_index(std::string_view node_name) const;
+  /// Inserts a record keeping node_names_ sorted; returns the stable record.
+  NodeRecord& insert_node(std::string_view node_name,
+                          std::unique_ptr<NodeRecord> record);
+  void erase_node(std::size_t index);
+  /// Releases all host-side state of the record at `index` (bridge/proxy,
+  /// shaper, IP, slice); `crashed` kills the guest instead of shutting down.
+  void release_node_state(NodeRecord& record, bool crashed);
+
   /// Stage 2 of priming, after the image arrived.
   void continue_priming(PrimeCommand command, image::ServiceImage image,
                         host::SliceId slice, sim::SimTime download_started,
@@ -192,7 +217,11 @@ class SodaDaemon {
   host::HupHost& host_;
   net::TrafficShaper& shaper_;
   image::ImageDistributor distributor_;
-  std::map<std::string, NodeRecord> nodes_;
+  // Node store: names sorted, records parallel and pointer-stable (the boot
+  // callback and priming_report() hold NodeRecord addresses across inserts).
+  std::vector<std::string> node_names_;
+  std::vector<std::unique_ptr<NodeRecord>> node_records_;
+  HostId host_id_;
   TraceLog* trace_ = nullptr;
   ControlPlaneBus* bus_ = nullptr;
   bool alive_ = true;

@@ -1,0 +1,17 @@
+#include "core/ids.hpp"
+
+// InternTable, DenseId, and IdBitSet are header-only for inlining on the
+// hot lookup paths; this translation unit exists so the ids layer owns a
+// place for future non-inline helpers and so the library exports its debug
+// symbols from one object.
+
+namespace soda::core {
+
+/// Human-readable "name#id" tag for logs and test failure messages.
+std::string intern_debug_tag(const InternTable& table, std::uint32_t id) {
+  if (id == kInvalidInternId) return "<invalid>";
+  if (id >= table.size()) return "<out-of-range#" + std::to_string(id) + ">";
+  return table.name(id) + "#" + std::to_string(id);
+}
+
+}  // namespace soda::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "util/contract.hpp"
 #include "util/log.hpp"
@@ -44,16 +45,22 @@ SodaMaster::SodaMaster(sim::Engine& engine, MasterConfig config)
 
 Status SodaMaster::register_daemon(SodaDaemon* daemon) {
   SODA_EXPECTS(daemon != nullptr);
+  if (host_names_.contains(daemon->host_name())) {
+    return Error{"duplicate host: " + daemon->host_name()};
+  }
   for (const SodaDaemon* existing : daemons_) {
-    if (existing->host_name() == daemon->host_name()) {
-      return Error{"duplicate host: " + daemon->host_name()};
-    }
     if (!net::IpPool::disjoint(existing->host().ip_pool(),
                                daemon->host().ip_pool())) {
       return Error{"IP pools of " + existing->host_name() + " and " +
                    daemon->host_name() + " overlap"};
     }
   }
+  // Registration order defines the dense HostId space every fleet-scale
+  // structure (down-host bitset, detector wheel, planner tie-breaks) is
+  // indexed by.
+  const HostId id{host_names_.intern(daemon->host_name())};
+  SODA_ENSURES(id.index() == daemons_.size());
+  daemon->set_host_id(id);
   daemons_.push_back(daemon);
   // Wire the host's image-distribution front end into the HUP: shared
   // repository directory (per-attempt name resolution), shared chunk
@@ -63,6 +70,7 @@ Status SodaMaster::register_daemon(SodaDaemon* daemon) {
   daemon->distributor().set_directory(&directory_);
   daemon->distributor().set_registry(&chunk_registry_);
   daemon->set_bus(&bus_);
+  recovery_.on_host_registered(*daemon);
   return {};
 }
 
@@ -86,11 +94,10 @@ void SodaMaster::warm_hosts(const image::ImageLocation& location,
   }
   std::vector<SodaDaemon*> targets;
   for (const std::string& host : hosts) {
-    for (SodaDaemon* daemon : daemons_) {
-      if (daemon->host_name() == host && daemon->alive() &&
-          down_hosts_.count(host) == 0) {
-        targets.push_back(daemon);
-      }
+    SodaDaemon* daemon = daemon_for(host);
+    if (daemon != nullptr && daemon->alive() &&
+        !down_hosts_.test(daemon->host_id())) {
+      targets.push_back(daemon);
     }
   }
   if (targets.empty()) {
@@ -124,10 +131,15 @@ void SodaMaster::warm_hosts(const image::ImageLocation& location,
   }
 }
 
+SodaDaemon* SodaMaster::daemon_for(std::string_view host_name) const {
+  const HostId id{host_names_.find(host_name)};
+  return id.valid() ? daemons_[id.index()] : nullptr;
+}
+
 host::ResourceVector SodaMaster::hup_available() const {
   host::ResourceVector total;
   for (const SodaDaemon* daemon : daemons_) {
-    if (down_hosts_.count(daemon->host_name())) continue;
+    if (down_hosts_.test(daemon->host_id())) continue;
     total += daemon->available();
   }
   return total;
@@ -143,7 +155,7 @@ void SodaMaster::create_service(const ServiceCreationRequest& request,
          engine_.now());
     return;
   }
-  if (services_.count(request.service_name) > 0) {
+  if (services_.contains(request.service_name)) {
     done(ApiError{ApiErrorCode::kServiceExists,
                   "service already hosted: " + request.service_name},
          engine_.now());
@@ -197,28 +209,23 @@ void SodaMaster::create_service(const ServiceCreationRequest& request,
   }
 
   // Admit: record the service and transition the lifecycle.
-  ServiceRecord record;
-  record.service_name = request.service_name;
-  record.asp_id = request.credentials.asp_id;
-  record.requirement = request.requirement;
-  record.image_location = request.image_location;
-  record.listen_port = partitioned ? image.value()->components.front().listen_port
-                                   : image.value()->listen_port;
-  record.customize_rootfs = config_.customize_rootfs;
-  record.address_mode = config_.address_mode;
-  record.components = image.value()->components;
-  record.placements = std::move(plan).value();
-  record.lifecycle = ServiceLifecycle(request.service_name);
-  must(record.lifecycle.transition(ServiceState::kAdmitted));
-  must(record.lifecycle.transition(ServiceState::kPriming));
-  for (auto& placement : record.placements) {
+  ServiceRecord& live = services_.create(request.service_name);
+  live.asp_id = request.credentials.asp_id;
+  live.requirement = request.requirement;
+  live.image_location = request.image_location;
+  live.listen_port = partitioned ? image.value()->components.front().listen_port
+                                 : image.value()->listen_port;
+  live.customize_rootfs = config_.customize_rootfs;
+  live.address_mode = config_.address_mode;
+  live.components = image.value()->components;
+  live.placements = std::move(plan).value();
+  live.lifecycle = ServiceLifecycle(request.service_name);
+  must(live.lifecycle.transition(ServiceState::kAdmitted));
+  must(live.lifecycle.transition(ServiceState::kPriming));
+  for (auto& placement : live.placements) {
     placement.node_name =
-        request.service_name + "/" + std::to_string(record.next_ordinal++);
+        request.service_name + "/" + std::to_string(live.next_ordinal++);
   }
-  auto [it, inserted] =
-      services_.emplace(request.service_name, std::move(record));
-  SODA_ENSURES(inserted);
-  ServiceRecord& live = it->second;
   log.info("master", "admitted " + request.service_name + " " +
                          request.requirement.to_string() + " onto " +
                          std::to_string(live.placements.size()) + " node(s)");
@@ -241,26 +248,24 @@ void SodaMaster::create_service(const ServiceCreationRequest& request,
       live.placements, spec,
       [this, name = live.service_name](vm::VirtualServiceNode& node,
                                        sim::SimTime) {
-        auto record_it = services_.find(name);
-        SODA_ENSURES(record_it != services_.end());
-        ServiceRecord& rec = record_it->second;
-        rec.nodes.push_back(describe_node(node, rec.listen_port));
+        ServiceRecord* rec = services_.find(name);
+        SODA_ENSURES(rec != nullptr);
+        rec->nodes.push_back(describe_node(node, rec->listen_port));
       },
       [this, name = live.service_name,
        done](const PrimingCoordinator::Outcome& outcome, sim::SimTime now) {
-        auto record_it = services_.find(name);
-        SODA_ENSURES(record_it != services_.end());
-        ServiceRecord& rec = record_it->second;
+        ServiceRecord* rec = services_.find(name);
+        SODA_ENSURES(rec != nullptr);
         if (outcome.failed) {
-          priming_.rollback(rec.nodes);
-          must(rec.lifecycle.transition(ServiceState::kFailed));
+          priming_.rollback(rec->nodes);
+          must(rec->lifecycle.transition(ServiceState::kFailed));
           const std::string message = outcome.first_error;
-          services_.erase(record_it);
+          services_.erase(name);
           bus_.publish(now, TraceKind::kPrimingFailed, "master", name, message);
           done(ApiError{ApiErrorCode::kPrimingFailed, message}, now);
           return;
         }
-        finish_creation(rec, done);
+        finish_creation(*rec, done);
       });
 }
 
@@ -308,64 +313,63 @@ void SodaMaster::finish_creation(ServiceRecord& record, CreateCallback done) {
 
 ApiResult<ServiceCreationReply> SodaMaster::describe_service(
     const std::string& name) const {
-  auto it = services_.find(name);
-  if (it == services_.end() || !it->second.service_switch) {
+  const ServiceRecord* record = services_.find(name);
+  if (record == nullptr || !record->service_switch) {
     return ApiError{ApiErrorCode::kNoSuchService, "no such service: " + name};
   }
-  const ServiceRecord& record = it->second;
   ServiceCreationReply reply;
-  reply.service_name = record.service_name;
-  reply.nodes = record.nodes;
-  reply.switch_address = record.service_switch->listen_address();
-  reply.switch_port = record.service_switch->listen_port();
+  reply.service_name = record->service_name;
+  reply.nodes = record->nodes;
+  reply.switch_address = record->service_switch->listen_address();
+  reply.switch_port = record->service_switch->listen_port();
   return reply;
 }
 
 Result<void, ApiError> SodaMaster::teardown_service(const std::string& name) {
-  auto it = services_.find(name);
-  if (it == services_.end()) {
+  ServiceRecord* record = services_.find(name);
+  if (record == nullptr) {
     return ApiError{ApiErrorCode::kNoSuchService, "no such service: " + name};
   }
-  ServiceRecord& record = it->second;
-  if (auto moved = record.lifecycle.transition(ServiceState::kTearingDown);
+  if (auto moved = record->lifecycle.transition(ServiceState::kTearingDown);
       !moved.ok()) {
     return ApiError{ApiErrorCode::kInvalidRequest, moved.error().message};
   }
-  priming_.rollback(record.nodes);
-  must(record.lifecycle.transition(ServiceState::kGone));
-  services_.erase(it);
+  priming_.rollback(record->nodes);
+  must(record->lifecycle.transition(ServiceState::kGone));
+  services_.erase(name);
   bus_.publish(engine_.now(), TraceKind::kTornDown, "master", name);
   util::global_logger().info("master", "tore down " + name);
   return {};
 }
 
-const ServiceRecord* SodaMaster::find_service(const std::string& name) const {
-  auto it = services_.find(name);
-  return it == services_.end() ? nullptr : &it->second;
+const ServiceRecord* SodaMaster::find_service(std::string_view name) const {
+  return services_.find(name);
 }
 
-ServiceSwitch* SodaMaster::find_switch(const std::string& name) {
-  auto it = services_.find(name);
-  return it == services_.end() ? nullptr : it->second.service_switch.get();
+ServiceSwitch* SodaMaster::find_switch(std::string_view name) {
+  ServiceRecord* record = services_.find(name);
+  return record == nullptr ? nullptr : record->service_switch.get();
 }
 
 std::vector<std::string> SodaMaster::service_names() const {
   std::vector<std::string> names;
   names.reserve(services_.size());
-  for (const auto& [name, record] : services_) names.push_back(name);
+  services_.for_each([&](const std::string& name, const ServiceRecord&) {
+    names.push_back(name);
+  });
   return names;
 }
 
 void SodaMaster::resize_service(const std::string& name, int n_new,
                                 ResizeCallback done) {
   SODA_EXPECTS(done != nullptr);
-  auto it = services_.find(name);
-  if (it == services_.end()) {
+  ServiceRecord* found = services_.find(name);
+  if (found == nullptr) {
     done(ApiError{ApiErrorCode::kNoSuchService, "no such service: " + name},
          engine_.now());
     return;
   }
-  ServiceRecord& record = it->second;
+  ServiceRecord& record = *found;
   if (!record.components.empty()) {
     done(ApiError{ApiErrorCode::kInvalidRequest,
                   "resizing a partitioned service is not supported; tear down "
@@ -516,42 +520,40 @@ void SodaMaster::resize_service(const std::string& name, int n_new,
   priming_.prime(
       std::move(new_nodes), spec,
       [this, name](vm::VirtualServiceNode& node, sim::SimTime) {
-        auto record_it = services_.find(name);
-        SODA_ENSURES(record_it != services_.end());
-        ServiceRecord& rec = record_it->second;
-        const NodeDescriptor descriptor = describe_node(node, rec.listen_port);
-        must(rec.service_switch->add_backend(BackEndEntry{
+        ServiceRecord* rec = services_.find(name);
+        SODA_ENSURES(rec != nullptr);
+        const NodeDescriptor descriptor = describe_node(node, rec->listen_port);
+        must(rec->service_switch->add_backend(BackEndEntry{
             descriptor.address, descriptor.port, descriptor.capacity_units}));
-        rec.nodes.push_back(descriptor);
+        rec->nodes.push_back(descriptor);
       },
       [this, name, n_new, done](const PrimingCoordinator::Outcome& outcome,
                                 sim::SimTime now) {
-        auto record_it = services_.find(name);
-        SODA_ENSURES(record_it != services_.end());
-        ServiceRecord& rec = record_it->second;
+        ServiceRecord* rec = services_.find(name);
+        SODA_ENSURES(rec != nullptr);
         if (outcome.failed) {
           // Drop the placements whose priming never produced a node.
-          auto& placements = rec.placements;
+          auto& placements = rec->placements;
           placements.erase(
               std::remove_if(placements.begin(), placements.end(),
                              [&](const Placement& p) {
                                return std::none_of(
-                                   rec.nodes.begin(), rec.nodes.end(),
+                                   rec->nodes.begin(), rec->nodes.end(),
                                    [&](const NodeDescriptor& d) {
                                      return d.node_name == p.node_name;
                                    });
                              }),
               placements.end());
-          must(rec.lifecycle.transition(ServiceState::kRunning));
+          must(rec->lifecycle.transition(ServiceState::kRunning));
           done(ApiError{ApiErrorCode::kPrimingFailed, outcome.first_error},
                now);
           return;
         }
-        must(rec.lifecycle.transition(ServiceState::kRunning));
-        rec.requirement.n = n_new;
+        must(rec->lifecycle.transition(ServiceState::kRunning));
+        rec->requirement.n = n_new;
         ServiceResizingReply reply;
         reply.service_name = name;
-        reply.nodes = rec.nodes;
+        reply.nodes = rec->nodes;
         done(reply, now);
       });
 }

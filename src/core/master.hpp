@@ -18,19 +18,20 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/api.hpp"
 #include "core/daemon.hpp"
 #include "core/events.hpp"
+#include "core/ids.hpp"
 #include "core/placement.hpp"
 #include "core/priming.hpp"
 #include "core/recovery.hpp"
 #include "core/service.hpp"
+#include "core/service_table.hpp"
 #include "core/trace.hpp"
 #include "core/switch.hpp"
 #include "image/distributor.hpp"
@@ -59,25 +60,8 @@ struct MasterConfig {
   image::DistributionConfig distribution;
 };
 
-/// Everything the Master tracks per service. Priming-relevant config is
-/// snapshotted here at admission; the image's repository is deliberately
-/// NOT cached — every priming path re-resolves it by name through the
-/// repository directory, so an unregistered repository fails cleanly.
-struct ServiceRecord {
-  std::string service_name;
-  std::string asp_id;
-  host::ResourceRequirement requirement;
-  image::ImageLocation image_location;
-  int listen_port = 0;
-  bool customize_rootfs = true;
-  AddressMode address_mode = AddressMode::kBridging;
-  std::vector<NodeDescriptor> nodes;
-  std::vector<Placement> placements;
-  std::vector<image::ServiceComponent> components;  // empty when replicated
-  std::unique_ptr<ServiceSwitch> service_switch;
-  ServiceLifecycle lifecycle{""};
-  int next_ordinal = 0;  // node-name counter, never reused after teardown
-};
+// ServiceRecord and the slot-based ServiceTable live in
+// core/service_table.hpp (DESIGN.md §11).
 
 class SodaMaster {
  public:
@@ -139,11 +123,20 @@ class SodaMaster {
   /// the last nodes first (never the switch's colocation node).
   void resize_service(const std::string& name, int n_new, ResizeCallback done);
 
-  [[nodiscard]] const ServiceRecord* find_service(const std::string& name) const;
-  [[nodiscard]] ServiceSwitch* find_switch(const std::string& name);
+  /// Heterogeneous lookups: a string literal or string_view resolves with
+  /// no temporary std::string (DESIGN.md §11).
+  [[nodiscard]] const ServiceRecord* find_service(std::string_view name) const;
+  [[nodiscard]] ServiceSwitch* find_switch(std::string_view name);
   [[nodiscard]] std::size_t service_count() const noexcept { return services_.size(); }
   /// Names of all services currently known (any lifecycle state).
   [[nodiscard]] std::vector<std::string> service_names() const;
+  /// The slot-based service store (name-ordered iteration, dense ids).
+  [[nodiscard]] ServiceTable& services() noexcept { return services_; }
+  [[nodiscard]] const ServiceTable& services() const noexcept {
+    return services_;
+  }
+  /// O(1) host lookup through the intern table; nullptr when unknown.
+  [[nodiscard]] SodaDaemon* daemon_for(std::string_view host_name) const;
 
   /// Attaches a trace log: the bus routes every published event into it
   /// (emission is skipped when unset).
@@ -241,8 +234,13 @@ class SodaMaster {
   /// hosts whose detected state changed.
   std::size_t poll_liveness_once() { return recovery_.poll_once(); }
 
-  [[nodiscard]] bool host_down(const std::string& host_name) const {
-    return down_hosts_.count(host_name) > 0;
+  [[nodiscard]] bool host_down(std::string_view host_name) const {
+    const HostId id{host_names_.find(host_name)};
+    return id.valid() && down_hosts_.test(id);
+  }
+  /// The down-host membership bitset, keyed by HostId.
+  [[nodiscard]] const HostSet& down_hosts() const noexcept {
+    return down_hosts_;
   }
   [[nodiscard]] std::uint64_t host_failures_detected() const noexcept {
     return recovery_.host_failures();
@@ -259,11 +257,12 @@ class SodaMaster {
 
   sim::Engine& engine_;
   MasterConfig config_;
-  std::vector<SodaDaemon*> daemons_;
+  std::vector<SodaDaemon*> daemons_;  // registration order == HostId order
+  InternTable host_names_;            // host name -> dense HostId
   image::RepositoryDirectory directory_;
   image::ChunkRegistry chunk_registry_;
-  std::map<std::string, ServiceRecord> services_;
-  std::set<std::string> down_hosts_;
+  ServiceTable services_;
+  HostSet down_hosts_;
   ControlPlaneBus bus_;
   PlacementPlanner planner_;
   PrimingCoordinator priming_;

@@ -11,12 +11,8 @@ namespace {
 /// host or node is gone.
 vm::VirtualServiceNode* resolve_node(SodaMaster& master,
                                      const NodeDescriptor& descriptor) {
-  for (SodaDaemon* daemon : master.daemons()) {
-    if (daemon->host_name() == descriptor.host_name) {
-      return daemon->find_node(descriptor.node_name);
-    }
-  }
-  return nullptr;
+  SodaDaemon* daemon = master.daemon_for(descriptor.host_name);
+  return daemon == nullptr ? nullptr : daemon->find_node(descriptor.node_name);
 }
 
 }  // namespace
@@ -89,11 +85,11 @@ void HealthMonitor::tick() {
 std::size_t HealthMonitor::probe_once() {
   ++probes_;
   std::size_t transitions = 0;
-  for (const auto& service_name : master_.service_names()) {
-    const ServiceRecord* record = master_.find_service(service_name);
-    ServiceSwitch* service_switch = master_.find_switch(service_name);
-    if (!record || !service_switch) continue;
-    for (const NodeDescriptor& descriptor : record->nodes) {
+  // Straight over the service table — no per-probe name-vector churn.
+  master_.services().for_each([&](const std::string&, ServiceRecord& record) {
+    ServiceSwitch* service_switch = record.service_switch.get();
+    if (!service_switch) return;
+    for (const NodeDescriptor& descriptor : record.nodes) {
       vm::VirtualServiceNode* node = resolve_node(master_, descriptor);
       const bool alive = node != nullptr && node->running();
       bool currently_healthy = true;
@@ -120,7 +116,7 @@ std::size_t HealthMonitor::probe_once() {
                            (alive ? "healthy" : "unhealthy") + " in switch");
       }
     }
-  }
+  });
   return transitions;
 }
 

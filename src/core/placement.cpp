@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "core/daemon.hpp"
 #include "util/contract.hpp"
@@ -11,34 +10,16 @@ namespace soda::core {
 
 namespace {
 
-/// Decorates hosts with their registration index so every comparator can
-/// close with an explicit, stable tie-break — determinism never leans on
-/// sort stability.
-struct Candidate {
-  SodaDaemon* daemon;
-  std::size_t index;
-};
-
-std::vector<Candidate> decorate(const std::vector<SodaDaemon*>& hosts) {
-  std::vector<Candidate> out;
-  out.reserve(hosts.size());
-  for (std::size_t i = 0; i < hosts.size(); ++i) out.push_back({hosts[i], i});
-  return out;
-}
-
-void strip(const std::vector<Candidate>& ordered,
-           std::vector<SodaDaemon*>& hosts) {
-  hosts.clear();
-  for (const Candidate& candidate : ordered) hosts.push_back(candidate.daemon);
-}
-
 class FirstFitStrategy final : public PlacementStrategy {
  public:
   [[nodiscard]] PlacementPolicy policy() const noexcept override {
     return PlacementPolicy::kFirstFit;
   }
-  void order(std::vector<SodaDaemon*>&, const PlacementQuery&) const override {
+  [[nodiscard]] bool ordered_before(
+      const PlacementCandidate& a,
+      const PlacementCandidate& b) const noexcept override {
     // Registration order is the first-fit order.
+    return a.index < b.index;
   }
 };
 
@@ -47,17 +28,11 @@ class BestFitStrategy final : public PlacementStrategy {
   [[nodiscard]] PlacementPolicy policy() const noexcept override {
     return PlacementPolicy::kBestFit;
   }
-  void order(std::vector<SodaDaemon*>& hosts,
-             const PlacementQuery&) const override {
-    auto ordered = decorate(hosts);
-    std::sort(ordered.begin(), ordered.end(),
-              [](const Candidate& a, const Candidate& b) {
-                const double ca = a.daemon->available().cpu_mhz;
-                const double cb = b.daemon->available().cpu_mhz;
-                if (ca != cb) return ca < cb;
-                return a.index < b.index;
-              });
-    strip(ordered, hosts);
+  [[nodiscard]] bool ordered_before(
+      const PlacementCandidate& a,
+      const PlacementCandidate& b) const noexcept override {
+    if (a.spare_cpu != b.spare_cpu) return a.spare_cpu < b.spare_cpu;
+    return a.index < b.index;
   }
 };
 
@@ -66,17 +41,11 @@ class WorstFitStrategy final : public PlacementStrategy {
   [[nodiscard]] PlacementPolicy policy() const noexcept override {
     return PlacementPolicy::kWorstFit;
   }
-  void order(std::vector<SodaDaemon*>& hosts,
-             const PlacementQuery&) const override {
-    auto ordered = decorate(hosts);
-    std::sort(ordered.begin(), ordered.end(),
-              [](const Candidate& a, const Candidate& b) {
-                const double ca = a.daemon->available().cpu_mhz;
-                const double cb = b.daemon->available().cpu_mhz;
-                if (ca != cb) return ca > cb;
-                return a.index < b.index;
-              });
-    strip(ordered, hosts);
+  [[nodiscard]] bool ordered_before(
+      const PlacementCandidate& a,
+      const PlacementCandidate& b) const noexcept override {
+    if (a.spare_cpu != b.spare_cpu) return a.spare_cpu > b.spare_cpu;
+    return a.index < b.index;
   }
 };
 
@@ -84,41 +53,46 @@ class WorstFitStrategy final : public PlacementStrategy {
 /// cache (the Nth creation of a popular image lands where priming is nearly
 /// free); ties break worst-fit-style on spare CPU, then registration order.
 /// Without a manifest (image unknown, distribution disabled) it degrades to
-/// worst-fit.
+/// worst-fit. The chunk counts land in each candidate's cached_chunks key
+/// in prepare() — one pass per host, none per comparison.
 class CacheAffinityStrategy final : public PlacementStrategy {
  public:
   [[nodiscard]] PlacementPolicy policy() const noexcept override {
     return PlacementPolicy::kCacheAffinity;
   }
-  void order(std::vector<SodaDaemon*>& hosts,
-             const PlacementQuery& query) const override {
-    auto ordered = decorate(hosts);
-    std::map<std::size_t, std::size_t> cached;  // candidate index -> chunks
-    if (query.manifest != nullptr) {
-      for (const Candidate& candidate : ordered) {
-        std::size_t held = 0;
-        const auto& cache = candidate.daemon->distributor().cache();
-        for (const auto& chunk : query.manifest->chunks) {
-          if (cache.contains(chunk.id)) ++held;
-        }
-        cached[candidate.index] = held;
+  void prepare(std::vector<PlacementCandidate>& candidates,
+               const PlacementQuery& query) const override {
+    if (query.manifest == nullptr) return;
+    for (PlacementCandidate& candidate : candidates) {
+      std::uint32_t held = 0;
+      const auto& cache = candidate.daemon->distributor().cache();
+      for (const auto& chunk : query.manifest->chunks) {
+        if (cache.contains(chunk.id)) ++held;
       }
+      candidate.cached_chunks = held;
     }
-    std::sort(ordered.begin(), ordered.end(),
-              [&](const Candidate& a, const Candidate& b) {
-                const std::size_t ha = query.manifest ? cached.at(a.index) : 0;
-                const std::size_t hb = query.manifest ? cached.at(b.index) : 0;
-                if (ha != hb) return ha > hb;
-                const double ca = a.daemon->available().cpu_mhz;
-                const double cb = b.daemon->available().cpu_mhz;
-                if (ca != cb) return ca > cb;
-                return a.index < b.index;
-              });
-    strip(ordered, hosts);
+  }
+  [[nodiscard]] bool ordered_before(
+      const PlacementCandidate& a,
+      const PlacementCandidate& b) const noexcept override {
+    if (a.cached_chunks != b.cached_chunks) {
+      return a.cached_chunks > b.cached_chunks;
+    }
+    if (a.spare_cpu != b.spare_cpu) return a.spare_cpu > b.spare_cpu;
+    return a.index < b.index;
   }
 };
 
 }  // namespace
+
+void PlacementStrategy::order(std::vector<PlacementCandidate>& candidates,
+                              const PlacementQuery& query) const {
+  prepare(candidates, query);
+  std::sort(candidates.begin(), candidates.end(),
+            [this](const PlacementCandidate& a, const PlacementCandidate& b) {
+              return ordered_before(a, b);
+            });
+}
 
 std::string_view placement_policy_name(PlacementPolicy policy) noexcept {
   switch (policy) {
@@ -163,7 +137,7 @@ std::unique_ptr<PlacementStrategy> make_placement_strategy(
 }
 
 PlacementPlanner::PlacementPlanner(const std::vector<SodaDaemon*>& daemons,
-                                   const std::set<std::string>& down_hosts)
+                                   const HostSet& down_hosts)
     : daemons_(daemons),
       down_hosts_(down_hosts),
       strategy_(make_placement_strategy(PlacementPolicy::kWorstFit)) {}
@@ -188,37 +162,75 @@ host::ResourceVector PlacementPlanner::inflated_unit(
   return unit;
 }
 
+void PlacementPlanner::collect_candidates(const PlacementQuery& query) const {
+  // Hosts the failure detector has declared dead receive no placements
+  // until their heartbeats resume. available() is an O(1) cached aggregate,
+  // read once per host here rather than once per comparison.
+  candidates_.clear();
+  for (SodaDaemon* daemon : daemons_) {
+    if (down_hosts_.test(daemon->host_id())) continue;
+    PlacementCandidate candidate;
+    candidate.daemon = daemon;
+    candidate.index = static_cast<std::uint32_t>(candidates_.size());
+    candidate.spare_cpu = daemon->available().cpu_mhz;
+    candidates_.push_back(candidate);
+  }
+  strategy_->prepare(candidates_, query);
+}
+
+void PlacementPlanner::order_candidates(const PlacementQuery& query) const {
+  collect_candidates(query);
+  std::sort(candidates_.begin(), candidates_.end(),
+            [this](const PlacementCandidate& a, const PlacementCandidate& b) {
+              return strategy_->ordered_before(a, b);
+            });
+}
+
 std::vector<SodaDaemon*> PlacementPlanner::ordered_daemons(
     const PlacementQuery& query) const {
-  // Hosts the failure detector has declared dead receive no placements
-  // until their heartbeats resume.
+  order_candidates(query);
   std::vector<SodaDaemon*> ordered;
-  ordered.reserve(daemons_.size());
-  for (SodaDaemon* daemon : daemons_) {
-    if (down_hosts_.count(daemon->host_name()) == 0) ordered.push_back(daemon);
+  ordered.reserve(candidates_.size());
+  for (const PlacementCandidate& candidate : candidates_) {
+    ordered.push_back(candidate.daemon);
   }
-  strategy_->order(ordered, query);
   return ordered;
 }
 
-ApiResult<std::vector<Placement>> PlacementPlanner::plan_allocation(
-    const std::string& service_name, const host::ResourceRequirement& req,
-    const PlacementQuery& query) const {
+ApiResult<int> PlacementPlanner::plan_allocation_into(
+    std::string_view service_name, const host::ResourceRequirement& req,
+    const PlacementQuery& query, std::vector<Placement>& out) const {
+  out.clear();
   if (req.n < 1) {
     return ApiError{ApiErrorCode::kInvalidRequest, "requirement n must be >= 1"};
   }
   const host::ResourceVector unit = inflated_unit(req.m);
-  std::vector<Placement> plan;
+  // Lazy selection: a full sort orders all 10k hosts when a decision
+  // usually consumes two or three. Heapify is O(hosts); popping the heap
+  // yields candidates in exactly the strategy's total order (ties broken
+  // on index), so the plan is identical to the sorted path's.
+  collect_candidates(query);
+  const auto heap_after = [this](const PlacementCandidate& a,
+                                 const PlacementCandidate& b) {
+    return strategy_->ordered_before(b, a);  // max-heap on preference
+  };
+  std::make_heap(candidates_.begin(), candidates_.end(), heap_after);
+  auto heap_end = candidates_.end();
   int remaining = req.n;
-  for (SodaDaemon* daemon : ordered_daemons(query)) {
-    if (static_cast<int>(plan.size()) >= max_nodes_per_service_) break;
+  int planned = 0;
+  while (heap_end != candidates_.begin()) {
+    if (planned >= max_nodes_per_service_) break;
     if (remaining == 0) break;
+    std::pop_heap(candidates_.begin(), heap_end, heap_after);
+    --heap_end;
+    SodaDaemon* daemon = heap_end->daemon;
     // One node per host per service: replicas on the same host would share
     // the same failure domain and buy nothing.
-    if (daemon->find_node(service_name + "/0") != nullptr) continue;
+    if (daemon->serves_service(service_name)) continue;
     const int k = std::min(units_that_fit(daemon->available(), unit), remaining);
     if (k >= 1) {
-      plan.push_back(Placement{daemon, "", k});
+      out.push_back(Placement{daemon, "", k});
+      ++planned;
       remaining -= k;
     }
   }
@@ -226,6 +238,17 @@ ApiResult<std::vector<Placement>> PlacementPlanner::plan_allocation(
     return ApiError{ApiErrorCode::kInsufficientResources,
                     "HUP cannot satisfy " + req.to_string() + " (short by " +
                         std::to_string(remaining) + " instance(s) of M)"};
+  }
+  return planned;
+}
+
+ApiResult<std::vector<Placement>> PlacementPlanner::plan_allocation(
+    const std::string& service_name, const host::ResourceRequirement& req,
+    const PlacementQuery& query) const {
+  std::vector<Placement> plan;
+  if (auto planned = plan_allocation_into(service_name, req, query, plan);
+      !planned.ok()) {
+    return planned.error();
   }
   return plan;
 }
@@ -235,18 +258,22 @@ ApiResult<std::vector<Placement>> PlacementPlanner::plan_components(
     const std::vector<image::ServiceComponent>& components,
     const PlacementQuery& query) const {
   SODA_EXPECTS(!components.empty());
-  // Hypothetical usage per host while planning (nothing is reserved yet).
-  std::map<std::string, host::ResourceVector> planned;
+  // available() is constant while planning (nothing is reserved), so one
+  // candidate ordering serves every component; hypothetical usage
+  // accumulates per candidate in the planned_ scratch.
+  order_candidates(query);
+  planned_.clear();
+  planned_.resize(candidates_.size());
   std::vector<Placement> plan;
   for (const auto& component : components) {
     const host::ResourceVector need = inflated_unit(m).scaled(component.units);
     bool placed = false;
-    for (SodaDaemon* daemon : ordered_daemons(query)) {
-      const host::ResourceVector avail =
-          daemon->available() - planned[daemon->host_name()];
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      SodaDaemon* daemon = candidates_[i].daemon;
+      const host::ResourceVector avail = daemon->available() - planned_[i];
       if (avail.fits(need)) {
         plan.push_back(Placement{daemon, "", component.units, component.name});
-        planned[daemon->host_name()] += need;
+        planned_[i] += need;
         placed = true;
         break;
       }

@@ -5,15 +5,26 @@
 // spare CPU, equal cache affinity) break on daemon registration order, so
 // two equal hosts place identically across repeated runs and under the
 // parallel experiment runner.
+//
+// Fleet-scale layout (DESIGN.md §11): strategies expose a strict total
+// order over Candidate records whose sort keys (spare CPU, cached chunks)
+// are computed once per host — never inside a comparator — and the planner
+// reuses its candidate scratch buffer across calls. The admission hot path
+// consumes the order lazily through a binary heap (O(hosts) to build, one
+// O(log hosts) pop per host actually considered), so a steady-state
+// placement decision over 10k hosts is one linear key pass plus a handful
+// of heap pops with zero heap allocations (see plan_allocation_into and
+// bench/fig_fleet).
 #pragma once
 
+#include <cstdint>
 #include <memory>
-#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/api.hpp"
+#include "core/ids.hpp"
 #include "host/resources.hpp"
 #include "image/chunk.hpp"
 #include "image/image.hpp"
@@ -54,15 +65,39 @@ struct PlacementQuery {
   const image::ImageManifest* manifest = nullptr;
 };
 
-/// Strategy object: orders candidate hosts most-preferred first. The input
-/// vector arrives in daemon registration order; implementations must be
-/// deterministic (total order — ties broken on the registration index).
+/// One live host under consideration, with its sort keys precomputed so
+/// comparators are pure arithmetic (the seed re-summed every host's slices
+/// inside each comparison — O(slices log hosts) per decision).
+struct PlacementCandidate {
+  SodaDaemon* daemon = nullptr;
+  std::uint32_t index = 0;        // position among live hosts (tie-break)
+  double spare_cpu = 0.0;         // available().cpu_mhz snapshot
+  std::uint32_t cached_chunks = 0;  // cache-affinity key
+};
+
+/// Strategy object: defines a strict total order (most-preferred first)
+/// over candidates. The input vector arrives in daemon registration order
+/// with spare_cpu filled in; `prepare` computes any query-dependent keys
+/// once per decision, and `ordered_before` must be pure arithmetic over
+/// the precomputed keys — deterministic (ties broken on `index`) and
+/// allocation-free. The planner consumes the order either by full sort
+/// (ordered_daemons, plan_components) or by lazy heap selection (the
+/// admission hot path, which rarely needs more than the top few hosts).
 class PlacementStrategy {
  public:
   virtual ~PlacementStrategy() = default;
   [[nodiscard]] virtual PlacementPolicy policy() const noexcept = 0;
-  virtual void order(std::vector<SodaDaemon*>& hosts,
-                     const PlacementQuery& query) const = 0;
+  /// Computes per-candidate keys that need the query (e.g. cached-chunk
+  /// counts). Called once per decision, before any comparison.
+  virtual void prepare(std::vector<PlacementCandidate>&,
+                       const PlacementQuery&) const {}
+  [[nodiscard]] virtual bool ordered_before(
+      const PlacementCandidate& a,
+      const PlacementCandidate& b) const noexcept = 0;
+
+  /// Full strategy ordering: prepare, then sort by ordered_before.
+  void order(std::vector<PlacementCandidate>& candidates,
+             const PlacementQuery& query) const;
 };
 
 /// Builds the strategy object for a policy.
@@ -71,12 +106,12 @@ class PlacementStrategy {
 
 /// The planner: pure planning over the registered daemons (nothing is
 /// reserved), shared by creation, resizing, and recovery. It reads the
-/// Master's daemon list and down-host set by reference, so it always plans
-/// against the live HUP view.
+/// Master's daemon list and down-host bitset by reference, so it always
+/// plans against the live HUP view.
 class PlacementPlanner {
  public:
   PlacementPlanner(const std::vector<SodaDaemon*>& daemons,
-                   const std::set<std::string>& down_hosts);
+                   const HostSet& down_hosts);
 
   /// Applies the Master's tuning (policy, slow-down inflation, node cap).
   void configure(PlacementPolicy policy, double slowdown_factor,
@@ -100,6 +135,14 @@ class PlacementPlanner {
       const std::string& service_name, const host::ResourceRequirement& req,
       const PlacementQuery& query = {}) const;
 
+  /// Allocation-free variant for the admission hot path: appends the plan
+  /// to `out` (cleared first; its capacity is reused) and returns the node
+  /// count. At steady state — candidate scratch and `out` warm — a
+  /// successful call performs zero heap allocations.
+  [[nodiscard]] ApiResult<int> plan_allocation_into(
+      std::string_view service_name, const host::ResourceRequirement& req,
+      const PlacementQuery& query, std::vector<Placement>& out) const;
+
   /// Planning for a partitioned image: one node per component, each sized
   /// component.units x M; a host may carry several components.
   [[nodiscard]] ApiResult<std::vector<Placement>> plan_components(
@@ -108,11 +151,21 @@ class PlacementPlanner {
       const PlacementQuery& query = {}) const;
 
  private:
+  /// Fills the candidate scratch with live hosts (registration order) and
+  /// runs the strategy's prepare() pass — keys computed, order not applied.
+  void collect_candidates(const PlacementQuery& query) const;
+  /// collect_candidates + full sort by the strategy's total order.
+  void order_candidates(const PlacementQuery& query) const;
+
   const std::vector<SodaDaemon*>& daemons_;
-  const std::set<std::string>& down_hosts_;
+  const HostSet& down_hosts_;
   std::unique_ptr<PlacementStrategy> strategy_;
   double slowdown_factor_ = 1.5;
   int max_nodes_per_service_ = 16;
+  /// Scratch reused across planning calls (capacity-stable; the planner is
+  /// confined to the simulation thread like the rest of the control plane).
+  mutable std::vector<PlacementCandidate> candidates_;
+  mutable std::vector<host::ResourceVector> planned_;  // plan_components only
 };
 
 }  // namespace soda::core

@@ -20,10 +20,22 @@ void RecoveryManager::enable(FailureDetectorConfig config) {
   SODA_EXPECTS(config.timeout >= config.heartbeat_interval);
   config_ = config;
   enabled_ = true;
+  // Wheel geometry: one bucket per heartbeat interval, spanning a little
+  // more than the timeout so any deadline armed "now" lands in a bucket
+  // that has not been drained yet.
+  const auto granularity = static_cast<std::uint64_t>(
+      config_.heartbeat_interval.ns());
+  const std::size_t buckets = static_cast<std::size_t>(
+      static_cast<std::uint64_t>(config_.timeout.ns()) / granularity + 2);
+  wheel_.assign(buckets, {});
+  deadline_.assign(view_.daemons.size(), sim::SimTime::zero());
+  in_wheel_.assign(view_.daemons.size(), 0);
+  const sim::SimTime now = engine_.now();
+  cursor_tick_ = static_cast<std::uint64_t>(now.ns()) / granularity;
   // Every registered host counts as heard-from now, so an idle HUP does not
   // mass-expire at the first check.
   for (const SodaDaemon* daemon : view_.daemons) {
-    last_heartbeat_[daemon->host_name()] = engine_.now();
+    arm_host(daemon->host_id(), now);
   }
 }
 
@@ -40,30 +52,81 @@ void RecoveryManager::tick() {
   engine_.schedule_after(config_.heartbeat_interval, [this] { tick(); });
 }
 
+void RecoveryManager::on_host_registered(SodaDaemon& daemon) {
+  if (!enabled_) return;
+  const HostId id = daemon.host_id();
+  if (id.index() >= deadline_.size()) {
+    deadline_.resize(id.index() + 1, sim::SimTime::zero());
+    in_wheel_.resize(id.index() + 1, 0);
+  }
+  arm_host(id, engine_.now());
+}
+
+std::size_t RecoveryManager::bucket_of(sim::SimTime deadline) const noexcept {
+  const auto granularity = static_cast<std::uint64_t>(
+      config_.heartbeat_interval.ns());
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(deadline.ns()) / granularity) %
+      wheel_.size());
+}
+
+void RecoveryManager::arm_host(HostId id, sim::SimTime now) {
+  deadline_[id.index()] = now + config_.timeout;
+  if (in_wheel_[id.index()] != 0) return;  // bucket hint stays; deadline moved
+  wheel_[bucket_of(deadline_[id.index()])].push_back(id.value);
+  in_wheel_[id.index()] = 1;
+}
+
 void RecoveryManager::on_heartbeat(SodaDaemon& daemon, sim::SimTime now) {
-  last_heartbeat_[daemon.host_name()] = now;
-  if (view_.down_hosts.count(daemon.host_name())) handle_host_recovery(daemon);
+  if (enabled_) arm_host(daemon.host_id(), now);
+  if (view_.down_hosts.test(daemon.host_id())) handle_host_recovery(daemon);
 }
 
 std::size_t RecoveryManager::check_once() {
   SODA_EXPECTS(enabled_);
   const sim::SimTime now = engine_.now();
-  std::size_t newly_dead = 0;
-  for (SodaDaemon* daemon : view_.daemons) {
-    if (view_.down_hosts.count(daemon->host_name())) continue;
-    const sim::SimTime last = last_heartbeat_[daemon->host_name()];
-    if (now - last >= config_.timeout) {
-      handle_host_failure(*daemon);
-      ++newly_dead;
+  const auto granularity = static_cast<std::uint64_t>(
+      config_.heartbeat_interval.ns());
+  const std::uint64_t now_tick = static_cast<std::uint64_t>(now.ns()) /
+                                 granularity;
+  expired_.clear();
+  while (cursor_tick_ <= now_tick) {
+    std::vector<std::uint32_t>& bucket = wheel_[static_cast<std::size_t>(
+        cursor_tick_ % wheel_.size())];
+    drain_.clear();
+    drain_.swap(bucket);  // capacities ping-pong; steady state allocates none
+    for (const std::uint32_t raw : drain_) {
+      const HostId id{raw};
+      in_wheel_[id.index()] = 0;
+      if (view_.down_hosts.test(id)) continue;  // unhung until it recovers
+      const sim::SimTime deadline = deadline_[id.index()];
+      if (deadline <= now) {
+        expired_.push_back(raw);
+        continue;
+      }
+      // Heard from since it was hung: reinsert at the true deadline (never
+      // into a tick this pass already drained).
+      std::uint64_t tick = static_cast<std::uint64_t>(deadline.ns()) /
+                           granularity;
+      if (tick <= cursor_tick_) tick = cursor_tick_ + 1;
+      wheel_[static_cast<std::size_t>(tick % wheel_.size())].push_back(raw);
+      in_wheel_[id.index()] = 1;
     }
+    ++cursor_tick_;
   }
-  return newly_dead;
+  // Registration order (== HostId order), exactly how the seed's linear scan
+  // declared deaths — the recovery trace is pinned to it.
+  std::sort(expired_.begin(), expired_.end());
+  for (const std::uint32_t raw : expired_) {
+    handle_host_failure(*view_.daemons[HostId{raw}.index()]);
+  }
+  return expired_.size();
 }
 
 std::size_t RecoveryManager::poll_once() {
   std::size_t changed = 0;
   for (SodaDaemon* daemon : view_.daemons) {
-    const bool marked_down = view_.down_hosts.count(daemon->host_name()) > 0;
+    const bool marked_down = view_.down_hosts.test(daemon->host_id());
     if (!daemon->alive() && !marked_down) {
       handle_host_failure(*daemon);
       ++changed;
@@ -76,8 +139,10 @@ std::size_t RecoveryManager::poll_once() {
 }
 
 void RecoveryManager::handle_host_failure(SodaDaemon& daemon) {
-  const std::string host = daemon.host_name();
-  if (!view_.down_hosts.insert(host).second) return;
+  const HostId id = daemon.host_id();
+  if (view_.down_hosts.test(id)) return;
+  view_.down_hosts.set(id);
+  const std::string& host = daemon.host_name();
   ++host_failures_;
   util::global_logger().warn("master", "host " + host + " declared dead");
   bus_.publish(engine_.now(), TraceKind::kHostDown, "master", host);
@@ -86,7 +151,7 @@ void RecoveryManager::handle_host_failure(SodaDaemon& daemon) {
   view_.chunk_registry.remove_host(host);
 
   std::vector<std::string> degraded;
-  for (auto& [name, record] : view_.services) {
+  view_.services.for_each([&](const std::string& name, ServiceRecord& record) {
     bool lost_any = false;
     int units_lost = 0;
     for (auto p_it = record.placements.begin();
@@ -114,7 +179,7 @@ void RecoveryManager::handle_host_failure(SodaDaemon& daemon) {
       }
       p_it = record.placements.erase(p_it);
     }
-    if (!lost_any) continue;
+    if (!lost_any) return;
     maybe_rehome_switch(record);
     if (record.lifecycle.state() == ServiceState::kRunning) {
       must(record.lifecycle.transition(ServiceState::kDegraded));
@@ -124,23 +189,26 @@ void RecoveryManager::handle_host_failure(SodaDaemon& daemon) {
     if (record.lifecycle.state() == ServiceState::kDegraded) {
       degraded.push_back(name);
     }
-  }
+  });
   for (const std::string& name : degraded) attempt_recovery(name);
 }
 
 void RecoveryManager::handle_host_recovery(SodaDaemon& daemon) {
-  if (view_.down_hosts.erase(daemon.host_name()) == 0) return;
-  last_heartbeat_[daemon.host_name()] = engine_.now();
+  const HostId id = daemon.host_id();
+  if (!view_.down_hosts.test(id)) return;
+  view_.down_hosts.reset(id);
+  if (enabled_) arm_host(id, engine_.now());
   util::global_logger().info("master",
                              "host " + daemon.host_name() + " is back");
   bus_.publish(engine_.now(), TraceKind::kHostUp, "master", daemon.host_name());
   // The returned capacity may complete recoveries that were stuck short.
   std::vector<std::string> degraded;
-  for (const auto& [name, record] : view_.services) {
-    if (record.lifecycle.state() == ServiceState::kDegraded) {
-      degraded.push_back(name);
-    }
-  }
+  view_.services.for_each(
+      [&](const std::string& name, const ServiceRecord& record) {
+        if (record.lifecycle.state() == ServiceState::kDegraded) {
+          degraded.push_back(name);
+        }
+      });
   for (const std::string& name : degraded) attempt_recovery(name);
 }
 
@@ -191,9 +259,9 @@ void RecoveryManager::finish_if_restored(ServiceRecord& record) {
 }
 
 void RecoveryManager::attempt_recovery(const std::string& service_name) {
-  auto it = view_.services.find(service_name);
-  if (it == view_.services.end()) return;
-  ServiceRecord& record = it->second;
+  ServiceRecord* found = view_.services.find(service_name);
+  if (found == nullptr) return;
+  ServiceRecord& record = *found;
   if (record.lifecycle.state() != ServiceState::kDegraded ||
       !record.service_switch) {
     return;
@@ -266,29 +334,27 @@ void RecoveryManager::attempt_recovery(const std::string& service_name) {
       std::move(plan), spec,
       [this, name = service_name](vm::VirtualServiceNode& node,
                                   sim::SimTime) {
-        auto record_it = view_.services.find(name);
-        if (record_it == view_.services.end()) return;  // torn down meanwhile
-        ServiceRecord& rec = record_it->second;
-        const NodeDescriptor descriptor = describe_node(node, rec.listen_port);
-        must(rec.service_switch->add_backend(BackEndEntry{
+        ServiceRecord* rec = view_.services.find(name);
+        if (rec == nullptr) return;  // torn down meanwhile
+        const NodeDescriptor descriptor = describe_node(node, rec->listen_port);
+        must(rec->service_switch->add_backend(BackEndEntry{
             descriptor.address, descriptor.port, descriptor.capacity_units,
             descriptor.component}));
-        rec.nodes.push_back(descriptor);
+        rec->nodes.push_back(descriptor);
       },
       [this, name = service_name](const PrimingCoordinator::Outcome& outcome,
                                   sim::SimTime) {
-        auto record_it = view_.services.find(name);
-        if (record_it == view_.services.end()) return;  // torn down meanwhile
-        ServiceRecord& rec = record_it->second;
+        ServiceRecord* rec = view_.services.find(name);
+        if (rec == nullptr) return;  // torn down meanwhile
         if (outcome.failed) {
           // Drop the placements whose re-priming never produced a node;
           // the service stays degraded with whatever did come up.
-          auto& placements = rec.placements;
+          auto& placements = rec->placements;
           placements.erase(
               std::remove_if(placements.begin(), placements.end(),
                              [&](const Placement& p) {
                                return std::none_of(
-                                   rec.nodes.begin(), rec.nodes.end(),
+                                   rec->nodes.begin(), rec->nodes.end(),
                                    [&](const NodeDescriptor& d) {
                                      return d.node_name == p.node_name;
                                    });
@@ -297,8 +363,8 @@ void RecoveryManager::attempt_recovery(const std::string& service_name) {
           util::global_logger().warn(
               "master", name + " recovery incomplete: " + outcome.first_error);
         }
-        maybe_rehome_switch(rec);
-        finish_if_restored(rec);
+        maybe_rehome_switch(*rec);
+        finish_if_restored(*rec);
       });
 }
 

@@ -4,15 +4,22 @@
 // placements, rehomes switches off dead colocation nodes, and re-creates
 // lost capacity on surviving hosts through the shared planner and priming
 // coordinator. Every state change publishes into the control-plane bus.
+//
+// Fleet-scale detector (DESIGN.md §11): instead of the seed's per-check
+// O(all-hosts) scan over a name-keyed map, deadlines live in a HostId-dense
+// vector and hosts hang in a bucketed timer wheel (granularity = one
+// heartbeat interval). A heartbeat just overwrites the host's deadline;
+// wheel entries are reconciled lazily when their bucket expires — reinsert
+// at the true deadline or declare the host dead — so a check costs
+// O(expiring hosts), not O(fleet), and steady state allocates nothing.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "core/events.hpp"
+#include "core/ids.hpp"
 #include "core/placement.hpp"
 #include "core/priming.hpp"
 #include "image/distributor.hpp"
@@ -22,6 +29,7 @@
 namespace soda::core {
 
 struct ServiceRecord;
+class ServiceTable;
 
 /// Failure-detector tuning. The Master declares a host dead when no
 /// heartbeat arrived for `timeout` (several missed intervals, so one late
@@ -32,12 +40,12 @@ struct FailureDetectorConfig {
 };
 
 /// The narrow interface the recovery subsystem holds onto the Master: its
-/// service table, daemon list, down-host set, and chunk registry — all by
-/// reference, so recovery always operates on the live control plane.
+/// service table, daemon list, down-host bitset, and chunk registry — all
+/// by reference, so recovery always operates on the live control plane.
 struct ControlPlaneView {
-  std::map<std::string, ServiceRecord>& services;
+  ServiceTable& services;
   const std::vector<SodaDaemon*>& daemons;
-  std::set<std::string>& down_hosts;
+  HostSet& down_hosts;
   image::ChunkRegistry& chunk_registry;
 };
 
@@ -58,12 +66,19 @@ class RecoveryManager {
   void start(FailureDetectorConfig config);
   void stop() noexcept { running_ = false; }
 
-  /// Heartbeat sink. A heartbeat from a host previously declared dead
-  /// brings it back (host-up) and re-attempts recovery of every degraded
-  /// service.
+  /// A daemon registered after enable(): arm it as heard-from now (the seed
+  /// left late registrations with a zero heartbeat stamp, instantly dead).
+  void on_host_registered(SodaDaemon& daemon);
+
+  /// Heartbeat sink. O(1): overwrites the host's deadline (the wheel entry
+  /// is reconciled lazily). A heartbeat from a host previously declared
+  /// dead brings it back (host-up) and re-attempts recovery of every
+  /// degraded service.
   void on_heartbeat(SodaDaemon& daemon, sim::SimTime now);
 
   /// One timeout sweep; returns the number of hosts newly declared dead.
+  /// Cost is proportional to the hosts whose wheel buckets came due, not to
+  /// the fleet.
   std::size_t check_once();
 
   /// Active-probe variant: polls each daemon's liveness directly; detects
@@ -83,6 +98,10 @@ class RecoveryManager {
 
  private:
   void tick();
+  /// Stamps `id`'s deadline at now + timeout and hangs it in the wheel
+  /// (no-op for hosts already hanging — the deadline alone moves).
+  void arm_host(HostId id, sim::SimTime now);
+  [[nodiscard]] std::size_t bucket_of(sim::SimTime deadline) const noexcept;
   /// Declares `daemon`'s host dead: strips its placements from every
   /// service (switch backends included), degrades affected services, then
   /// attempts to re-create the lost capacity on surviving hosts.
@@ -105,7 +124,18 @@ class RecoveryManager {
   bool enabled_ = false;
   bool running_ = false;
   FailureDetectorConfig config_;
-  std::map<std::string, sim::SimTime> last_heartbeat_;
+
+  // Deadline wheel, all indexed by HostId where applicable. Ticks count
+  // heartbeat intervals since simulation start; a bucket holds the hosts
+  // whose (possibly stale) hang tick maps to it — the authoritative expiry
+  // is always deadline_.
+  std::vector<sim::SimTime> deadline_;     // HostId -> true expiry instant
+  std::vector<std::uint8_t> in_wheel_;     // HostId -> hanging in a bucket?
+  std::vector<std::vector<std::uint32_t>> wheel_;  // bucket -> HostId values
+  std::uint64_t cursor_tick_ = 0;          // next tick to drain
+  std::vector<std::uint32_t> expired_;     // scratch, reused per check
+  std::vector<std::uint32_t> drain_;       // scratch bucket being drained
+
   std::uint64_t host_failures_ = 0;
   std::uint64_t placements_lost_ = 0;
   std::uint64_t recoveries_ = 0;

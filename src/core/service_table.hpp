@@ -1,0 +1,142 @@
+// The Master's service store, restructured for fleet scale (DESIGN.md §11):
+// heavy ServiceRecords live in a slot-based deque (stable addresses, slots
+// recycled through a free list) instead of std::map nodes; an InternTable
+// assigns each service name a dense ServiceId for O(1) id-indexed access;
+// and a transparent `std::map<std::string, slot, std::less<>>` keeps two
+// things the seed relied on — heterogeneous string_view lookup with no
+// temporary std::string, and name-ordered iteration, which the recovery
+// path's trace output is pinned to byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/ids.hpp"
+#include "core/placement.hpp"
+#include "core/service.hpp"
+#include "core/switch.hpp"
+#include "host/resources.hpp"
+#include "image/image.hpp"
+
+namespace soda::core {
+
+/// Everything the Master tracks per service. Priming-relevant config is
+/// snapshotted here at admission; the image's repository is deliberately
+/// NOT cached — every priming path re-resolves it by name through the
+/// repository directory, so an unregistered repository fails cleanly.
+struct ServiceRecord {
+  std::string service_name;
+  /// Dense id interned at admission; a re-created name keeps its id.
+  ServiceId id;
+  std::string asp_id;
+  host::ResourceRequirement requirement;
+  image::ImageLocation image_location;
+  int listen_port = 0;
+  bool customize_rootfs = true;
+  AddressMode address_mode = AddressMode::kBridging;
+  std::vector<NodeDescriptor> nodes;
+  std::vector<Placement> placements;
+  std::vector<image::ServiceComponent> components;  // empty when replicated
+  std::unique_ptr<ServiceSwitch> service_switch;
+  ServiceLifecycle lifecycle{""};
+  int next_ordinal = 0;  // node-name counter, never reused after teardown
+};
+
+class ServiceTable {
+ public:
+  ServiceTable() = default;
+  ServiceTable(const ServiceTable&) = delete;
+  ServiceTable& operator=(const ServiceTable&) = delete;
+
+  /// Creates the slot for `name` (which must not be present) and interns
+  /// its ServiceId. The returned record is blank except for service_name
+  /// and id; its address is stable until erase().
+  ServiceRecord& create(std::string name) {
+    const ServiceId id{ids_.intern(name)};
+    if (id.index() >= slot_of_id_.size()) {
+      slot_of_id_.resize(id.index() + 1, kInvalidInternId);
+    }
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    ServiceRecord& record = slots_[slot];
+    record.service_name = name;
+    record.id = id;
+    slot_of_id_[id.index()] = slot;
+    by_name_.emplace(std::move(name), slot);
+    return record;
+  }
+
+  /// Releases `name`'s slot (record contents destroyed now, slot recycled).
+  /// False when the name is unknown.
+  bool erase(std::string_view name) {
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end()) return false;
+    const std::uint32_t slot = it->second;
+    slot_of_id_[slots_[slot].id.index()] = kInvalidInternId;
+    slots_[slot] = ServiceRecord{};  // drop switch, nodes, placements now
+    free_slots_.push_back(slot);
+    by_name_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] ServiceRecord* find(std::string_view name) noexcept {
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : &slots_[it->second];
+  }
+  [[nodiscard]] const ServiceRecord* find(std::string_view name) const noexcept {
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : &slots_[it->second];
+  }
+
+  /// O(1) dense lookup; nullptr when the id's service was torn down.
+  [[nodiscard]] ServiceRecord* find(ServiceId id) noexcept {
+    if (!id.valid() || id.index() >= slot_of_id_.size()) return nullptr;
+    const std::uint32_t slot = slot_of_id_[id.index()];
+    return slot == kInvalidInternId ? nullptr : &slots_[slot];
+  }
+
+  /// The dense id ever assigned to `name` (valid even after teardown — ids
+  /// outlive records), or an invalid id for names never admitted.
+  [[nodiscard]] ServiceId id_of(std::string_view name) const noexcept {
+    return ServiceId{ids_.find(name)};
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const noexcept {
+    return by_name_.find(name) != by_name_.end();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return by_name_.size(); }
+
+  /// Visits every live record in service-name order (the seed's std::map
+  /// iteration order — the recovery trace pin depends on it).
+  template <typename F>
+  void for_each(F&& f) {
+    for (const auto& [name, slot] : by_name_) f(name, slots_[slot]);
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& [name, slot] : by_name_) f(name, slots_[slot]);
+  }
+
+ private:
+  std::deque<ServiceRecord> slots_;  // stable addresses across growth
+  std::vector<std::uint32_t> free_slots_;
+  std::map<std::string, std::uint32_t, std::less<>> by_name_;
+  InternTable ids_;
+  std::vector<std::uint32_t> slot_of_id_;  // ServiceId.index() -> slot
+};
+
+}  // namespace soda::core

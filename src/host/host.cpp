@@ -1,10 +1,20 @@
 #include "host/host.hpp"
 
-#include <algorithm>
-
 #include "util/contract.hpp"
 
 namespace soda::host {
+namespace {
+
+// SliceId layout: high 32 bits hold slot+1 (so value 0 stays the invalid
+// sentinel and legacy small literals like SliceId{999} decode to no slot),
+// low 32 bits hold the slot's generation at reservation time.
+constexpr std::uint64_t pack_slice(std::size_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
+}
+
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+}  // namespace
 
 ResourceVector HostSpec::capacity() const {
   return ResourceVector{cpu_ghz * 1000.0, ram_mb, disk_gb * 1024, nic_mbps};
@@ -35,15 +45,22 @@ HostSpec HostSpec::tacoma() {
 }
 
 HupHost::HupHost(HostSpec spec, net::NodeId lan_node, net::IpPool ip_pool)
-    : spec_(std::move(spec)), lan_node_(lan_node), ip_pool_(std::move(ip_pool)) {}
+    : spec_(std::move(spec)),
+      lan_node_(lan_node),
+      ip_pool_(std::move(ip_pool)),
+      capacity_(spec_.capacity()) {}
 
-ResourceVector HupHost::reserved() const {
-  ResourceVector total;
-  for (const auto& slice : slices_) total += slice.resources;
-  return total;
+std::size_t HupHost::slot_of(SliceId id) const noexcept {
+  const std::uint64_t raw_slot = id.value >> 32;
+  if (raw_slot == 0) return kNoSlot;
+  const std::size_t slot = static_cast<std::size_t>(raw_slot - 1);
+  const auto gen = static_cast<std::uint32_t>(id.value & 0xffffffffULL);
+  if (slot >= slice_live_.size() || slice_live_[slot] == 0 ||
+      slice_generations_[slot] != gen) {
+    return kNoSlot;
+  }
+  return slot;
 }
-
-ResourceVector HupHost::available() const { return capacity() - reserved(); }
 
 Result<SliceId> HupHost::reserve(const std::string& service_name,
                                  const ResourceVector& resources) {
@@ -52,43 +69,75 @@ Result<SliceId> HupHost::reserve(const std::string& service_name,
     return Error{"host " + name() + " cannot fit " + resources.to_string() +
                  " (available: " + available().to_string() + ")"};
   }
-  const SliceId id{next_slice_++};
-  slices_.push_back(Slice{id, service_name, resources});
-  return id;
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slice_resources_[slot] = resources;
+    slice_services_[slot] = service_name;
+    slice_live_[slot] = 1;
+  } else {
+    slot = slice_live_.size();
+    slice_resources_.push_back(resources);
+    slice_services_.push_back(service_name);
+    slice_generations_.push_back(1);
+    slice_live_.push_back(1);
+  }
+  reserved_ += resources;
+  ++live_count_;
+  return SliceId{pack_slice(slot, slice_generations_[slot])};
 }
 
 Status HupHost::release(SliceId id) {
-  auto it = std::find_if(slices_.begin(), slices_.end(),
-                         [&](const Slice& s) { return s.id == id; });
-  if (it == slices_.end()) {
-    return Error{"host " + name() + ": no such slice " + std::to_string(id.value)};
+  const std::size_t slot = slot_of(id);
+  if (slot == kNoSlot) {
+    return Error{"host " + name() + ": no such slice " +
+                 std::to_string(id.value)};
   }
-  slices_.erase(it);
+  reserved_ -= slice_resources_[slot];
+  --live_count_;
+  slice_live_[slot] = 0;
+  ++slice_generations_[slot];  // invalidate outstanding handles to this slot
+  slice_services_[slot].clear();
+  slice_resources_[slot] = ResourceVector{};
+  free_slots_.push_back(static_cast<std::uint32_t>(slot));
   return {};
 }
 
 Status HupHost::resize(SliceId id, const ResourceVector& resources) {
   SODA_EXPECTS(resources.non_negative());
-  auto it = std::find_if(slices_.begin(), slices_.end(),
-                         [&](const Slice& s) { return s.id == id; });
-  if (it == slices_.end()) {
-    return Error{"host " + name() + ": no such slice " + std::to_string(id.value)};
+  const std::size_t slot = slot_of(id);
+  if (slot == kNoSlot) {
+    return Error{"host " + name() + ": no such slice " +
+                 std::to_string(id.value)};
   }
   // What would be available if this slice were released.
-  const ResourceVector headroom = available() + it->resources;
+  const ResourceVector headroom = available() + slice_resources_[slot];
   if (!headroom.fits(resources)) {
     return Error{"host " + name() + " cannot resize slice to " +
-                 resources.to_string() + " (headroom: " + headroom.to_string() + ")"};
+                 resources.to_string() + " (headroom: " + headroom.to_string() +
+                 ")"};
   }
-  it->resources = resources;
+  reserved_ += resources - slice_resources_[slot];
+  slice_resources_[slot] = resources;
   return {};
 }
 
 std::optional<Slice> HupHost::find_slice(SliceId id) const {
-  auto it = std::find_if(slices_.begin(), slices_.end(),
-                         [&](const Slice& s) { return s.id == id; });
-  if (it == slices_.end()) return std::nullopt;
-  return *it;
+  const std::size_t slot = slot_of(id);
+  if (slot == kNoSlot) return std::nullopt;
+  return Slice{id, slice_services_[slot], slice_resources_[slot]};
+}
+
+std::vector<Slice> HupHost::slices() const {
+  std::vector<Slice> out;
+  out.reserve(live_count_);
+  for (std::size_t slot = 0; slot < slice_live_.size(); ++slot) {
+    if (slice_live_[slot] == 0) continue;
+    out.push_back(Slice{SliceId{pack_slice(slot, slice_generations_[slot])},
+                        slice_services_[slot], slice_resources_[slot]});
+  }
+  return out;
 }
 
 net::Bridge& HupHost::bridge() {

@@ -3,6 +3,14 @@
 // that back virtual service nodes (paper §2.1). The host also carries the
 // performance characteristics the boot and syscall models need (clock rate,
 // RAM, disk and RAM-disk streaming rates) and its LAN attachment point.
+//
+// Fleet-scale data layout (DESIGN.md §11): slices live in slot-based
+// parallel arrays with a free list, and a SliceId encodes (slot,
+// generation) so release/resize/find are O(1) with stale handles rejected
+// by generation mismatch — never aliased to a reused slot. The reserved
+// aggregate is maintained incrementally, making available() O(1); placement
+// scans over 10k hosts read one cached vector per host instead of walking
+// every slice.
 #pragma once
 
 #include <cstdint>
@@ -42,14 +50,17 @@ struct HostSpec {
   static HostSpec tacoma();   // 1.8 GHz P4, 768 MB RAM
 };
 
-/// Handle to a reservation made on a HupHost.
+/// Handle to a reservation made on a HupHost. Encodes (slot, generation):
+/// a handle to a released slice stays invalid even after its slot is
+/// reused, so teardown races cannot free someone else's reservation.
 struct SliceId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const noexcept { return value != 0; }
   friend constexpr auto operator<=>(SliceId, SliceId) noexcept = default;
 };
 
-/// A reserved slice of a host.
+/// A reserved slice of a host (the facade view; storage is slot-based
+/// parallel arrays inside HupHost).
 struct Slice {
   SliceId id;
   std::string service_name;
@@ -68,16 +79,25 @@ class HupHost {
   [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
   [[nodiscard]] net::NodeId lan_node() const noexcept { return lan_node_; }
 
-  [[nodiscard]] ResourceVector capacity() const { return spec_.capacity(); }
-  [[nodiscard]] ResourceVector reserved() const;
-  [[nodiscard]] ResourceVector available() const;
+  /// All three are O(1): capacity is cached at construction and reserved is
+  /// maintained incrementally across reserve/release/resize.
+  [[nodiscard]] const ResourceVector& capacity() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] const ResourceVector& reserved() const noexcept {
+    return reserved_;
+  }
+  [[nodiscard]] ResourceVector available() const {
+    return capacity_ - reserved_;
+  }
 
   /// Reserves a slice for `service_name`; fails when `resources` exceed what
   /// is available.
   Result<SliceId> reserve(const std::string& service_name,
                           const ResourceVector& resources);
 
-  /// Releases a previously reserved slice.
+  /// Releases a previously reserved slice. O(1): the slot returns to the
+  /// free list and its generation advances, invalidating stale handles.
   Status release(SliceId id);
 
   /// Grows/shrinks an existing slice to `resources` in place; fails when the
@@ -85,7 +105,9 @@ class HupHost {
   Status resize(SliceId id, const ResourceVector& resources);
 
   [[nodiscard]] std::optional<Slice> find_slice(SliceId id) const;
-  [[nodiscard]] const std::vector<Slice>& slices() const noexcept { return slices_; }
+  /// Live slices in slot order (materialized facade view).
+  [[nodiscard]] std::vector<Slice> slices() const;
+  [[nodiscard]] std::size_t slice_count() const noexcept { return live_count_; }
 
   /// Address pool for this host's virtual service nodes.
   [[nodiscard]] net::IpPool& ip_pool() noexcept { return ip_pool_; }
@@ -104,11 +126,24 @@ class HupHost {
   [[nodiscard]] net::ProxyTable& proxy();
 
  private:
+  /// Slot behind a valid handle, or npos when the handle is stale/unknown.
+  [[nodiscard]] std::size_t slot_of(SliceId id) const noexcept;
+
   HostSpec spec_;
   net::NodeId lan_node_;
   net::IpPool ip_pool_;
-  std::vector<Slice> slices_;
-  std::uint64_t next_slice_ = 1;
+  ResourceVector capacity_;
+  ResourceVector reserved_;
+
+  // Slot-based slice store: parallel arrays indexed by slot; released slots
+  // recycle through free_slots_ with their generation bumped.
+  std::vector<ResourceVector> slice_resources_;
+  std::vector<std::string> slice_services_;
+  std::vector<std::uint32_t> slice_generations_;
+  std::vector<std::uint8_t> slice_live_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
+
   std::unique_ptr<net::Bridge> bridge_;
   std::optional<net::Ipv4Address> public_address_;
   std::unique_ptr<net::ProxyTable> proxy_;
