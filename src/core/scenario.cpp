@@ -9,6 +9,9 @@
 #include "image/image.hpp"
 #include "sim/parallel_runner.hpp"
 #include "util/strings.hpp"
+#include "workload/siege.hpp"
+#include "workload/traffic.hpp"
+#include "workload/webservice.hpp"
 
 namespace soda::core {
 
@@ -39,6 +42,8 @@ const std::map<std::string, std::pair<int, int>>& verb_arity() {
       {"warm", {2, 2}},          // warm <image> <host> (prefetch chunks)
       {"drop-cache", {1, 1}},    // drop-cache <host>
       {"expect-cached", {2, 2}}, // expect-cached <host> <min-chunks> (0: none)
+      {"traffic", {2, 4}},       // traffic <service> <spec> [bytes=N] [seed=N]
+      {"expect-p99", {2, 2}},    // expect-p99 <service> <max-ms>
       {"expect-nodes", {2, 2}},  // expect-nodes <service> <count>
       {"expect-state", {2, 2}},  // expect-state <service> <running|...>
       {"expect-services", {1, 1}},   // expect-services <count>
@@ -67,6 +72,15 @@ std::string error_at(int line, const std::string& message) {
 
 /// Execution state threaded through the command handlers. The Hup is built
 /// lazily so configuration verbs (mode/placement/inflate) can precede it.
+/// Headline numbers from one `traffic` run, kept for expect-p99.
+struct TrafficSummary {
+  std::uint64_t scheduled = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
 struct Runtime {
   MasterConfig config;
   std::unique_ptr<Hup> hup_ptr;
@@ -74,7 +88,9 @@ struct Runtime {
   std::map<std::string, image::ImageLocation> images;  // name -> location
   std::string asp_id, api_key;
   std::vector<std::string> transcript;
+  std::map<std::string, TrafficSummary> traffic_reports;  // per service
   int hosts_added = 0;
+  int traffic_runs = 0;
 
   Hup& hup() {
     if (!hup_ptr) hup_ptr = std::make_unique<Hup>(config);
@@ -372,6 +388,113 @@ Status execute(Runtime& rt, const ScenarioCommand& cmd) {
                                           (min == 0 ? " (exactly)" : "+") +
                                           " cached chunk(s) on " + cmd.args[0] +
                                           ", got " + std::to_string(got))};
+    }
+    return {};
+  }
+  if (cmd.verb == "traffic") {
+    // Open-loop load against a running service: deploy a web content server
+    // on each of its nodes, replay the arrival trace through the service
+    // switch, and report coordinated-omission-free latency.
+    const std::string& service = cmd.args[0];
+    ServiceSwitch* sw = rt.hup().master().find_switch(service);
+    const ServiceRecord* record = rt.hup().master().find_service(service);
+    if (!sw || !record || record->nodes.empty()) {
+      return Error{error_at(cmd.line, "no running service " + service)};
+    }
+    auto trace = workload::TrafficTrace::parse(cmd.args[1]);
+    if (!trace.ok()) return Error{error_at(cmd.line, trace.error().message)};
+    std::int64_t bytes = 8 * 1024;
+    std::uint64_t seed = 0x7AFF1C;
+    for (std::size_t i = 2; i < cmd.args.size(); ++i) {
+      auto value = arg_int(cmd, cmd.args[i]);
+      if (!value.ok()) return value.error();
+      if (util::starts_with(cmd.args[i], "bytes=")) {
+        bytes = value.value();
+      } else if (util::starts_with(cmd.args[i], "seed=")) {
+        seed = static_cast<std::uint64_t>(value.value());
+      } else {
+        return Error{
+            error_at(cmd.line, "unknown traffic option '" + cmd.args[i] + "'")};
+      }
+    }
+
+    std::vector<std::unique_ptr<workload::WebContentServer>> servers;
+    std::optional<net::NodeId> switch_node;
+    for (const auto& node : record->nodes) {
+      auto* daemon = rt.hup().find_daemon(node.host_name);
+      auto* vsn = daemon ? daemon->find_node(node.node_name) : nullptr;
+      if (!vsn) {
+        return Error{error_at(cmd.line, "node " + node.node_name +
+                                            " is not running")};
+      }
+      std::vector<net::LinkId> outbound;
+      if (auto link =
+              rt.hup().find_shaper(node.host_name)->link_for(vsn->address())) {
+        outbound.push_back(*link);
+      }
+      servers.push_back(std::make_unique<workload::WebContentServer>(
+          rt.hup().engine(), rt.hup().network(), vsn->net_node(),
+          vm::ExecMode::kUmlTraced, daemon->host().spec().cpu_ghz,
+          2 * node.capacity_units, std::move(outbound)));
+      if (node.address == sw->listen_address()) {
+        switch_node = vsn->net_node();
+      }
+    }
+    if (!switch_node) switch_node = servers.front()->node();
+
+    const net::NodeId client =
+        rt.hup().add_client("siege-" + std::to_string(rt.traffic_runs++));
+    workload::SiegeConfig cfg;
+    cfg.record_samples = false;  // StreamingStats replaces sample storage
+    cfg.response_bytes = bytes;
+    cfg.switch_delay =
+        workload::switch_forward_cost(2.6, vm::ExecMode::kUmlTraced);
+    workload::SiegeClient siege(rt.hup().engine(), rt.hup().network(), client,
+                                sw, switch_node, cfg);
+    for (std::size_t i = 0; i < record->nodes.size(); ++i) {
+      siege.register_backend(record->nodes[i].address, servers[i].get(),
+                             servers[i]->node());
+    }
+    workload::TrafficEngineConfig traffic_config;
+    traffic_config.seed = seed;
+    workload::TrafficEngine traffic(rt.hup().engine(), traffic_config);
+    traffic.add_stream(service, siege, std::move(trace).value());
+    traffic.start();
+    rt.hup().engine().run();
+
+    const sim::StreamingStats& stats = traffic.stats(service);
+    TrafficSummary summary;
+    summary.scheduled = traffic.scheduled(service);
+    summary.completed = stats.completed();
+    summary.errors = stats.errors();
+    summary.p50_ms = stats.p50() * 1e3;
+    summary.p99_ms = stats.p99() * 1e3;
+    rt.traffic_reports[service] = summary;
+    std::snprintf(buf, sizeof buf,
+                  "traffic %s: %llu scheduled, %llu served, %llu refused, "
+                  "p50=%.1fms p99=%.1fms",
+                  service.c_str(),
+                  static_cast<unsigned long long>(summary.scheduled),
+                  static_cast<unsigned long long>(summary.completed),
+                  static_cast<unsigned long long>(summary.errors),
+                  summary.p50_ms, summary.p99_ms);
+    rt.say(buf);
+    return {};
+  }
+  if (cmd.verb == "expect-p99") {
+    const auto it = rt.traffic_reports.find(cmd.args[0]);
+    if (it == rt.traffic_reports.end()) {
+      return Error{error_at(cmd.line, "no traffic run for " + cmd.args[0])};
+    }
+    const auto want = util::parse_double(cmd.args[1]);
+    if (!want) {
+      return Error{error_at(cmd.line, "bad number '" + cmd.args[1] + "'")};
+    }
+    if (it->second.p99_ms > *want) {
+      std::snprintf(buf, sizeof buf,
+                    "expected %s p99 <= %.1fms, got %.1fms",
+                    cmd.args[0].c_str(), *want, it->second.p99_ms);
+      return Error{error_at(cmd.line, buf)};
     }
     return {};
   }

@@ -50,17 +50,27 @@ double Rng::uniform(double lo, double hi) noexcept {
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
   SODA_EXPECTS(lo <= hi);
-  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Subtract in uint64: hi - lo in signed arithmetic overflows for extreme
+  // ranges (e.g. lo near INT64_MIN, hi near INT64_MAX); two's-complement
+  // wraparound makes the unsigned difference exact. Identical results to the
+  // old code for every non-overflowing range, so seeded sequences hold.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
   // Modulo bias is negligible for span << 2^64 (all our uses).
-  return lo + static_cast<std::int64_t>((*this)() % span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   (*this)() % span);
 }
 
 double Rng::exponential(double mean) noexcept {
   SODA_EXPECTS(mean > 0);
-  double u = uniform();
-  if (u <= 0) u = 0x1.0p-53;  // avoid log(0)
-  return -mean * std::log(u);
+  // Inverse CDF on 1-u: uniform() returns [0, 1), so 1-u lies in (0, 1] and
+  // log1p(-u) is always finite. The old -log(u) form clamped u == 0 to
+  // 2^-53, mapping the *bottom* of the uniform range to the *largest*
+  // representable gap — a spurious ~36.7x-mean outlier corrupting tails.
+  // Seeded gap sequences change (log(u) vs log(1-u)); no golden trace pins
+  // them — arrival-driven tests assert rates/counts with tolerances.
+  return -mean * std::log1p(-uniform());
 }
 
 SimTime Rng::poisson_gap(double rate_per_sec) noexcept {

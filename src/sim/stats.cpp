@@ -91,6 +91,25 @@ double TimeSeries::mean_value() const noexcept {
   return sum / static_cast<double>(points_.size());
 }
 
+double TimeSeries::time_weighted_mean(SimTime until) const noexcept {
+  if (points_.empty()) return 0.0;
+  double weighted = 0;
+  double span_total = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const SimTime end = i + 1 < points_.size() ? points_[i + 1].time : until;
+    const double span = std::max(0.0, (end - points_[i].time).to_seconds());
+    weighted += points_[i].value * span;
+    span_total += span;
+  }
+  if (span_total <= 0) return mean_value();  // zero-span series: no weighting
+  return weighted / span_total;
+}
+
+double TimeSeries::time_weighted_mean() const noexcept {
+  if (points_.empty()) return 0.0;
+  return time_weighted_mean(points_.back().time);
+}
+
 double TimeSeries::max_abs_deviation(double target) const noexcept {
   double worst = 0;
   for (const auto& p : points_) worst = std::max(worst, std::abs(p.value - target));
@@ -98,16 +117,45 @@ double TimeSeries::max_abs_deviation(double target) const noexcept {
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
   SODA_EXPECTS(hi > lo && buckets > 0);
 }
 
 void Histogram::add(double x) noexcept {
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  // Floating-point round-off on (x - lo_) / width_ can land exactly on
+  // bucket_count for x just under hi; keep such samples in the top bucket.
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+double Histogram::quantile(double q) const {
+  SODA_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(total_ - 1);
+  if (rank < static_cast<double>(underflow_)) return lo_;
+  double cum = static_cast<double>(underflow_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (c > 0 && rank < cum + c) {
+      // Interpolate inside the bucket, treating its mass as uniform.
+      return bucket_low(i) + width_ * ((rank - cum + 0.5) / c);
+    }
+    cum += c;
+  }
+  return hi_;  // rank falls in the overflow mass: only ">= hi" is known
 }
 
 std::uint64_t Histogram::bucket(std::size_t i) const {

@@ -73,8 +73,19 @@ class TimeSeries {
   [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
   [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
 
-  /// Mean of the values (each window weighted equally).
+  /// Mean of the values (each point weighted equally). Only honest for
+  /// series sampled at a fixed interval; irregularly sampled series should
+  /// use time_weighted_mean().
   [[nodiscard]] double mean_value() const noexcept;
+
+  /// Mean of the values weighted by how long each was in effect
+  /// (sample-and-hold: point i's value holds from its timestamp until the
+  /// next point's; the final value holds until `until`). Falls back to the
+  /// unweighted mean when the series spans zero time.
+  [[nodiscard]] double time_weighted_mean(SimTime until) const noexcept;
+  /// As above with `until` = the last point's timestamp (the final value
+  /// receives zero weight).
+  [[nodiscard]] double time_weighted_mean() const noexcept;
 
   /// Max |value - target| across points; convergence metric for share plots.
   [[nodiscard]] double max_abs_deviation(double target) const noexcept;
@@ -83,8 +94,9 @@ class TimeSeries {
   std::vector<Point> points_;
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
-/// first/last bucket.
+/// Fixed-width histogram over [lo, hi). Out-of-range samples are counted
+/// separately as underflow/overflow — never clamped into the edge buckets,
+/// which would silently corrupt tail quantiles.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -93,15 +105,32 @@ class Histogram {
 
   [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  /// All samples ever added, including out-of-range ones.
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Samples that landed inside [lo, hi).
+  [[nodiscard]] std::uint64_t in_range() const noexcept {
+    return total_ - underflow_ - overflow_;
+  }
+  /// Samples below lo / at-or-above hi.
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
   /// Inclusive lower bound of bucket i.
   [[nodiscard]] double bucket_low(std::size_t i) const;
 
+  /// Quantile estimate over ALL samples (q in [0, 1]). Ranks that fall in
+  /// the underflow mass report lo (the value is only known to be < lo);
+  /// ranks in the overflow mass report hi. In-range ranks interpolate
+  /// within their bucket. Empty histogram -> 0.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   double lo_;
+  double hi_;
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace soda::sim

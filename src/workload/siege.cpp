@@ -88,7 +88,47 @@ void SiegeClient::schedule_next_arrival() {
 void SiegeClient::issue_request() {
   if (issued_ >= config_.max_requests) return;
   ++issued_;
-  const sim::SimTime started = engine_.now();
+  begin_request(engine_.now());
+}
+
+void SiegeClient::inject(sim::SimTime scheduled) {
+  external_drive_ = true;
+  ++issued_;
+  if (config_.max_in_flight > 0 && in_flight_ >= config_.max_in_flight) {
+    backlog_.push_back(scheduled);
+    return;
+  }
+  begin_request(scheduled);
+}
+
+void SiegeClient::pump_backlog() {
+  if (backlog_.empty()) return;
+  if (config_.max_in_flight > 0 && in_flight_ >= config_.max_in_flight) return;
+  const sim::SimTime scheduled = backlog_.front();
+  backlog_.pop_front();
+  begin_request(scheduled);
+}
+
+void SiegeClient::finish_refused(sim::SimTime started) {
+  ++refused_;
+  if (config_.record_samples) {
+    refusal_series_.add(engine_.now(), static_cast<double>(refused_));
+  }
+  if (observer_) {
+    RequestOutcome outcome;
+    outcome.scheduled = started;
+    outcome.finished = engine_.now();
+    outcome.latency_s = (outcome.finished - started).to_seconds();
+    outcome.refused = true;
+    observer_(outcome);
+  }
+  --in_flight_;
+  pump_backlog();
+  maybe_continue();
+}
+
+void SiegeClient::begin_request(sim::SimTime started) {
+  ++in_flight_;
 
   if (switch_ == nullptr) {
     // Direct scenario: one backend, no switch hop.
@@ -114,17 +154,15 @@ void SiegeClient::issue_request() {
                         ? switch_->route()
                         : switch_->route_target(config_.target);
       if (!routed.ok()) {
-        ++refused_;
-        maybe_continue();
+        finish_refused(started);
         return;
       }
       core::BackEndEntry entry = routed.value();
       Backend* backend = find_backend(entry.address.value());
       if (!backend) {
         // Configuration names a backend we have no server object for.
-        ++refused_;
         switch_->on_request_complete(entry.address, entry.port);
-        maybe_continue();
+        finish_refused(started);
         return;
       }
       if (backend->server->down()) {
@@ -136,16 +174,16 @@ void SiegeClient::issue_request() {
                                    : switch_->component_for(config_.target);
         auto retried = switch_->route_failover(entry, component);
         if (!retried.ok()) {
-          ++refused_;
-          maybe_continue();
+          // route_failover already released the dead backend's routed
+          // connection (see the least-conn regression in traffic_test).
+          finish_refused(started);
           return;
         }
         entry = retried.value();
         backend = find_backend(entry.address.value());
         if (!backend || backend->server->down()) {
-          ++refused_;
           switch_->on_request_complete(entry.address, entry.port);
-          maybe_continue();
+          finish_refused(started);
           return;
         }
         ++failed_over_;
@@ -171,9 +209,9 @@ void SiegeClient::dispatch_to(const core::BackEndEntry& entry,
 void SiegeClient::on_response(const core::BackEndEntry& entry,
                               sim::SimTime started, sim::SimTime delivered) {
   const double rt = (delivered - started).to_seconds();
-  overall_.add(rt);
+  if (config_.record_samples) overall_.add(rt);
   if (Backend* backend = find_backend(entry.address.value())) {
-    backend->samples.add(rt);
+    if (config_.record_samples) backend->samples.add(rt);
     ++backend->completed;
   }
   ++completed_;
@@ -181,10 +219,23 @@ void SiegeClient::on_response(const core::BackEndEntry& entry,
     switch_->on_request_complete(entry.address, entry.port);
     switch_->report_response_time(entry.address, entry.port, rt);
   }
+  if (observer_) {
+    RequestOutcome outcome;
+    outcome.scheduled = started;
+    outcome.finished = delivered;
+    outcome.latency_s = rt;
+    outcome.backend = entry.address;
+    observer_(outcome);
+  }
+  --in_flight_;
+  pump_backlog();
   maybe_continue();
 }
 
 void SiegeClient::maybe_continue() {
+  // Externally driven (inject): the TrafficEngine owns the arrival process;
+  // a completion must never spawn a closed-loop follow-up request.
+  if (external_drive_) return;
   if (config_.arrival_rate > 0) return;
   if (issued_ >= config_.max_requests) return;
   engine_.schedule_after(config_.think_time, [this] { issue_request(); });

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -42,6 +44,16 @@ struct SiegeConfig {
   /// When non-empty, requests carry this target and the switch routes by
   /// component prefix (partitioned services); empty = plain route().
   std::string target;
+  /// Store per-request samples in SampleSets (response_times[_for],
+  /// refusals_over_time). The TrafficEngine turns this off: its
+  /// StreamingStats pipeline replaces O(requests) sample storage, and the
+  /// observer hook still sees every outcome.
+  bool record_samples = true;
+  /// inject() only: maximum requests in flight (0 = unlimited). Arrivals
+  /// beyond the cap queue client-side and are dispatched as completions
+  /// free a slot — their latency still counts from the *scheduled* arrival,
+  /// so client-side queueing delay is measured, not omitted.
+  std::uint64_t max_in_flight = 0;
 };
 
 /// Drives requests from one client machine at a service.
@@ -63,11 +75,39 @@ class SiegeClient {
   /// Begins issuing requests.
   void start();
 
+  /// Outcome of one request, delivered to the observer as it resolves.
+  struct RequestOutcome {
+    /// When the request's latency clock started: its scheduled arrival
+    /// (inject) or issue time (closed loop).
+    sim::SimTime scheduled;
+    /// When it completed or was refused.
+    sim::SimTime finished;
+    /// finished - scheduled, in seconds (refusal: time to the refusal).
+    double latency_s = 0;
+    bool refused = false;
+    /// Serving backend (unset for refusals before a backend answered).
+    net::Ipv4Address backend{};
+  };
+  using Observer = std::function<void(const RequestOutcome&)>;
+
+  /// Installs the per-request outcome hook (replaces any previous one).
+  /// The TrafficEngine uses this to feed its streaming stats pipeline.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Open-loop external drive: issues one request whose latency is measured
+  /// from `scheduled` (its arrival time), independent of completions and of
+  /// max_requests. Used by the TrafficEngine, which owns the arrival
+  /// process; do not mix with start().
+  void inject(sim::SimTime scheduled);
+
   [[nodiscard]] bool finished() const noexcept {
     return completed_ + refused_ >= config_.max_requests;
   }
   [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
   [[nodiscard]] std::uint64_t refused() const noexcept { return refused_; }
+  /// Requests accepted by inject() but still waiting for an in-flight slot
+  /// (only non-zero with max_in_flight set).
+  [[nodiscard]] std::size_t backlog() const noexcept { return backlog_.size(); }
   /// Requests that were re-routed after their first backend was down.
   [[nodiscard]] std::uint64_t failed_over() const noexcept { return failed_over_; }
 
@@ -81,6 +121,15 @@ class SiegeClient {
   /// Requests completed by one backend.
   [[nodiscard]] std::uint64_t completed_by(net::Ipv4Address address) const;
 
+  /// (time, cumulative refusal count) — one point per refusal, so
+  /// error-rate-over-time is reportable instead of refusals silently
+  /// vanishing from latency accounting. Irregularly sampled: average with
+  /// TimeSeries::time_weighted_mean, not mean_value. Empty when
+  /// record_samples is off (the observer then carries refusals).
+  [[nodiscard]] const sim::TimeSeries& refusals_over_time() const noexcept {
+    return refusal_series_;
+  }
+
  private:
   /// One registered backend with its measurement state, stored sorted by
   /// address so the per-request lookup is a binary search, not a tree walk.
@@ -93,6 +142,9 @@ class SiegeClient {
   };
 
   void issue_request();
+  /// The shared request path: route (with failover), dispatch, measure.
+  /// `started` is the instant the latency clock runs from.
+  void begin_request(sim::SimTime started);
   void schedule_next_arrival();
   /// Closed loop: after a request ends (served or refused), think then issue
   /// the next one. Open loop: no-op (arrivals self-schedule).
@@ -101,6 +153,11 @@ class SiegeClient {
                    sim::SimTime started);
   void on_response(const core::BackEndEntry& entry, sim::SimTime started,
                    sim::SimTime delivered);
+  /// Every refusal path funnels here: counts it, timestamps it, notifies
+  /// the observer, frees the in-flight slot, and continues the loop.
+  void finish_refused(sim::SimTime started);
+  /// Dispatches backlogged injected arrivals freed by a completion.
+  void pump_backlog();
 
   Backend* find_backend(std::uint32_t address) noexcept;
   [[nodiscard]] const Backend* find_backend(std::uint32_t address) const noexcept;
@@ -115,10 +172,15 @@ class SiegeClient {
   std::vector<Backend> backends_;  // sorted by address
   sim::SampleSet overall_;
   sim::SampleSet empty_;
+  sim::TimeSeries refusal_series_;
+  Observer observer_;
+  std::deque<sim::SimTime> backlog_;  // injected arrivals awaiting a slot
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t refused_ = 0;
   std::uint64_t failed_over_ = 0;
+  std::uint64_t in_flight_ = 0;
+  bool external_drive_ = false;  // inject() was used; closed loop disabled
 };
 
 /// CPU cost of the switch's own forwarding work per request (accept + parse

@@ -1,0 +1,315 @@
+#include "workload/traffic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/contract.hpp"
+#include "util/strings.hpp"
+
+namespace soda::workload {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t word) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (i * 8)) & 0xffU;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Floor on the instantaneous rate while a trace is active: a diurnal
+/// trough or ramp origin at 0 req/s would otherwise draw a gap with
+/// infinite mean and stall the arrival chain.
+constexpr double kMinActiveRate = 1e-3;
+
+Error phase_error(std::string_view spec) {
+  return Error{"bad traffic phase: '" + std::string(spec) +
+               "' (want const:RATExSECS, ramp:FROM..TOxSECS, burst:RATExSECS,"
+               " or diurnal:BASE~AMPxSECS[/PERIOD])"};
+}
+
+}  // namespace
+
+// ---------- TrafficTrace ----------
+
+TrafficTrace& TrafficTrace::constant(double rate, double seconds) {
+  SODA_EXPECTS(rate > 0 && seconds > 0);
+  TrafficPhase phase;
+  phase.shape = TrafficPhase::Shape::kConstant;
+  phase.rate = rate;
+  phase.seconds = seconds;
+  phases_.push_back(phase);
+  return *this;
+}
+
+TrafficTrace& TrafficTrace::ramp(double from, double to, double seconds) {
+  SODA_EXPECTS(from >= 0 && to >= 0 && (from > 0 || to > 0) && seconds > 0);
+  TrafficPhase phase;
+  phase.shape = TrafficPhase::Shape::kRamp;
+  phase.rate = from;
+  phase.rate_to = to;
+  phase.seconds = seconds;
+  phases_.push_back(phase);
+  return *this;
+}
+
+TrafficTrace& TrafficTrace::burst(double rate, double seconds) {
+  SODA_EXPECTS(rate > 0 && seconds > 0);
+  TrafficPhase phase;
+  phase.shape = TrafficPhase::Shape::kBurst;
+  phase.rate = rate;
+  phase.seconds = seconds;
+  phases_.push_back(phase);
+  return *this;
+}
+
+TrafficTrace& TrafficTrace::diurnal(double base, double amplitude,
+                                    double seconds, double period_s) {
+  SODA_EXPECTS(base > 0 && amplitude >= 0 && amplitude <= base && seconds > 0);
+  TrafficPhase phase;
+  phase.shape = TrafficPhase::Shape::kDiurnal;
+  phase.rate = base;
+  phase.amplitude = amplitude;
+  phase.seconds = seconds;
+  phase.period_s = period_s > 0 ? period_s : seconds;
+  phases_.push_back(phase);
+  return *this;
+}
+
+Result<TrafficTrace> TrafficTrace::parse(std::string_view spec) {
+  TrafficTrace trace;
+  for (const std::string& raw : util::split(spec, ',')) {
+    const std::string_view part = util::trim(raw);
+    const std::size_t colon = part.find(':');
+    if (colon == std::string_view::npos) return phase_error(part);
+    const std::string_view kind = part.substr(0, colon);
+    std::string_view rest = part.substr(colon + 1);
+
+    // Every form ends in xSECS.
+    const std::size_t x = rest.rfind('x');
+    if (x == std::string_view::npos) return phase_error(part);
+    std::string_view tail = rest.substr(x + 1);
+    rest = rest.substr(0, x);
+
+    // diurnal may append /PERIOD after the duration.
+    double period = 0;
+    if (const std::size_t slash = tail.find('/');
+        slash != std::string_view::npos) {
+      if (kind != "diurnal") return phase_error(part);
+      const auto parsed = util::parse_double(tail.substr(slash + 1));
+      if (!parsed || *parsed <= 0) return phase_error(part);
+      period = *parsed;
+      tail = tail.substr(0, slash);
+    }
+    const auto seconds = util::parse_double(tail);
+    if (!seconds || *seconds <= 0) return phase_error(part);
+
+    if (kind == "const" || kind == "burst") {
+      const auto rate = util::parse_double(rest);
+      if (!rate || *rate <= 0) return phase_error(part);
+      if (kind == "const") {
+        trace.constant(*rate, *seconds);
+      } else {
+        trace.burst(*rate, *seconds);
+      }
+    } else if (kind == "ramp") {
+      const std::size_t dots = rest.find("..");
+      if (dots == std::string_view::npos) return phase_error(part);
+      const auto from = util::parse_double(rest.substr(0, dots));
+      const auto to = util::parse_double(rest.substr(dots + 2));
+      if (!from || !to || (*from <= 0 && *to <= 0)) return phase_error(part);
+      trace.ramp(*from, *to, *seconds);
+    } else if (kind == "diurnal") {
+      const std::size_t tilde = rest.find('~');
+      if (tilde == std::string_view::npos) return phase_error(part);
+      const auto base = util::parse_double(rest.substr(0, tilde));
+      const auto amp = util::parse_double(rest.substr(tilde + 1));
+      if (!base || !amp || *base <= 0 || *amp > *base) return phase_error(part);
+      trace.diurnal(*base, *amp, *seconds, period);
+    } else {
+      return phase_error(part);
+    }
+  }
+  if (trace.phases_.empty()) {
+    return Error{"empty traffic spec"};
+  }
+  return trace;
+}
+
+double TrafficTrace::rate_at(double t) const noexcept {
+  if (t < 0) return 0;
+  for (const TrafficPhase& phase : phases_) {
+    if (t < phase.seconds) {
+      switch (phase.shape) {
+        case TrafficPhase::Shape::kConstant:
+        case TrafficPhase::Shape::kBurst:
+          return phase.rate;
+        case TrafficPhase::Shape::kRamp:
+          return phase.rate +
+                 (phase.rate_to - phase.rate) * (t / phase.seconds);
+        case TrafficPhase::Shape::kDiurnal:
+          return phase.rate +
+                 phase.amplitude *
+                     std::sin(2.0 * std::numbers::pi * t / phase.period_s);
+      }
+    }
+    t -= phase.seconds;
+  }
+  return 0;
+}
+
+double TrafficTrace::duration_s() const noexcept {
+  double total = 0;
+  for (const TrafficPhase& phase : phases_) total += phase.seconds;
+  return total;
+}
+
+double TrafficTrace::expected_arrivals() const noexcept {
+  double total = 0;
+  for (const TrafficPhase& phase : phases_) {
+    switch (phase.shape) {
+      case TrafficPhase::Shape::kConstant:
+      case TrafficPhase::Shape::kBurst:
+        total += phase.rate * phase.seconds;
+        break;
+      case TrafficPhase::Shape::kRamp:
+        total += 0.5 * (phase.rate + phase.rate_to) * phase.seconds;
+        break;
+      case TrafficPhase::Shape::kDiurnal: {
+        // ∫ base + amp·sin(2πt/T) dt over [0, S]
+        const double two_pi = 2.0 * std::numbers::pi;
+        total += phase.rate * phase.seconds +
+                 phase.amplitude * phase.period_s / two_pi *
+                     (1.0 - std::cos(two_pi * phase.seconds / phase.period_s));
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+// ---------- TrafficEngine ----------
+
+TrafficEngine::TrafficEngine(sim::Engine& engine, TrafficEngineConfig config)
+    : engine_(engine), config_(config) {}
+
+void TrafficEngine::add_stream(std::string name, SiegeClient& client,
+                               TrafficTrace trace) {
+  SODA_EXPECTS(!started_);
+  SODA_EXPECTS(!trace.phases().empty());
+  Stream stream;
+  stream.name = std::move(name);
+  stream.client = &client;
+  stream.trace = std::move(trace);
+  // Per-stream deterministic RNG: splitmix-style spread so streams added in
+  // the same order draw identical sequences on every replica.
+  stream.rng = sim::Rng(config_.seed + 0x9E3779B97F4A7C15ULL *
+                                           (streams_.size() + 1));
+  stream.stats = sim::StreamingStats(config_.stats);
+  stream.stats.reserve_duration(
+      sim::SimTime::seconds(stream.trace.duration_s() * 2.0));
+  streams_.push_back(std::move(stream));
+}
+
+void TrafficEngine::start() {
+  SODA_EXPECTS(!started_ && !streams_.empty());
+  started_ = true;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& stream = streams_[i];
+    stream.t0 = engine_.now();
+    stream.client->set_observer([this, i](const SiegeClient::RequestOutcome& o) {
+      Stream& s = streams_[i];
+      if (o.refused) {
+        s.stats.record_error(o.finished);
+      } else {
+        s.stats.record_latency(o.finished, o.latency_s);
+      }
+      ++s.resolved;
+    });
+    schedule_next(stream);
+  }
+}
+
+void TrafficEngine::schedule_next(Stream& stream) {
+  // Non-homogeneous Poisson via rate-chasing: each gap is exponential at
+  // the instantaneous rate where the previous arrival landed. Exact for
+  // constant/burst phases; for ramps and diurnal curves the rate drifts
+  // within one gap by at most rate'(t)/rate(t)² — negligible at the rates
+  // the benches drive.
+  const double offset = (engine_.now() - stream.t0).to_seconds();
+  if (offset >= stream.trace.duration_s()) {
+    stream.arrivals_done = true;
+    return;
+  }
+  const double rate =
+      std::max(stream.trace.rate_at(offset), kMinActiveRate);
+  const sim::SimTime gap =
+      sim::SimTime::seconds(stream.rng.exponential(1.0 / rate));
+  const std::size_t index =
+      static_cast<std::size_t>(&stream - streams_.data());
+  engine_.schedule_after(gap, [this, index] {
+    Stream& s = streams_[index];
+    const double at = (engine_.now() - s.t0).to_seconds();
+    if (at >= s.trace.duration_s()) {
+      s.arrivals_done = true;
+      return;
+    }
+    ++s.scheduled;
+    // Open loop: the arrival fires regardless of outstanding completions;
+    // its latency clock starts *now*, the scheduled time.
+    s.client->inject(engine_.now());
+    schedule_next(s);
+  });
+}
+
+bool TrafficEngine::finished() const noexcept {
+  for (const Stream& stream : streams_) {
+    if (!stream.arrivals_done) return false;
+    if (stream.resolved != stream.scheduled) return false;
+  }
+  return true;
+}
+
+const TrafficEngine::Stream& TrafficEngine::find(std::string_view name) const {
+  for (const Stream& stream : streams_) {
+    if (stream.name == name) return stream;
+  }
+  SODA_EXPECTS(false && "unknown traffic stream");
+  return streams_.front();
+}
+
+const sim::StreamingStats& TrafficEngine::stats(std::string_view name) const {
+  return find(name).stats;
+}
+
+std::uint64_t TrafficEngine::scheduled(std::string_view name) const {
+  return find(name).scheduled;
+}
+
+void TrafficEngine::register_gauges(core::MetricsRegistry& metrics) const {
+  for (const Stream& stream : streams_) {
+    const std::string prefix = "traffic." + stream.name + ".";
+    const sim::StreamingStats* stats = &stream.stats;
+    metrics.register_gauge(prefix + "p50", [stats] { return stats->p50(); });
+    metrics.register_gauge(prefix + "p99", [stats] { return stats->p99(); });
+    metrics.register_gauge(prefix + "p999", [stats] { return stats->p999(); });
+    metrics.register_gauge(prefix + "error_rate",
+                           [stats] { return stats->error_rate(); });
+  }
+}
+
+std::uint64_t TrafficEngine::digest() const noexcept {
+  std::uint64_t hash = kFnvOffset;
+  for (const Stream& stream : streams_) {
+    hash = fnv_mix(hash, stream.scheduled);
+    hash = fnv_mix(hash, stream.resolved);
+    hash = fnv_mix(hash, stream.stats.digest());
+  }
+  return hash;
+}
+
+}  // namespace soda::workload

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
@@ -55,6 +56,33 @@ TEST(Rng, UniformIntInclusiveBounds) {
   }
   EXPECT_TRUE(saw_lo);
   EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntExtremeRangeNoOverflow) {
+  // hi - lo overflows int64 for the full range; the span math must wrap
+  // through uint64 instead of invoking signed-overflow UB.
+  Rng rng(21);
+  bool neg = false, pos = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v =
+        rng.uniform_int(std::numeric_limits<std::int64_t>::min(),
+                        std::numeric_limits<std::int64_t>::max());
+    neg |= v < 0;
+    pos |= v > 0;
+  }
+  EXPECT_TRUE(neg);
+  EXPECT_TRUE(pos);
+}
+
+TEST(Rng, ExponentialAlwaysFiniteNonNegative) {
+  // Samples from 1-u: u == 0 now yields a zero gap, not the distribution's
+  // largest representable gap, and log1p(-u) is finite for every u in [0,1).
+  Rng rng(22);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.exponential(1.0);
+    EXPECT_TRUE(std::isfinite(x));
+    EXPECT_GE(x, 0.0);
+  }
 }
 
 TEST(Rng, ExponentialMeanConverges) {
@@ -168,6 +196,23 @@ TEST(RunningStats, MergeWithEmpty) {
   empty.merge(a);
   EXPECT_EQ(empty.count(), 1u);
   EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeSingleSampleVariance) {
+  // Two singletons carry zero m2 each; the merged variance must come
+  // entirely from the Chan cross term.
+  RunningStats a, b;
+  a.add(2.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 2.0);  // ((2-3)^2 + (4-3)^2) / (2-1)
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
 }
 
 // ---------- SampleSet ----------
@@ -200,6 +245,16 @@ TEST(SampleSet, AddAfterQuantileStillCorrect) {
   EXPECT_DOUBLE_EQ(s.median(), 3.0);
 }
 
+TEST(SampleSet, TwoSampleQuantileEdges) {
+  SampleSet s;
+  s.add(20.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 12.5);  // linear interpolation
+}
+
 // ---------- TimeSeries ----------
 
 TEST(TimeSeries, MeanAndDeviation) {
@@ -215,22 +270,69 @@ TEST(TimeSeries, MeanAndDeviation) {
 TEST(TimeSeries, EmptyDefaults) {
   TimeSeries series;
   EXPECT_DOUBLE_EQ(series.mean_value(), 0.0);
+  EXPECT_DOUBLE_EQ(series.time_weighted_mean(), 0.0);
   EXPECT_DOUBLE_EQ(series.max_abs_deviation(0.5), 0.0);
+}
+
+TEST(TimeSeries, TimeWeightedMeanIrregularSpacing) {
+  TimeSeries series;
+  series.add(SimTime::seconds(0), 1.0);   // holds for 1 s
+  series.add(SimTime::seconds(1), 10.0);  // holds for 9 s
+  series.add(SimTime::seconds(10), 0.0);  // zero weight without a horizon
+  // The unweighted mean treats the short-lived first point like the
+  // long-lived second — that's the bug for irregular sampling.
+  EXPECT_NEAR(series.mean_value(), 11.0 / 3, 1e-12);
+  // Sample-and-hold: (1*1 + 10*9) / 10.
+  EXPECT_NEAR(series.time_weighted_mean(), 9.1, 1e-12);
+}
+
+TEST(TimeSeries, TimeWeightedMeanWithHorizon) {
+  TimeSeries series;
+  series.add(SimTime::seconds(0), 2.0);
+  series.add(SimTime::seconds(1), 4.0);
+  // The final value holds from t=1 to the horizon t=4: (2*1 + 4*3) / 4.
+  EXPECT_NEAR(series.time_weighted_mean(SimTime::seconds(4)), 3.5, 1e-12);
+}
+
+TEST(TimeSeries, TimeWeightedMeanZeroSpanFallsBack) {
+  TimeSeries series;
+  series.add(SimTime::seconds(3), 5.0);
+  series.add(SimTime::seconds(3), 7.0);
+  // All points at one instant: no span to weight by, use the plain mean.
+  EXPECT_DOUBLE_EQ(series.time_weighted_mean(), 6.0);
 }
 
 // ---------- Histogram ----------
 
-TEST(Histogram, BucketsAndClamping) {
+TEST(Histogram, OutOfRangeCountedNotClamped) {
   Histogram h(0, 10, 5);
-  h.add(-1);   // clamps to first
+  h.add(-1);   // below lo: counted as underflow, not folded into bucket 0
   h.add(0.5);
   h.add(3.9);
-  h.add(99);   // clamps to last
+  h.add(99);   // at/above hi: counted as overflow, not folded into bucket 4
   EXPECT_EQ(h.total(), 4u);
-  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.in_range(), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(1), 1u);
-  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.bucket(4), 0u);
   EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+}
+
+TEST(Histogram, QuantileAccountsForOutOfRange) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 10; ++i) h.add(-5.0);  // 10% underflow
+  for (int i = 0; i < 80; ++i) h.add(5.0);   // 80% in one bucket
+  for (int i = 0; i < 10; ++i) h.add(50.0);  // 10% overflow
+  // Low ranks land in the underflow mass -> only "< lo" is known.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  // High ranks land in the overflow mass -> only ">= hi" is known. The old
+  // clamping behaviour would have reported these as in-range bucket values.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  const double mid = h.quantile(0.5);
+  EXPECT_GE(mid, 5.0);
+  EXPECT_LT(mid, 6.0);
 }
 
 }  // namespace

@@ -67,6 +67,55 @@ expect-services 0
   EXPECT_NE(joined.find("tore down web-content"), std::string::npos);
 }
 
+TEST(ScenarioRun, TrafficRunsOpenLoopAndChecksP99) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+create web-content web n=2
+traffic web-content const:100x1,burst:300x0.5 bytes=2048 seed=7
+expect-p99 web-content 5000
+)")));
+  const auto transcript = must(scenario.run());
+  std::string joined;
+  for (const auto& line : transcript) joined += line + "\n";
+  EXPECT_NE(joined.find("traffic web-content:"), std::string::npos);
+  EXPECT_NE(joined.find("scheduled"), std::string::npos);
+  EXPECT_NE(joined.find("p99="), std::string::npos);
+}
+
+TEST(ScenarioRun, TrafficFailsWithoutServiceOrRun) {
+  const auto no_service = must(Scenario::parse(with_base(R"(
+traffic ghost const:100x1
+)")));
+  const auto result = no_service.run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("no running service"),
+            std::string::npos);
+
+  const auto no_run = must(Scenario::parse(with_base(R"(
+create web-content web n=1
+expect-p99 web-content 10
+)")));
+  EXPECT_FALSE(no_run.run().ok());
+}
+
+TEST(ScenarioRun, TrafficRejectsBadSpec) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+create web-content web n=1
+expect-error traffic web-content warp:9x9
+)")));
+  EXPECT_TRUE(scenario.run().ok());
+}
+
+TEST(ScenarioRun, ExpectP99FailureNamesNumbers) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+create web-content web n=1
+traffic web-content const:50x1
+expect-p99 web-content 0.000001
+)")));
+  const auto result = scenario.run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("p99"), std::string::npos);
+}
+
 TEST(ScenarioRun, ExpectNodesCountsAggregatedNodes) {
   const auto scenario = must(Scenario::parse(with_base(R"(
 create web-content web n=3
