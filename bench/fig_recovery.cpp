@@ -103,7 +103,7 @@ RecoveryResult run_replica(double crash_at_s) {
   plan.crash_host(crash_at, victim)
       .recover_host(crash_at + sim::SimTime::seconds(20), victim);
   core::FaultInjector injector(*hup);
-  injector.arm(plan);
+  must(injector.arm(plan));
 
   // Synthetic closed-form client: one routing decision every 10 ms; a
   // successful route completes immediately (the data path is exercised by

@@ -1,0 +1,131 @@
+// Chaos-fuzzer CLI: generate, run, fuzz, shrink, and replay seeded chaos
+// scenarios (src/chaos, DESIGN.md §13).
+//
+//   soda_chaos gen <seed>             print the scenario-DSL for one seed
+//   soda_chaos run <seed> [-v]        run one seed with invariant checking
+//   soda_chaos fuzz <count> [base]    run a corpus, report violations
+//   soda_chaos replay <file> [-v]     replay a (shrunk) reproducer file
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chaos/dsl.hpp"
+#include "chaos/generator.hpp"
+#include "chaos/runner.hpp"
+#include "chaos/shrink.hpp"
+#include "core/hup.hpp"
+#include "sim/parallel_runner.hpp"
+#include "util/log.hpp"
+
+using namespace soda;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: soda_chaos gen <seed> | run <seed> [-v] | fuzz <count> [base] |"
+      " replay <file> [-v]\n");
+  return 2;
+}
+
+Result<std::string> read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (!f) return Error{std::string("cannot open ") + path};
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return text;
+}
+
+int report_outcome(const chaos::ChaosReport& report, bool verbose) {
+  if (!report.setup_error.empty()) {
+    std::printf("setup error: %s\n", report.setup_error.c_str());
+    return 1;
+  }
+  std::printf("digest %016llx | %zu service(s) running, %zu rejected | "
+              "%llu fault(s) | %llu request(s): %llu routed, %llu refused\n",
+              static_cast<unsigned long long>(report.digest),
+              report.services_running, report.creations_rejected,
+              static_cast<unsigned long long>(report.faults_injected),
+              static_cast<unsigned long long>(report.requests),
+              static_cast<unsigned long long>(report.routed),
+              static_cast<unsigned long long>(report.refused));
+  if (report.violations.empty()) {
+    std::printf("invariants: all hold\n");
+    return 0;
+  }
+  const std::size_t shown =
+      verbose ? report.violations.size()
+              : std::min<std::size_t>(report.violations.size(), 5);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const chaos::Violation& violation = report.violations[i];
+    std::printf("VIOLATION t=%.3fs [%s] %s\n", violation.at_s,
+                violation.invariant.c_str(), violation.detail.c_str());
+  }
+  if (shown < report.violations.size()) {
+    std::printf("... and %zu more\n", report.violations.size() - shown);
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::global_logger().set_level(util::LogLevel::kOff);
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
+  const bool verbose = argc > 3 && std::strcmp(argv[3], "-v") == 0;
+
+  if (mode == "gen") {
+    const std::uint64_t seed = std::strtoull(argv[2], nullptr, 0);
+    std::fputs(chaos::render_dsl(chaos::generate_scenario(seed)).c_str(),
+               stdout);
+    return 0;
+  }
+  if (mode == "run") {
+    const std::uint64_t seed = std::strtoull(argv[2], nullptr, 0);
+    if (verbose) util::global_logger().set_level(util::LogLevel::kInfo);
+    return report_outcome(
+        chaos::run_scenario(chaos::generate_scenario(seed)), verbose);
+  }
+  if (mode == "replay") {
+    auto text = read_file(argv[2]);
+    if (!text.ok()) {
+      std::printf("%s\n", text.error().message.c_str());
+      return 2;
+    }
+    auto spec = chaos::parse_dsl(text.value());
+    if (!spec.ok()) {
+      std::printf("parse error: %s\n", spec.error().message.c_str());
+      return 2;
+    }
+    if (verbose) util::global_logger().set_level(util::LogLevel::kInfo);
+    return report_outcome(chaos::run_scenario(spec.value()), verbose);
+  }
+  if (mode == "fuzz") {
+    const std::size_t count = std::strtoull(argv[2], nullptr, 10);
+    const std::uint64_t base =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 0xC4A05EEDULL;
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t seed = sim::replica_seed(base, i);
+      const chaos::ChaosReport report =
+          chaos::run_scenario(chaos::generate_scenario(seed));
+      if (report.violations.empty() && report.setup_error.empty()) continue;
+      ++bad;
+      std::printf("seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                  report.setup_error.empty()
+                      ? report.violations.front().invariant.c_str()
+                      : report.setup_error.c_str());
+    }
+    std::printf("%zu/%zu seed(s) with findings\n", bad, count);
+    return bad ? 1 : 0;
+  }
+  return usage();
+}

@@ -1,0 +1,153 @@
+#include "chaos/generator.hpp"
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+#include "util/contract.hpp"
+
+namespace soda::chaos {
+
+namespace {
+
+/// Quarter-second quantization keeps every time binary-exact and one %g
+/// token in the DSL.
+double quarters(sim::Rng& rng, int lo, int hi) {
+  return static_cast<double>(rng.uniform_int(lo, hi)) / 4.0;
+}
+
+/// 1/20-step factors (0.05 .. 0.9): n/20.0 is correctly rounded, so the
+/// value printed as "0.15" parses back to the identical double.
+double uplink_factor(sim::Rng& rng) {
+  return static_cast<double>(rng.uniform_int(1, 18)) / 20.0;
+}
+
+workload::TrafficTrace random_trace(sim::Rng& rng) {
+  workload::TrafficTrace trace;
+  const int phases = static_cast<int>(rng.uniform_int(1, 2));
+  for (int i = 0; i < phases; ++i) {
+    const double rate = static_cast<double>(rng.uniform_int(20, 120));
+    const double seconds = quarters(rng, 2, 8);  // 0.5 .. 2 s
+    switch (rng.uniform_int(0, 3)) {
+      case 0: trace.constant(rate, seconds); break;
+      case 1: trace.burst(rate, seconds); break;
+      case 2:
+        trace.ramp(rate, static_cast<double>(rng.uniform_int(20, 120)),
+                   seconds);
+        break;
+      default:
+        trace.diurnal(rate, static_cast<double>(rng.uniform_int(5, 15)),
+                      seconds);
+        break;
+    }
+  }
+  return trace;
+}
+
+constexpr const char* kPolicies[] = {
+    "weighted-round-robin", "round-robin", "random", "least-connections",
+    "fastest-response",
+};
+
+}  // namespace
+
+ChaosSpec generate_scenario(std::uint64_t seed) {
+  sim::Rng root(seed);
+  sim::Rng topo_rng = root.fork();
+  sim::Rng service_rng = root.fork();
+  sim::Rng fault_rng = root.fork();
+
+  ChaosSpec spec;
+  spec.seed = seed;
+
+  switch (topo_rng.uniform_int(0, 3)) {
+    case 0: spec.placement = core::PlacementPolicy::kFirstFit; break;
+    case 1: spec.placement = core::PlacementPolicy::kBestFit; break;
+    case 2: spec.placement = core::PlacementPolicy::kWorstFit; break;
+    default: spec.placement = core::PlacementPolicy::kCacheAffinity; break;
+  }
+  const int hosts = static_cast<int>(topo_rng.uniform_int(2, 5));
+  for (int i = 0; i < hosts; ++i) {
+    spec.hosts.push_back(ChaosHost{topo_rng.bernoulli(0.6)});
+  }
+  spec.content_mb = static_cast<int>(topo_rng.uniform_int(1, 4));
+
+  const int services = static_cast<int>(service_rng.uniform_int(1, 3));
+  for (int k = 0; k < services; ++k) {
+    ChaosService service;
+    service.name = "svc" + std::to_string(k);
+    service.units = static_cast<int>(service_rng.uniform_int(1, 3));
+    service.policy = kPolicies[service_rng.uniform_int(0, 4)];
+    service.policy_seed =
+        service.policy == "random"
+            ? static_cast<std::uint64_t>(service_rng.uniform_int(1, 1 << 20))
+            : 0;
+    service.trace = random_trace(service_rng).phases();
+    service.traffic_seed =
+        static_cast<std::uint64_t>(service_rng.uniform_int(1, 1 << 20));
+    spec.services.push_back(std::move(service));
+  }
+
+  // Fault schedule: a per-host up/down walk so recoveries always follow
+  // crashes, plus crash-during-recovery follow-ups and guest crashes.
+  std::vector<bool> down(static_cast<std::size_t>(hosts), false);
+  const int fault_count = static_cast<int>(fault_rng.uniform_int(1, 6));
+  double t = 0;
+  for (int i = 0; i < fault_count; ++i) {
+    t += quarters(fault_rng, 1, 8);  // 0.25 .. 2 s between events
+    if (!spec.services.empty() && fault_rng.bernoulli(0.2)) {
+      const auto& victim = spec.services[static_cast<std::size_t>(
+          fault_rng.uniform_int(0, services - 1))];
+      ChaosFault fault;
+      fault.at_s = t;
+      fault.kind = core::FaultKind::kGuestCrash;
+      fault.node = victim.name + "/" +
+                   std::to_string(fault_rng.uniform_int(0, victim.units - 1));
+      spec.faults.push_back(std::move(fault));
+      continue;
+    }
+    const int h = static_cast<int>(fault_rng.uniform_int(0, hosts - 1));
+    ChaosFault fault;
+    fault.at_s = t;
+    fault.host = h;
+    if (down[static_cast<std::size_t>(h)]) {
+      fault.kind = core::FaultKind::kHostRecover;
+      down[static_cast<std::size_t>(h)] = false;
+      spec.faults.push_back(fault);
+      // Crash-during-recovery: kill the host again right after its
+      // heartbeats resumed, while re-placement priming is still in flight.
+      if (fault_rng.bernoulli(0.5)) {
+        ChaosFault again;
+        again.at_s = t + 0.25;
+        again.kind = core::FaultKind::kHostCrash;
+        again.host = h;
+        down[static_cast<std::size_t>(h)] = true;
+        spec.faults.push_back(again);
+      }
+      continue;
+    }
+    const double roll = fault_rng.uniform();
+    if (roll < 0.5) {
+      fault.kind = core::FaultKind::kHostCrash;
+      down[static_cast<std::size_t>(h)] = true;
+    } else if (roll < 0.75) {
+      fault.kind = core::FaultKind::kSlowHost;
+      fault.severity = uplink_factor(fault_rng);
+    } else {
+      fault.kind = core::FaultKind::kLossyLink;
+      fault.severity = uplink_factor(fault_rng);
+    }
+    spec.faults.push_back(fault);
+  }
+  std::stable_sort(spec.faults.begin(), spec.faults.end(),
+                   [](const ChaosFault& a, const ChaosFault& b) {
+                     return a.at_s < b.at_s;
+                   });
+
+  const double last_fault = spec.faults.empty() ? 0 : spec.faults.back().at_s;
+  spec.horizon_s = last_fault + quarters(fault_rng, 20, 24);  // +5 .. +6 s
+
+  SODA_ENSURES(validate_spec(spec).ok());
+  return spec;
+}
+
+}  // namespace soda::chaos

@@ -1,0 +1,23 @@
+// ScenarioGenerator: one uint64 seed -> one complete ChaosSpec, through
+// independent forked sim::Rng streams (topology / services / faults), so the
+// same seed always composes the same scenario on every platform and under
+// sim::ParallelRunner. Every sampled number is drawn quantized — integer
+// rates, quarter-second times, 1/20-step uplink factors — which keeps the
+// scenario-DSL rendering (chaos/dsl) an exact round trip.
+#pragma once
+
+#include <cstdint>
+
+#include "chaos/spec.hpp"
+
+namespace soda::chaos {
+
+/// Composes a random fleet (2-5 hosts of the paper's two classes), 1-3
+/// replicated services each with a random switch policy and open-loop
+/// traffic trace, a random placement policy, and a 1-6 event fault schedule
+/// (crashes, recoveries, slow hosts, lossy links, guest crashes) with
+/// overlapping windows and crash-during-recovery sequences. The result
+/// always passes validate_spec().
+ChaosSpec generate_scenario(std::uint64_t seed);
+
+}  // namespace soda::chaos

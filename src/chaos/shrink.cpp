@@ -1,0 +1,218 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+#include "util/strings.hpp"
+
+namespace soda::chaos {
+
+namespace {
+
+/// Oracle wrapper that refuses structurally invalid candidates and counts
+/// every real attempt.
+struct Tester {
+  const ChaosOracle& oracle;
+  std::size_t tried = 0;
+
+  bool fails(const ChaosSpec& candidate) {
+    if (!validate_spec(candidate).ok()) return false;
+    ++tried;
+    return oracle(candidate);
+  }
+};
+
+/// ddmin over the fault list: try dropping chunks of half the list, then
+/// quarters, down to single events. Returns true when anything was removed.
+bool shrink_faults(ChaosSpec& spec, Tester& tester) {
+  bool improved = false;
+  std::size_t chunk = (spec.faults.size() + 1) / 2;
+  while (chunk >= 1 && !spec.faults.empty()) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < spec.faults.size();) {
+      ChaosSpec candidate = spec;
+      const std::size_t end =
+          std::min(start + chunk, candidate.faults.size());
+      candidate.faults.erase(candidate.faults.begin() +
+                                 static_cast<std::ptrdiff_t>(start),
+                             candidate.faults.begin() +
+                                 static_cast<std::ptrdiff_t>(end));
+      if (tester.fails(candidate)) {
+        spec = std::move(candidate);
+        improved = removed_any = true;
+        // keep `start`: the next chunk slid into this position
+      } else {
+        start += chunk;
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk = (chunk + 1) / 2;
+    }
+  }
+  return improved;
+}
+
+/// Drop services (from the back, so names stay dense) together with their
+/// guest-crash faults.
+bool shrink_services(ChaosSpec& spec, Tester& tester) {
+  bool improved = false;
+  for (std::size_t k = spec.services.size(); k-- > 0;) {
+    ChaosSpec candidate = spec;
+    const std::string prefix =
+        candidate.services[k].name + "/";
+    candidate.services.erase(candidate.services.begin() +
+                             static_cast<std::ptrdiff_t>(k));
+    std::erase_if(candidate.faults, [&](const ChaosFault& fault) {
+      return fault.kind == core::FaultKind::kGuestCrash &&
+             util::starts_with(fault.node, prefix);
+    });
+    if (tester.fails(candidate)) {
+      spec = std::move(candidate);
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+bool shrink_traffic(ChaosSpec& spec, Tester& tester) {
+  bool improved = false;
+  for (std::size_t k = 0; k < spec.services.size(); ++k) {
+    if (spec.services[k].trace.empty()) continue;
+    {
+      ChaosSpec candidate = spec;
+      candidate.services[k].trace.clear();
+      candidate.services[k].traffic_seed = 1;  // back to the default
+      if (tester.fails(candidate)) {
+        spec = std::move(candidate);
+        improved = true;
+        continue;
+      }
+    }
+    if (spec.services[k].trace.size() > 1) {
+      ChaosSpec candidate = spec;
+      auto& trace = candidate.services[k].trace;
+      trace.resize((trace.size() + 1) / 2);
+      if (tester.fails(candidate)) {
+        spec = std::move(candidate);
+        improved = true;
+      }
+    }
+    {
+      ChaosSpec candidate = spec;
+      bool changed = false;
+      for (workload::TrafficPhase& phase : candidate.services[k].trace) {
+        // Halve on the quarter-second grid so the DSL stays exact.
+        const double halved =
+            std::max(0.25, std::floor(phase.seconds * 2.0) / 4.0);
+        if (halved < phase.seconds) {
+          phase.seconds = halved;
+          if (phase.period_s > halved) phase.period_s = halved;
+          changed = true;
+        }
+      }
+      if (changed && tester.fails(candidate)) {
+        spec = std::move(candidate);
+        improved = true;
+      }
+    }
+  }
+  return improved;
+}
+
+bool shrink_units(ChaosSpec& spec, Tester& tester) {
+  bool improved = false;
+  for (std::size_t k = 0; k < spec.services.size(); ++k) {
+    if (spec.services[k].units <= 1) continue;
+    ChaosSpec candidate = spec;
+    candidate.services[k].units = 1;
+    // Guest faults aimed at now-nonexistent ordinals would be silently
+    // skipped by the runner; drop them so the reproducer stays honest.
+    std::erase_if(candidate.faults, [&](const ChaosFault& fault) {
+      return fault.kind == core::FaultKind::kGuestCrash &&
+             util::starts_with(fault.node,
+                               candidate.services[k].name + "/") &&
+             fault.node != candidate.services[k].name + "/0";
+    });
+    if (tester.fails(candidate)) {
+      spec = std::move(candidate);
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+bool shrink_hosts(ChaosSpec& spec, Tester& tester) {
+  bool improved = false;
+  while (spec.hosts.size() > 1) {
+    ChaosSpec candidate = spec;
+    const int last = static_cast<int>(candidate.hosts.size()) - 1;
+    candidate.hosts.pop_back();
+    std::erase_if(candidate.faults, [&](const ChaosFault& fault) {
+      return fault.kind != core::FaultKind::kGuestCrash &&
+             fault.host == last;
+    });
+    if (!tester.fails(candidate)) break;
+    spec = std::move(candidate);
+    improved = true;
+  }
+  return improved;
+}
+
+bool shrink_scalars(ChaosSpec& spec, Tester& tester) {
+  bool improved = false;
+  if (spec.content_mb > 1) {
+    ChaosSpec candidate = spec;
+    candidate.content_mb = 1;
+    if (tester.fails(candidate)) {
+      spec = std::move(candidate);
+      improved = true;
+    }
+  }
+  const double tight = spec.faults.empty()
+                           ? 1.0
+                           : spec.faults.back().at_s + 3.0;
+  if (tight < spec.horizon_s) {
+    ChaosSpec candidate = spec;
+    candidate.horizon_s = tight;
+    if (tester.fails(candidate)) {
+      spec = std::move(candidate);
+      improved = true;
+    }
+  }
+  for (std::size_t k = 0; k < spec.services.size(); ++k) {
+    if (spec.services[k].policy == "weighted-round-robin" &&
+        spec.services[k].policy_seed == 0) {
+      continue;
+    }
+    ChaosSpec candidate = spec;
+    candidate.services[k].policy = "weighted-round-robin";
+    candidate.services[k].policy_seed = 0;
+    if (tester.fails(candidate)) {
+      spec = std::move(candidate);
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(ChaosSpec failing, const ChaosOracle& oracle) {
+  SODA_EXPECTS(validate_spec(failing).ok());
+  Tester tester{oracle};
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    improved |= shrink_faults(failing, tester);
+    improved |= shrink_services(failing, tester);
+    improved |= shrink_traffic(failing, tester);
+    improved |= shrink_units(failing, tester);
+    improved |= shrink_hosts(failing, tester);
+    improved |= shrink_scalars(failing, tester);
+  }
+  return ShrinkResult{std::move(failing), tester.tried};
+}
+
+}  // namespace soda::chaos

@@ -1,0 +1,33 @@
+// Shrinker: reduces a failing ChaosSpec to a minimal reproducer
+// (DESIGN.md §13). Classic delta debugging specialized to the chaos
+// domain: drop fault events (ddmin chunks, then singles), drop whole
+// services and their guest faults, simplify and halve traffic traces,
+// shrink unit counts, remove hosts, and tighten the horizon — accepting a
+// candidate only when the oracle still reports the failure. Fully
+// deterministic: the same failing spec and oracle always shrink to the
+// same minimal spec, on any thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "chaos/spec.hpp"
+
+namespace soda::chaos {
+
+/// Returns true when the candidate scenario still exhibits the failure
+/// under investigation (e.g. "run_scenario(spec, opts) reports at least
+/// one violation"). Must be deterministic.
+using ChaosOracle = std::function<bool(const ChaosSpec&)>;
+
+struct ShrinkResult {
+  ChaosSpec spec;                  // minimal still-failing scenario
+  std::size_t candidates_tried = 0;  // oracle invocations
+};
+
+/// Precondition: oracle(failing) is true. Runs shrink passes to a fixed
+/// point; every intermediate candidate passes validate_spec before the
+/// oracle sees it.
+ShrinkResult shrink_scenario(ChaosSpec failing, const ChaosOracle& oracle);
+
+}  // namespace soda::chaos

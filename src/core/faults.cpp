@@ -49,7 +49,8 @@ FaultPlan& FaultPlan::lossy_link(sim::SimTime at, std::string host,
 
 FaultPlan& FaultPlan::add(FaultEvent event) {
   SODA_EXPECTS(!event.target.empty());
-  SODA_EXPECTS(event.severity > 0);
+  // Severity is validated at arm() time so a bad factor reports a clean
+  // error naming the event instead of aborting while the plan is built.
   events_.push_back(std::move(event));
   return *this;
 }
@@ -63,12 +64,55 @@ std::vector<FaultEvent> FaultPlan::build() const {
   return sorted;
 }
 
-void FaultInjector::arm(const FaultPlan& plan) {
+namespace {
+
+std::string describe(const FaultEvent& event) {
+  return std::string(fault_kind_name(event.kind)) + " '" + event.target +
+         "' at t=" + std::to_string(event.at.to_seconds()) + "s";
+}
+
+}  // namespace
+
+Status FaultInjector::arm(const FaultPlan& plan) {
+  // Validate the whole plan before scheduling anything, so a rejected plan
+  // leaves the engine untouched.
+  for (const FaultEvent& event : plan.build()) {
+    switch (event.kind) {
+      case FaultKind::kHostCrash:
+      case FaultKind::kHostRecover:
+      case FaultKind::kSlowHost:
+      case FaultKind::kLossyLink:
+        if (!hup_.find_daemon(event.target)) {
+          return Error{"fault plan names unknown host: " + describe(event)};
+        }
+        break;
+      case FaultKind::kGuestCrash: {
+        bool found = false;
+        for (SodaDaemon* daemon : hup_.master().daemons()) {
+          if (daemon->find_node(event.target)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Error{"fault plan names unknown node: " + describe(event)};
+        }
+        break;
+      }
+    }
+    if ((event.kind == FaultKind::kSlowHost ||
+         event.kind == FaultKind::kLossyLink) &&
+        !(event.severity > 0)) {
+      return Error{"fault plan has non-positive factor " +
+                   std::to_string(event.severity) + ": " + describe(event)};
+    }
+  }
   sim::Engine& engine = hup_.engine();
   for (const FaultEvent& event : plan.build()) {
     if (event.at < engine.now()) continue;
     engine.schedule_at(event.at, [this, event] { inject(event); });
   }
+  return {};
 }
 
 void FaultInjector::inject(const FaultEvent& event) {

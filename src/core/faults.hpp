@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/result.hpp"
 
 namespace soda::core {
 
@@ -67,7 +68,13 @@ class FaultInjector {
 
   /// Schedules every event of `plan` at its absolute sim-time (events in the
   /// past are dropped). Can be called repeatedly to layer plans.
-  void arm(const FaultPlan& plan);
+  ///
+  /// The whole plan is validated first — all-or-nothing, so a rejected plan
+  /// schedules none of its events: host-kind events must name a registered
+  /// host, guest crashes must name a node some daemon is running right now,
+  /// and slow-host / lossy-link factors must be positive. Errors name the
+  /// offending event instead of silently no-opping mid-run.
+  Status arm(const FaultPlan& plan);
 
   /// Applies one fault right now (also used by the scheduled events).
   void inject(const FaultEvent& event);

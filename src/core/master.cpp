@@ -505,8 +505,11 @@ void SodaMaster::resize_service(const std::string& name, int n_new,
 
   // Prime the additional nodes through the shared coordinator (which
   // re-resolves the repository by name — never a cached pointer).
+  std::vector<std::string> batch;
+  batch.reserve(new_nodes.size());
   for (Placement& placement : new_nodes) {
     placement.node_name = name + "/" + std::to_string(record.next_ordinal++);
+    batch.push_back(placement.node_name);
     record.placements.push_back(placement);
   }
   PrimeSpec spec;
@@ -527,21 +530,26 @@ void SodaMaster::resize_service(const std::string& name, int n_new,
             descriptor.address, descriptor.port, descriptor.capacity_units}));
         rec->nodes.push_back(descriptor);
       },
-      [this, name, n_new, done](const PrimingCoordinator::Outcome& outcome,
-                                sim::SimTime now) {
+      [this, name, n_new, done, batch = std::move(batch)](
+          const PrimingCoordinator::Outcome& outcome, sim::SimTime now) {
         ServiceRecord* rec = services_.find(name);
         SODA_ENSURES(rec != nullptr);
         if (outcome.failed) {
-          // Drop the placements whose priming never produced a node.
+          // Drop this batch's placements whose priming never produced a
+          // node. Scoped to the batch: if a host crash mid-resize kicked
+          // off a recovery attempt, its still-priming placements have no
+          // node yet and must survive this cleanup.
           auto& placements = rec->placements;
           placements.erase(
               std::remove_if(placements.begin(), placements.end(),
                              [&](const Placement& p) {
-                               return std::none_of(
-                                   rec->nodes.begin(), rec->nodes.end(),
-                                   [&](const NodeDescriptor& d) {
-                                     return d.node_name == p.node_name;
-                                   });
+                               return std::find(batch.begin(), batch.end(),
+                                                p.node_name) != batch.end() &&
+                                      std::none_of(
+                                          rec->nodes.begin(), rec->nodes.end(),
+                                          [&](const NodeDescriptor& d) {
+                                            return d.node_name == p.node_name;
+                                          });
                              }),
               placements.end());
           must(rec->lifecycle.transition(ServiceState::kRunning));

@@ -234,6 +234,12 @@ class SodaMaster {
   /// hosts whose detected state changed.
   std::size_t poll_liveness_once() { return recovery_.poll_once(); }
 
+  /// Re-attempts recovery of every Degraded service right now (see
+  /// RecoveryManager::retry_recoveries). Chaos/stabilization hook: brings
+  /// services back when a recovery attempt failed mid-flight and no host
+  /// transition is left to retrigger it.
+  std::size_t retry_recoveries() { return recovery_.retry_recoveries(); }
+
   [[nodiscard]] bool host_down(std::string_view host_name) const {
     const HostId id{host_names_.find(host_name)};
     return id.valid() && down_hosts_.test(id);

@@ -212,6 +212,18 @@ void RecoveryManager::handle_host_recovery(SodaDaemon& daemon) {
   for (const std::string& name : degraded) attempt_recovery(name);
 }
 
+std::size_t RecoveryManager::retry_recoveries() {
+  std::vector<std::string> degraded;
+  view_.services.for_each(
+      [&](const std::string& name, const ServiceRecord& record) {
+        if (record.lifecycle.state() == ServiceState::kDegraded) {
+          degraded.push_back(name);
+        }
+      });
+  for (const std::string& name : degraded) attempt_recovery(name);
+  return degraded.size();
+}
+
 void RecoveryManager::maybe_rehome_switch(ServiceRecord& record) {
   if (!record.service_switch || record.nodes.empty()) return;
   const net::Ipv4Address listen = record.service_switch->listen_address();
@@ -231,6 +243,16 @@ void RecoveryManager::maybe_rehome_switch(ServiceRecord& record) {
 }
 
 void RecoveryManager::finish_if_restored(ServiceRecord& record) {
+  // Only booted placements count toward "restored": a placement exists from
+  // the moment recovery plans it, but its capacity is real only once the
+  // node descriptor lands. Declaring kRunning on an in-flight placement
+  // strands the service at reduced capacity if that priming later fails.
+  const auto booted = [&](const Placement& p) {
+    return std::any_of(record.nodes.begin(), record.nodes.end(),
+                       [&](const NodeDescriptor& d) {
+                         return d.node_name == p.node_name;
+                       });
+  };
   bool restored;
   if (!record.components.empty()) {
     restored = std::all_of(
@@ -239,12 +261,15 @@ void RecoveryManager::finish_if_restored(ServiceRecord& record) {
           return std::any_of(record.placements.begin(),
                              record.placements.end(),
                              [&](const Placement& p) {
-                               return p.component == component.name;
+                               return p.component == component.name &&
+                                      booted(p);
                              });
         });
   } else {
     int have = 0;
-    for (const Placement& p : record.placements) have += p.units;
+    for (const Placement& p : record.placements) {
+      if (booted(p)) have += p.units;
+    }
     restored = have >= record.requirement.n;
   }
   if (restored && record.lifecycle.state() == ServiceState::kDegraded) {
@@ -312,9 +337,12 @@ void RecoveryManager::attempt_recovery(const std::string& service_name) {
     if (plan.empty()) return;
   }
 
+  std::vector<std::string> batch;
+  batch.reserve(plan.size());
   for (Placement& placement : plan) {
     placement.node_name =
         service_name + "/" + std::to_string(record.next_ordinal++);
+    batch.push_back(placement.node_name);
     record.placements.push_back(placement);
   }
   util::global_logger().info(
@@ -342,22 +370,27 @@ void RecoveryManager::attempt_recovery(const std::string& service_name) {
             descriptor.component}));
         rec->nodes.push_back(descriptor);
       },
-      [this, name = service_name](const PrimingCoordinator::Outcome& outcome,
-                                  sim::SimTime) {
+      [this, name = service_name, batch = std::move(batch)](
+          const PrimingCoordinator::Outcome& outcome, sim::SimTime) {
         ServiceRecord* rec = view_.services.find(name);
         if (rec == nullptr) return;  // torn down meanwhile
         if (outcome.failed) {
-          // Drop the placements whose re-priming never produced a node;
-          // the service stays degraded with whatever did come up.
+          // Drop this batch's placements whose re-priming never produced a
+          // node; the service stays degraded with whatever did come up.
+          // Only this batch's names: a concurrent recovery attempt (crash,
+          // recover, crash again) may still be priming its own placements,
+          // and those legitimately have no node yet.
           auto& placements = rec->placements;
           placements.erase(
               std::remove_if(placements.begin(), placements.end(),
                              [&](const Placement& p) {
-                               return std::none_of(
-                                   rec->nodes.begin(), rec->nodes.end(),
-                                   [&](const NodeDescriptor& d) {
-                                     return d.node_name == p.node_name;
-                                   });
+                               return std::find(batch.begin(), batch.end(),
+                                                p.node_name) != batch.end() &&
+                                      std::none_of(
+                                          rec->nodes.begin(), rec->nodes.end(),
+                                          [&](const NodeDescriptor& d) {
+                                            return d.node_name == p.node_name;
+                                          });
                              }),
               placements.end());
           util::global_logger().warn(

@@ -85,6 +85,13 @@ class RecoveryManager {
   /// both failures and recoveries. Returns hosts whose state changed.
   std::size_t poll_once();
 
+  /// Re-attempts recovery of every service currently Degraded. Covers the
+  /// liveness gap where a failed recovery attempt (e.g. priming died on a
+  /// host that crashed mid-recovery) leaves a service degraded with no
+  /// event left to retrigger it until the next host transition. Returns the
+  /// number of services retried.
+  std::size_t retry_recoveries();
+
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
   [[nodiscard]] std::uint64_t host_failures() const noexcept {
     return host_failures_;

@@ -36,6 +36,11 @@ const std::map<std::string, std::pair<int, int>>& verb_arity() {
       {"crash", {2, 2}},         // crash <service> <node-ordinal>
       {"crash-host", {1, 1}},    // crash-host <host> (fail-stop, guests die)
       {"recover-host", {1, 1}},  // recover-host <host> (reboots empty)
+      {"slow-host", {2, 2}},     // slow-host <host> <factor> (uplink x factor)
+      {"restore-host", {1, 1}},  // restore-host <host> (uplink back to 1.0)
+      {"lossy-link", {2, 2}},    // lossy-link <host> <factor> (goodput collapse)
+      {"advance", {1, 1}},       // advance <seconds> (run the engine forward)
+      {"switch-policy", {2, 3}}, // switch-policy <service> <policy> [seed=N]
       {"detect", {0, 0}},        // one liveness poll + recovery pass
       {"probe", {0, 0}},         // run one health-monitor sweep
       {"trace", {0, 1}},         // trace [subject] -> dump control-plane events
@@ -196,6 +201,66 @@ Status execute(Runtime& rt, const ScenarioCommand& cmd) {
       rt.hup().recover_host(cmd.args[0]);
       rt.say("host " + cmd.args[0] + " recovered");
     }
+    return {};
+  }
+  if (cmd.verb == "slow-host" || cmd.verb == "lossy-link" ||
+      cmd.verb == "restore-host") {
+    // The full FaultKind set as immediate verbs, so shrunk chaos reproducers
+    // round-trip through the DSL. restore-host is slow-host at factor 1.
+    if (!rt.hup().find_daemon(cmd.args[0])) {
+      return Error{error_at(cmd.line, "no host " + cmd.args[0])};
+    }
+    double factor = 1.0;
+    if (cmd.verb != "restore-host") {
+      const auto parsed = util::parse_double(cmd.args[1]);
+      if (!parsed || !(*parsed > 0)) {
+        return Error{error_at(cmd.line, "'" + cmd.verb +
+                                            "' takes a factor > 0, got '" +
+                                            cmd.args[1] + "'")};
+      }
+      factor = *parsed;
+    }
+    rt.hup().scale_host_uplink(cmd.args[0], factor);
+    if (cmd.verb == "restore-host") {
+      rt.say("host " + cmd.args[0] + " uplink restored");
+    } else {
+      rt.say("host " + cmd.args[0] + " uplink x " + cmd.args[1] + " (" +
+             cmd.verb + ")");
+    }
+    return {};
+  }
+  if (cmd.verb == "advance") {
+    const auto seconds = util::parse_double(cmd.args[0]);
+    if (!seconds || *seconds < 0) {
+      return Error{error_at(cmd.line, "'advance' takes seconds >= 0, got '" +
+                                          cmd.args[0] + "'")};
+    }
+    sim::Engine& engine = rt.hup().engine();
+    engine.run_until(engine.now() + sim::SimTime::seconds(*seconds));
+    std::snprintf(buf, sizeof buf, "advanced to t=%.2fs",
+                  engine.now().to_seconds());
+    rt.say(buf);
+    return {};
+  }
+  if (cmd.verb == "switch-policy") {
+    ServiceSwitch* sw = rt.hup().master().find_switch(cmd.args[0]);
+    if (!sw) {
+      return Error{error_at(cmd.line, "no running service " + cmd.args[0])};
+    }
+    std::uint64_t seed = 0x50DA;
+    if (cmd.args.size() == 3) {
+      if (!util::starts_with(cmd.args[2], "seed=")) {
+        return Error{error_at(cmd.line, "unknown switch-policy option '" +
+                                            cmd.args[2] + "'")};
+      }
+      auto value = arg_int(cmd, cmd.args[2]);
+      if (!value.ok()) return value.error();
+      seed = static_cast<std::uint64_t>(value.value());
+    }
+    auto policy = make_switch_policy_by_name(cmd.args[1], seed);
+    if (!policy.ok()) return Error{error_at(cmd.line, policy.error().message)};
+    sw->set_policy(std::move(policy).value());
+    rt.say("switch policy of " + cmd.args[0] + " = " + cmd.args[1]);
     return {};
   }
   if (cmd.verb == "detect") {

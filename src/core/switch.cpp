@@ -202,6 +202,16 @@ std::unique_ptr<SwitchPolicy> make_fastest_response(double alpha) {
   return std::make_unique<FastestResponse>(alpha);
 }
 
+Result<std::unique_ptr<SwitchPolicy>> make_switch_policy_by_name(
+    std::string_view name, std::uint64_t seed) {
+  if (name == "weighted-round-robin") return make_weighted_round_robin();
+  if (name == "round-robin") return make_plain_round_robin();
+  if (name == "random") return make_random_policy(seed);
+  if (name == "least-connections") return make_least_connections();
+  if (name == "fastest-response") return make_fastest_response();
+  return Error{"unknown switch policy '" + std::string(name) + "'"};
+}
+
 std::unique_ptr<SwitchPolicy> make_custom_policy(
     std::string name,
     std::function<std::optional<std::size_t>(const std::vector<BackEndState>&)> fn) {

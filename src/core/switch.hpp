@@ -121,6 +121,13 @@ std::unique_ptr<SwitchPolicy> make_least_connections();
 /// samples yet are explored first.
 std::unique_ptr<SwitchPolicy> make_fastest_response(double alpha = 0.2);
 
+/// Name-keyed policy registry shared by the scenario DSL's `switch-policy`
+/// verb and the chaos fuzzer: "weighted-round-robin" | "round-robin" |
+/// "random" | "least-connections" | "fastest-response". `seed` feeds the
+/// random policy only. Errors name the unknown policy.
+Result<std::unique_ptr<SwitchPolicy>> make_switch_policy_by_name(
+    std::string_view name, std::uint64_t seed = 0x50DA);
+
 /// Wraps an ASP-provided function as a policy (the "service-specific
 /// policy" replacement hook). The function receives a materialized copy of
 /// the routable backends, so existing ASP policies keep working unchanged;

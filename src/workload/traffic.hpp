@@ -34,6 +34,8 @@ struct TrafficPhase {
   double rate_to = 0;    // ramp end rate
   double amplitude = 0;  // diurnal peak deviation from the baseline
   double period_s = 0;   // diurnal period (defaults to the phase length)
+
+  friend bool operator==(const TrafficPhase&, const TrafficPhase&) = default;
 };
 
 /// A declarative arrival-rate trace: phases played back to back. Built

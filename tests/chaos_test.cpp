@@ -1,0 +1,221 @@
+// Tests for the chaos fuzzer (src/chaos, DESIGN.md §13): generator
+// determinism and diversity, scenario-run determinism, checker transparency
+// (identical digests with the InvariantChecker on or off, serial or under
+// ParallelRunner), the pinned regression corpus, the synthetic-violation
+// hook, deterministic shrinking, and exact DSL round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/dsl.hpp"
+#include "chaos/generator.hpp"
+#include "chaos/runner.hpp"
+#include "chaos/shrink.hpp"
+#include "core/faults.hpp"
+#include "sim/parallel_runner.hpp"
+#include "util/log.hpp"
+
+namespace soda::chaos {
+namespace {
+
+constexpr std::uint64_t kBase = 0xC4A05EEDULL;
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::global_logger().set_level(util::LogLevel::kOff);
+  }
+};
+
+/// The first host-crash fault of the first seed (from `base`) that has one,
+/// as (spec, crashed-host-name) — the seeded failure used by the synthetic
+/// violation and shrink tests.
+std::pair<ChaosSpec, std::string> first_crashing_scenario(std::uint64_t base) {
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ChaosSpec spec = generate_scenario(sim::replica_seed(base, i));
+    for (const ChaosFault& fault : spec.faults) {
+      // Low host index, so the shrunk fleet (hosts can only be dropped from
+      // the back) stays small.
+      if (fault.kind == core::FaultKind::kHostCrash && fault.host <= 1) {
+        return {spec, chaos_host_name(spec, fault.host)};
+      }
+    }
+  }
+  return {};
+}
+
+TEST_F(ChaosTest, GeneratorIsDeterministicPerSeed) {
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::uint64_t seed = sim::replica_seed(kBase, i);
+    EXPECT_EQ(generate_scenario(seed), generate_scenario(seed));
+  }
+  EXPECT_FALSE(generate_scenario(1) == generate_scenario(2));
+}
+
+TEST_F(ChaosTest, GeneratorCoversTheScenarioSpace) {
+  std::set<core::PlacementPolicy> placements;
+  std::set<std::string> policies;
+  std::set<core::FaultKind> kinds;
+  std::set<std::size_t> fleet_sizes;
+  bool multi_service = false;
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    const ChaosSpec spec = generate_scenario(sim::replica_seed(kBase, i));
+    EXPECT_TRUE(validate_spec(spec).ok());
+    placements.insert(spec.placement);
+    fleet_sizes.insert(spec.hosts.size());
+    multi_service |= spec.services.size() > 1;
+    for (const ChaosService& service : spec.services) {
+      policies.insert(service.policy);
+    }
+    for (const ChaosFault& fault : spec.faults) kinds.insert(fault.kind);
+  }
+  EXPECT_GE(placements.size(), 3u);
+  EXPECT_GE(policies.size(), 4u);
+  EXPECT_GE(fleet_sizes.size(), 3u);
+  EXPECT_TRUE(multi_service);
+  EXPECT_TRUE(kinds.count(core::FaultKind::kHostCrash));
+  EXPECT_TRUE(kinds.count(core::FaultKind::kHostRecover));
+  EXPECT_TRUE(kinds.count(core::FaultKind::kSlowHost));
+  EXPECT_TRUE(kinds.count(core::FaultKind::kLossyLink));
+  EXPECT_TRUE(kinds.count(core::FaultKind::kGuestCrash));
+}
+
+TEST_F(ChaosTest, RunIsDeterministic) {
+  const ChaosSpec spec = generate_scenario(sim::replica_seed(kBase, 3));
+  const ChaosReport a = run_scenario(spec);
+  const ChaosReport b = run_scenario(spec);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+TEST_F(ChaosTest, CheckerIsTransparentToTheDigest) {
+  ChaosOptions unchecked;
+  unchecked.check_invariants = false;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const ChaosSpec spec = generate_scenario(sim::replica_seed(kBase, i));
+    EXPECT_EQ(run_scenario(spec).digest, run_scenario(spec, unchecked).digest)
+        << "seed index " << i;
+  }
+}
+
+TEST_F(ChaosTest, SerialMatchesParallelRunner) {
+  constexpr std::size_t kSeeds = 16;
+  std::vector<std::uint64_t> serial(kSeeds);
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    serial[i] =
+        run_scenario(generate_scenario(sim::replica_seed(kBase, i))).digest;
+  }
+  const sim::ParallelRunner runner(0);
+  const std::vector<std::uint64_t> parallel =
+      runner.map(kSeeds, [](std::size_t i) {
+        return run_scenario(generate_scenario(sim::replica_seed(kBase, i)))
+            .digest;
+      });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ChaosTest, PinnedCorpusReplaysClean) {
+  // SODA_CHAOS_CORPUS holds one decimal seed per line ('#' comments). Every
+  // corpus seed must run violation-free and round-trip through the DSL;
+  // the file pins the seeds that exposed past recovery bugs.
+  std::FILE* f = std::fopen(SODA_CHAOS_CORPUS, "r");
+  ASSERT_NE(f, nullptr) << "missing corpus file " << SODA_CHAOS_CORPUS;
+  std::vector<std::uint64_t> seeds;
+  char line[128];
+  while (std::fgets(line, sizeof line, f)) {
+    if (line[0] == '#' || line[0] == '\n') continue;
+    seeds.push_back(std::strtoull(line, nullptr, 10));
+  }
+  std::fclose(f);
+  ASSERT_GE(seeds.size(), 16u);
+  for (const std::uint64_t seed : seeds) {
+    const ChaosSpec spec = generate_scenario(seed);
+    const auto parsed = parse_dsl(render_dsl(spec));
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed;
+    EXPECT_EQ(parsed.value(), spec) << "seed " << seed;
+    const ChaosReport report = run_scenario(spec);
+    EXPECT_TRUE(report.setup_error.empty()) << "seed " << seed;
+    for (const Violation& violation : report.violations) {
+      ADD_FAILURE() << "seed " << seed << ": [" << violation.invariant << "] "
+                    << violation.detail;
+    }
+  }
+}
+
+TEST_F(ChaosTest, SyntheticViolationIsDetected) {
+  auto [spec, victim] = first_crashing_scenario(kBase);
+  ASSERT_FALSE(victim.empty());
+  ASSERT_TRUE(run_scenario(spec).violations.empty());  // clean without hook
+  ChaosOptions options;
+  options.synthetic_violation_on_host_down = victim;
+  const ChaosReport seeded = run_scenario(spec, options);
+  ASSERT_FALSE(seeded.violations.empty());
+  EXPECT_EQ(seeded.violations.front().invariant, "seeded-violation");
+}
+
+TEST_F(ChaosTest, ShrinkIsDeterministicAndMinimal) {
+  auto [spec, victim] = first_crashing_scenario(kBase);
+  ASSERT_FALSE(victim.empty());
+  ChaosOptions options;
+  options.synthetic_violation_on_host_down = victim;
+  const ChaosOracle oracle = [&](const ChaosSpec& candidate) {
+    return !run_scenario(candidate, options).violations.empty();
+  };
+
+  const ShrinkResult first = shrink_scenario(spec, oracle);
+  const ShrinkResult second = shrink_scenario(spec, oracle);
+  EXPECT_EQ(first.spec, second.spec);
+  EXPECT_EQ(first.candidates_tried, second.candidates_tried);
+
+  // The same shrink fanned out over ParallelRunner: still the same minimum.
+  const sim::ParallelRunner runner(0);
+  const std::vector<std::uint64_t> digests = runner.map(2, [&](std::size_t) {
+    return run_scenario(shrink_scenario(spec, oracle).spec, options).digest;
+  });
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], run_scenario(first.spec, options).digest);
+
+  // Minimal: the synthetic failure needs one host and one crash, so the
+  // reproducer must collapse to a handful of DSL lines, round-trip exactly,
+  // and still reproduce when replayed from its rendering.
+  const std::string dsl = render_dsl(first.spec);
+  std::size_t lines = 0;
+  for (std::size_t at = 0; at < dsl.size();) {
+    std::size_t end = dsl.find('\n', at);
+    if (end == std::string::npos) end = dsl.size();
+    if (end > at && dsl[at] != '#') ++lines;  // content, not a comment
+    at = end + 1;
+  }
+  EXPECT_LE(lines, 10u) << dsl;
+  EXPECT_TRUE(first.spec.services.empty()) << dsl;
+  const auto parsed = parse_dsl(dsl);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), first.spec);
+  EXPECT_TRUE(oracle(parsed.value()));
+}
+
+TEST_F(ChaosTest, DslRoundTripsExactlyOverManySeeds) {
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const ChaosSpec spec = generate_scenario(sim::replica_seed(kBase, i));
+    const std::string dsl = render_dsl(spec);
+    const auto parsed = parse_dsl(dsl);
+    ASSERT_TRUE(parsed.ok()) << dsl;
+    EXPECT_EQ(parsed.value(), spec) << dsl;
+  }
+}
+
+TEST_F(ChaosTest, RunnerReportsSetupErrorsInsteadOfCrashing) {
+  ChaosSpec spec = generate_scenario(sim::replica_seed(kBase, 0));
+  ASSERT_FALSE(spec.services.empty());
+  spec.services[0].policy = "warp-drive";
+  const ChaosReport report = run_scenario(spec);
+  EXPECT_FALSE(report.setup_error.empty());
+}
+
+}  // namespace
+}  // namespace soda::chaos

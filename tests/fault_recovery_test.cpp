@@ -122,7 +122,7 @@ TEST(FaultRecovery, HeartbeatTimeoutDetectsWithinBound) {
   FaultPlan plan;
   plan.crash_host(crash_at, victim);
   FaultInjector injector(*w.hup);
-  injector.arm(plan);
+  must(injector.arm(plan));
 
   w.hup->engine().run_until(crash_at + sim::SimTime::seconds(5));
   EXPECT_EQ(w.hup->master().host_failures_detected(), 1u);
@@ -151,7 +151,7 @@ TEST(FaultRecovery, HeartbeatsResumeAfterHostRecovers) {
   plan.crash_host(crash_at, victim)
       .recover_host(crash_at + sim::SimTime::seconds(5), victim);
   FaultInjector injector(*w.hup);
-  injector.arm(plan);
+  must(injector.arm(plan));
 
   w.hup->engine().run_until(crash_at + sim::SimTime::seconds(10));
   EXPECT_FALSE(w.hup->master().host_down(victim));
@@ -292,7 +292,7 @@ TEST(Faults, SlowHostStretchesTransfers) {
   FaultPlan plan;
   plan.slow_host(hup.engine().now(), "seattle", 0.1);
   FaultInjector injector(hup);
-  injector.arm(plan);
+  must(injector.arm(plan));
   hup.engine().run();
   const double slowed = measure();
   EXPECT_NEAR(slowed / nominal, 10.0, 0.5);
@@ -314,7 +314,7 @@ TEST(Faults, GuestCrashCountedByMonitorUnderInjector) {
   FaultPlan plan;
   plan.crash_guest(w.hup->engine().now() + sim::SimTime::seconds(1), node_name);
   FaultInjector injector(*w.hup);
-  injector.arm(plan);
+  must(injector.arm(plan));
   w.hup->engine().run();
 
   // One flap to unhealthy, counted once; repeated probes do not re-count.
@@ -563,6 +563,109 @@ TEST(DownloaderRetry, GivesUpAfterMaxAttempts) {
   EXPECT_EQ(downloader.retries(), 3u);  // 4 attempts total
   EXPECT_EQ(downloader.downloads_failed(), 1u);
   EXPECT_NE(error.find("503"), std::string::npos);
+}
+
+// Regression (found by fig_chaos): a host coming back while a re-priming
+// batch is still in flight must not flip the service to kRunning early —
+// the in-flight placement has no booted node yet, and if that priming then
+// fails the service would be stranded kRunning below capacity forever.
+TEST(FaultRecovery, RecoveryNotDeclaredWhilePrimingStillInFlight) {
+  World w(2, 1);
+  const std::string first = w.record()->nodes.front().host_name;
+  w.hup->crash_host(first);
+  w.hup->master().poll_liveness_once();
+  ASSERT_EQ(w.record()->lifecycle.state(), ServiceState::kDegraded);
+  ASSERT_EQ(w.record()->placements.size(), 1u);  // re-priming planned
+  const std::string second = w.record()->placements.front().daemon->host_name();
+  EXPECT_NE(second, first);
+
+  // Mid-priming (the boot alone takes seconds), the crashed host reboots.
+  w.hup->engine().run_until(w.hup->engine().now() + sim::SimTime::seconds(1));
+  ASSERT_TRUE(w.record()->nodes.empty());  // replacement not booted yet
+  w.hup->recover_host(first);
+  w.hup->master().poll_liveness_once();
+  EXPECT_EQ(w.record()->lifecycle.state(), ServiceState::kDegraded);
+
+  // Then the re-priming host dies too. The failed batch plus the rebooted
+  // original host must still converge to full capacity.
+  w.hup->crash_host(second);
+  w.hup->master().poll_liveness_once();
+  w.hup->engine().run();
+  EXPECT_EQ(w.record()->lifecycle.state(), ServiceState::kRunning);
+  int units = 0;
+  for (const auto& node : w.record()->nodes) {
+    EXPECT_NE(node.host_name, second);
+    units += node.capacity_units;
+  }
+  EXPECT_EQ(units, 1);
+}
+
+// Regression (found by fig_chaos): when two recovery batches overlap —
+// crash, re-prime, crash the re-priming host, re-prime elsewhere — the
+// first batch's failure cleanup must only drop its own placements. Erasing
+// the second batch's in-flight placement leaves its node orphaned when it
+// boots, and the service degraded forever.
+TEST(FaultRecovery, ConcurrentRecoveryBatchesSurviveFailedSibling) {
+  World w(3, 1);
+  const std::string first = w.record()->nodes.front().host_name;
+  w.hup->crash_host(first);
+  w.hup->master().poll_liveness_once();
+  ASSERT_EQ(w.record()->placements.size(), 1u);
+  const std::string second = w.record()->placements.front().daemon->host_name();
+
+  // Kill the re-priming host while its batch is in flight; detection plans
+  // a second batch on the remaining host before the first batch fails.
+  w.hup->engine().run_until(w.hup->engine().now() + sim::SimTime::seconds(1));
+  w.hup->crash_host(second);
+  w.hup->master().poll_liveness_once();
+  ASSERT_EQ(w.record()->placements.size(), 1u);  // the second batch's plan
+  const std::string third = w.record()->placements.front().daemon->host_name();
+  EXPECT_NE(third, first);
+  EXPECT_NE(third, second);
+
+  w.hup->engine().run();  // first batch fails, second completes
+  EXPECT_EQ(w.record()->lifecycle.state(), ServiceState::kRunning);
+  ASSERT_EQ(w.record()->nodes.size(), 1u);
+  ASSERT_EQ(w.record()->placements.size(), 1u);
+  EXPECT_EQ(w.record()->nodes.front().node_name,
+            w.record()->placements.front().node_name);
+  EXPECT_EQ(w.record()->nodes.front().host_name, third);
+}
+
+TEST(Faults, ArmValidatesPlanBeforeScheduling) {
+  World w(2, 1);
+  FaultInjector injector(*w.hup);
+
+  FaultPlan unknown_host;
+  unknown_host.crash_host(sim::SimTime::seconds(1), "nonesuch");
+  const Status bad_host = injector.arm(unknown_host);
+  ASSERT_FALSE(bad_host.ok());
+  EXPECT_NE(bad_host.error().message.find("nonesuch"), std::string::npos);
+
+  FaultPlan bad_factor;
+  bad_factor.slow_host(sim::SimTime::seconds(1), "host-0", 0.0);
+  const Status nonpositive = injector.arm(bad_factor);
+  ASSERT_FALSE(nonpositive.ok());
+  EXPECT_NE(nonpositive.error().message.find("non-positive"),
+            std::string::npos);
+
+  FaultPlan unknown_node;
+  unknown_node.crash_guest(sim::SimTime::seconds(1), "web/99");
+  EXPECT_FALSE(injector.arm(unknown_node).ok());
+
+  // A rejected plan schedules nothing.
+  EXPECT_EQ(injector.injected(), 0u);
+
+  const sim::SimTime t0 = w.hup->engine().now();
+  FaultPlan good;
+  good.slow_host(t0 + sim::SimTime::seconds(1), "host-0", 2.0);
+  good.restore_host_speed(t0 + sim::SimTime::seconds(2), "host-0");
+  good.lossy_link(t0 + sim::SimTime::seconds(1), "host-1", 0.5);
+  good.crash_guest(t0 + sim::SimTime::seconds(3),
+                   w.record()->nodes.front().node_name);
+  EXPECT_TRUE(injector.arm(good).ok());
+  w.hup->engine().run();
+  EXPECT_EQ(injector.injected(), 4u);
 }
 
 }  // namespace

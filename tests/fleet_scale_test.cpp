@@ -218,7 +218,7 @@ std::uint64_t run_pinned_scenario() {
   plan.crash_host(crash_at, "fleet-0")
       .recover_host(crash_at + sim::SimTime::seconds(6), "fleet-0");
   FaultInjector injector(hup);
-  injector.arm(plan);
+  must(injector.arm(plan));
   hup.engine().run_until(crash_at + sim::SimTime::seconds(10));
 
   must(hup.agent().service_teardown(

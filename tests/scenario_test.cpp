@@ -232,6 +232,56 @@ trace web-content
   EXPECT_NE(joined.find("service-running web-content"), std::string::npos);
 }
 
+TEST(ScenarioParse, FaultVerbArity) {
+  EXPECT_FALSE(Scenario::parse("slow-host h\n").ok());       // missing factor
+  EXPECT_FALSE(Scenario::parse("lossy-link h\n").ok());      // missing factor
+  EXPECT_FALSE(Scenario::parse("restore-host\n").ok());      // missing host
+  EXPECT_FALSE(Scenario::parse("advance\n").ok());           // missing seconds
+  EXPECT_TRUE(Scenario::parse("switch-policy s p seed=1\n").ok());
+  EXPECT_FALSE(Scenario::parse("switch-policy s\n").ok());   // missing policy
+}
+
+TEST(ScenarioRun, FaultVerbsDriveHostUplinkAndRecovery) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+create web-content web n=1
+slow-host seattle 2.5
+advance 1
+restore-host seattle
+lossy-link tacoma-1 0.25
+switch-policy web-content random seed=9
+crash-host tacoma-1
+detect
+)")));
+  const auto transcript = must(scenario.run());
+  std::string joined;
+  for (const auto& line : transcript) joined += line + "\n";
+  EXPECT_NE(joined.find("host seattle uplink x 2.5 (slow-host)"),
+            std::string::npos);
+  EXPECT_NE(joined.find("advanced to t="), std::string::npos);
+  EXPECT_NE(joined.find("host seattle uplink restored"), std::string::npos);
+  EXPECT_NE(joined.find("host tacoma-1 uplink x 0.25 (lossy-link)"),
+            std::string::npos);
+  EXPECT_NE(joined.find("switch policy of web-content = random"),
+            std::string::npos);
+  EXPECT_NE(joined.find("host tacoma-1 crashed"), std::string::npos);
+  EXPECT_NE(joined.find("detect:"), std::string::npos);
+}
+
+TEST(ScenarioRun, FaultVerbsValidateArguments) {
+  const auto scenario = must(Scenario::parse(with_base(R"(
+expect-error slow-host seattle 0
+expect-error lossy-link seattle -1
+expect-error slow-host ghost 2
+expect-error restore-host ghost
+expect-error advance -1
+expect-error switch-policy ghost random
+create web-content web n=1
+expect-error switch-policy web-content warp-drive
+expect-error switch-policy web-content random speed=9
+)")));
+  EXPECT_TRUE(scenario.run().ok());
+}
+
 TEST(ScenarioRun, CrashUnknownNodeFails) {
   const auto scenario = must(Scenario::parse(with_base(R"(
 create web-content web n=1
