@@ -4,13 +4,22 @@
 //   soda_chaos gen <seed>             print the scenario-DSL for one seed
 //   soda_chaos run <seed> [-v]        run one seed with invariant checking
 //   soda_chaos fuzz <count> [base]    run a corpus, report violations
-//   soda_chaos replay <file> [-v]     replay a (shrunk) reproducer file
+//   soda_chaos fuzz <count> --from <ckpt>
+//                                     warm-start corpus: restore the
+//                                     checkpointed T0 world per seed and
+//                                     fuzz only faults + traffic
+//   soda_chaos checkpoint <seed> <file>
+//                                     build seed's world, checkpoint it at
+//                                     T0, and run it to completion
+//   soda_chaos replay <file> [-v]     replay a (shrunk) reproducer file;
+//                                     honors its `# snapshot:` header
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "chaos/checkpoint.hpp"
 #include "chaos/dsl.hpp"
 #include "chaos/generator.hpp"
 #include "chaos/runner.hpp"
@@ -25,8 +34,9 @@ namespace {
 
 int usage() {
   std::printf(
-      "usage: soda_chaos gen <seed> | run <seed> [-v] | fuzz <count> [base] |"
-      " replay <file> [-v]\n");
+      "usage: soda_chaos gen <seed> | run <seed> [-v] |"
+      " fuzz <count> [base] [--from <ckpt>] |"
+      " checkpoint <seed> <file> | replay <file> [-v]\n");
   return 2;
 }
 
@@ -41,6 +51,16 @@ Result<std::string> read_file(const char* path) {
   }
   std::fclose(f);
   return text;
+}
+
+/// Resolves `path` relative to the directory holding `anchor_file` (absolute
+/// paths pass through).
+std::string resolve_near(const char* anchor_file, const std::string& path) {
+  if (!path.empty() && path.front() == '/') return path;
+  const std::string anchor(anchor_file);
+  const std::size_t slash = anchor.rfind('/');
+  if (slash == std::string::npos) return path;
+  return anchor.substr(0, slash + 1) + path;
 }
 
 int report_outcome(const chaos::ChaosReport& report, bool verbose) {
@@ -106,17 +126,63 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (verbose) util::global_logger().set_level(util::LogLevel::kInfo);
-    return report_outcome(chaos::run_scenario(spec.value()), verbose);
+    chaos::ChaosOptions options;
+    if (!spec.value().snapshot.empty()) {
+      // A relative `# snapshot:` path names a checkpoint next to the
+      // reproducer, wherever it is replayed from.
+      options.from_checkpoint =
+          resolve_near(argv[2], spec.value().snapshot);
+      std::printf("warm-starting from %s\n", options.from_checkpoint.c_str());
+    }
+    return report_outcome(chaos::run_scenario(spec.value(), options),
+                          verbose);
+  }
+  if (mode == "checkpoint") {
+    if (argc < 4) return usage();
+    const std::uint64_t seed = std::strtoull(argv[2], nullptr, 0);
+    chaos::ChaosOptions options;
+    options.save_checkpoint = argv[3];
+    const int rc = report_outcome(
+        chaos::run_scenario(chaos::generate_scenario(seed), options), false);
+    if (rc == 0) {
+      std::printf("T0 world checkpointed to %s\n", argv[3]);
+    }
+    return rc;
   }
   if (mode == "fuzz") {
     const std::size_t count = std::strtoull(argv[2], nullptr, 10);
-    const std::uint64_t base =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 0xC4A05EEDULL;
+    std::uint64_t base = 0xC4A05EEDULL;
+    std::string from;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--from") == 0 && i + 1 < argc) {
+        from = argv[++i];
+      } else if (argv[i][0] != '-') {
+        base = std::strtoull(argv[i], nullptr, 0);
+      }
+    }
+    chaos::ChaosCheckpoint checkpoint;
+    chaos::ChaosOptions options;
+    if (!from.empty()) {
+      auto loaded = chaos::read_chaos_checkpoint(from);
+      if (!loaded.ok()) {
+        std::printf("%s\n", loaded.error().message.c_str());
+        return 2;
+      }
+      checkpoint = std::move(loaded).value();
+      options.from_checkpoint = from;
+      std::printf("warm-starting every seed from %s (%zu host(s), %zu "
+                  "service(s))\n",
+                  from.c_str(), checkpoint.base.hosts.size(),
+                  checkpoint.base.services.size());
+    }
     std::size_t bad = 0;
     for (std::size_t i = 0; i < count; ++i) {
       const std::uint64_t seed = sim::replica_seed(base, i);
-      const chaos::ChaosReport report =
-          chaos::run_scenario(chaos::generate_scenario(seed));
+      const chaos::ChaosSpec spec =
+          from.empty()
+              ? chaos::generate_scenario(seed)
+              : chaos::generate_scenario_from_base(checkpoint.base, seed);
+      const chaos::ChaosReport report = chaos::run_scenario(spec, options);
       if (report.violations.empty() && report.setup_error.empty()) continue;
       ++bad;
       std::printf("seed %llu: %s\n", static_cast<unsigned long long>(seed),

@@ -1,0 +1,72 @@
+#include "chaos/checkpoint.hpp"
+
+#include "chaos/dsl.hpp"
+#include "snapshot/format.hpp"
+
+namespace soda::chaos {
+
+Status write_chaos_checkpoint(const std::string& path, const ChaosSpec& spec,
+                              std::string world_bytes) {
+  snapshot::Writer writer;
+  writer.begin_section("chaos-checkpoint");
+  writer.str(render_dsl(spec));
+  writer.str(world_bytes);
+  writer.end_section();
+  return snapshot::write_file(path, writer.finish());
+}
+
+Result<ChaosCheckpoint> read_chaos_checkpoint(const std::string& path) {
+  auto bytes = snapshot::read_file(path);
+  if (!bytes.ok()) return bytes.error();
+  snapshot::Reader reader(bytes.value());
+  reader.begin_section("chaos-checkpoint");
+  const std::string dsl = reader.str();
+  std::string world = reader.str();
+  reader.end_section();
+  if (!reader.ok()) return Error{"chaos checkpoint: " + reader.error()};
+  auto base = parse_dsl(dsl);
+  if (!base.ok()) {
+    return Error{"chaos checkpoint: embedded spec: " + base.error().message};
+  }
+  ChaosCheckpoint checkpoint;
+  checkpoint.base = std::move(base).value();
+  checkpoint.world = std::move(world);
+  return checkpoint;
+}
+
+Status base_compatible(const ChaosSpec& base, const ChaosSpec& spec) {
+  if (spec.placement != base.placement) {
+    return Error{"checkpoint base mismatch: placement policy differs"};
+  }
+  if (spec.content_mb != base.content_mb) {
+    return Error{"checkpoint base mismatch: published content size differs"};
+  }
+  if (spec.hosts.size() != base.hosts.size()) {
+    return Error{"checkpoint base mismatch: fleet has " +
+                 std::to_string(base.hosts.size()) + " hosts, spec wants " +
+                 std::to_string(spec.hosts.size())};
+  }
+  for (std::size_t i = 0; i < spec.hosts.size(); ++i) {
+    if (!(spec.hosts[i] == base.hosts[i])) {
+      return Error{"checkpoint base mismatch: host " + std::to_string(i) +
+                   " class differs"};
+    }
+  }
+  if (spec.services.size() != base.services.size()) {
+    return Error{"checkpoint base mismatch: service count differs"};
+  }
+  for (std::size_t i = 0; i < spec.services.size(); ++i) {
+    const ChaosService& a = base.services[i];
+    const ChaosService& b = spec.services[i];
+    // Traffic traces and seeds are post-T0 inputs and may differ freely;
+    // everything baked into the built world must match.
+    if (a.name != b.name || a.units != b.units || a.policy != b.policy ||
+        a.policy_seed != b.policy_seed) {
+      return Error{"checkpoint base mismatch: service '" + b.name +
+                   "' differs from the checkpointed world"};
+    }
+  }
+  return {};
+}
+
+}  // namespace soda::chaos

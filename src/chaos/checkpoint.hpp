@@ -1,0 +1,39 @@
+// Chaos checkpoint container: one file carrying both a pre-fault world
+// snapshot (core::Hup::save_snapshot bytes, taken at T0 — services created,
+// switch policies set, failure detector armed, no faults fired) and the
+// scenario-DSL rendering of the spec that built it. The embedded base spec
+// lets a warm start verify it is resuming the world it thinks it is, and
+// lets `soda_chaos fuzz --from` derive fresh fault schedules for a fixed,
+// already-built fleet — the expensive build phase is paid once and restored
+// thousands of times.
+#pragma once
+
+#include <string>
+
+#include "chaos/spec.hpp"
+
+namespace soda::chaos {
+
+/// A read checkpoint: the originating spec plus the T0 world bytes.
+struct ChaosCheckpoint {
+  ChaosSpec base;
+  std::string world;  // core::Hup::save_snapshot bytes
+};
+
+/// Writes `spec` (rendered as scenario DSL) and `world_bytes` to `path` in
+/// the versioned snapshot container (magic, version word, checksum).
+Status write_chaos_checkpoint(const std::string& path, const ChaosSpec& spec,
+                              std::string world_bytes);
+
+/// Reads a checkpoint written by write_chaos_checkpoint; clear errors on
+/// version skew, truncation, or an unparsable embedded spec.
+Result<ChaosCheckpoint> read_chaos_checkpoint(const std::string& path);
+
+/// True when `spec` can warm-start from a world built by `base`: the fleet,
+/// placement policy, published content size, and the created services (name,
+/// size, switch policy) must match — faults, traffic, horizon, and seed are
+/// free to differ, since they only act after T0. On mismatch returns an
+/// error naming the first difference.
+Status base_compatible(const ChaosSpec& base, const ChaosSpec& spec);
+
+}  // namespace soda::chaos

@@ -84,6 +84,12 @@ std::string render_trace_spec(
 
 std::string render_dsl(const ChaosSpec& spec) {
   std::string out = "# chaos seed " + std::to_string(spec.seed) + "\n";
+  if (!spec.snapshot.empty()) {
+    // Warm-start header: replay restores the pre-fault world from this
+    // chaos checkpoint instead of rebuilding it (paths with a leading '#'
+    // or embedded newlines cannot be expressed and are not produced).
+    out += "# snapshot: " + spec.snapshot + "\n";
+  }
   out += "placement " +
          std::string(core::placement_policy_name(spec.placement)) + "\n";
   for (int i = 0; i < static_cast<int>(spec.hosts.size()); ++i) {
@@ -156,14 +162,18 @@ Result<ChaosSpec> parse_dsl(std::string_view text) {
   if (!scenario.ok()) return scenario.error();
 
   ChaosSpec spec;
-  // The seed travels in the header comment — no verb carries it.
+  // The seed and warm-start checkpoint travel in header comments — no verb
+  // carries them.
   for (const auto& line : util::split(text, '\n')) {
     const std::string_view trimmed = util::trim(line);
-    constexpr std::string_view kHeader = "# chaos seed ";
-    if (util::starts_with(trimmed, kHeader)) {
+    constexpr std::string_view kSeedHeader = "# chaos seed ";
+    constexpr std::string_view kSnapshotHeader = "# snapshot: ";
+    if (util::starts_with(trimmed, kSeedHeader)) {
       spec.seed = std::strtoull(
-          std::string(trimmed.substr(kHeader.size())).c_str(), nullptr, 10);
-      break;
+          std::string(trimmed.substr(kSeedHeader.size())).c_str(), nullptr,
+          10);
+    } else if (util::starts_with(trimmed, kSnapshotHeader)) {
+      spec.snapshot = std::string(trimmed.substr(kSnapshotHeader.size()));
     }
   }
 

@@ -48,47 +48,12 @@ constexpr const char* kPolicies[] = {
     "fastest-response",
 };
 
-}  // namespace
-
-ChaosSpec generate_scenario(std::uint64_t seed) {
-  sim::Rng root(seed);
-  sim::Rng topo_rng = root.fork();
-  sim::Rng service_rng = root.fork();
-  sim::Rng fault_rng = root.fork();
-
-  ChaosSpec spec;
-  spec.seed = seed;
-
-  switch (topo_rng.uniform_int(0, 3)) {
-    case 0: spec.placement = core::PlacementPolicy::kFirstFit; break;
-    case 1: spec.placement = core::PlacementPolicy::kBestFit; break;
-    case 2: spec.placement = core::PlacementPolicy::kWorstFit; break;
-    default: spec.placement = core::PlacementPolicy::kCacheAffinity; break;
-  }
-  const int hosts = static_cast<int>(topo_rng.uniform_int(2, 5));
-  for (int i = 0; i < hosts; ++i) {
-    spec.hosts.push_back(ChaosHost{topo_rng.bernoulli(0.6)});
-  }
-  spec.content_mb = static_cast<int>(topo_rng.uniform_int(1, 4));
-
-  const int services = static_cast<int>(service_rng.uniform_int(1, 3));
-  for (int k = 0; k < services; ++k) {
-    ChaosService service;
-    service.name = "svc" + std::to_string(k);
-    service.units = static_cast<int>(service_rng.uniform_int(1, 3));
-    service.policy = kPolicies[service_rng.uniform_int(0, 4)];
-    service.policy_seed =
-        service.policy == "random"
-            ? static_cast<std::uint64_t>(service_rng.uniform_int(1, 1 << 20))
-            : 0;
-    service.trace = random_trace(service_rng).phases();
-    service.traffic_seed =
-        static_cast<std::uint64_t>(service_rng.uniform_int(1, 1 << 20));
-    spec.services.push_back(std::move(service));
-  }
-
-  // Fault schedule: a per-host up/down walk so recoveries always follow
-  // crashes, plus crash-during-recovery follow-ups and guest crashes.
+/// The post-T0 half of a scenario: a per-host up/down fault walk (so
+/// recoveries always follow crashes) plus crash-during-recovery follow-ups
+/// and guest crashes, then the recovery-headroom horizon.
+void generate_fault_schedule(ChaosSpec& spec, sim::Rng& fault_rng) {
+  const int hosts = static_cast<int>(spec.hosts.size());
+  const int services = static_cast<int>(spec.services.size());
   std::vector<bool> down(static_cast<std::size_t>(hosts), false);
   const int fault_count = static_cast<int>(fault_rng.uniform_int(1, 6));
   double t = 0;
@@ -145,6 +110,71 @@ ChaosSpec generate_scenario(std::uint64_t seed) {
 
   const double last_fault = spec.faults.empty() ? 0 : spec.faults.back().at_s;
   spec.horizon_s = last_fault + quarters(fault_rng, 20, 24);  // +5 .. +6 s
+}
+
+}  // namespace
+
+ChaosSpec generate_scenario(std::uint64_t seed) {
+  sim::Rng root(seed);
+  sim::Rng topo_rng = root.fork();
+  sim::Rng service_rng = root.fork();
+  sim::Rng fault_rng = root.fork();
+
+  ChaosSpec spec;
+  spec.seed = seed;
+
+  switch (topo_rng.uniform_int(0, 3)) {
+    case 0: spec.placement = core::PlacementPolicy::kFirstFit; break;
+    case 1: spec.placement = core::PlacementPolicy::kBestFit; break;
+    case 2: spec.placement = core::PlacementPolicy::kWorstFit; break;
+    default: spec.placement = core::PlacementPolicy::kCacheAffinity; break;
+  }
+  const int hosts = static_cast<int>(topo_rng.uniform_int(2, 5));
+  for (int i = 0; i < hosts; ++i) {
+    spec.hosts.push_back(ChaosHost{topo_rng.bernoulli(0.6)});
+  }
+  spec.content_mb = static_cast<int>(topo_rng.uniform_int(1, 4));
+
+  const int services = static_cast<int>(service_rng.uniform_int(1, 3));
+  for (int k = 0; k < services; ++k) {
+    ChaosService service;
+    service.name = "svc" + std::to_string(k);
+    service.units = static_cast<int>(service_rng.uniform_int(1, 3));
+    service.policy = kPolicies[service_rng.uniform_int(0, 4)];
+    service.policy_seed =
+        service.policy == "random"
+            ? static_cast<std::uint64_t>(service_rng.uniform_int(1, 1 << 20))
+            : 0;
+    service.trace = random_trace(service_rng).phases();
+    service.traffic_seed =
+        static_cast<std::uint64_t>(service_rng.uniform_int(1, 1 << 20));
+    spec.services.push_back(std::move(service));
+  }
+
+  generate_fault_schedule(spec, fault_rng);
+
+  SODA_ENSURES(validate_spec(spec).ok());
+  return spec;
+}
+
+ChaosSpec generate_scenario_from_base(const ChaosSpec& base,
+                                      std::uint64_t seed) {
+  // Same fork discipline as generate_scenario so the traffic and fault
+  // streams stay independent of each other.
+  sim::Rng root(seed);
+  (void)root.fork();  // topology stream: unused, the base fixes the fleet
+  sim::Rng service_rng = root.fork();
+  sim::Rng fault_rng = root.fork();
+
+  ChaosSpec spec = base;
+  spec.seed = seed;
+  spec.faults.clear();
+  for (ChaosService& service : spec.services) {
+    service.trace = random_trace(service_rng).phases();
+    service.traffic_seed =
+        static_cast<std::uint64_t>(service_rng.uniform_int(1, 1 << 20));
+  }
+  generate_fault_schedule(spec, fault_rng);
 
   SODA_ENSURES(validate_spec(spec).ok());
   return spec;

@@ -20,4 +20,12 @@ namespace soda::chaos {
 /// always passes validate_spec().
 ChaosSpec generate_scenario(std::uint64_t seed);
 
+/// Warm-start variant: keeps `base`'s fleet, placement policy, content size,
+/// and service set (the parts baked into a chaos checkpoint's T0 world) and
+/// redraws only the post-T0 inputs — per-service traffic traces/seeds and
+/// the fault schedule — from `seed`. `soda_chaos fuzz --from <ckpt>` runs
+/// thousands of these against one restored world.
+ChaosSpec generate_scenario_from_base(const ChaosSpec& base,
+                                      std::uint64_t seed);
+
 }  // namespace soda::chaos

@@ -19,6 +19,83 @@ bool close(double a, double b) {
 
 }  // namespace
 
+std::vector<std::string> billing_conservation_violations(
+    const std::vector<core::BillingEntry>& entries,
+    const std::vector<BillingExpectation>& live, sim::SimTime now) {
+  std::vector<std::string> problems;
+  const auto live_of = [&](const std::string& service)
+      -> const BillingExpectation* {
+    for (const BillingExpectation& expectation : live) {
+      if (expectation.service == service) return &expectation;
+    }
+    return nullptr;
+  };
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const core::BillingEntry& entry = entries[i];
+    if (entry.started_at > now) {
+      problems.push_back(entry.service_name + " accrues from the future (" +
+                         std::to_string(entry.started_at.to_seconds()) +
+                         "s > now)");
+    }
+    if (!entry.open() && entry.ended_at < entry.started_at) {
+      problems.push_back(entry.service_name + " window runs backwards");
+    }
+    if (entry.machine_instances <= 0) {
+      problems.push_back(entry.service_name + " charges " +
+                         std::to_string(entry.machine_instances) +
+                         " machine instances");
+    }
+    // Same-service windows must be disjoint: an overlap charges the same
+    // placement interval twice.
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      const core::BillingEntry& other = entries[j];
+      if (other.service_name != entry.service_name) continue;
+      const sim::SimTime a_end = entry.open() ? now : entry.ended_at;
+      const sim::SimTime b_end = other.open() ? now : other.ended_at;
+      if (entry.started_at < b_end && other.started_at < a_end) {
+        problems.push_back(entry.service_name +
+                           " is double-billed: overlapping accrual windows");
+      }
+    }
+  }
+
+  // Live services carry exactly one open window, with the right owner and
+  // size; nothing else may still accrue.
+  for (const BillingExpectation& expectation : live) {
+    std::size_t open = 0;
+    for (const core::BillingEntry& entry : entries) {
+      if (entry.service_name != expectation.service || !entry.open()) continue;
+      ++open;
+      if (entry.asp_id != expectation.asp_id) {
+        problems.push_back(expectation.service + " accrues to " +
+                           entry.asp_id + " but is owned by " +
+                           expectation.asp_id);
+      }
+      if (entry.machine_instances != expectation.instances) {
+        problems.push_back(expectation.service + " charges " +
+                           std::to_string(entry.machine_instances) +
+                           " instances but runs " +
+                           std::to_string(expectation.instances));
+      }
+    }
+    if (open == 0) {
+      problems.push_back(expectation.service +
+                         " is live but its accrual was dropped");
+    } else if (open > 1) {
+      problems.push_back(expectation.service + " is double-billed: " +
+                         std::to_string(open) + " open accrual windows");
+    }
+  }
+  for (const core::BillingEntry& entry : entries) {
+    if (entry.open() && live_of(entry.service_name) == nullptr) {
+      problems.push_back(entry.service_name +
+                         " still accrues but is not a live service");
+    }
+  }
+  return problems;
+}
+
 InvariantChecker::InvariantChecker(core::Hup& hup, Options options)
     : hup_(hup), options_(std::move(options)) {
   subscription_ = hup_.master().bus().subscribe(
@@ -188,6 +265,8 @@ void InvariantChecker::final_checks() {
     }
   });
 
+  check_billing();
+
   const core::MetricsRegistry& metrics = master.metrics();
   const auto check_counter = [&](const char* counter, std::uint64_t truth) {
     expect(metrics.value(counter) == static_cast<double>(truth),
@@ -199,6 +278,29 @@ void InvariantChecker::final_checks() {
   check_counter("failures", master.host_failures_detected());
   check_counter("placements_lost", master.placements_lost());
   check_counter("recoveries", master.recoveries_completed());
+}
+
+void InvariantChecker::check_billing() {
+  // Billing accrues from creation success: a service is "live" for the
+  // ledger while it is running (possibly degraded or resizing) and has an
+  // enrolled owner; kFailed / kGone services never (or no longer) accrue.
+  std::vector<BillingExpectation> live;
+  hup_.master().services().for_each(
+      [&](const std::string& name, const core::ServiceRecord& record) {
+        const core::ServiceState state = record.lifecycle.state();
+        if (state != core::ServiceState::kRunning &&
+            state != core::ServiceState::kDegraded &&
+            state != core::ServiceState::kResizing) {
+          return;
+        }
+        const std::string* owner = hup_.agent().owner_of(name);
+        if (!owner) return;
+        live.push_back(BillingExpectation{name, *owner, record.requirement.n});
+      });
+  for (std::string& problem : billing_conservation_violations(
+           hup_.agent().billing().entries(), live, hup_.engine().now())) {
+    expect(false, "billing-conservation", std::move(problem));
+  }
 }
 
 }  // namespace soda::chaos

@@ -26,6 +26,26 @@ struct Violation {
   std::string detail;
 };
 
+/// One expected open accrual window for the billing-conservation check: a
+/// live (created, not torn down / failed) service owned by `asp_id`,
+/// currently sized at `instances` machine instances.
+struct BillingExpectation {
+  std::string service;
+  std::string asp_id;
+  int instances = 0;
+};
+
+/// Billing/accounting conservation over the ledger: every live service has
+/// exactly one open accrual window (matching owner and instance count), no
+/// window runs backwards or starts in the future, windows of the same
+/// service never overlap (double billing), and no open window references a
+/// service that is not live (billing a torn-down placement). Pure function
+/// over the entry list so tests can seed corrupt ledgers directly; returns
+/// one human-readable description per violation.
+std::vector<std::string> billing_conservation_violations(
+    const std::vector<core::BillingEntry>& entries,
+    const std::vector<BillingExpectation>& live, sim::SimTime now);
+
 class InvariantChecker {
  public:
   struct Options {
@@ -60,9 +80,15 @@ class InvariantChecker {
   void sweep();
 
   /// End-of-run convergence checks: no service stuck mid-lifecycle, every
-  /// degraded service justified by genuine lack of capacity, and the
-  /// metrics registry's failure/recovery counters equal to the Master's.
+  /// degraded service justified by genuine lack of capacity, the metrics
+  /// registry's failure/recovery counters equal to the Master's, and the
+  /// billing ledger conserving accrual (check_billing).
   void final_checks();
+
+  /// Billing-conservation sweep against the Agent's ledger: charged windows
+  /// match the services that are actually live. Part of final_checks;
+  /// callable directly at quiesce points.
+  void check_billing();
 
   [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
     return violations_;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "chaos/checkpoint.hpp"
 #include "chaos/dsl.hpp"
 #include "core/daemon.hpp"
 #include "core/faults.hpp"
@@ -210,74 +211,130 @@ ChaosReport run_scenario(const ChaosSpec& spec, const ChaosOptions& options) {
     return report;
   }
 
+  const std::string from = !options.from_checkpoint.empty()
+                               ? options.from_checkpoint
+                               : spec.snapshot;
+
   core::MasterConfig config;
   config.placement = spec.placement;
   core::Hup hup(config);
-  for (int i = 0; i < static_cast<int>(spec.hosts.size()); ++i) {
-    host::HostSpec host_spec = spec.hosts[static_cast<std::size_t>(i)].big
-                                   ? host::HostSpec::seattle()
-                                   : host::HostSpec::tacoma();
-    host_spec.name = chaos_host_name(spec, i);
-    hup.add_host(host_spec,
-                 net::Ipv4Address(10, 0, static_cast<std::uint8_t>(i + 1), 0),
-                 16);
-  }
-
-  // Observe creations too: the checker subscribes before the first event.
   std::optional<InvariantChecker> checker;
-  if (options.check_invariants) {
-    InvariantChecker::Options checker_options;
-    checker_options.synthetic_violation_on_host_down =
-        options.synthetic_violation_on_host_down;
-    checker.emplace(hup, std::move(checker_options));
-  }
+  InvariantChecker::Options checker_options;
+  checker_options.synthetic_violation_on_host_down =
+      options.synthetic_violation_on_host_down;
 
   std::size_t attempts = 0;
-  if (!spec.services.empty()) {
-    image::ImageRepository& repo = hup.add_repository("asp-repo");
-    hup.agent().register_asp("chaos", "key");
-    auto location = repo.publish(image::web_content_image(
-        static_cast<std::int64_t>(spec.content_mb) * 1024 * 1024));
-    if (!location.ok()) {
-      report.setup_error = location.error().message;
+  if (!from.empty()) {
+    // Warm start: the expensive build phase (hosts, priming, switch
+    // configuration, detector arming) is restored wholesale from the
+    // checkpointed T0 world; only the fault plan and traffic are new.
+    auto checkpoint = read_chaos_checkpoint(from);
+    if (!checkpoint.ok()) {
+      report.setup_error = checkpoint.error().message;
       return report;
     }
+    if (auto compat = base_compatible(checkpoint.value().base, spec);
+        !compat.ok()) {
+      report.setup_error = compat.error().message;
+      return report;
+    }
+    if (auto loaded = hup.load_snapshot(checkpoint.value().world);
+        !loaded.ok()) {
+      report.setup_error = loaded.error().message;
+      return report;
+    }
+    report.warm_started = true;
+    attempts = spec.services.size();
     for (const ChaosService& service : spec.services) {
-      core::ServiceCreationRequest request;
-      request.credentials = {"chaos", "key"};
-      request.service_name = service.name;
-      request.image_location = location.value();
-      // The scenario DSL's `create` unit (Table 1's example machine), so a
-      // rendered reproducer means exactly what this runner executed.
-      request.requirement = {service.units, host::MachineConfig{}};
-      bool rejected = false;
-      hup.agent().service_creation(
-          request, [&rejected](core::ApiResult<core::ServiceCreationReply>
-                                   reply,
-                               sim::SimTime) {
-            if (!reply.ok()) rejected = true;
-          });
-      hup.engine().run();
-      ++attempts;
-      if (rejected) {
+      if (hup.master().find_service(service.name) != nullptr) {
+        ++report.services_running;
+      } else {
         ++report.creations_rejected;
-        continue;
       }
-      ++report.services_running;
-      core::ServiceSwitch* sw = hup.master().find_switch(service.name);
-      auto policy = core::make_switch_policy_by_name(
-          service.policy,
-          service.policy_seed ? service.policy_seed : 0x50DA);
-      if (!policy.ok()) {
-        report.setup_error = policy.error().message;
+    }
+    // The checker can only subscribe now — the build-phase bus events it
+    // would have observed are already folded into the restored state.
+    if (options.check_invariants) {
+      checker.emplace(hup, std::move(checker_options));
+    }
+  } else {
+    for (int i = 0; i < static_cast<int>(spec.hosts.size()); ++i) {
+      host::HostSpec host_spec = spec.hosts[static_cast<std::size_t>(i)].big
+                                     ? host::HostSpec::seattle()
+                                     : host::HostSpec::tacoma();
+      host_spec.name = chaos_host_name(spec, i);
+      hup.add_host(
+          host_spec,
+          net::Ipv4Address(10, 0, static_cast<std::uint8_t>(i + 1), 0), 16);
+    }
+
+    // Observe creations too: the checker subscribes before the first event.
+    if (options.check_invariants) {
+      checker.emplace(hup, std::move(checker_options));
+    }
+
+    if (!spec.services.empty()) {
+      image::ImageRepository& repo = hup.add_repository("asp-repo");
+      hup.agent().register_asp("chaos", "key");
+      auto location = repo.publish(image::web_content_image(
+          static_cast<std::int64_t>(spec.content_mb) * 1024 * 1024));
+      if (!location.ok()) {
+        report.setup_error = location.error().message;
         return report;
       }
-      if (sw) sw->set_policy(std::move(policy).value());
+      for (const ChaosService& service : spec.services) {
+        core::ServiceCreationRequest request;
+        request.credentials = {"chaos", "key"};
+        request.service_name = service.name;
+        request.image_location = location.value();
+        // The scenario DSL's `create` unit (Table 1's example machine), so a
+        // rendered reproducer means exactly what this runner executed.
+        request.requirement = {service.units, host::MachineConfig{}};
+        bool rejected = false;
+        hup.agent().service_creation(
+            request, [&rejected](core::ApiResult<core::ServiceCreationReply>
+                                     reply,
+                                 sim::SimTime) {
+              if (!reply.ok()) rejected = true;
+            });
+        hup.engine().run();
+        ++attempts;
+        if (rejected) {
+          ++report.creations_rejected;
+          continue;
+        }
+        ++report.services_running;
+        core::ServiceSwitch* sw = hup.master().find_switch(service.name);
+        auto policy = core::make_switch_policy_by_name(
+            service.policy,
+            service.policy_seed ? service.policy_seed : 0x50DA);
+        if (!policy.ok()) {
+          report.setup_error = policy.error().message;
+          return report;
+        }
+        if (sw) sw->set_policy(std::move(policy).value());
+      }
+    }
+
+    hup.enable_failure_detection();
+  }
+  const sim::SimTime t0 = hup.engine().now();
+
+  if (!options.save_checkpoint.empty()) {
+    // T0 is the one quiesce point every scenario passes through: the only
+    // pending events are the re-armable heartbeat/detector timers.
+    auto bytes = hup.save_snapshot();
+    if (!bytes.ok()) {
+      report.setup_error = bytes.error().message;
+      return report;
+    }
+    if (auto written = write_chaos_checkpoint(
+            options.save_checkpoint, spec, std::move(bytes).value());
+        !written.ok()) {
+      report.setup_error = written.error().message;
+      return report;
     }
   }
-
-  hup.enable_failure_detection();
-  const sim::SimTime t0 = hup.engine().now();
 
   core::FaultPlan plan;
   for (const ChaosFault& fault : spec.faults) {

@@ -21,6 +21,17 @@ struct ChaosOptions {
   /// Forwarded to InvariantChecker::Options — the Shrinker test's seeded
   /// failure.
   std::string synthetic_violation_on_host_down;
+  /// When non-empty, write a chaos checkpoint (chaos/checkpoint.hpp) of the
+  /// built world at T0 — services running, switch policies set, failure
+  /// detector armed, no fault fired yet — to this path, then keep running.
+  std::string save_checkpoint;
+  /// When non-empty, warm-start: restore the T0 world from this checkpoint
+  /// instead of building hosts and creating services. The checkpoint's
+  /// embedded base spec must be compatible with `spec` (same fleet,
+  /// placement, content, services); faults, traffic, and horizon may
+  /// differ. Falls back to spec.snapshot (the `# snapshot:` reproducer
+  /// header) when empty.
+  std::string from_checkpoint;
 };
 
 /// Everything one scenario run produces.
@@ -38,6 +49,10 @@ struct ChaosReport {
   std::uint64_t faults_injected = 0;
   std::size_t services_running = 0;   // creations that reached kRunning
   std::size_t creations_rejected = 0;
+  /// The world was restored from a checkpoint rather than built. A warm
+  /// continuation's digest is bit-identical to the cold run's — the
+  /// fig_snapshot gate.
+  bool warm_started = false;
 };
 
 /// Builds the spec's HUP, runs it to `horizon_s` past fault-arming, then

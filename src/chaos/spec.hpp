@@ -64,6 +64,11 @@ struct ChaosSpec {
   /// Run length after T0 (service creation done, detector armed); recovery
   /// headroom past the last fault.
   double horizon_s = 5;
+  /// Optional path to a chaos checkpoint (chaos/checkpoint.hpp) to
+  /// warm-start from instead of building the world: travels as a
+  /// `# snapshot:` header in rendered reproducers, so a shrunk reproducer
+  /// can replay against the exact pre-fault world it was found in.
+  std::string snapshot;
   std::vector<ChaosHost> hosts;
   std::vector<ChaosService> services;
   std::vector<ChaosFault> faults;

@@ -400,7 +400,9 @@ void SodaDaemon::start_heartbeat(sim::SimTime interval, HeartbeatSink sink) {
   heartbeat_sink_ = std::move(sink);
   if (heartbeating_) return;
   heartbeating_ = true;
-  engine_.schedule_after(heartbeat_interval_, [this] { heartbeat_tick(); });
+  heartbeat_next_ = engine_.now() + heartbeat_interval_;
+  heartbeat_event_ =
+      engine_.schedule_after(heartbeat_interval_, [this] { heartbeat_tick(); });
 }
 
 void SodaDaemon::heartbeat_tick() {
@@ -408,7 +410,137 @@ void SodaDaemon::heartbeat_tick() {
   // A dead host sends nothing, but the loop keeps ticking so heartbeats
   // resume by themselves once the host recovers.
   if (alive_) heartbeat_sink_(*this, engine_.now());
-  engine_.schedule_after(heartbeat_interval_, [this] { heartbeat_tick(); });
+  heartbeat_next_ = engine_.now() + heartbeat_interval_;
+  heartbeat_event_ =
+      engine_.schedule_after(heartbeat_interval_, [this] { heartbeat_tick(); });
+}
+
+void SodaDaemon::restore_heartbeat(sim::SimTime interval, HeartbeatSink sink,
+                                   bool active) {
+  SODA_EXPECTS(interval > sim::SimTime::zero());
+  SODA_EXPECTS(sink != nullptr);
+  heartbeat_interval_ = interval;
+  heartbeat_sink_ = std::move(sink);
+  heartbeating_ = active;
+}
+
+void SodaDaemon::rearm_heartbeat_at(sim::SimTime when) {
+  SODA_EXPECTS(heartbeating_ && heartbeat_sink_ != nullptr);
+  heartbeat_next_ = when;
+  heartbeat_event_ = engine_.schedule_at(when, [this] { heartbeat_tick(); });
+}
+
+void SodaDaemon::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("daemon");
+  writer.u32(host_id_.value);
+  writer.boolean(alive_);
+  writer.boolean(heartbeating_);
+  writer.time(heartbeat_interval_);
+  distributor_.save_state(writer);
+  writer.u64(node_names_.size());
+  for (std::size_t i = 0; i < node_names_.size(); ++i) {
+    const NodeRecord& record = *node_records_[i];
+    const vm::VirtualServiceNode& node = *record.node;
+    writer.str(node_names_[i]);
+    writer.str(node.service_name());
+    writer.u64(node.slice().value);
+    writer.u32(node.address().value());
+    writer.u64(node.net_node().value);
+    writer.i64(node.capacity_units());
+    writer.i64(node.service_port());
+    writer.str(node.component());
+    writer.boolean(node.public_endpoint().has_value());
+    if (node.public_endpoint()) {
+      writer.u32(node.public_endpoint()->address.value());
+      writer.i64(node.public_endpoint()->port);
+    }
+    writer.i64(node.uml().memory_cap_mb());
+    os::save_rootfs(writer, node.uml().rootfs());
+    node.uml().save_state(writer);
+    // Priming report (Table 2 series) and slice bookkeeping.
+    writer.time(record.report.download_time);
+    writer.time(record.report.customize_time);
+    writer.time(record.report.boot.mount_time);
+    writer.time(record.report.boot.kernel_time);
+    writer.time(record.report.boot.services_time);
+    writer.boolean(record.report.boot.used_ram_disk);
+    writer.u64(record.report.boot.services_started);
+    writer.time(record.report.app_start_time);
+    writer.i64(record.report.image_bytes);
+    writer.i64(record.report.rootfs_bytes);
+    writer.f64(record.unit.cpu_mhz);
+    writer.i64(record.unit.memory_mb);
+    writer.i64(record.unit.disk_mb);
+    writer.f64(record.unit.bandwidth_mbps);
+    writer.u8(static_cast<std::uint8_t>(record.address_mode));
+    writer.i64(record.public_port);
+  }
+  writer.end_section();
+}
+
+void SodaDaemon::load_state(snapshot::Reader& reader) {
+  reader.begin_section("daemon");
+  host_id_ = HostId{reader.u32()};
+  alive_ = reader.boolean();
+  heartbeating_ = reader.boolean();
+  heartbeat_interval_ = reader.time();
+  distributor_.load_state(reader);
+  node_names_.clear();
+  node_records_.clear();
+  const std::uint64_t nodes = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < nodes; ++i) {
+    std::string node_name = reader.str();
+    std::string service_name = reader.str();
+    const host::SliceId slice{reader.u64()};
+    const net::Ipv4Address address{reader.u32()};
+    const net::NodeId net_node{static_cast<std::size_t>(reader.u64())};
+    const auto capacity_units = static_cast<int>(reader.i64());
+    const auto service_port = static_cast<int>(reader.i64());
+    std::string component = reader.str();
+    std::optional<vm::PublicEndpoint> endpoint;
+    if (reader.boolean()) {
+      vm::PublicEndpoint ep;
+      ep.address = net::Ipv4Address{reader.u32()};
+      ep.port = static_cast<int>(reader.i64());
+      endpoint = ep;
+    }
+    const std::int64_t memory_mb = reader.i64();
+    os::RootFs rootfs = os::load_rootfs(reader);
+    // Host slices, IP assignments, bridge/proxy entries, shaper shares, and
+    // the node's flow-network port were all restored wholesale with the host
+    // and network tables — reconstruction here must NOT touch any of them.
+    auto uml = std::make_unique<vm::UserModeLinux>(std::move(rootfs), memory_mb);
+    uml->load_state(reader);
+    auto record = std::make_unique<NodeRecord>();
+    record->node = std::make_unique<vm::VirtualServiceNode>(
+        vm::NodeName{node_name}, std::move(service_name), host_.name(), slice,
+        address, net_node, capacity_units, std::move(uml));
+    record->node->set_service_port(service_port);
+    if (!component.empty()) record->node->set_component(std::move(component));
+    if (endpoint) record->node->set_public_endpoint(*endpoint);
+    record->report.download_time = reader.time();
+    record->report.customize_time = reader.time();
+    record->report.boot.mount_time = reader.time();
+    record->report.boot.kernel_time = reader.time();
+    record->report.boot.services_time = reader.time();
+    record->report.boot.used_ram_disk = reader.boolean();
+    record->report.boot.services_started = static_cast<std::size_t>(reader.u64());
+    record->report.app_start_time = reader.time();
+    record->report.image_bytes = reader.i64();
+    record->report.rootfs_bytes = reader.i64();
+    record->unit.cpu_mhz = reader.f64();
+    record->unit.memory_mb = reader.i64();
+    record->unit.disk_mb = reader.i64();
+    record->unit.bandwidth_mbps = reader.f64();
+    record->address_mode = static_cast<AddressMode>(reader.u8());
+    record->public_port = static_cast<int>(reader.i64());
+    if (!reader.ok()) return;
+    // Names were saved in sorted order, so push_back preserves the store's
+    // sorted-names invariant.
+    node_names_.push_back(std::move(node_name));
+    node_records_.push_back(std::move(record));
+  }
+  reader.end_section();
 }
 
 }  // namespace soda::core

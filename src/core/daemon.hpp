@@ -24,6 +24,7 @@
 #include "net/flow_network.hpp"
 #include "net/shaper.hpp"
 #include "sim/engine.hpp"
+#include "snapshot/format.hpp"
 #include "core/trace.hpp"
 #include "util/result.hpp"
 #include "vm/vsnode.hpp"
@@ -173,6 +174,35 @@ class SodaDaemon {
   /// Stops the loop after the current tick.
   void stop_heartbeat() noexcept { heartbeating_ = false; }
 
+  // --- Checkpoint / restore ------------------------------------------------
+
+  [[nodiscard]] bool heartbeating() const noexcept { return heartbeating_; }
+  [[nodiscard]] sim::SimTime heartbeat_interval() const noexcept {
+    return heartbeat_interval_;
+  }
+  /// Absolute time of the next heartbeat tick (valid while heartbeating).
+  [[nodiscard]] sim::SimTime heartbeat_next() const noexcept {
+    return heartbeat_next_;
+  }
+  /// Engine id of the pending heartbeat event (valid while heartbeating).
+  [[nodiscard]] sim::EventId heartbeat_event() const noexcept {
+    return heartbeat_event_;
+  }
+  /// Restore-time wiring: installs interval/sink/active WITHOUT scheduling.
+  /// The owner re-arms the tick afterwards via rearm_heartbeat_at so pending
+  /// events regain their saved relative order.
+  void restore_heartbeat(sim::SimTime interval, HeartbeatSink sink, bool active);
+  /// Schedules the next heartbeat tick at the absolute time saved in the
+  /// checkpoint's timers section.
+  void rearm_heartbeat_at(sim::SimTime when);
+
+  /// Checkpoints node records (guests, priming reports, slice bookkeeping)
+  /// and the distributor. Reconstruction makes no host/network API calls —
+  /// slices, IPs, bridge/proxy entries, and shaper shares were restored
+  /// wholesale with the host and network tables.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
+
   /// Attaches a trace log (emission is skipped when unset).
   void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
 
@@ -228,6 +258,8 @@ class SodaDaemon {
   bool heartbeating_ = false;
   sim::SimTime heartbeat_interval_ = sim::SimTime::zero();
   HeartbeatSink heartbeat_sink_;
+  sim::SimTime heartbeat_next_ = sim::SimTime::zero();
+  sim::EventId heartbeat_event_{};
 };
 
 }  // namespace soda::core

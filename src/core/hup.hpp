@@ -87,6 +87,36 @@ class Hup {
   /// directions (slow-host / lossy-link injection; 1.0 restores it).
   void scale_host_uplink(const std::string& host_name, double factor);
 
+  // --- Checkpoint / restore (DESIGN.md §14) --------------------------------
+
+  /// Checkpoints the whole world into `writer`: clock, network, hosts
+  /// (guests included), repositories, control plane, and a timers section
+  /// that accounts for every pending engine event. Fails (returned Status)
+  /// when the world is not quiesced — i.e. the engine holds pending events
+  /// other than the periodic heartbeat/detector/monitor ticks, which are the
+  /// only events a checkpoint can re-arm.
+  Status save_state(snapshot::Writer& writer) const;
+
+  /// Restores a world saved by save_state into this (freshly constructed,
+  /// never-run) Hup: the construction config must match the saved one and no
+  /// hosts/repositories/clients may have been added. Reconstructs hosts,
+  /// guests, and repositories, reloads every subsystem wholesale, restores
+  /// the clock, and re-arms the saved timers in their saved heap order so a
+  /// continued run is bit-identical to an uninterrupted one.
+  void load_state(snapshot::Reader& reader);
+
+  /// Whole-snapshot convenience: versioned bytes, checksum appended.
+  Result<std::string> save_snapshot() const;
+  Status load_snapshot(std::string_view bytes);
+  /// File-backed variants (atomic write; clear errors on version skew).
+  Status save_snapshot_file(const std::string& path) const;
+  Status load_snapshot_file(const std::string& path);
+
+  /// FNV-1a digest of the world's snapshot bytes: two worlds are
+  /// bit-identical exactly when their digests are (the save→load→continue
+  /// gate value).
+  [[nodiscard]] Result<std::uint64_t> state_digest() const;
+
   /// The paper's two-host testbed (§4): seattle + tacoma + one ASP
   /// repository ("asp-repo") + one client machine ("client-0").
   struct PaperTestbed {

@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "snapshot/format.hpp"
+
 namespace soda::core {
 
 /// Sentinel for "name was never interned".
@@ -87,6 +89,27 @@ class InternTable {
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+  /// Checkpoints names in intern order — ids are positions, so restoring
+  /// the sequence restores every dense id bit-for-bit.
+  void save_state(snapshot::Writer& writer) const {
+    writer.begin_section("intern_table");
+    writer.u64(names_.size());
+    for (const std::string& name : names_) writer.str(name);
+    writer.end_section();
+  }
+  void load_state(snapshot::Reader& reader) {
+    reader.begin_section("intern_table");
+    names_.clear();
+    index_.clear();
+    const std::uint64_t count = reader.u64();
+    for (std::uint64_t i = 0; reader.ok() && i < count; ++i) {
+      const std::string& stored = names_.emplace_back(reader.str());
+      index_.emplace(std::string_view(stored),
+                     static_cast<std::uint32_t>(names_.size() - 1));
+    }
+    reader.end_section();
+  }
 
  private:
   std::deque<std::string> names_;
@@ -163,6 +186,24 @@ class IdBitSet {
   void clear() noexcept {
     words_.clear();
     count_ = 0;
+  }
+
+  void save_state(snapshot::Writer& writer) const {
+    writer.begin_section("id_bitset");
+    writer.u64(words_.size());
+    for (const std::uint64_t word : words_) writer.u64(word);
+    writer.u64(count_);
+    writer.end_section();
+  }
+  void load_state(snapshot::Reader& reader) {
+    reader.begin_section("id_bitset");
+    words_.clear();
+    const std::uint64_t words = reader.u64();
+    for (std::uint64_t i = 0; reader.ok() && i < words; ++i) {
+      words_.push_back(reader.u64());
+    }
+    count_ = static_cast<std::size_t>(reader.u64());
+    reader.end_section();
   }
 
  private:

@@ -74,6 +74,65 @@ Status SodaMaster::register_daemon(SodaDaemon* daemon) {
   return {};
 }
 
+void SodaMaster::attach_restored_daemon(SodaDaemon* daemon) {
+  SODA_EXPECTS(daemon != nullptr);
+  daemon->set_host_id(HostId{static_cast<std::uint32_t>(daemons_.size())});
+  daemons_.push_back(daemon);
+  daemon->distributor().configure(config_.distribution);
+  daemon->distributor().set_directory(&directory_);
+  daemon->distributor().set_registry(&chunk_registry_);
+  daemon->set_bus(&bus_);
+}
+
+void SodaMaster::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("master");
+  writer.f64(config_.slowdown_factor);
+  writer.u8(static_cast<std::uint8_t>(config_.placement));
+  writer.boolean(config_.customize_rootfs);
+  writer.u8(static_cast<std::uint8_t>(config_.address_mode));
+  writer.i64(config_.max_nodes_per_service);
+  writer.u64(daemons_.size());
+  host_names_.save_state(writer);
+  down_hosts_.save_state(writer);
+  chunk_registry_.save_state(writer);
+  bus_.save_state(writer);
+  priming_.save_state(writer);
+  recovery_.save_state(writer);
+  services_.save_state(writer);
+  writer.end_section();
+}
+
+void SodaMaster::load_state(snapshot::Reader& reader) {
+  reader.begin_section("master");
+  const double slowdown = reader.f64();
+  const auto placement = static_cast<PlacementPolicy>(reader.u8());
+  const bool customize = reader.boolean();
+  const auto address_mode = static_cast<AddressMode>(reader.u8());
+  const auto max_nodes = static_cast<int>(reader.i64());
+  if (reader.ok() &&
+      (slowdown != config_.slowdown_factor || placement != config_.placement ||
+       customize != config_.customize_rootfs ||
+       address_mode != config_.address_mode ||
+       max_nodes != config_.max_nodes_per_service)) {
+    reader.fail("master config mismatch");
+    return;
+  }
+  const std::uint64_t daemons = reader.u64();
+  if (reader.ok() && daemons != daemons_.size()) {
+    reader.fail("daemon count mismatch (attach restored daemons before load)");
+    return;
+  }
+  host_names_.load_state(reader);
+  down_hosts_.load_state(reader);
+  chunk_registry_.load_state(reader);
+  bus_.load_state(reader);
+  priming_.load_state(reader);
+  recovery_.load_state(reader);
+  services_.load_state(
+      reader, [this](std::string_view host) { return daemon_for(host); });
+  reader.end_section();
+}
+
 void SodaMaster::register_repository(const image::ImageRepository* repository) {
   SODA_EXPECTS(repository != nullptr);
   directory_.add(repository);

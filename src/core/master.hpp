@@ -258,6 +258,24 @@ class SodaMaster {
     return recovery_.recoveries();
   }
 
+  // --- Checkpoint / restore ------------------------------------------------
+
+  /// Restore-time wiring: re-attaches a reconstructed daemon without the
+  /// registration side effects (no disjointness probe, no detector arming —
+  /// the detector's state is restored wholesale by load_state). Call once
+  /// per daemon, in the saved registration order, before load_state.
+  void attach_restored_daemon(SodaDaemon* daemon);
+
+  /// The recovery subsystem's pending detector tick (checkpoint plumbing).
+  [[nodiscard]] RecoveryManager& recovery() noexcept { return recovery_; }
+
+  /// Checkpoints the whole control plane: host intern table, down-host set,
+  /// chunk registry, bus metrics, priming counters, detector wheel, and the
+  /// full service table (switches and policy state included). Repositories
+  /// and daemons are owned by the caller — attach/register them first.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
+
  private:
   void finish_creation(ServiceRecord& record, CreateCallback done);
 

@@ -73,13 +73,47 @@ HealthMonitor::~HealthMonitor() { master_.bus().unsubscribe(subscription_); }
 void HealthMonitor::start() {
   if (running_) return;
   running_ = true;
-  engine_.schedule_after(interval_, [this] { tick(); });
+  tick_next_ = engine_.now() + interval_;
+  tick_event_ = engine_.schedule_after(interval_, [this] { tick(); });
 }
 
 void HealthMonitor::tick() {
   if (!running_) return;
   probe_once();
-  engine_.schedule_after(interval_, [this] { tick(); });
+  tick_next_ = engine_.now() + interval_;
+  tick_event_ = engine_.schedule_after(interval_, [this] { tick(); });
+}
+
+void HealthMonitor::rearm_tick_at(sim::SimTime when) {
+  SODA_EXPECTS(running_);
+  tick_next_ = when;
+  tick_event_ = engine_.schedule_at(when, [this] { tick(); });
+}
+
+void HealthMonitor::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("monitor");
+  writer.time(interval_);
+  writer.boolean(running_);
+  writer.u64(probes_);
+  writer.u64(to_unhealthy_);
+  writer.u64(to_healthy_);
+  writer.u64(bus_events_seen_);
+  writer.end_section();
+}
+
+void HealthMonitor::load_state(snapshot::Reader& reader) {
+  reader.begin_section("monitor");
+  const sim::SimTime interval = reader.time();
+  if (reader.ok() && interval != interval_) {
+    reader.fail("health monitor interval mismatch");
+    return;
+  }
+  running_ = reader.boolean();
+  probes_ = reader.u64();
+  to_unhealthy_ = reader.u64();
+  to_healthy_ = reader.u64();
+  bus_events_seen_ = reader.u64();
+  reader.end_section();
 }
 
 std::size_t HealthMonitor::probe_once() {

@@ -86,6 +86,21 @@ class HealthMonitor {
     return bus_events_seen_;
   }
 
+  // --- Checkpoint / restore ------------------------------------------------
+
+  /// Absolute time of the next probe tick (valid while running).
+  [[nodiscard]] sim::SimTime tick_next() const noexcept { return tick_next_; }
+  /// Engine id of the pending probe tick (valid while running).
+  [[nodiscard]] sim::EventId tick_event() const noexcept { return tick_event_; }
+  /// Re-arms the probe tick at the absolute time saved in the checkpoint's
+  /// timers section (load_state does not schedule).
+  void rearm_tick_at(sim::SimTime when);
+
+  /// Checkpoints the probe counters; the interval is a constructor argument
+  /// and is verified on load.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
+
  private:
   void tick();
 
@@ -98,6 +113,8 @@ class HealthMonitor {
   std::uint64_t to_healthy_ = 0;
   std::uint64_t bus_events_seen_ = 0;
   std::size_t subscription_ = 0;
+  sim::SimTime tick_next_ = sim::SimTime::zero();
+  sim::EventId tick_event_{};
 };
 
 }  // namespace soda::core

@@ -16,6 +16,7 @@
 #include "core/placement.hpp"
 #include "image/repository.hpp"
 #include "sim/engine.hpp"
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 
 namespace soda::core {
@@ -78,6 +79,21 @@ class PrimingCoordinator {
   [[nodiscard]] std::uint64_t fanouts() const noexcept { return fanouts_; }
   [[nodiscard]] std::uint64_t nodes_primed() const noexcept {
     return nodes_primed_;
+  }
+
+  /// Checkpoints the fan-out counters (in-flight fan-outs are closures and
+  /// must be quiesced before a snapshot — the owner asserts that).
+  void save_state(snapshot::Writer& writer) const {
+    writer.begin_section("priming");
+    writer.u64(fanouts_);
+    writer.u64(nodes_primed_);
+    writer.end_section();
+  }
+  void load_state(snapshot::Reader& reader) {
+    reader.begin_section("priming");
+    fanouts_ = reader.u64();
+    nodes_primed_ = reader.u64();
+    reader.end_section();
   }
 
  private:

@@ -43,13 +43,75 @@ void RecoveryManager::start(FailureDetectorConfig config) {
   if (!enabled_) enable(config);
   if (running_) return;
   running_ = true;
-  engine_.schedule_after(config_.heartbeat_interval, [this] { tick(); });
+  tick_next_ = engine_.now() + config_.heartbeat_interval;
+  tick_event_ =
+      engine_.schedule_after(config_.heartbeat_interval, [this] { tick(); });
 }
 
 void RecoveryManager::tick() {
   if (!running_) return;
   check_once();
-  engine_.schedule_after(config_.heartbeat_interval, [this] { tick(); });
+  tick_next_ = engine_.now() + config_.heartbeat_interval;
+  tick_event_ =
+      engine_.schedule_after(config_.heartbeat_interval, [this] { tick(); });
+}
+
+void RecoveryManager::rearm_tick_at(sim::SimTime when) {
+  SODA_EXPECTS(running_);
+  tick_next_ = when;
+  tick_event_ = engine_.schedule_at(when, [this] { tick(); });
+}
+
+void RecoveryManager::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("recovery");
+  writer.boolean(enabled_);
+  writer.boolean(running_);
+  writer.time(config_.heartbeat_interval);
+  writer.time(config_.timeout);
+  writer.u64(deadline_.size());
+  for (const sim::SimTime deadline : deadline_) writer.time(deadline);
+  for (const std::uint8_t hanging : in_wheel_) writer.u8(hanging);
+  writer.u64(wheel_.size());
+  for (const std::vector<std::uint32_t>& bucket : wheel_) {
+    writer.u64(bucket.size());
+    for (const std::uint32_t id : bucket) writer.u32(id);
+  }
+  writer.u64(cursor_tick_);
+  writer.u64(host_failures_);
+  writer.u64(placements_lost_);
+  writer.u64(recoveries_);
+  writer.end_section();
+}
+
+void RecoveryManager::load_state(snapshot::Reader& reader) {
+  reader.begin_section("recovery");
+  enabled_ = reader.boolean();
+  running_ = reader.boolean();
+  config_.heartbeat_interval = reader.time();
+  config_.timeout = reader.time();
+  const std::uint64_t hosts = reader.u64();
+  deadline_.clear();
+  in_wheel_.clear();
+  for (std::uint64_t i = 0; reader.ok() && i < hosts; ++i) {
+    deadline_.push_back(reader.time());
+  }
+  for (std::uint64_t i = 0; reader.ok() && i < hosts; ++i) {
+    in_wheel_.push_back(reader.u8());
+  }
+  const std::uint64_t buckets = reader.u64();
+  wheel_.clear();
+  for (std::uint64_t i = 0; reader.ok() && i < buckets; ++i) {
+    std::vector<std::uint32_t>& bucket = wheel_.emplace_back();
+    const std::uint64_t entries = reader.u64();
+    for (std::uint64_t j = 0; reader.ok() && j < entries; ++j) {
+      bucket.push_back(reader.u32());
+    }
+  }
+  cursor_tick_ = reader.u64();
+  host_failures_ = reader.u64();
+  placements_lost_ = reader.u64();
+  recoveries_ = reader.u64();
+  reader.end_section();
 }
 
 void RecoveryManager::on_host_registered(SodaDaemon& daemon) {

@@ -25,6 +25,7 @@
 #include "image/distributor.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "snapshot/format.hpp"
 
 namespace soda::core {
 
@@ -92,6 +93,22 @@ class RecoveryManager {
   /// number of services retried.
   std::size_t retry_recoveries();
 
+  // --- Checkpoint / restore ------------------------------------------------
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  /// Absolute time of the next detector tick (valid while running).
+  [[nodiscard]] sim::SimTime tick_next() const noexcept { return tick_next_; }
+  /// Engine id of the pending detector tick (valid while running).
+  [[nodiscard]] sim::EventId tick_event() const noexcept { return tick_event_; }
+  /// Re-arms the detector tick at the absolute time saved in the
+  /// checkpoint's timers section (load_state does not schedule).
+  void rearm_tick_at(sim::SimTime when);
+
+  /// Checkpoints the detector: config, deadline wheel, and counters. The
+  /// pending tick itself travels through the owner's timers section.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
+
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
   [[nodiscard]] std::uint64_t host_failures() const noexcept {
     return host_failures_;
@@ -142,6 +159,9 @@ class RecoveryManager {
   std::uint64_t cursor_tick_ = 0;          // next tick to drain
   std::vector<std::uint32_t> expired_;     // scratch, reused per check
   std::vector<std::uint32_t> drain_;       // scratch bucket being drained
+
+  sim::SimTime tick_next_ = sim::SimTime::zero();
+  sim::EventId tick_event_{};
 
   std::uint64_t host_failures_ = 0;
   std::uint64_t placements_lost_ = 0;

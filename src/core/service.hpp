@@ -44,6 +44,10 @@ class ServiceLifecycle {
     return service_name_;
   }
 
+  /// Checkpoint restore: sets the state directly, bypassing transition
+  /// validation (the saved state was legal when captured).
+  void restore_state(ServiceState state) noexcept { state_ = state; }
+
  private:
   std::string service_name_;
   ServiceState state_ = ServiceState::kRequested;

@@ -19,12 +19,14 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "core/daemon.hpp"
 #include "core/ids.hpp"
 #include "core/placement.hpp"
 #include "core/service.hpp"
 #include "core/switch.hpp"
 #include "host/resources.hpp"
 #include "image/image.hpp"
+#include "snapshot/format.hpp"
 
 namespace soda::core {
 
@@ -131,7 +133,174 @@ class ServiceTable {
     for (const auto& [name, slot] : by_name_) f(name, slots_[slot]);
   }
 
+  /// Resolves a daemon by host name when placements are relinked on restore.
+  using DaemonResolver = std::function<SodaDaemon*(std::string_view host_name)>;
+
+  /// Checkpoints every slot (live records in full — switch and policy state
+  /// included), the free list, and the intern table, preserving slot and id
+  /// assignments exactly so recycled-slot/id behaviour replays identically.
+  void save_state(snapshot::Writer& writer) const {
+    writer.begin_section("service_table");
+    std::vector<std::uint8_t> live(slots_.size(), 1);
+    for (const std::uint32_t slot : free_slots_) live[slot] = 0;
+    writer.u64(slots_.size());
+    writer.u64(free_slots_.size());
+    for (const std::uint32_t slot : free_slots_) writer.u32(slot);
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+      writer.u8(live[slot]);
+      if (live[slot]) save_record(writer, slots_[slot]);
+    }
+    ids_.save_state(writer);
+    writer.u64(slot_of_id_.size());
+    for (const std::uint32_t slot : slot_of_id_) writer.u32(slot);
+    writer.end_section();
+  }
+
+  void load_state(snapshot::Reader& reader, const DaemonResolver& resolve) {
+    reader.begin_section("service_table");
+    slots_.clear();
+    free_slots_.clear();
+    by_name_.clear();
+    slot_of_id_.clear();
+    const std::uint64_t slots = reader.u64();
+    const std::uint64_t frees = reader.u64();
+    for (std::uint64_t i = 0; reader.ok() && i < frees; ++i) {
+      free_slots_.push_back(reader.u32());
+    }
+    for (std::uint64_t slot = 0; reader.ok() && slot < slots; ++slot) {
+      ServiceRecord& record = slots_.emplace_back();
+      if (reader.u8() == 0) continue;  // recycled slot, stays blank
+      load_record(reader, record, resolve);
+      if (!reader.ok()) return;
+      by_name_.emplace(record.service_name, static_cast<std::uint32_t>(slot));
+    }
+    ids_.load_state(reader);
+    const std::uint64_t id_slots = reader.u64();
+    for (std::uint64_t i = 0; reader.ok() && i < id_slots; ++i) {
+      slot_of_id_.push_back(reader.u32());
+    }
+    reader.end_section();
+  }
+
  private:
+  static void save_record(snapshot::Writer& writer, const ServiceRecord& r) {
+    writer.begin_section("service");
+    writer.str(r.service_name);
+    writer.u32(r.id.value);
+    writer.str(r.asp_id);
+    writer.i64(r.requirement.n);
+    writer.f64(r.requirement.m.cpu_mhz);
+    writer.i64(r.requirement.m.memory_mb);
+    writer.i64(r.requirement.m.disk_mb);
+    writer.f64(r.requirement.m.bandwidth_mbps);
+    writer.str(r.image_location.repository);
+    writer.str(r.image_location.path);
+    writer.i64(r.listen_port);
+    writer.boolean(r.customize_rootfs);
+    writer.u8(static_cast<std::uint8_t>(r.address_mode));
+    writer.u64(r.nodes.size());
+    for (const NodeDescriptor& node : r.nodes) {
+      writer.str(node.node_name);
+      writer.str(node.host_name);
+      writer.u32(node.address.value());
+      writer.i64(node.port);
+      writer.i64(node.capacity_units);
+      writer.str(node.component);
+    }
+    // Placements reference daemons by host name; the resolver relinks them.
+    writer.u64(r.placements.size());
+    for (const Placement& placement : r.placements) {
+      writer.str(placement.daemon->host_name());
+      writer.str(placement.node_name);
+      writer.i64(placement.units);
+      writer.str(placement.component);
+    }
+    writer.u64(r.components.size());
+    for (const image::ServiceComponent& c : r.components) {
+      writer.str(c.name);
+      writer.str(c.entry_command);
+      writer.i64(c.listen_port);
+      writer.str(c.route_prefix);
+      writer.u64(c.required_services.size());
+      for (const std::string& s : c.required_services) writer.str(s);
+      writer.f64(c.app_start_ghz_s);
+      writer.i64(c.app_memory_mb);
+      writer.i64(c.units);
+    }
+    writer.boolean(r.service_switch != nullptr);
+    if (r.service_switch) r.service_switch->save_state(writer);
+    writer.u8(static_cast<std::uint8_t>(r.lifecycle.state()));
+    writer.i64(r.next_ordinal);
+    writer.end_section();
+  }
+
+  static void load_record(snapshot::Reader& reader, ServiceRecord& r,
+                          const DaemonResolver& resolve) {
+    reader.begin_section("service");
+    r.service_name = reader.str();
+    r.id = ServiceId{reader.u32()};
+    r.asp_id = reader.str();
+    r.requirement.n = static_cast<int>(reader.i64());
+    r.requirement.m.cpu_mhz = reader.f64();
+    r.requirement.m.memory_mb = reader.i64();
+    r.requirement.m.disk_mb = reader.i64();
+    r.requirement.m.bandwidth_mbps = reader.f64();
+    r.image_location.repository = reader.str();
+    r.image_location.path = reader.str();
+    r.listen_port = static_cast<int>(reader.i64());
+    r.customize_rootfs = reader.boolean();
+    r.address_mode = static_cast<AddressMode>(reader.u8());
+    const std::uint64_t nodes = reader.u64();
+    for (std::uint64_t i = 0; reader.ok() && i < nodes; ++i) {
+      NodeDescriptor& node = r.nodes.emplace_back();
+      node.node_name = reader.str();
+      node.host_name = reader.str();
+      node.address = net::Ipv4Address{reader.u32()};
+      node.port = static_cast<int>(reader.i64());
+      node.capacity_units = static_cast<int>(reader.i64());
+      node.component = reader.str();
+    }
+    const std::uint64_t placements = reader.u64();
+    for (std::uint64_t i = 0; reader.ok() && i < placements; ++i) {
+      Placement& placement = r.placements.emplace_back();
+      const std::string host_name = reader.str();
+      placement.daemon = resolve(host_name);
+      if (placement.daemon == nullptr) {
+        reader.fail("placement references unknown host '" + host_name + "'");
+        return;
+      }
+      placement.node_name = reader.str();
+      placement.units = static_cast<int>(reader.i64());
+      placement.component = reader.str();
+    }
+    const std::uint64_t components = reader.u64();
+    for (std::uint64_t i = 0; reader.ok() && i < components; ++i) {
+      image::ServiceComponent& c = r.components.emplace_back();
+      c.name = reader.str();
+      c.entry_command = reader.str();
+      c.listen_port = static_cast<int>(reader.i64());
+      c.route_prefix = reader.str();
+      const std::uint64_t services = reader.u64();
+      for (std::uint64_t j = 0; reader.ok() && j < services; ++j) {
+        c.required_services.push_back(reader.str());
+      }
+      c.app_start_ghz_s = reader.f64();
+      c.app_memory_mb = reader.i64();
+      c.units = static_cast<int>(reader.i64());
+    }
+    if (reader.boolean()) {
+      // Placeholder listen endpoint — the switch's own section overwrites it
+      // (the ctor just requires a positive port).
+      r.service_switch = std::make_unique<ServiceSwitch>(
+          r.service_name, net::Ipv4Address{0}, 1);
+      r.service_switch->load_state(reader);
+    }
+    r.lifecycle = ServiceLifecycle{r.service_name};
+    r.lifecycle.restore_state(static_cast<ServiceState>(reader.u8()));
+    r.next_ordinal = static_cast<int>(reader.i64());
+    reader.end_section();
+  }
+
   std::deque<ServiceRecord> slots_;  // stable addresses across growth
   std::vector<std::uint32_t> free_slots_;
   std::map<std::string, std::uint32_t, std::less<>> by_name_;

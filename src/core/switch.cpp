@@ -1,6 +1,7 @@
 #include "core/switch.hpp"
 
 #include <algorithm>
+#include <array>
 #include <climits>
 
 #include "util/contract.hpp"
@@ -47,6 +48,21 @@ class SmoothWrr final : public SwitchPolicy {
   void on_backends_changed(const std::vector<BackEndState>& slots) override {
     current_.assign(slots.size(), 0);
   }
+  void save_state(snapshot::Writer& writer) const override {
+    writer.begin_section("policy_state");
+    writer.u64(current_.size());
+    for (const long long weight : current_) writer.i64(weight);
+    writer.end_section();
+  }
+  void load_state(snapshot::Reader& reader) override {
+    reader.begin_section("policy_state");
+    current_.clear();
+    const std::uint64_t count = reader.u64();
+    for (std::uint64_t i = 0; reader.ok() && i < count; ++i) {
+      current_.push_back(reader.i64());
+    }
+    reader.end_section();
+  }
 
  private:
   std::vector<long long> current_;  // indexed by backend slot
@@ -62,6 +78,16 @@ class PlainRr final : public SwitchPolicy {
   void on_backends_changed(const std::vector<BackEndState>&) override {
     next_ = 0;
   }
+  void save_state(snapshot::Writer& writer) const override {
+    writer.begin_section("policy_state");
+    writer.u64(next_);
+    writer.end_section();
+  }
+  void load_state(snapshot::Reader& reader) override {
+    reader.begin_section("policy_state");
+    next_ = static_cast<std::size_t>(reader.u64());
+    reader.end_section();
+  }
 
  private:
   std::size_t next_ = 0;
@@ -76,6 +102,18 @@ class RandomPolicy final : public SwitchPolicy {
         rng_.uniform_int(0, static_cast<std::int64_t>(view.size()) - 1));
   }
   [[nodiscard]] std::string name() const override { return "random"; }
+  void save_state(snapshot::Writer& writer) const override {
+    writer.begin_section("policy_state");
+    for (const std::uint64_t word : rng_.state()) writer.u64(word);
+    writer.end_section();
+  }
+  void load_state(snapshot::Reader& reader) override {
+    reader.begin_section("policy_state");
+    std::array<std::uint64_t, 4> state{};
+    for (std::uint64_t& word : state) word = reader.u64();
+    if (reader.ok()) rng_.set_state(state);
+    reader.end_section();
+  }
 
  private:
   sim::Rng rng_;
@@ -147,6 +185,28 @@ class FastestResponse final : public SwitchPolicy {
   [[nodiscard]] std::string name() const override { return "fastest-response"; }
   void on_backends_changed(const std::vector<BackEndState>& slots) override {
     reseed(slots.size());
+  }
+  void save_state(snapshot::Writer& writer) const override {
+    writer.begin_section("policy_state");
+    writer.f64(alpha_);
+    writer.u64(ewma_.size());
+    for (std::size_t i = 0; i < ewma_.size(); ++i) {
+      writer.f64(ewma_[i]);
+      writer.u8(sampled_[i]);
+    }
+    writer.end_section();
+  }
+  void load_state(snapshot::Reader& reader) override {
+    reader.begin_section("policy_state");
+    alpha_ = reader.f64();
+    ewma_.clear();
+    sampled_.clear();
+    const std::uint64_t count = reader.u64();
+    for (std::uint64_t i = 0; reader.ok() && i < count; ++i) {
+      ewma_.push_back(reader.f64());
+      sampled_.push_back(reader.u8());
+    }
+    reader.end_section();
   }
 
  private:
@@ -553,6 +613,89 @@ std::uint64_t ServiceSwitch::routed_to(net::Ipv4Address backend_address,
     }
   }
   return 0;
+}
+
+void ServiceSwitch::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("switch");
+  writer.u32(listen_.value());
+  writer.i64(port_);
+  writer.u64(backends_.size());
+  for (const BackEndState& backend : backends_) {
+    writer.u32(backend.entry.address.value());
+    writer.i64(backend.entry.port);
+    writer.i64(backend.entry.capacity);
+    writer.str(backend.entry.component);
+    writer.u64(backend.requests_routed);
+    writer.u64(backend.active_connections);
+    writer.boolean(backend.healthy);
+    writer.boolean(backend.draining);
+  }
+  writer.u64(routes_.size());
+  for (const PrefixRoute& route : routes_) {
+    writer.str(route.prefix);
+    writer.str(route.component);
+  }
+  writer.u64(route_order_.size());
+  for (const std::uint32_t index : route_order_) writer.u32(index);
+  writer.str(policy_->name());
+  policy_->save_state(writer);
+  writer.u64(epoch_);
+  writer.u64(routed_);
+  writer.u64(refused_);
+  writer.u64(failovers_);
+  writer.end_section();
+}
+
+void ServiceSwitch::load_state(snapshot::Reader& reader) {
+  reader.begin_section("switch");
+  listen_ = net::Ipv4Address{reader.u32()};
+  port_ = static_cast<int>(reader.i64());
+  backends_.clear();
+  const std::uint64_t backend_count = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < backend_count; ++i) {
+    BackEndState backend;
+    backend.entry.address = net::Ipv4Address{reader.u32()};
+    backend.entry.port = static_cast<int>(reader.i64());
+    backend.entry.capacity = static_cast<int>(reader.i64());
+    backend.entry.component = reader.str();
+    backend.requests_routed = reader.u64();
+    backend.active_connections = reader.u64();
+    backend.healthy = reader.boolean();
+    backend.draining = reader.boolean();
+    backends_.push_back(std::move(backend));
+  }
+  routes_.clear();
+  const std::uint64_t route_count = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < route_count; ++i) {
+    PrefixRoute route;
+    route.prefix = reader.str();
+    route.component = reader.str();
+    routes_.push_back(std::move(route));
+  }
+  route_order_.clear();
+  const std::uint64_t order_count = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < order_count; ++i) {
+    route_order_.push_back(reader.u32());
+  }
+  const std::string policy_name = reader.str();
+  if (reader.ok()) {
+    auto policy = make_switch_policy_by_name(policy_name);
+    if (!policy.ok()) {
+      reader.fail("cannot restore switch policy '" + policy_name +
+                  "' (custom policies are not checkpointable)");
+      return;
+    }
+    policy_ = std::move(policy.value());
+  }
+  policy_->load_state(reader);
+  epoch_ = reader.u64();
+  routed_ = reader.u64();
+  refused_ = reader.u64();
+  failovers_ = reader.u64();
+  // The routable snapshots are cache: force a deterministic lazy rebuild.
+  snapshots_.clear();
+  snapshot_epoch_ = epoch_ - 1;
+  reader.end_section();
 }
 
 }  // namespace soda::core

@@ -25,6 +25,7 @@
 #include "core/config_file.hpp"
 #include "net/address.hpp"
 #include "sim/random.hpp"
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 
 namespace soda::core {
@@ -97,6 +98,20 @@ class SwitchPolicy {
     (void)slot;
     (void)backend;
     (void)seconds;
+  }
+
+  /// Checkpoint hooks. Stateful policies (smooth WRR current weights, the
+  /// random policy's RNG stream, EWMA estimates) override both so a restored
+  /// switch keeps routing bit-identically; stateless policies inherit the
+  /// empty default. Implementations must write/read one "policy_state"
+  /// section so the stream stays framed even across policy versions.
+  virtual void save_state(snapshot::Writer& writer) const {
+    writer.begin_section("policy_state");
+    writer.end_section();
+  }
+  virtual void load_state(snapshot::Reader& reader) {
+    reader.begin_section("policy_state");
+    reader.end_section();
   }
 };
 
@@ -255,6 +270,14 @@ class ServiceSwitch {
   [[nodiscard]] std::uint64_t routed_to(net::Ipv4Address backend) const;
   [[nodiscard]] std::uint64_t routed_to(net::Ipv4Address backend,
                                         int port) const;
+
+  /// Checkpoints backends, prefix routes, counters, the epoch, and the
+  /// policy (by registry name + its per-slot state). Custom (ASP-function)
+  /// policies cannot be re-created from a name and fail the load with a
+  /// clear error. The routable snapshots are cache: restore marks them
+  /// stale and the first route() rebuilds them deterministically.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   /// One component's cached routable set: dense slot indices into

@@ -83,4 +83,41 @@ std::string TraceLog::render() const {
   return out;
 }
 
+void TraceLog::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("trace_log");
+  writer.u64(capacity_);
+  writer.u64(events_.size());
+  for (const TraceEvent& event : events_) {
+    writer.time(event.at);
+    writer.u8(static_cast<std::uint8_t>(event.kind));
+    writer.str(event.actor);
+    writer.str(event.subject);
+    writer.str(event.detail);
+  }
+  writer.u64(dropped_);
+  writer.end_section();
+}
+
+void TraceLog::load_state(snapshot::Reader& reader) {
+  reader.begin_section("trace_log");
+  const std::uint64_t capacity = reader.u64();
+  if (reader.ok() && capacity != capacity_) {
+    reader.fail("trace log capacity mismatch");
+    return;
+  }
+  events_.clear();
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < count; ++i) {
+    TraceEvent event;
+    event.at = reader.time();
+    event.kind = static_cast<TraceKind>(reader.u8());
+    event.actor = reader.str();
+    event.subject = reader.str();
+    event.detail = reader.str();
+    events_.push_back(std::move(event));
+  }
+  dropped_ = reader.u64();
+  reader.end_section();
+}
+
 }  // namespace soda::core

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "snapshot/format.hpp"
 
 namespace soda::core {
 
@@ -70,6 +71,11 @@ class TraceLog {
 
   /// Renders "t=1.234s [daemon@seattle] node-booted web/0: ..." lines.
   [[nodiscard]] std::string render() const;
+
+  /// Checkpoints the retained window and the dropped counter; chaos digests
+  /// fold trace events, so the ring must restore bit-for-bit.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   std::size_t capacity_;

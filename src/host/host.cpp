@@ -161,4 +161,88 @@ net::ProxyTable& HupHost::proxy() {
   return *proxy_;
 }
 
+namespace {
+
+void write_resources(snapshot::Writer& writer, const ResourceVector& r) {
+  writer.f64(r.cpu_mhz);
+  writer.i64(r.memory_mb);
+  writer.i64(r.disk_mb);
+  writer.f64(r.bandwidth_mbps);
+}
+
+ResourceVector read_resources(snapshot::Reader& reader) {
+  ResourceVector r;
+  r.cpu_mhz = reader.f64();
+  r.memory_mb = reader.i64();
+  r.disk_mb = reader.i64();
+  r.bandwidth_mbps = reader.f64();
+  return r;
+}
+
+}  // namespace
+
+void HupHost::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("host");
+  write_resources(writer, reserved_);
+  writer.u64(slice_live_.size());
+  for (std::size_t slot = 0; slot < slice_live_.size(); ++slot) {
+    write_resources(writer, slice_resources_[slot]);
+    writer.str(slice_services_[slot]);
+    writer.u32(slice_generations_[slot]);
+    writer.u8(slice_live_[slot]);
+  }
+  writer.u64(free_slots_.size());
+  for (const std::uint32_t slot : free_slots_) writer.u32(slot);
+  writer.u64(live_count_);
+  ip_pool_.save_state(writer);
+  writer.boolean(bridge_ != nullptr);
+  if (bridge_) bridge_->save_state(writer);
+  writer.boolean(public_address_.has_value());
+  if (public_address_) writer.u32(public_address_->value());
+  writer.boolean(proxy_ != nullptr);
+  if (proxy_) proxy_->save_state(writer);
+  writer.end_section();
+}
+
+void HupHost::load_state(snapshot::Reader& reader) {
+  reader.begin_section("host");
+  reserved_ = read_resources(reader);
+  const std::uint64_t slots = reader.u64();
+  slice_resources_.clear();
+  slice_services_.clear();
+  slice_generations_.clear();
+  slice_live_.clear();
+  for (std::uint64_t i = 0; reader.ok() && i < slots; ++i) {
+    slice_resources_.push_back(read_resources(reader));
+    slice_services_.push_back(reader.str());
+    slice_generations_.push_back(reader.u32());
+    slice_live_.push_back(reader.u8());
+  }
+  free_slots_.clear();
+  const std::uint64_t frees = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < frees; ++i) {
+    free_slots_.push_back(reader.u32());
+  }
+  live_count_ = static_cast<std::size_t>(reader.u64());
+  ip_pool_.load_state(reader);
+  if (reader.boolean()) {
+    bridge_ = std::make_unique<net::Bridge>(name(), lan_node_);
+    bridge_->load_state(reader);
+  } else {
+    bridge_.reset();
+  }
+  if (reader.boolean()) {
+    public_address_ = net::Ipv4Address{reader.u32()};
+  } else {
+    public_address_.reset();
+  }
+  if (reader.boolean()) {
+    proxy_ = std::make_unique<net::ProxyTable>(name(), public_address());
+    proxy_->load_state(reader);
+  } else {
+    proxy_.reset();
+  }
+  reader.end_section();
+}
+
 }  // namespace soda::host

@@ -24,6 +24,7 @@
 #include "net/bridge.hpp"
 #include "net/flow_network.hpp"
 #include "net/proxy.hpp"
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 
 namespace soda::host {
@@ -124,6 +125,14 @@ class HupHost {
   /// The host-OS port-forwarding table for proxied virtual service nodes
   /// (created on first use; paper §3.3 footnote 3).
   [[nodiscard]] net::ProxyTable& proxy();
+
+  /// Checkpoints the slice store (slots, generations, free list — handle
+  /// values must survive restore bit-for-bit), the reserved aggregate (saved
+  /// rather than recomputed: it accumulates += / -= rounding history), the
+  /// IP pool, and the lazily created bridge / proxy / public address. The
+  /// host must be constructed with the same spec and lan_node first.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   /// Slot behind a valid handle, or npos when the handle is stale/unknown.

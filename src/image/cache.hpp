@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "image/chunk.hpp"
+#include "snapshot/format.hpp"
 
 namespace soda::image {
 
@@ -52,6 +53,49 @@ class ImageCache {
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
   [[nodiscard]] std::uint64_t insertions() const noexcept { return insertions_; }
   [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+  /// Checkpoints residents in recency order (front = most recent) plus the
+  /// hit/miss counters; eviction behaviour after restore is bit-identical.
+  /// load_state requires a cache constructed with the same capacity.
+  void save_state(snapshot::Writer& writer) const {
+    writer.begin_section("image_cache");
+    writer.i64(capacity_);
+    writer.u64(lru_.size());
+    for (const Entry& entry : lru_) {
+      writer.u64(entry.id.digest);
+      writer.i64(entry.bytes);
+    }
+    writer.u64(hits_);
+    writer.u64(misses_);
+    writer.u64(insertions_);
+    writer.u64(evictions_);
+    writer.end_section();
+  }
+  void load_state(snapshot::Reader& reader) {
+    reader.begin_section("image_cache");
+    const std::int64_t capacity = reader.i64();
+    if (reader.ok() && capacity != capacity_) {
+      reader.fail("image cache capacity mismatch");
+      return;
+    }
+    lru_.clear();
+    index_.clear();
+    used_ = 0;
+    const std::uint64_t residents = reader.u64();
+    for (std::uint64_t i = 0; reader.ok() && i < residents; ++i) {
+      Entry entry;
+      entry.id.digest = reader.u64();
+      entry.bytes = reader.i64();
+      used_ += entry.bytes;
+      lru_.push_back(entry);
+      index_.emplace(entry.id.digest, std::prev(lru_.end()));
+    }
+    hits_ = reader.u64();
+    misses_ = reader.u64();
+    insertions_ = reader.u64();
+    evictions_ = reader.u64();
+    reader.end_section();
+  }
 
  private:
   struct Entry {

@@ -446,4 +446,90 @@ void ImageDistributor::drop_cache() {
   cache_.clear();
 }
 
+void ChunkRegistry::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("chunk_registry");
+  writer.u64(holders_.size());
+  for (const auto& [digest, hosts] : holders_) {
+    writer.u64(digest);
+    writer.u64(hosts.size());
+    for (const std::string& host : hosts) writer.str(host);
+  }
+  writer.u64(reports_);
+  writer.u64(drops_);
+  writer.u64(removals_);
+  writer.end_section();
+}
+
+void ChunkRegistry::load_state(snapshot::Reader& reader) {
+  reader.begin_section("chunk_registry");
+  holders_.clear();
+  const std::uint64_t chunks = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < chunks; ++i) {
+    const std::uint64_t digest = reader.u64();
+    std::vector<std::string> hosts;
+    const std::uint64_t count = reader.u64();
+    for (std::uint64_t j = 0; reader.ok() && j < count; ++j) {
+      hosts.push_back(reader.str());
+    }
+    holders_.emplace(digest, std::move(hosts));
+  }
+  reports_ = reader.u64();
+  drops_ = reader.u64();
+  removals_ = reader.u64();
+  reader.end_section();
+}
+
+void ImageDistributor::save_state(snapshot::Writer& writer) const {
+  SODA_EXPECTS(jobs_.empty() && transfers_.empty());
+  writer.begin_section("distributor");
+  writer.boolean(config_.enabled);
+  writer.i64(config_.cache_bytes);
+  writer.i64(config_.chunk_bytes);
+  writer.boolean(config_.p2p);
+  writer.i64(config_.max_parallel_chunk_fetches);
+  cache_.save_state(writer);
+  downloader_.save_state(writer);
+  writer.u64(images_fetched_);
+  writer.u64(images_coalesced_);
+  writer.u64(chunks_coalesced_);
+  writer.u64(chunks_from_cache_);
+  writer.u64(chunks_from_peers_);
+  writer.u64(chunks_from_origin_);
+  writer.i64(cache_bytes_read_);
+  writer.i64(peer_bytes_);
+  writer.i64(origin_bytes_);
+  writer.u64(peer_failovers_);
+  writer.end_section();
+}
+
+void ImageDistributor::load_state(snapshot::Reader& reader) {
+  SODA_EXPECTS(jobs_.empty() && transfers_.empty());
+  reader.begin_section("distributor");
+  const bool enabled = reader.boolean();
+  const std::int64_t cache_bytes = reader.i64();
+  const std::int64_t chunk_bytes = reader.i64();
+  const bool p2p = reader.boolean();
+  const auto parallel = static_cast<int>(reader.i64());
+  if (reader.ok() &&
+      (enabled != config_.enabled || cache_bytes != config_.cache_bytes ||
+       chunk_bytes != config_.chunk_bytes || p2p != config_.p2p ||
+       parallel != config_.max_parallel_chunk_fetches)) {
+    reader.fail("distributor config mismatch");
+    return;
+  }
+  cache_.load_state(reader);
+  downloader_.load_state(reader);
+  images_fetched_ = reader.u64();
+  images_coalesced_ = reader.u64();
+  chunks_coalesced_ = reader.u64();
+  chunks_from_cache_ = reader.u64();
+  chunks_from_peers_ = reader.u64();
+  chunks_from_origin_ = reader.u64();
+  cache_bytes_read_ = reader.i64();
+  peer_bytes_ = reader.i64();
+  origin_bytes_ = reader.i64();
+  peer_failovers_ = reader.u64();
+  reader.end_section();
+}
+
 }  // namespace soda::image

@@ -108,6 +108,11 @@ class ChunkRegistry {
     return removals_;
   }
 
+  /// Checkpoints chunk holdings and counters. Membership is wiring, not
+  /// state: restore re-attaches each distributor as its host is rebuilt.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
+
  private:
   std::map<std::uint64_t, std::vector<std::string>> holders_;  // sorted hosts
   std::map<std::string, ImageDistributor*> members_;
@@ -204,6 +209,14 @@ class ImageDistributor {
   [[nodiscard]] std::uint64_t peer_failovers() const noexcept {
     return peer_failovers_;
   }
+
+  /// Checkpoints the cache, downloader, and statistics. In-flight jobs and
+  /// chunk transfers hold completion closures and cannot be externalized:
+  /// save requires a quiesced distributor (no fetch in flight). Wiring
+  /// (registry, directory, config) is re-established by the owner before
+  /// load_state runs.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   friend class ChunkRegistry;  // nulls registry_ when it dies first

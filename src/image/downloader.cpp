@@ -1,6 +1,7 @@
 #include "image/downloader.hpp"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <utility>
 
@@ -167,6 +168,46 @@ void HttpDownloader::attempt(Transfer transfer, RangeCallback on_done,
     ++failed_;
     on_done(result.error(), engine_.now());
   }
+}
+
+void HttpDownloader::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("downloader");
+  const auto rng_state = rng_.state();
+  for (const std::uint64_t word : rng_state) writer.u64(word);
+  writer.i64(policy_.max_attempts);
+  writer.time(policy_.base_delay);
+  writer.f64(policy_.multiplier);
+  writer.time(policy_.max_delay);
+  writer.f64(policy_.jitter);
+  writer.u64(connected_.size());
+  for (const std::string& repo : connected_) writer.str(repo);
+  writer.u64(completed_);
+  writer.u64(failed_);
+  writer.u64(retries_);
+  writer.i64(bytes_);
+  writer.end_section();
+}
+
+void HttpDownloader::load_state(snapshot::Reader& reader) {
+  reader.begin_section("downloader");
+  std::array<std::uint64_t, 4> rng_state{};
+  for (std::uint64_t& word : rng_state) word = reader.u64();
+  if (reader.ok()) rng_.set_state(rng_state);
+  policy_.max_attempts = static_cast<int>(reader.i64());
+  policy_.base_delay = reader.time();
+  policy_.multiplier = reader.f64();
+  policy_.max_delay = reader.time();
+  policy_.jitter = reader.f64();
+  connected_.clear();
+  const std::uint64_t connections = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < connections; ++i) {
+    connected_.insert(reader.str());
+  }
+  completed_ = reader.u64();
+  failed_ = reader.u64();
+  retries_ = reader.u64();
+  bytes_ = reader.i64();
+  reader.end_section();
 }
 
 }  // namespace soda::image

@@ -16,6 +16,7 @@
 #include "net/flow_network.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 
 namespace soda::image {
@@ -87,6 +88,12 @@ class HttpDownloader {
   /// Attempts beyond the first, across all downloads.
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
   [[nodiscard]] std::int64_t bytes_downloaded() const noexcept { return bytes_; }
+
+  /// Checkpoints the jitter RNG stream, keep-alive connection set, retry
+  /// policy, and counters. Transfers in flight hold closures and cannot be
+  /// checkpointed — the owner quiesces the world before saving.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   /// One logical transfer: held by value across retries so nothing in it can

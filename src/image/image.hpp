@@ -9,6 +9,7 @@
 
 #include "os/filesystem.hpp"
 #include "os/rootfs.hpp"
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 
 namespace soda::image {
@@ -91,6 +92,12 @@ class ServiceImageBuilder {
  private:
   ServiceImage image_;
 };
+
+/// Checkpoints a full ServiceImage (payload tree included) — repositories
+/// hold images published by harness code outside the world, so restore
+/// cannot reconstruct them and must carry them in the snapshot.
+void save_image(snapshot::Writer& writer, const ServiceImage& image);
+ServiceImage load_image(snapshot::Reader& reader);
 
 /// Canned images used across examples, tests, and benches.
 

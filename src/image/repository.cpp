@@ -63,6 +63,32 @@ net::HttpResponse ImageRepository::handle(const net::HttpRequest& request) const
   return resp;
 }
 
+void ImageRepository::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("repository");
+  writer.u64(by_path_.size());
+  for (const auto& [path, image] : by_path_) {
+    writer.str(path);
+    save_image(writer, image);
+  }
+  writer.i64(fail_next_);
+  writer.end_section();
+}
+
+void ImageRepository::load_state(snapshot::Reader& reader) {
+  reader.begin_section("repository");
+  by_path_.clear();
+  images_.clear();
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < count; ++i) {
+    std::string path = reader.str();
+    ServiceImage image = load_image(reader);
+    images_.emplace(image.name, path);
+    by_path_.emplace(std::move(path), std::move(image));
+  }
+  fail_next_ = static_cast<int>(reader.i64());
+  reader.end_section();
+}
+
 void RepositoryDirectory::add(const ImageRepository* repository) {
   SODA_EXPECTS(repository != nullptr);
   by_name_[repository->name()] = repository;

@@ -9,6 +9,7 @@
 #include "image/image.hpp"
 #include "net/flow_network.hpp"
 #include "net/http.hpp"
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 
 namespace soda::image {
@@ -50,6 +51,13 @@ class ImageRepository {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] net::NodeId node() const noexcept { return node_; }
   [[nodiscard]] std::size_t image_count() const noexcept { return images_.size(); }
+
+  /// Checkpoints the published images (full payload trees — they originate
+  /// outside the simulated world, so restore cannot rebuild them) and the
+  /// injected-failure budget. Name and flow-network node are the owner's to
+  /// re-establish: construct with the same (name, node) before loading.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   static std::string path_for(const ServiceImage& image);

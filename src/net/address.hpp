@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 
 namespace soda::net {
@@ -66,6 +67,13 @@ class IpPool {
   /// True when the address ranges of `a` and `b` do not overlap — the
   /// cross-host invariant the SODA Master enforces.
   static bool disjoint(const IpPool& a, const IpPool& b) noexcept;
+
+  /// Checkpoints the allocation bitmap. Because allocation is
+  /// lowest-free-first, the bitmap fully determines every future allocation,
+  /// so a restored pool hands out the same addresses the original would
+  /// have. load_state expects a pool constructed over the same range.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   Ipv4Address first_;

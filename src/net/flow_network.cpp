@@ -304,4 +304,60 @@ void FlowNetwork::on_completion_event() {
   }
 }
 
+void FlowNetwork::save_state(snapshot::Writer& writer) const {
+  SODA_EXPECTS(flows_.empty());  // quiesce before checkpointing
+  writer.begin_section("flow_network");
+  writer.u64(nodes_.size());
+  for (const std::string& name : nodes_) writer.str(name);
+  writer.u64(links_.size());
+  for (const Link& link : links_) {
+    writer.boolean(link.from.valid());
+    if (link.from.valid()) {
+      writer.u64(link.from.value);
+      writer.u64(link.to.value);
+    }
+    writer.f64(link.capacity_bps);
+    writer.time(link.latency);
+  }
+  writer.u64(next_flow_id_);
+  writer.time(last_settle_);
+  writer.i64(bytes_delivered_);
+  writer.end_section();
+}
+
+void FlowNetwork::load_state(snapshot::Reader& reader) {
+  SODA_EXPECTS(flows_.empty());
+  reader.begin_section("flow_network");
+  nodes_.clear();
+  links_.clear();
+  out_links_.clear();
+  const std::uint64_t node_count = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < node_count; ++i) {
+    nodes_.push_back(reader.str());
+    out_links_.emplace_back();
+  }
+  const std::uint64_t link_count = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < link_count; ++i) {
+    Link link;
+    if (reader.boolean()) {
+      link.from = NodeId{static_cast<std::size_t>(reader.u64())};
+      link.to = NodeId{static_cast<std::size_t>(reader.u64())};
+      if (link.from.value >= nodes_.size() || link.to.value >= nodes_.size()) {
+        reader.fail("link endpoint out of range");
+        return;
+      }
+      out_links_[link.from.value].push_back(links_.size());
+    }
+    link.capacity_bps = reader.f64();
+    link.latency = reader.time();
+    links_.push_back(link);
+  }
+  next_flow_id_ = reader.u64();
+  last_settle_ = reader.time();
+  bytes_delivered_ = reader.i64();
+  event_scheduled_ = false;
+  pending_event_ = {};
+  reader.end_section();
+}
+
 }  // namespace soda::net

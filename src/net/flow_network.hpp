@@ -15,6 +15,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 
 namespace soda::net {
@@ -97,6 +98,16 @@ class FlowNetwork {
 
   /// Total bytes delivered by completed flows since construction.
   [[nodiscard]] std::int64_t bytes_delivered() const noexcept { return bytes_delivered_; }
+
+  /// Checkpoints the full topology (nodes, links — including virtual links
+  /// and capacities changed since construction) and counters. The world must
+  /// be quiesced: in-flight flows hold completion closures that cannot be
+  /// externalized, so save_state requires active_flows() == 0. LinkId and
+  /// NodeId values are preserved exactly — max-min fair sharing iterates
+  /// links in id order, so isomorphic-but-renumbered topologies would
+  /// diverge in floating-point rounding.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   struct Link {

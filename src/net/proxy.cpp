@@ -114,4 +114,60 @@ bool ProxyTable::draining(int public_port) const {
   return entry != nullptr && entry->in_use && entry->draining;
 }
 
+void ProxyTable::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("proxy");
+  writer.u32(public_.value());
+  writer.i64(first_port_);
+  writer.i64(port_count_);
+  writer.i64(next_port_);
+  writer.u64(entries_);
+  std::uint64_t in_use = 0;
+  for (const Entry& entry : slots_) in_use += entry.in_use ? 1 : 0;
+  writer.u64(in_use);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Entry& entry = slots_[i];
+    if (!entry.in_use) continue;
+    writer.u64(i);
+    writer.u32(entry.target.private_address.value());
+    writer.i64(entry.target.private_port);
+    writer.u64(entry.active);
+    writer.boolean(entry.draining);
+  }
+  writer.u64(forwarded_);
+  writer.u64(missed_);
+  writer.end_section();
+}
+
+void ProxyTable::load_state(snapshot::Reader& reader) {
+  reader.begin_section("proxy");
+  const std::uint32_t public_address = reader.u32();
+  const std::int64_t first_port = reader.i64();
+  const std::int64_t port_count = reader.i64();
+  if (reader.ok() && (public_address != public_.value() ||
+                      first_port != first_port_ || port_count != port_count_)) {
+    reader.fail("proxy table range mismatch");
+    return;
+  }
+  next_port_ = static_cast<int>(reader.i64());
+  entries_ = reader.u64();
+  for (Entry& entry : slots_) entry = Entry{};
+  const std::uint64_t in_use = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < in_use; ++i) {
+    const std::uint64_t index = reader.u64();
+    if (index >= slots_.size()) {
+      reader.fail("proxy slot index out of range");
+      return;
+    }
+    Entry& entry = slots_[index];
+    entry.in_use = true;
+    entry.target.private_address = Ipv4Address{reader.u32()};
+    entry.target.private_port = static_cast<int>(reader.i64());
+    entry.active = reader.u64();
+    entry.draining = reader.boolean();
+  }
+  forwarded_ = reader.u64();
+  missed_ = reader.u64();
+  reader.end_section();
+}
+
 }  // namespace soda::net

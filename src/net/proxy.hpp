@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 
 namespace soda::net {
@@ -75,6 +76,11 @@ class ProxyTable {
     return forwarded_;
   }
   [[nodiscard]] std::uint64_t lookups_missed() const noexcept { return missed_; }
+
+  /// Checkpoints the forwarding slots, the next-port cursor, and the
+  /// counters. load_state expects a table over the same port range.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   struct Entry {

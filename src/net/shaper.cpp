@@ -86,4 +86,36 @@ std::optional<double> TrafficShaper::limit_mbps(Ipv4Address address) const {
   return it->second.limit_mbps;
 }
 
+void TrafficShaper::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("shaper");
+  writer.u64(entries_.size());
+  for (const auto& [address, entry] : entries_) {
+    writer.u32(address.value());
+    writer.u64(entry.link.value);
+    writer.f64(entry.limit_mbps);
+  }
+  writer.u64(spare_links_.size());
+  for (const LinkId link : spare_links_) writer.u64(link.value);
+  writer.end_section();
+}
+
+void TrafficShaper::load_state(snapshot::Reader& reader) {
+  reader.begin_section("shaper");
+  entries_.clear();
+  spare_links_.clear();
+  const std::uint64_t shaped = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < shaped; ++i) {
+    const Ipv4Address address{reader.u32()};
+    Entry entry;
+    entry.link = LinkId{static_cast<std::size_t>(reader.u64())};
+    entry.limit_mbps = reader.f64();
+    entries_.emplace(address, entry);
+  }
+  const std::uint64_t spares = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < spares; ++i) {
+    spare_links_.push_back(LinkId{static_cast<std::size_t>(reader.u64())});
+  }
+  reader.end_section();
+}
+
 }  // namespace soda::net

@@ -11,6 +11,7 @@
 #include "net/address.hpp"
 #include "net/flow_network.hpp"
 #include "sim/time.hpp"
+#include "snapshot/format.hpp"
 
 namespace soda::net {
 
@@ -65,6 +66,12 @@ class TrafficShaper {
   [[nodiscard]] std::optional<double> limit_mbps(Ipv4Address address) const;
 
   [[nodiscard]] std::size_t shaped_count() const noexcept { return entries_.size(); }
+
+  /// Checkpoints the per-IP entries and the spare-link pool by LinkId. The
+  /// virtual links themselves live in the FlowNetwork's tables (restored
+  /// separately), so loading only rebuilds the maps — no network calls.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   struct Entry {

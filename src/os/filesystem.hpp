@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 
 namespace soda::os {
@@ -74,6 +75,11 @@ class FileSystem {
   /// Splits "/a/b/c" into {"a","b","c"}; rejects empty components and
   /// non-absolute paths.
   static Result<std::vector<std::string>> split_path(std::string_view path);
+
+  /// Checkpoints the whole tree (structure + sizes — content is never
+  /// stored). Children serialize in map order, so save is deterministic.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   struct Node {

@@ -62,6 +62,20 @@ class Engine {
   /// Number of pending events.
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+  /// Heap sequence of a pending event (0 for stale ids) — checkpoint
+  /// save-path only; see EventQueue::seq_of.
+  [[nodiscard]] std::uint32_t event_seq(EventId id) const noexcept {
+    return queue_.seq_of(id);
+  }
+
+  /// Restores the clock from a checkpoint. Only legal while no events are
+  /// pending: restored timers are re-armed against the restored clock
+  /// afterwards, so nothing scheduled against the old clock may survive.
+  void restore_clock(SimTime now) {
+    SODA_EXPECTS(queue_.empty());
+    now_ = now;
+  }
+
  private:
   SimTime now_ = SimTime::zero();
   EventQueue queue_;

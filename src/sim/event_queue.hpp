@@ -114,6 +114,22 @@ class EventQueue {
   /// schedule/cancel churn.
   [[nodiscard]] std::size_t footprint_bytes() const noexcept;
 
+  /// Heap sequence number of a pending event, or 0 for stale/cancelled ids
+  /// (live seqs start at 1). Checkpoints capture this at save time so that
+  /// re-armed timers keep their relative firing order among equal
+  /// timestamps. O(heap) scan — save-path only, never on the hot path.
+  [[nodiscard]] std::uint32_t seq_of(EventId id) const noexcept {
+    const std::uint32_t slot = static_cast<std::uint32_t>(id.value);
+    const std::uint32_t generation = static_cast<std::uint32_t>(id.value >> 32);
+    if (slot >= meta_.size()) return 0;
+    const std::uint32_t meta = meta_[slot];
+    if ((meta & kPendingBit) == 0 || (meta >> 1) != generation) return 0;
+    for (const HeapEntry& entry : heap_) {
+      if (entry.slot == slot) return entry.seq;
+    }
+    return 0;
+  }
+
  private:
   /// Slot metadata word: bit 0 = pending, bits 1..31 = generation. The
   /// generation increments each time the slot is released for reuse.

@@ -4,6 +4,7 @@
 // keeps experiment output reproducible byte-for-byte.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -48,6 +49,15 @@ class Rng {
 
   /// Forks an independent deterministic child stream (for per-client RNGs).
   Rng fork() noexcept;
+
+  /// Raw state words for checkpointing. set_state expects a value captured
+  /// by state() — the all-zero state is degenerate and never produced.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   std::uint64_t state_[4];

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "snapshot/format.hpp"
 
 namespace soda::sim {
 
@@ -27,6 +28,23 @@ class RunningStats {
 
   /// Merges another accumulator into this one (parallel reduction).
   void merge(const RunningStats& other) noexcept;
+
+  void save_state(snapshot::Writer& writer) const {
+    writer.u64(count_);
+    writer.f64(mean_);
+    writer.f64(m2_);
+    writer.f64(sum_);
+    writer.f64(min_);
+    writer.f64(max_);
+  }
+  void load_state(snapshot::Reader& reader) {
+    count_ = reader.u64();
+    mean_ = reader.f64();
+    m2_ = reader.f64();
+    sum_ = reader.f64();
+    min_ = reader.f64();
+    max_ = reader.f64();
+  }
 
  private:
   std::size_t count_ = 0;

@@ -215,6 +215,97 @@ TimeSeries StreamingStats::error_rate_series() const {
   return series;
 }
 
+void LogHistogram::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("hist");
+  writer.f64(lo_);
+  writer.f64(hi_);
+  writer.u64(sub_buckets_);
+  writer.u64(counts_.size());
+  for (const std::uint64_t count : counts_) writer.u64(count);
+  writer.u64(total_);
+  writer.u64(underflow_);
+  writer.u64(overflow_);
+  writer.f64(min_);
+  writer.f64(max_);
+  writer.end_section();
+}
+
+void LogHistogram::load_state(snapshot::Reader& reader) {
+  reader.begin_section("hist");
+  const double lo = reader.f64();
+  const double hi = reader.f64();
+  const std::uint64_t sub_buckets = reader.u64();
+  const std::uint64_t buckets = reader.u64();
+  if (reader.ok() &&
+      (lo != lo_ || hi != hi_ || sub_buckets != sub_buckets_ ||
+       buckets != counts_.size())) {
+    reader.fail("histogram geometry mismatch");
+    return;
+  }
+  for (std::uint64_t& count : counts_) count = reader.u64();
+  total_ = reader.u64();
+  underflow_ = reader.u64();
+  overflow_ = reader.u64();
+  min_ = reader.f64();
+  max_ = reader.f64();
+  reader.end_section();
+}
+
+void StreamingStats::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("streaming_stats");
+  writer.u64(ring_.size());
+  writer.u64(head_);
+  for (const LogHistogram& window : ring_) window.save_state(writer);
+  cumulative_.save_state(writer);
+  moments_.save_state(writer);
+  writer.u64(closed_.size());
+  for (const WindowSummary& window : closed_) {
+    writer.time(window.start);
+    writer.u64(window.completed);
+    writer.u64(window.errors);
+    writer.f64(window.p50);
+    writer.f64(window.p99);
+    writer.f64(window.max);
+  }
+  writer.time(origin_);
+  writer.boolean(origin_set_);
+  writer.u64(open_errors_);
+  writer.u64(completed_);
+  writer.u64(errors_);
+  writer.end_section();
+}
+
+void StreamingStats::load_state(snapshot::Reader& reader) {
+  reader.begin_section("streaming_stats");
+  const std::uint64_t windows = reader.u64();
+  if (reader.ok() && windows != ring_.size()) {
+    reader.fail("streaming-stats ring size mismatch");
+    return;
+  }
+  head_ = reader.u64();
+  for (LogHistogram& window : ring_) window.load_state(reader);
+  cumulative_.load_state(reader);
+  moments_.load_state(reader);
+  closed_.clear();
+  const std::uint64_t n_closed = reader.u64();
+  for (std::uint64_t i = 0; reader.ok() && i < n_closed; ++i) {
+    WindowSummary window;
+    window.start = reader.time();
+    window.completed = reader.u64();
+    window.errors = reader.u64();
+    window.p50 = reader.f64();
+    window.p99 = reader.f64();
+    window.max = reader.f64();
+    closed_.push_back(window);
+  }
+  origin_ = reader.time();
+  origin_set_ = reader.boolean();
+  open_errors_ = reader.u64();
+  completed_ = reader.u64();
+  errors_ = reader.u64();
+  reader.end_section();
+}
+
 std::uint64_t StreamingStats::digest() const noexcept {
   std::uint64_t hash = fnv_mix(fnv_mix(kFnvOffset, completed_), errors_);
   hash = fnv_mix(hash, cumulative_.digest());

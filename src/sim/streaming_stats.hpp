@@ -16,6 +16,7 @@
 
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "snapshot/format.hpp"
 
 namespace soda::sim {
 
@@ -59,6 +60,11 @@ class LogHistogram {
 
   /// FNV-1a over the counts — the determinism-gate fingerprint.
   [[nodiscard]] std::uint64_t digest() const noexcept;
+
+  /// Checkpoints the counts; geometry travels too and load_state rejects a
+  /// histogram constructed with different lo/hi/sub_buckets.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   [[nodiscard]] std::size_t index_for(double x) const noexcept;
@@ -154,6 +160,11 @@ class StreamingStats {
   /// FNV-1a fingerprint over every counter, bucket, and window summary —
   /// what the serial == ParallelRunner bench gate compares.
   [[nodiscard]] std::uint64_t digest() const noexcept;
+
+  /// Checkpoints the ring, cumulative histogram, moments, and closed-window
+  /// series. load_state expects a pipeline constructed with the same config.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   void rotate_once() noexcept;

@@ -1,0 +1,238 @@
+#include "snapshot/format.hpp"
+
+#include <bit>
+#include <cstdio>
+
+#include "util/contract.hpp"
+
+namespace soda::snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'O', 'D', 'A', 'S', 'N', 'A', 'P'};
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// --- Writer -----------------------------------------------------------------
+
+Writer::Writer() {
+  buffer_.append(kMagic, sizeof kMagic);
+  u32(kFormatVersion);
+}
+
+void Writer::u8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+void Writer::u16(std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) u8(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+void Writer::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buffer_.append(v.data(), v.size());
+}
+
+void Writer::begin_section(std::string_view name) {
+  u16(static_cast<std::uint16_t>(name.size()));
+  buffer_.append(name.data(), name.size());
+  open_sections_.push_back(buffer_.size());
+  u64(0);  // length placeholder, backpatched by end_section
+}
+
+void Writer::end_section() {
+  SODA_EXPECTS(!open_sections_.empty());
+  const std::size_t at = open_sections_.back();
+  open_sections_.pop_back();
+  const std::uint64_t length = buffer_.size() - (at + 8);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((length >> (i * 8)) & 0xFF);
+  }
+}
+
+std::string Writer::finish() {
+  SODA_EXPECTS(open_sections_.empty());
+  u64(fnv1a(buffer_));
+  return std::move(buffer_);
+}
+
+// --- Reader -----------------------------------------------------------------
+
+Reader::Reader(std::string_view bytes) : bytes_(bytes) {
+  if (bytes_.size() < sizeof kMagic + 4 + 8) {
+    fail("truncated: " + std::to_string(bytes_.size()) + " bytes");
+    return;
+  }
+  if (bytes_.substr(0, sizeof kMagic) != std::string_view(kMagic, sizeof kMagic)) {
+    fail("bad magic: not a SODA snapshot");
+    return;
+  }
+  payload_end_ = bytes_.size() - 8;
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(bytes_[payload_end_ +
+                                                    static_cast<std::size_t>(i)]))
+              << (i * 8);
+  }
+  if (stored != fnv1a(bytes_.substr(0, payload_end_))) {
+    fail("checksum mismatch: snapshot is corrupt");
+    return;
+  }
+  cursor_ = sizeof kMagic;
+  const std::uint32_t version = u32();
+  if (ok() && version != kFormatVersion) {
+    fail("format version " + std::to_string(version) + " unsupported (have " +
+         std::to_string(kFormatVersion) + "); regenerate the checkpoint");
+  }
+}
+
+void Reader::fail(std::string message) {
+  if (error_.empty()) error_ = std::move(message);
+}
+
+bool Reader::need(std::size_t n, const char* what) {
+  if (!ok()) return false;
+  if (payload_end_ - cursor_ < n) {
+    fail(std::string("truncated reading ") + what);
+    return false;
+  }
+  if (!open_sections_.empty() && open_sections_.back().second < cursor_ + n) {
+    fail("read past end of section '" + open_sections_.back().first + "'");
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  if (!need(1, "u8")) return 0;
+  return static_cast<std::uint8_t>(bytes_[cursor_++]);
+}
+
+std::uint16_t Reader::u16() {
+  if (!need(2, "u16")) return 0;
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(static_cast<unsigned char>(bytes_[cursor_++]))
+        << (i * 8));
+  }
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  if (!need(4, "u32")) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes_[cursor_++]))
+         << (i * 8);
+  }
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (!need(8, "u64")) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[cursor_++]))
+         << (i * 8);
+  }
+  return v;
+}
+
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  if (!need(n, "string")) return {};
+  std::string v(bytes_.substr(cursor_, n));
+  cursor_ += n;
+  return v;
+}
+
+void Reader::begin_section(std::string_view name) {
+  const std::uint16_t n = u16();
+  if (!need(n, "section name")) return;
+  const std::string_view found = bytes_.substr(cursor_, n);
+  if (found != name) {
+    fail("expected section '" + std::string(name) + "', found '" +
+         std::string(found) + "'");
+    return;
+  }
+  cursor_ += n;
+  const std::uint64_t length = u64();
+  if (!ok()) return;
+  if (payload_end_ - cursor_ < length) {
+    fail("section '" + std::string(name) + "' overruns the snapshot");
+    return;
+  }
+  open_sections_.emplace_back(std::string(name), cursor_ + length);
+}
+
+void Reader::end_section() {
+  if (!ok()) return;
+  SODA_EXPECTS(!open_sections_.empty());
+  const auto& [name, end] = open_sections_.back();
+  if (cursor_ != end) {
+    fail("section '" + name + "': " + std::to_string(end - cursor_) +
+         " byte(s) left unconsumed");
+    return;
+  }
+  open_sections_.pop_back();
+}
+
+// --- Files ------------------------------------------------------------------
+
+Status write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Error{"cannot open " + tmp + " for writing"};
+  const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (wrote != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Error{"short write to " + tmp};
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Error{"cannot rename " + tmp + " to " + path};
+  }
+  return {};
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Error{"cannot open " + path};
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, got);
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace soda::snapshot

@@ -1,0 +1,119 @@
+// Versioned binary checkpoint format (DESIGN.md §14). A snapshot is a flat
+// byte string: an 8-byte magic, a format-version word, a tree of named
+// length-prefixed sections, and a trailing FNV-1a checksum. Writer emits it,
+// Reader validates and consumes it. Every stateful subsystem externalizes
+// its private state through `save_state(Writer&)` / `load_state(Reader&)`
+// member functions built on these primitives; the section framing makes a
+// truncated, reordered, or version-skewed checkpoint fail loudly instead of
+// silently misreading.
+//
+// The byte string doubles as the world's end-state digest: two worlds are
+// bit-identical exactly when their snapshots are, so `fnv1a(bytes)` is the
+// save→load→continue gate value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/result.hpp"
+
+namespace soda::snapshot {
+
+/// Bumped whenever the snapshot layout changes incompatibly. A Reader
+/// refuses any other version with a clear error — old checkpoints are
+/// regenerated, never guessed at.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// FNV-1a 64 over a byte string (the checksum and digest primitive).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes) noexcept;
+
+/// Serializer. All integers little-endian, doubles bit-cast to u64.
+class Writer {
+ public:
+  Writer();
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view v);
+  void time(sim::SimTime t) { i64(t.ns()); }
+
+  /// Opens a named, length-prefixed section; sections nest. The length is
+  /// backpatched by end_section, so owners need not precompute sizes.
+  void begin_section(std::string_view name);
+  void end_section();
+
+  /// Appends the checksum and returns the finished snapshot. The Writer is
+  /// spent afterwards. All sections must be closed.
+  std::string finish();
+
+  [[nodiscard]] std::size_t bytes_written() const noexcept {
+    return buffer_.size();
+  }
+
+ private:
+  std::string buffer_;
+  std::vector<std::size_t> open_sections_;  // offsets of length placeholders
+};
+
+/// Deserializer with sticky error state: the first failure (bad magic,
+/// version skew, checksum mismatch, truncation, wrong section name) is
+/// recorded and every later read returns a default, so call sites read
+/// straight-line and check ok() once at the end.
+class Reader {
+ public:
+  /// Validates magic, version, and checksum up front.
+  explicit Reader(std::string_view bytes);
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+  sim::SimTime time() { return sim::SimTime(i64()); }
+
+  /// Enters the section that must come next; fails when the name differs.
+  void begin_section(std::string_view name);
+  /// Leaves the innermost section; fails unless exactly consumed.
+  void end_section();
+
+  /// True while no read has failed.
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  /// The first failure, empty while ok().
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  /// Result-typed view of the final state, for plumbing into Status returns.
+  [[nodiscard]] Status status() const {
+    if (ok()) return {};
+    return Error{"snapshot: " + error_};
+  }
+
+  void fail(std::string message);
+
+ private:
+  [[nodiscard]] bool need(std::size_t n, const char* what);
+
+  std::string_view bytes_;
+  std::size_t cursor_ = 0;
+  std::size_t payload_end_ = 0;  // checksum excluded
+  std::vector<std::pair<std::string, std::size_t>> open_sections_;
+  std::string error_;
+};
+
+/// Writes `bytes` to `path` atomically enough for checkpoint artifacts
+/// (temp file + rename).
+Status write_file(const std::string& path, std::string_view bytes);
+
+/// Reads a whole checkpoint file.
+Result<std::string> read_file(const std::string& path);
+
+}  // namespace soda::snapshot

@@ -12,6 +12,7 @@
 #include "os/process.hpp"
 #include "os/rootfs.hpp"
 #include "sim/time.hpp"
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 #include "vm/syscall.hpp"
 
@@ -88,6 +89,31 @@ class UserModeLinux {
   static constexpr double kKernelBootGhzS = 1.0;
   /// Baseline guest memory used by the kernel itself.
   static constexpr std::int64_t kKernelMemoryMb = 16;
+
+  /// Checkpoints VM state, memory accounting, and the guest process table.
+  /// The rootfs is NOT covered here: the owner serializes it separately
+  /// (os::save_rootfs) and constructs the restored UML from it, because the
+  /// rootfs is a constructor argument, not mutable post-construction state.
+  void save_state(snapshot::Writer& writer) const {
+    writer.begin_section("uml");
+    writer.i64(memory_cap_mb_);
+    writer.i64(memory_used_mb_);
+    writer.u8(static_cast<std::uint8_t>(state_));
+    processes_.save_state(writer);
+    writer.end_section();
+  }
+  void load_state(snapshot::Reader& reader) {
+    reader.begin_section("uml");
+    const std::int64_t cap = reader.i64();
+    if (reader.ok() && cap != memory_cap_mb_) {
+      reader.fail("uml memory cap mismatch");
+      return;
+    }
+    memory_used_mb_ = reader.i64();
+    state_ = static_cast<VmState>(reader.u8());
+    processes_.load_state(reader);
+    reader.end_section();
+  }
 
  private:
   os::RootFs rootfs_;

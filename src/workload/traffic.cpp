@@ -1,5 +1,6 @@
 #include "workload/traffic.hpp"
 
+#include <array>
 #include <cmath>
 #include <numbers>
 
@@ -221,17 +222,22 @@ void TrafficEngine::start() {
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     Stream& stream = streams_[i];
     stream.t0 = engine_.now();
-    stream.client->set_observer([this, i](const SiegeClient::RequestOutcome& o) {
-      Stream& s = streams_[i];
-      if (o.refused) {
-        s.stats.record_error(o.finished);
-      } else {
-        s.stats.record_latency(o.finished, o.latency_s);
-      }
-      ++s.resolved;
-    });
+    install_observer(i);
     schedule_next(stream);
   }
+}
+
+void TrafficEngine::install_observer(std::size_t index) {
+  streams_[index].client->set_observer(
+      [this, index](const SiegeClient::RequestOutcome& o) {
+        Stream& s = streams_[index];
+        if (o.refused) {
+          s.stats.record_error(o.finished);
+        } else {
+          s.stats.record_latency(o.finished, o.latency_s);
+        }
+        ++s.resolved;
+      });
 }
 
 void TrafficEngine::schedule_next(Stream& stream) {
@@ -251,19 +257,22 @@ void TrafficEngine::schedule_next(Stream& stream) {
       sim::SimTime::seconds(stream.rng.exponential(1.0 / rate));
   const std::size_t index =
       static_cast<std::size_t>(&stream - streams_.data());
-  engine_.schedule_after(gap, [this, index] {
-    Stream& s = streams_[index];
-    const double at = (engine_.now() - s.t0).to_seconds();
-    if (at >= s.trace.duration_s()) {
-      s.arrivals_done = true;
-      return;
-    }
-    ++s.scheduled;
-    // Open loop: the arrival fires regardless of outstanding completions;
-    // its latency clock starts *now*, the scheduled time.
-    s.client->inject(engine_.now());
-    schedule_next(s);
-  });
+  stream.next_arrival = engine_.now() + gap;
+  engine_.schedule_after(gap, [this, index] { arrival_fire(index); });
+}
+
+void TrafficEngine::arrival_fire(std::size_t index) {
+  Stream& s = streams_[index];
+  const double at = (engine_.now() - s.t0).to_seconds();
+  if (at >= s.trace.duration_s()) {
+    s.arrivals_done = true;
+    return;
+  }
+  ++s.scheduled;
+  // Open loop: the arrival fires regardless of outstanding completions;
+  // its latency clock starts *now*, the scheduled time.
+  s.client->inject(engine_.now());
+  schedule_next(s);
 }
 
 bool TrafficEngine::finished() const noexcept {
@@ -299,6 +308,64 @@ void TrafficEngine::register_gauges(core::MetricsRegistry& metrics) const {
     metrics.register_gauge(prefix + "p999", [stats] { return stats->p999(); });
     metrics.register_gauge(prefix + "error_rate",
                            [stats] { return stats->error_rate(); });
+  }
+}
+
+void TrafficEngine::save_state(snapshot::Writer& writer) const {
+  writer.begin_section("traffic_engine");
+  writer.boolean(started_);
+  writer.u64(streams_.size());
+  for (const Stream& stream : streams_) {
+    writer.str(stream.name);
+    for (const std::uint64_t word : stream.rng.state()) writer.u64(word);
+    writer.time(stream.t0);
+    writer.time(stream.next_arrival);
+    writer.u64(stream.scheduled);
+    writer.u64(stream.resolved);
+    writer.boolean(stream.arrivals_done);
+    stream.stats.save_state(writer);
+  }
+  writer.end_section();
+}
+
+void TrafficEngine::load_state(snapshot::Reader& reader) {
+  reader.begin_section("traffic_engine");
+  started_ = reader.boolean();
+  const std::uint64_t count = reader.u64();
+  if (reader.ok() && count != streams_.size()) {
+    reader.fail("traffic stream count mismatch (register the same streams "
+                "before load)");
+  }
+  for (std::size_t i = 0; reader.ok() && i < streams_.size(); ++i) {
+    Stream& stream = streams_[i];
+    const std::string name = reader.str();
+    if (reader.ok() && name != stream.name) {
+      reader.fail("traffic stream name mismatch: saved '" + name +
+                  "', registered '" + stream.name + "'");
+      break;
+    }
+    std::array<std::uint64_t, 4> state{};
+    for (std::uint64_t& word : state) word = reader.u64();
+    stream.rng.set_state(state);
+    stream.t0 = reader.time();
+    stream.next_arrival = reader.time();
+    stream.scheduled = reader.u64();
+    stream.resolved = reader.u64();
+    stream.arrivals_done = reader.boolean();
+    stream.stats.load_state(reader);
+    if (started_) install_observer(i);
+  }
+  reader.end_section();
+}
+
+void TrafficEngine::rearm_arrivals() {
+  SODA_EXPECTS(started_);
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& stream = streams_[i];
+    if (stream.arrivals_done) continue;
+    SODA_EXPECTS(stream.next_arrival >= engine_.now());
+    engine_.schedule_at(stream.next_arrival,
+                        [this, i] { arrival_fire(i); });
   }
 }
 

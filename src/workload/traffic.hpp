@@ -20,6 +20,7 @@
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/streaming_stats.hpp"
+#include "snapshot/format.hpp"
 #include "util/result.hpp"
 #include "workload/siege.hpp"
 
@@ -118,6 +119,21 @@ class TrafficEngine {
   /// serial == ParallelRunner bench gate.
   [[nodiscard]] std::uint64_t digest() const noexcept;
 
+  /// Checkpoints every stream's cursor: RNG state, trace origin, next
+  /// pending arrival, counters, and the StreamingStats pipeline. In-flight
+  /// requests belong to the client/network layers — checkpoint at a point
+  /// where they are quiesced (or restore those layers alongside).
+  void save_state(snapshot::Writer& writer) const;
+  /// Restores into an engine with the same streams registered (same names,
+  /// same order, not yet started). Re-installs the per-stream observers;
+  /// call rearm_arrivals() after the engine clock is restored to resume
+  /// pending arrival processes.
+  void load_state(snapshot::Reader& reader);
+  /// Schedules the saved next arrival of every unfinished stream at its
+  /// saved absolute time. Requires a restored (load_state) engine whose
+  /// clock is at or before every pending arrival.
+  void rearm_arrivals();
+
  private:
   struct Stream {
     std::string name;
@@ -126,12 +142,15 @@ class TrafficEngine {
     sim::Rng rng;
     sim::StreamingStats stats;
     sim::SimTime t0;            // trace origin (engine time at start())
+    sim::SimTime next_arrival;  // absolute time of the pending arrival
     std::uint64_t scheduled = 0;
     std::uint64_t resolved = 0;  // completions + refusals observed
     bool arrivals_done = false;
   };
 
   void schedule_next(Stream& stream);
+  void arrival_fire(std::size_t index);
+  void install_observer(std::size_t index);
   [[nodiscard]] const Stream& find(std::string_view name) const;
 
   sim::Engine& engine_;

@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "chaos/checkpoint.hpp"
 #include "chaos/dsl.hpp"
 #include "chaos/generator.hpp"
+#include "chaos/invariants.hpp"
 #include "chaos/runner.hpp"
 #include "chaos/shrink.hpp"
 #include "core/faults.hpp"
@@ -215,6 +217,170 @@ TEST_F(ChaosTest, RunnerReportsSetupErrorsInsteadOfCrashing) {
   spec.services[0].policy = "warp-drive";
   const ChaosReport report = run_scenario(spec);
   EXPECT_FALSE(report.setup_error.empty());
+}
+
+// --- Billing/accounting conservation ----------------------------------------
+
+core::BillingEntry entry(const std::string& service, double start_s,
+                         double end_s = -1, int instances = 2,
+                         const std::string& asp = "asp") {
+  core::BillingEntry e;
+  e.asp_id = asp;
+  e.service_name = service;
+  e.machine_instances = instances;
+  e.started_at = sim::SimTime::seconds(start_s);
+  if (end_s >= 0) e.ended_at = sim::SimTime::seconds(end_s);
+  return e;
+}
+
+TEST_F(ChaosTest, BillingConservationAcceptsCleanLedger) {
+  const std::vector<core::BillingEntry> ledger = {
+      entry("old", 0, 5),   // closed: lived and was torn down
+      entry("web", 6),      // open: still accruing
+  };
+  const std::vector<BillingExpectation> live = {{"web", "asp", 2}};
+  EXPECT_TRUE(billing_conservation_violations(ledger, live,
+                                              sim::SimTime::seconds(10))
+                  .empty());
+}
+
+TEST_F(ChaosTest, BillingConservationFlagsDoubleBilledService) {
+  // Two simultaneously-open accrual windows for one placement.
+  const std::vector<core::BillingEntry> ledger = {entry("web", 1),
+                                                  entry("web", 2)};
+  const std::vector<BillingExpectation> live = {{"web", "asp", 2}};
+  const auto problems = billing_conservation_violations(
+      ledger, live, sim::SimTime::seconds(10));
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("double-billed"), std::string::npos);
+}
+
+TEST_F(ChaosTest, BillingConservationFlagsOverlappingClosedWindows) {
+  const std::vector<core::BillingEntry> ledger = {entry("web", 1, 6),
+                                                  entry("web", 4, 8)};
+  const auto problems = billing_conservation_violations(
+      ledger, {}, sim::SimTime::seconds(10));
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("double-billed"), std::string::npos);
+}
+
+TEST_F(ChaosTest, BillingConservationFlagsDroppedAccrual) {
+  // A live placement whose accrual window is missing entirely.
+  const std::vector<BillingExpectation> live = {{"web", "asp", 2}};
+  const auto problems =
+      billing_conservation_violations({}, live, sim::SimTime::seconds(10));
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("dropped"), std::string::npos);
+}
+
+TEST_F(ChaosTest, BillingConservationFlagsCorruptWindows) {
+  EXPECT_FALSE(billing_conservation_violations(
+                   {entry("web", 20)}, {}, sim::SimTime::seconds(10))
+                   .empty());  // accrues from the future
+  EXPECT_FALSE(billing_conservation_violations(
+                   {entry("web", 6, 3)}, {}, sim::SimTime::seconds(10))
+                   .empty());  // window runs backwards
+  EXPECT_FALSE(billing_conservation_violations(
+                   {entry("web", 1)}, {}, sim::SimTime::seconds(10))
+                   .empty());  // accrues but is not live
+}
+
+// --- Checkpoint / warm start -------------------------------------------------
+
+TEST_F(ChaosTest, SnapshotHeaderRoundTrips) {
+  ChaosSpec spec = generate_scenario(sim::replica_seed(kBase, 3));
+  spec.snapshot = "worlds/chaos_t0.ckpt";
+  const std::string dsl = render_dsl(spec);
+  EXPECT_NE(dsl.find("# snapshot: worlds/chaos_t0.ckpt"), std::string::npos);
+  const auto parsed = parse_dsl(dsl);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), spec);
+}
+
+TEST_F(ChaosTest, WarmStartDigestMatchesColdRun) {
+  // The fig_snapshot gate in miniature: checkpoint at T0, restore, continue
+  // — digest must equal the uninterrupted run's, seed by seed.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const ChaosSpec spec = generate_scenario(sim::replica_seed(kBase, i));
+    const std::string path = ::testing::TempDir() + "chaos_warm_" +
+                             std::to_string(i) + ".ckpt";
+    ChaosOptions save;
+    save.save_checkpoint = path;
+    const ChaosReport cold = run_scenario(spec, save);
+    ASSERT_TRUE(cold.setup_error.empty()) << cold.setup_error;
+    EXPECT_FALSE(cold.warm_started);
+
+    ChaosOptions warm;
+    warm.from_checkpoint = path;
+    const ChaosReport hot = run_scenario(spec, warm);
+    ASSERT_TRUE(hot.setup_error.empty()) << hot.setup_error;
+    EXPECT_TRUE(hot.warm_started);
+    EXPECT_EQ(hot.digest, cold.digest);
+    EXPECT_EQ(hot.requests, cold.requests);
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(ChaosTest, WarmStartAcceptsDivergentFaultsAndTraffic) {
+  // A checkpointed T0 world replays under a DIFFERENT post-T0 future: same
+  // fleet and services, fresh faults and traffic. Digest must equal that
+  // future's cold run.
+  const ChaosSpec base = generate_scenario(sim::replica_seed(kBase, 1));
+  const std::string path = ::testing::TempDir() + "chaos_branch.ckpt";
+  ChaosOptions save;
+  save.save_checkpoint = path;
+  ASSERT_TRUE(run_scenario(base, save).setup_error.empty());
+
+  const ChaosSpec variant =
+      generate_scenario_from_base(base, sim::replica_seed(kBase, 77));
+  EXPECT_EQ(variant.hosts, base.hosts);
+  const ChaosReport cold = run_scenario(variant);
+  ChaosOptions warm;
+  warm.from_checkpoint = path;
+  const ChaosReport hot = run_scenario(variant, warm);
+  ASSERT_TRUE(hot.setup_error.empty()) << hot.setup_error;
+  EXPECT_TRUE(hot.warm_started);
+  EXPECT_EQ(hot.digest, cold.digest);
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, CheckpointRejectsIncompatibleBase) {
+  const ChaosSpec base = generate_scenario(sim::replica_seed(kBase, 1));
+  const std::string path = ::testing::TempDir() + "chaos_mismatch.ckpt";
+  ChaosOptions save;
+  save.save_checkpoint = path;
+  ASSERT_TRUE(run_scenario(base, save).setup_error.empty());
+
+  ChaosSpec tampered = base;
+  tampered.services[0].units += 1;  // a different T0 world
+  ChaosOptions warm;
+  warm.from_checkpoint = path;
+  const ChaosReport report = run_scenario(tampered, warm);
+  EXPECT_NE(report.setup_error.find("base mismatch"), std::string::npos)
+      << report.setup_error;
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, CheckpointRejectsCorruptFile) {
+  const ChaosSpec base = generate_scenario(sim::replica_seed(kBase, 2));
+  const std::string path = ::testing::TempDir() + "chaos_corrupt.ckpt";
+  ChaosOptions save;
+  save.save_checkpoint = path;
+  ASSERT_TRUE(run_scenario(base, save).setup_error.empty());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 64, SEEK_SET);
+    const int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    std::fseek(f, 64, SEEK_SET);
+    std::fputc(byte ^ 0x5A, f);  // guaranteed flip
+    std::fclose(f);
+  }
+  ChaosOptions warm;
+  warm.from_checkpoint = path;
+  EXPECT_FALSE(run_scenario(base, warm).setup_error.empty());
+  std::remove(path.c_str());
 }
 
 }  // namespace

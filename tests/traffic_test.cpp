@@ -8,6 +8,7 @@
 #include "core/events.hpp"
 #include "core/switch.hpp"
 #include "sim/streaming_stats.hpp"
+#include "snapshot/format.hpp"
 #include "workload/siege.hpp"
 #include "workload/traffic.hpp"
 #include "workload/webservice.hpp"
@@ -397,6 +398,92 @@ TEST(TrafficEngine, ReplaysAreBitIdentical) {
   const std::uint64_t first = digest_of_run();
   EXPECT_EQ(first, digest_of_run());
   EXPECT_NE(first, 0u);
+}
+
+TEST(StreamingStats, MidWindowCheckpointContinuesBitIdentical) {
+  // Save with a half-filled open window and a warm ring, restore into a
+  // same-config pipeline, feed both the same tail — digests must stay equal.
+  sim::StreamingStatsConfig config;
+  config.window = sim::SimTime::seconds(1);
+  sim::StreamingStats original(config);
+  for (int i = 0; i < 35; ++i) {
+    original.record_latency(sim::SimTime::milliseconds(100 * i),
+                            0.001 * (1 + i % 7));
+    if (i % 9 == 0) original.record_error(sim::SimTime::milliseconds(100 * i));
+  }
+
+  snapshot::Writer writer;
+  original.save_state(writer);
+  const std::string bytes = writer.finish();
+  sim::StreamingStats restored(config);
+  snapshot::Reader reader(bytes);
+  restored.load_state(reader);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(restored.digest(), original.digest());
+  EXPECT_EQ(restored.windows().size(), original.windows().size());
+
+  for (int i = 35; i < 70; ++i) {
+    const sim::SimTime at = sim::SimTime::milliseconds(100 * i);
+    original.record_latency(at, 0.002 * (1 + i % 5));
+    restored.record_latency(at, 0.002 * (1 + i % 5));
+  }
+  EXPECT_EQ(restored.digest(), original.digest());
+  EXPECT_DOUBLE_EQ(restored.rolling_p99(), original.rolling_p99());
+}
+
+TEST(TrafficEngine, CheckpointRoundTripContinuesBitIdentical) {
+  // Save mid-trace (arrival process pending, half-open stats window),
+  // restore into a fresh bed with the same streams registered, re-arm, and
+  // finish both runs: stats digests must match bit for bit. The all-refusal
+  // switch keeps every request resolved at its arrival instant, so the
+  // mid-trace point is quiesced by construction.
+  const TrafficTrace trace = TrafficTrace().constant(80, 2.0);
+  TrafficBed original;
+  must(original.service_switch.set_backend_health(net::Ipv4Address(10, 0, 0, 1),
+                                                  false));
+  TrafficEngine original_traffic(original.engine);
+  original_traffic.add_stream("web", original.siege, trace);
+  original_traffic.start();
+  original.engine.run_until(sim::SimTime::milliseconds(500));
+
+  snapshot::Writer writer;
+  original_traffic.save_state(writer);
+  const std::string bytes = writer.finish();
+
+  TrafficBed restored;
+  must(restored.service_switch.set_backend_health(net::Ipv4Address(10, 0, 0, 1),
+                                                  false));
+  TrafficEngine restored_traffic(restored.engine);
+  restored_traffic.add_stream("web", restored.siege, trace);
+  snapshot::Reader reader(bytes);
+  restored_traffic.load_state(reader);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  restored_traffic.rearm_arrivals();
+
+  original.engine.run();
+  restored.engine.run();
+  EXPECT_TRUE(original_traffic.finished());
+  EXPECT_TRUE(restored_traffic.finished());
+  EXPECT_EQ(restored_traffic.scheduled("web"),
+            original_traffic.scheduled("web"));
+  EXPECT_EQ(restored_traffic.digest(), original_traffic.digest());
+}
+
+TEST(TrafficEngine, LoadRejectsMismatchedStreamSet) {
+  TrafficBed bed;
+  TrafficEngine saved(bed.engine);
+  saved.add_stream("web", bed.siege, TrafficTrace().constant(10, 0.5));
+  snapshot::Writer writer;
+  saved.save_state(writer);
+  const std::string bytes = writer.finish();
+
+  TrafficBed other;
+  TrafficEngine renamed(other.engine);
+  renamed.add_stream("api", other.siege, TrafficTrace().constant(10, 0.5));
+  snapshot::Reader reader(bytes);
+  renamed.load_state(reader);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("name mismatch"), std::string::npos);
 }
 
 TEST(TrafficEngine, RegistersGauges) {
