@@ -98,7 +98,6 @@ void SodaDaemon::prime_node(PrimeCommand command, PrimeCallback done) {
   SODA_EXPECTS(command.repository != nullptr);
   SODA_EXPECTS(command.capacity_units >= 1);
   auto& log = util::global_logger();
-  const std::string tag = "daemon@" + host_.name();
 
   if (!alive_) {
     done(Error{"daemon@" + host_.name() + ": host is down"}, engine_.now());
@@ -115,8 +114,11 @@ void SodaDaemon::prime_node(PrimeCommand command, PrimeCallback done) {
     done(slice.error(), engine_.now());
     return;
   }
-  log.info(tag, "reserved slice for " + command.node_name + " (" +
-                    command.reserve.to_string() + ")");
+  if (log.enabled(util::LogLevel::kInfo)) {
+    log.info("daemon@" + host_.name(),
+             "reserved slice for " + command.node_name + " (" +
+                 command.reserve.to_string() + ")");
+  }
   emit(engine_.now(), TraceKind::kPrimingStarted, command.node_name,
        command.reserve.to_string());
 
@@ -158,7 +160,6 @@ void SodaDaemon::continue_priming(PrimeCommand command,
                                   sim::SimTime downloaded_at,
                                   PrimeCallback done) {
   auto& log = util::global_logger();
-  const std::string tag = "daemon@" + host_.name();
   auto fail = [&](std::string message) {
     must(host_.release(slice));
     done(Error{std::move(message)}, engine_.now());
@@ -181,20 +182,28 @@ void SodaDaemon::continue_priming(PrimeCommand command,
 
   // 3. Build the guest root filesystem: template, optional tailoring, then
   //    merge the application image into the root (the service image is part
-  //    of the root file system, §4.3).
-  os::RootFs rootfs = os::build_rootfs(image.rootfs_template);
+  //    of the root file system, §4.3). The built (and customized) template
+  //    is a pure function of (template, services) and comes from the shared
+  //    cache — the node pays one tree copy, not a rebuild plus a customize
+  //    pass. Simulated customize *time* is still charged per node: the cache
+  //    is a simulator optimization, not a change to the modeled daemon.
   sim::SimTime customize_time = sim::SimTime::zero();
+  os::RootFs rootfs;
   if (command.customize_rootfs) {
-    auto customized = os::customize_rootfs(rootfs, required_services);
+    auto customized =
+        os::cached_customized_rootfs(image.rootfs_template, required_services);
     if (!customized.ok()) {
       fail("rootfs customization failed: " + customized.error().message);
       return;
     }
-    const std::size_t candidates = rootfs.enabled_services.size();
+    const std::size_t candidates =
+        os::cached_base_rootfs(image.rootfs_template).enabled_services.size();
     customize_time = sim::SimTime::seconds(
         kCustomizePerServiceGhzS * static_cast<double>(candidates) /
         host_.spec().cpu_ghz);
-    rootfs = std::move(customized).value();
+    rootfs = *customized.value();
+  } else {
+    rootfs = os::cached_base_rootfs(image.rootfs_template);
   }
   if (auto merged = rootfs.fs.copy_from(image.payload, "/", "/"); !merged.ok()) {
     fail("image merge failed: " + merged.error().message);
@@ -277,9 +286,12 @@ void SodaDaemon::continue_priming(PrimeCommand command,
   // 6. Boot the guest, then start the application inside it.
   must(node_ptr->uml().begin_boot(engine_.now()));
   const sim::SimTime ready_in = customize_time + boot_plan.total() + app_start_time;
-  log.info(tag, command.node_name + ": priming, ip " + ip.to_string() +
-                    ", boot plan " + std::to_string(ready_in.to_seconds()) + "s" +
-                    (boot_plan.used_ram_disk ? " (ram disk)" : " (disk)"));
+  if (log.enabled(util::LogLevel::kInfo)) {
+    log.info("daemon@" + host_.name(),
+             command.node_name + ": priming, ip " + ip.to_string() +
+                 ", boot plan " + std::to_string(ready_in.to_seconds()) + "s" +
+                 (boot_plan.used_ram_disk ? " (ram disk)" : " (disk)"));
+  }
   engine_.schedule_after(
       ready_in, [this, name = command.node_name, entry = entry_command,
                  app_mem = app_memory_mb, done = std::move(done)] {
@@ -401,18 +413,25 @@ void SodaDaemon::start_heartbeat(sim::SimTime interval, HeartbeatSink sink) {
   if (heartbeating_) return;
   heartbeating_ = true;
   heartbeat_next_ = engine_.now() + heartbeat_interval_;
-  heartbeat_event_ =
-      engine_.schedule_after(heartbeat_interval_, [this] { heartbeat_tick(); });
+  heartbeat_event_ = engine_.schedule_after_sharded(
+      heartbeat_interval_, shard_key(), [this] { heartbeat_tick(); });
 }
 
 void SodaDaemon::heartbeat_tick() {
+  // Host-sharded event: the tick body only reads daemon-local flags; the
+  // sink (Master wheel re-arm — global state) and the reschedule (event
+  // queue) are effects, deferred to the serial commit. Without sharding the
+  // defer runs inline, which is byte-for-byte the pre-sharding behaviour.
   if (!heartbeating_) return;
-  // A dead host sends nothing, but the loop keeps ticking so heartbeats
-  // resume by themselves once the host recovers.
-  if (alive_) heartbeat_sink_(*this, engine_.now());
-  heartbeat_next_ = engine_.now() + heartbeat_interval_;
-  heartbeat_event_ =
-      engine_.schedule_after(heartbeat_interval_, [this] { heartbeat_tick(); });
+  engine_.defer([this] {
+    if (!heartbeating_) return;
+    // A dead host sends nothing, but the loop keeps ticking so heartbeats
+    // resume by themselves once the host recovers.
+    if (alive_) heartbeat_sink_(*this, engine_.now());
+    heartbeat_next_ = engine_.now() + heartbeat_interval_;
+    heartbeat_event_ = engine_.schedule_after_sharded(
+        heartbeat_interval_, shard_key(), [this] { heartbeat_tick(); });
+  });
 }
 
 void SodaDaemon::restore_heartbeat(sim::SimTime interval, HeartbeatSink sink,
@@ -427,7 +446,8 @@ void SodaDaemon::restore_heartbeat(sim::SimTime interval, HeartbeatSink sink,
 void SodaDaemon::rearm_heartbeat_at(sim::SimTime when) {
   SODA_EXPECTS(heartbeating_ && heartbeat_sink_ != nullptr);
   heartbeat_next_ = when;
-  heartbeat_event_ = engine_.schedule_at(when, [this] { heartbeat_tick(); });
+  heartbeat_event_ = engine_.schedule_at_sharded(when, shard_key(),
+                                                 [this] { heartbeat_tick(); });
 }
 
 void SodaDaemon::save_state(snapshot::Writer& writer) const {

@@ -1,6 +1,8 @@
 #include "os/rootfs.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <set>
 
 #include "util/contract.hpp"
@@ -182,6 +184,40 @@ RootFs build_rootfs(RootFsTemplate t) {
   }
   SODA_ENSURES(false);  // unreachable
   return RootFs{};
+}
+
+const RootFs& cached_base_rootfs(RootFsTemplate t) {
+  static std::mutex mutex;
+  static std::unique_ptr<RootFs> cache[4];
+  const auto index = static_cast<std::size_t>(t);
+  SODA_EXPECTS(index < 4);
+  std::scoped_lock lock(mutex);
+  if (!cache[index]) cache[index] = std::make_unique<RootFs>(build_rootfs(t));
+  return *cache[index];
+}
+
+Result<const RootFs*> cached_customized_rootfs(
+    RootFsTemplate t, const std::vector<std::string>& required_services) {
+  struct Entry {
+    RootFsTemplate t;
+    std::vector<std::string> services;
+    std::unique_ptr<RootFs> rootfs;  // stable address across cache growth
+  };
+  static std::mutex mutex;
+  static std::vector<Entry> cache;
+  std::scoped_lock lock(mutex);
+  for (const Entry& entry : cache) {
+    if (entry.t == t && entry.services == required_services) {
+      return entry.rootfs.get();
+    }
+  }
+  // Miss: customize against the (also cached) base. Errors are returned
+  // uncached — the error path is cold and must keep surfacing.
+  auto customized = customize_rootfs(cached_base_rootfs(t), required_services);
+  if (!customized.ok()) return customized.error();
+  cache.push_back(Entry{t, required_services,
+                        std::make_unique<RootFs>(std::move(customized).value())});
+  return cache.back().rootfs.get();
 }
 
 Result<RootFs> customize_rootfs(const RootFs& base,

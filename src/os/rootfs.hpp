@@ -83,6 +83,21 @@ const PackageDatabase& standard_package_database();
 /// package database.
 RootFs build_rootfs(RootFsTemplate t);
 
+/// Shared immutable instance of a built template. Building a tree means
+/// hundreds of allocations; every node priming used to pay it (plus a full
+/// customize pass) before mutating its own copy, which dominated the
+/// admission path's allocation count. Callers copy what they mutate.
+/// Thread-safe (ParallelRunner replicas share the process-wide cache; the
+/// cached value is a pure function of the template, so sharing cannot leak
+/// state between replicas).
+const RootFs& cached_base_rootfs(RootFsTemplate t);
+
+/// Shared immutable customized template: exactly
+/// customize_rootfs(build_rootfs(t), required_services), computed once per
+/// distinct (template, services) pair. Callers copy what they mutate.
+Result<const RootFs*> cached_customized_rootfs(
+    RootFsTemplate t, const std::vector<std::string>& required_services);
+
 /// SODA Daemon rootfs tailoring: keeps only `required_services` (plus their
 /// dependency closure) of `base`'s enabled services, and only the packages
 /// that closure needs (plus the template's base files). Fails when a

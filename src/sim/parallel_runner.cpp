@@ -1,8 +1,5 @@
 #include "sim/parallel_runner.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
 
 namespace soda::sim {
@@ -21,40 +18,17 @@ ParallelRunner::ParallelRunner(std::size_t threads) : threads_(threads) {
     threads_ = std::thread::hardware_concurrency();
     if (threads_ == 0) threads_ = 1;
   }
+  if (threads_ > 1) pool_ = std::make_unique<WorkerPool>(threads_);
 }
 
-void ParallelRunner::dispatch(std::size_t n, const IndexJob& job) const {
+void ParallelRunner::dispatch(std::size_t n,
+                              const WorkerPool::IndexJob& job) const {
   if (n == 0) return;
-  const std::size_t workers = threads_ < n ? threads_ : n;
-  if (workers <= 1) {
+  if (!pool_ || n == 1) {
     for (std::size_t i = 0; i < n; ++i) job.invoke(job.context, i);
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  std::mutex failure_mutex;
-  std::exception_ptr failure;
-
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        job.invoke(job.context, i);
-      } catch (...) {
-        std::lock_guard lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
-  worker();  // the calling thread pulls its share instead of idling
-  for (auto& thread : pool) thread.join();
-
-  if (failure) std::rethrow_exception(failure);
+  pool_->dispatch(n, job);
 }
 
 }  // namespace soda::sim

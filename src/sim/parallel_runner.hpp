@@ -1,16 +1,20 @@
 // Fans independent simulation replicas / sweep points out across a thread
-// pool. The engine itself stays single-threaded (sim/engine.hpp); this layer
-// exploits the embarrassing parallelism *between* runs: each worker drives
-// its own Engine, seeds derive deterministically from the replica index, and
-// results land in a replica-indexed vector — so the merged output is
-// bit-identical to a serial loop no matter how the OS schedules the workers.
+// pool. This layer exploits the embarrassing parallelism *between* runs:
+// each worker drives its own Engine, seeds derive deterministically from the
+// replica index, and results land in a replica-indexed vector — so the
+// merged output is bit-identical to a serial loop no matter how the OS
+// schedules the workers. (The engine itself can additionally shard *within*
+// one run — see Engine::enable_sharding — on its own nested WorkerPool.)
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "sim/worker_pool.hpp"
 
 namespace soda::sim {
 
@@ -55,23 +59,25 @@ class ParallelRunner {
   }
 
  private:
-  /// Type-erased work loop: workers pull indices from a shared atomic
-  /// counter until [0, n) is exhausted.
-  struct IndexJob {
-    void* context;
-    void (*invoke)(void* context, std::size_t index);
-  };
-  void dispatch(std::size_t n, const IndexJob& job) const;
+  void dispatch(std::size_t n, const WorkerPool::IndexJob& job) const;
 
   template <typename F>
   void run_dynamic(std::size_t n, F&& job) const {
-    IndexJob erased{&job, [](void* context, std::size_t index) {
-                      (*static_cast<std::remove_reference_t<F>*>(context))(index);
-                    }};
+    WorkerPool::IndexJob erased{
+        &job, [](void* context, std::size_t index) {
+          (*static_cast<std::remove_reference_t<F>*>(context))(index);
+        }};
     dispatch(n, erased);
   }
 
   std::size_t threads_;
+  /// Workers are spawned once and parked between dispatches (WorkerPool);
+  /// the seed design created fresh std::threads per run() call. Null when
+  /// threads_ == 1 — the serial case never pays for a pool. Mutable because
+  /// run()/map() are logically const (they only fan out the caller's job)
+  /// but waking the pool mutates its hand-off state; dispatches on one
+  /// runner must not overlap (they never did — run() blocks).
+  mutable std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace soda::sim

@@ -1,0 +1,97 @@
+#include "sim/worker_pool.hpp"
+
+#include "util/contract.hpp"
+
+namespace soda::sim {
+
+WorkerPool::WorkerPool(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+  workers_.reserve(threads_ - 1);
+  for (std::size_t w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : workers_) thread.join();
+}
+
+void WorkerPool::pull(const IndexJob& job, std::size_t n) noexcept {
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      job.invoke(job.context, i);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!failure_) failure_ = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::worker_main() {
+  std::uint64_t seen = 0;
+  while (true) {
+    IndexJob job{nullptr, nullptr};
+    std::size_t n = 0;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      job = job_;
+      n = job_n_;
+    }
+    pull(job, n);
+    {
+      std::lock_guard lock(mutex_);
+      --running_;
+      if (running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::dispatch(std::size_t n, const IndexJob& job) {
+  if (n == 0) return;
+  SODA_EXPECTS(job.invoke != nullptr);
+  if (workers_.empty()) {
+    // Serial pool: no exception staging, the job throws straight through.
+    for (std::size_t i = 0; i < n; ++i) job.invoke(job.context, i);
+    return;
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    // Publishing under the mutex (and waking via the condition variable)
+    // sequences every caller-side write before the workers' reads — workers
+    // may touch caller-prepared state without further synchronization.
+    job_ = job;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    failure_ = nullptr;
+    running_ = workers_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  pull(job, n);  // the calling thread takes a lane instead of idling
+
+  std::exception_ptr failure;
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    failure = failure_;
+    failure_ = nullptr;
+  }
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace soda::sim

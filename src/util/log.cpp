@@ -32,6 +32,11 @@ LogLevel Logger::level() const {
   return level_;
 }
 
+bool Logger::enabled(LogLevel level) const {
+  std::lock_guard lock(mutex_);
+  return level >= level_ && level_ != LogLevel::kOff;
+}
+
 void Logger::set_sink(Sink sink) {
   std::lock_guard lock(mutex_);
   sinks_.clear();

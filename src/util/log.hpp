@@ -37,6 +37,11 @@ class Logger {
   void set_level(LogLevel level);
   [[nodiscard]] LogLevel level() const;
 
+  /// True when a record at `level` would be emitted. Hot paths check this
+  /// before concatenating a message so a silenced logger costs no
+  /// allocations.
+  [[nodiscard]] bool enabled(LogLevel level) const;
+
   /// Replaces all sinks with `sink`. Passing nullptr silences the logger.
   void set_sink(Sink sink);
   /// Adds an additional sink (e.g. a test capture alongside stderr).

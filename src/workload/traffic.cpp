@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <fstream>
 #include <numbers>
 
 #include "util/contract.hpp"
@@ -38,7 +39,7 @@ Error phase_error(std::string_view spec) {
 // ---------- TrafficTrace ----------
 
 TrafficTrace& TrafficTrace::constant(double rate, double seconds) {
-  SODA_EXPECTS(rate > 0 && seconds > 0);
+  SODA_EXPECTS(rate > 0 && seconds > 0 && !is_file());
   TrafficPhase phase;
   phase.shape = TrafficPhase::Shape::kConstant;
   phase.rate = rate;
@@ -48,7 +49,8 @@ TrafficTrace& TrafficTrace::constant(double rate, double seconds) {
 }
 
 TrafficTrace& TrafficTrace::ramp(double from, double to, double seconds) {
-  SODA_EXPECTS(from >= 0 && to >= 0 && (from > 0 || to > 0) && seconds > 0);
+  SODA_EXPECTS(from >= 0 && to >= 0 && (from > 0 || to > 0) && seconds > 0 &&
+               !is_file());
   TrafficPhase phase;
   phase.shape = TrafficPhase::Shape::kRamp;
   phase.rate = from;
@@ -59,7 +61,7 @@ TrafficTrace& TrafficTrace::ramp(double from, double to, double seconds) {
 }
 
 TrafficTrace& TrafficTrace::burst(double rate, double seconds) {
-  SODA_EXPECTS(rate > 0 && seconds > 0);
+  SODA_EXPECTS(rate > 0 && seconds > 0 && !is_file());
   TrafficPhase phase;
   phase.shape = TrafficPhase::Shape::kBurst;
   phase.rate = rate;
@@ -70,7 +72,8 @@ TrafficTrace& TrafficTrace::burst(double rate, double seconds) {
 
 TrafficTrace& TrafficTrace::diurnal(double base, double amplitude,
                                     double seconds, double period_s) {
-  SODA_EXPECTS(base > 0 && amplitude >= 0 && amplitude <= base && seconds > 0);
+  SODA_EXPECTS(base > 0 && amplitude >= 0 && amplitude <= base && seconds > 0 &&
+               !is_file());
   TrafficPhase phase;
   phase.shape = TrafficPhase::Shape::kDiurnal;
   phase.rate = base;
@@ -82,12 +85,26 @@ TrafficTrace& TrafficTrace::diurnal(double base, double amplitude,
 }
 
 Result<TrafficTrace> TrafficTrace::parse(std::string_view spec) {
+  // A recorded trace replays exact timestamps — there is no meaningful way
+  // to splice shaped phases around it, so `file:` must be the whole spec.
+  if (const std::string_view whole = util::trim(spec);
+      whole.starts_with("file:")) {
+    if (whole.find(',') != std::string_view::npos) {
+      return Error{"file: traces are single-phase; cannot mix '" +
+                   std::string(whole) + "' with shaped phases"};
+    }
+    return from_file(std::string(whole.substr(5)));
+  }
   TrafficTrace trace;
   for (const std::string& raw : util::split(spec, ',')) {
     const std::string_view part = util::trim(raw);
     const std::size_t colon = part.find(':');
     if (colon == std::string_view::npos) return phase_error(part);
     const std::string_view kind = part.substr(0, colon);
+    if (kind == "file") {
+      return Error{"file: traces are single-phase; cannot mix '" +
+                   std::string(part) + "' with shaped phases"};
+    }
     std::string_view rest = part.substr(colon + 1);
 
     // Every form ends in xSECS.
@@ -141,8 +158,47 @@ Result<TrafficTrace> TrafficTrace::parse(std::string_view spec) {
   return trace;
 }
 
+Result<TrafficTrace> TrafficTrace::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error{"cannot open traffic trace file '" + path + "'"};
+  }
+  TrafficTrace trace;
+  trace.file_path_ = path;
+  std::string line;
+  int lineno = 0;
+  double prev = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view entry = util::trim(line);
+    if (entry.empty() || entry.front() == '#') continue;
+    const auto offset = util::parse_double(entry);
+    if (!offset || *offset < 0) {
+      return Error{"bad arrival offset '" + std::string(entry) + "' at " +
+                   path + ":" + std::to_string(lineno)};
+    }
+    if (!trace.file_offsets_.empty() && *offset < prev) {
+      return Error{"arrival offsets must be non-decreasing at " + path + ":" +
+                   std::to_string(lineno)};
+    }
+    prev = *offset;
+    trace.file_offsets_.push_back(*offset);
+  }
+  if (trace.file_offsets_.empty()) {
+    return Error{"traffic trace file '" + path + "' has no arrivals"};
+  }
+  return trace;
+}
+
 double TrafficTrace::rate_at(double t) const noexcept {
   if (t < 0) return 0;
+  if (is_file()) {
+    // Recorded traces have no analytic rate curve; report the average so
+    // dashboards and sanity checks get a sane number.
+    const double span = file_offsets_.back();
+    if (t > span) return 0;
+    return span > 0 ? static_cast<double>(file_offsets_.size()) / span : 0;
+  }
   for (const TrafficPhase& phase : phases_) {
     if (t < phase.seconds) {
       switch (phase.shape) {
@@ -164,12 +220,14 @@ double TrafficTrace::rate_at(double t) const noexcept {
 }
 
 double TrafficTrace::duration_s() const noexcept {
+  if (is_file()) return file_offsets_.back();
   double total = 0;
   for (const TrafficPhase& phase : phases_) total += phase.seconds;
   return total;
 }
 
 double TrafficTrace::expected_arrivals() const noexcept {
+  if (is_file()) return static_cast<double>(file_offsets_.size());
   double total = 0;
   for (const TrafficPhase& phase : phases_) {
     switch (phase.shape) {
@@ -201,7 +259,7 @@ TrafficEngine::TrafficEngine(sim::Engine& engine, TrafficEngineConfig config)
 void TrafficEngine::add_stream(std::string name, SiegeClient& client,
                                TrafficTrace trace) {
   SODA_EXPECTS(!started_);
-  SODA_EXPECTS(!trace.phases().empty());
+  SODA_EXPECTS(!trace.phases().empty() || trace.is_file());
   Stream stream;
   stream.name = std::move(name);
   stream.client = &client;
@@ -241,37 +299,64 @@ void TrafficEngine::install_observer(std::size_t index) {
 }
 
 void TrafficEngine::schedule_next(Stream& stream) {
-  // Non-homogeneous Poisson via rate-chasing: each gap is exponential at
-  // the instantaneous rate where the previous arrival landed. Exact for
-  // constant/burst phases; for ramps and diurnal curves the rate drifts
-  // within one gap by at most rate'(t)/rate(t)² — negligible at the rates
-  // the benches drive.
-  const double offset = (engine_.now() - stream.t0).to_seconds();
-  if (offset >= stream.trace.duration_s()) {
-    stream.arrivals_done = true;
-    return;
-  }
-  const double rate =
-      std::max(stream.trace.rate_at(offset), kMinActiveRate);
-  const sim::SimTime gap =
-      sim::SimTime::seconds(stream.rng.exponential(1.0 / rate));
   const std::size_t index =
       static_cast<std::size_t>(&stream - streams_.data());
-  stream.next_arrival = engine_.now() + gap;
-  engine_.schedule_after(gap, [this, index] { arrival_fire(index); });
+  if (stream.trace.is_file()) {
+    // Recorded replay: the cursor is the scheduled-arrival count, so the
+    // checkpoint format already carries it.
+    const std::vector<double>& offsets = stream.trace.file_offsets();
+    if (stream.scheduled >= offsets.size()) {
+      stream.arrivals_done = true;
+      return;
+    }
+    stream.next_arrival =
+        stream.t0 + sim::SimTime::seconds(offsets[stream.scheduled]);
+  } else {
+    // Non-homogeneous Poisson via rate-chasing: each gap is exponential at
+    // the instantaneous rate where the previous arrival landed. Exact for
+    // constant/burst phases; for ramps and diurnal curves the rate drifts
+    // within one gap by at most rate'(t)/rate(t)² — negligible at the rates
+    // the benches drive.
+    const double offset = (engine_.now() - stream.t0).to_seconds();
+    if (offset >= stream.trace.duration_s()) {
+      stream.arrivals_done = true;
+      return;
+    }
+    const double rate =
+        std::max(stream.trace.rate_at(offset), kMinActiveRate);
+    const sim::SimTime gap =
+        sim::SimTime::seconds(stream.rng.exponential(1.0 / rate));
+    stream.next_arrival = engine_.now() + gap;
+  }
+  // The queue is shared — from a sharded arrival the schedule is an effect.
+  const sim::SimTime when = stream.next_arrival;
+  engine_.defer([this, index, when] {
+    engine_.schedule_at_sharded(when, sim::Engine::shard_for_stream(
+                                          static_cast<std::uint32_t>(index)),
+                                [this, index] { arrival_fire(index); });
+  });
 }
 
 void TrafficEngine::arrival_fire(std::size_t index) {
+  // Stream-sharded event: the body touches only this stream (counter, RNG,
+  // next-arrival cursor). The injection walks the shared switch/FlowNetwork
+  // and the reschedule touches the queue, so both are deferred — and in
+  // inject-then-schedule order, matching the serial engine's seq
+  // allocation. Moving the RNG draw ahead of the inject is unobservable:
+  // injection never reads the stream's RNG.
   Stream& s = streams_[index];
-  const double at = (engine_.now() - s.t0).to_seconds();
-  if (at >= s.trace.duration_s()) {
-    s.arrivals_done = true;
-    return;
+  if (!s.trace.is_file()) {
+    const double at = (engine_.now() - s.t0).to_seconds();
+    if (at >= s.trace.duration_s()) {
+      s.arrivals_done = true;
+      return;
+    }
   }
   ++s.scheduled;
   // Open loop: the arrival fires regardless of outstanding completions;
   // its latency clock starts *now*, the scheduled time.
-  s.client->inject(engine_.now());
+  const sim::SimTime at = engine_.now();
+  engine_.defer([&s, at] { s.client->inject(at); });
   schedule_next(s);
 }
 
@@ -364,8 +449,10 @@ void TrafficEngine::rearm_arrivals() {
     Stream& stream = streams_[i];
     if (stream.arrivals_done) continue;
     SODA_EXPECTS(stream.next_arrival >= engine_.now());
-    engine_.schedule_at(stream.next_arrival,
-                        [this, i] { arrival_fire(i); });
+    engine_.schedule_at_sharded(
+        stream.next_arrival,
+        sim::Engine::shard_for_stream(static_cast<std::uint32_t>(i)),
+        [this, i] { arrival_fire(i); });
   }
 }
 

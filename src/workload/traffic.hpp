@@ -47,8 +47,14 @@ struct TrafficPhase {
 ///   burst:5000x2            flash crowd: 5000 req/s for 2 s
 ///   diurnal:300~200x60      sine around 300 +/- 200 req/s, period 60 s
 ///   diurnal:300~200x60/30   same but a 30 s period (two cycles)
+///   file:PATH               replay recorded arrival offsets from PATH
 ///
 /// Phases are comma-separated: "const:200x5,burst:5000x2,const:200x5".
+/// A `file:` trace stands alone — it replays exact timestamps, so mixing it
+/// with shaped phases is a parse error. The file holds one arrival offset in
+/// seconds per line (non-decreasing, `#` comments and blank lines ignored);
+/// the replay cursor is the stream's scheduled-arrival count, which
+/// checkpoints already carry, so recorded traces snapshot for free.
 class TrafficTrace {
  public:
   TrafficTrace& constant(double rate, double seconds);
@@ -60,6 +66,8 @@ class TrafficTrace {
                         double period_s = 0);
 
   static Result<TrafficTrace> parse(std::string_view spec);
+  /// Loads a recorded-arrival trace (the `file:PATH` spec body).
+  static Result<TrafficTrace> from_file(const std::string& path);
 
   /// Instantaneous offered rate at offset `t` seconds from trace start
   /// (0 past the end).
@@ -71,8 +79,20 @@ class TrafficTrace {
     return phases_;
   }
 
+  /// True for a recorded-arrival (file:) trace.
+  [[nodiscard]] bool is_file() const noexcept { return !file_offsets_.empty(); }
+  /// Arrival offsets in seconds from stream start (recorded traces only).
+  [[nodiscard]] const std::vector<double>& file_offsets() const noexcept {
+    return file_offsets_;
+  }
+  [[nodiscard]] const std::string& file_path() const noexcept {
+    return file_path_;
+  }
+
  private:
   std::vector<TrafficPhase> phases_;
+  std::string file_path_;             // provenance, empty for shaped traces
+  std::vector<double> file_offsets_;  // non-decreasing arrival offsets
 };
 
 /// Engine-wide configuration.

@@ -1,0 +1,299 @@
+// Sharded intra-replica execution (DESIGN.md §15): the WorkerPool, the
+// engine's batch collection / effect commit, cross-shard races resolved by
+// sequence order, determinism across worker counts on the pinned chaos
+// corpus, and checkpoint round-trips taken and resumed under a sharded
+// engine. Every test's oracle is the serial engine: same program, same
+// trace, bit for bit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chaos/generator.hpp"
+#include "chaos/runner.hpp"
+#include "sim/engine.hpp"
+#include "sim/worker_pool.hpp"
+#include "util/log.hpp"
+
+namespace soda {
+namespace {
+
+class ShardedEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::global_logger().set_level(util::LogLevel::kOff);
+  }
+};
+
+// --- WorkerPool ------------------------------------------------------------
+
+TEST_F(ShardedEngineTest, PoolRunsEveryIndexExactlyOnce) {
+  sim::WorkerPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ShardedEngineTest, PoolIsReusableAcrossDispatches) {
+  sim::WorkerPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run(64, [&](std::size_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 50ull * (64 * 63) / 2);
+}
+
+TEST_F(ShardedEngineTest, PoolPropagatesWorkerExceptions) {
+  sim::WorkerPool pool(2);
+  EXPECT_THROW(pool.run(16,
+                        [](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool survives a failed dispatch.
+  std::atomic<int> ran{0};
+  pool.run(8, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// --- Engine batches and effects --------------------------------------------
+
+/// Schedules `lanes` shards x `per_lane` events at one timestamp, each
+/// appending (shard, step) to a shared log via defer, and returns the log.
+/// The commit order must equal schedule order for any worker count.
+std::vector<std::pair<int, int>> run_batch_program(std::size_t workers) {
+  sim::Engine engine;
+  engine.enable_sharding(workers);
+  std::vector<std::pair<int, int>> log;
+  constexpr int kLanes = 7;
+  constexpr int kPerLane = 5;
+  for (int step = 0; step < kPerLane; ++step) {
+    for (int lane = 0; lane < kLanes; ++lane) {
+      engine.schedule_after_sharded(
+          sim::SimTime::milliseconds(10),
+          sim::Engine::shard_for_host(static_cast<std::uint32_t>(lane)),
+          [&engine, &log, lane, step] {
+            engine.defer([&log, lane, step] { log.push_back({lane, step}); });
+          });
+    }
+  }
+  EXPECT_EQ(engine.run(), kLanes * kPerLane);
+  return log;
+}
+
+TEST_F(ShardedEngineTest, EffectsCommitInScheduleOrderAtAnyWidth) {
+  const auto serial = run_batch_program(1);
+  ASSERT_EQ(serial.size(), 35u);
+  // Serial order is exactly schedule order...
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].first, static_cast<int>(i % 7));
+    EXPECT_EQ(serial[i].second, static_cast<int>(i / 7));
+  }
+  // ...and every worker count reproduces it bit for bit.
+  EXPECT_EQ(run_batch_program(2), serial);
+  EXPECT_EQ(run_batch_program(8), serial);
+}
+
+TEST_F(ShardedEngineTest, SameShardRunsInSequenceOrderOnOneLane) {
+  sim::Engine engine;
+  engine.enable_sharding(8);
+  // All events share one shard: their bodies may touch the same state with
+  // no defer, because one shard = one lane.
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    engine.schedule_after_sharded(sim::SimTime::seconds(1),
+                                  sim::Engine::shard_for_task(3),
+                                  [&order, i] { order.push_back(i); });
+  }
+  // A second shard runs concurrently to make the batch non-trivial.
+  engine.schedule_after_sharded(sim::SimTime::seconds(1),
+                                sim::Engine::shard_for_task(4), [] {});
+  engine.run();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(ShardedEngineTest, UntaggedEventIsAMidTimestampBarrier) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    sim::Engine engine;
+    engine.enable_sharding(workers);
+    std::vector<int> log;
+    const auto at = sim::SimTime::seconds(1);
+    engine.schedule_at_sharded(at, sim::Engine::shard_for_host(0),
+                               [&engine, &log] {
+                                 engine.defer([&log] { log.push_back(0); });
+                               });
+    engine.schedule_at(at, [&log] { log.push_back(1); });  // barrier
+    engine.schedule_at_sharded(at, sim::Engine::shard_for_host(1),
+                               [&engine, &log] {
+                                 engine.defer([&log] { log.push_back(2); });
+                               });
+    engine.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2})) << workers << " workers";
+  }
+}
+
+TEST_F(ShardedEngineTest, CrossShardCancelRacesResolveBySequenceOrder) {
+  // Two shards race to cancel the same strictly-future event; the defer
+  // commit runs in schedule-sequence order, so the lower-seq shard always
+  // wins — at every worker count.
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    sim::Engine engine;
+    engine.enable_sharding(workers);
+    bool victim_fired = false;
+    const sim::EventId victim = engine.schedule_after(
+        sim::SimTime::seconds(2), [&victim_fired] { victim_fired = true; });
+    int winner = -1;
+    for (int shard = 0; shard < 2; ++shard) {
+      engine.schedule_after_sharded(
+          sim::SimTime::seconds(1),
+          sim::Engine::shard_for_host(static_cast<std::uint32_t>(shard)),
+          [&engine, &winner, victim, shard] {
+            engine.defer([&engine, &winner, victim, shard] {
+              if (engine.cancel(victim) && winner < 0) winner = shard;
+            });
+          });
+    }
+    engine.run();
+    EXPECT_FALSE(victim_fired) << workers << " workers";
+    EXPECT_EQ(winner, 0) << workers << " workers";
+  }
+}
+
+TEST_F(ShardedEngineTest, DeferredSchedulesKeepSequenceParityWithSerial) {
+  // A recurring sharded timer (the heartbeat shape): tick bodies defer their
+  // reschedule, so event ids and firing order must match the serial engine.
+  auto run = [](std::size_t workers) {
+    sim::Engine engine;
+    engine.enable_sharding(workers);
+    std::vector<std::pair<int, std::uint64_t>> log;
+    struct Timer {
+      sim::Engine* engine;
+      std::vector<std::pair<int, std::uint64_t>>* log;
+      int id;
+      int remaining;
+      void tick() {
+        engine->defer([this] {
+          log->push_back({id, static_cast<std::uint64_t>(
+                                  engine->now().to_seconds() * 1000)});
+          if (--remaining > 0) {
+            engine->schedule_after_sharded(
+                sim::SimTime::milliseconds(250),
+                sim::Engine::shard_for_host(static_cast<std::uint32_t>(id)),
+                [this] { tick(); });
+          }
+        });
+      }
+    };
+    std::vector<Timer> timers;
+    for (int i = 0; i < 6; ++i) timers.push_back({&engine, &log, i, 8});
+    for (Timer& t : timers) {
+      engine.schedule_after_sharded(
+          sim::SimTime::milliseconds(250),
+          sim::Engine::shard_for_host(static_cast<std::uint32_t>(t.id)),
+          [&t] { t.tick(); });
+    }
+    engine.run();
+    return log;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial.size(), 48u);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST_F(ShardedEngineTest, StopFromShardedCallbackTakesEffectAtBatchBoundary) {
+  sim::Engine engine;
+  engine.enable_sharding(4);
+  int batch_ran = 0;
+  bool later_ran = false;
+  for (int i = 0; i < 4; ++i) {
+    engine.schedule_after_sharded(
+        sim::SimTime::seconds(1),
+        sim::Engine::shard_for_host(static_cast<std::uint32_t>(i)),
+        [&engine, &batch_ran] {
+          engine.defer([&engine, &batch_ran] {
+            ++batch_ran;
+            engine.stop();
+          });
+        });
+  }
+  engine.schedule_after(sim::SimTime::seconds(2),
+                        [&later_ran] { later_ran = true; });
+  engine.run();
+  // The whole batch commits (all four effects), then the run stops.
+  EXPECT_EQ(batch_ran, 4);
+  EXPECT_FALSE(later_ran);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+// --- Chaos corpus determinism across worker counts ---------------------------
+
+std::vector<std::uint64_t> corpus_seeds() {
+  std::vector<std::uint64_t> seeds;
+  std::ifstream in(SODA_CHAOS_CORPUS);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    seeds.push_back(std::stoull(line));
+  }
+  return seeds;
+}
+
+TEST_F(ShardedEngineTest, ChaosCorpusDigestsMatchAtEveryWorkerCount) {
+  const std::vector<std::uint64_t> seeds = corpus_seeds();
+  ASSERT_FALSE(seeds.empty());
+  for (const std::uint64_t seed : seeds) {
+    const chaos::ChaosSpec spec = chaos::generate_scenario(seed);
+    chaos::ChaosOptions options;
+    options.shard_workers = 1;
+    const chaos::ChaosReport serial = chaos::run_scenario(spec, options);
+    ASSERT_TRUE(serial.setup_error.empty()) << serial.setup_error;
+    for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+      options.shard_workers = workers;
+      const chaos::ChaosReport sharded = chaos::run_scenario(spec, options);
+      EXPECT_EQ(sharded.digest, serial.digest)
+          << "seed " << seed << " diverged at " << workers << " workers";
+      EXPECT_EQ(sharded.requests, serial.requests) << "seed " << seed;
+      EXPECT_TRUE(sharded.violations.empty()) << "seed " << seed;
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, CheckpointRoundTripsUnderShardedExecution) {
+  // Save the T0 world from a sharded run, restore it into another sharded
+  // engine, continue — the warm continuation must digest identically to the
+  // cold serial run, i.e. sharding distorts neither the saved bytes (tags
+  // are never serialized) nor the resumed execution.
+  const std::uint64_t seed = corpus_seeds().front();
+  const chaos::ChaosSpec spec = chaos::generate_scenario(seed);
+  chaos::ChaosOptions cold_serial;
+  const chaos::ChaosReport baseline = chaos::run_scenario(spec, cold_serial);
+  ASSERT_TRUE(baseline.setup_error.empty()) << baseline.setup_error;
+
+  const std::string path =
+      ::testing::TempDir() + "sharded_engine_roundtrip.ckpt";
+  chaos::ChaosOptions save;
+  save.shard_workers = 8;
+  save.save_checkpoint = path;
+  const chaos::ChaosReport saved = chaos::run_scenario(spec, save);
+  ASSERT_TRUE(saved.setup_error.empty()) << saved.setup_error;
+  EXPECT_EQ(saved.digest, baseline.digest);
+
+  chaos::ChaosOptions warm;
+  warm.shard_workers = 8;
+  warm.from_checkpoint = path;
+  const chaos::ChaosReport resumed = chaos::run_scenario(spec, warm);
+  ASSERT_TRUE(resumed.setup_error.empty()) << resumed.setup_error;
+  EXPECT_TRUE(resumed.warm_started);
+  EXPECT_EQ(resumed.digest, baseline.digest);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace soda

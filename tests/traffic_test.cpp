@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 
 #include "core/events.hpp"
 #include "core/switch.hpp"
@@ -484,6 +485,114 @@ TEST(TrafficEngine, LoadRejectsMismatchedStreamSet) {
   renamed.load_state(reader);
   EXPECT_FALSE(reader.ok());
   EXPECT_NE(reader.error().find("name mismatch"), std::string::npos);
+}
+
+// ---------- Recorded (file:) traces ----------
+
+TEST(TrafficTrace, ParsesRecordedTraceFile) {
+  const auto parsed =
+      TrafficTrace::parse(std::string("file:") + SODA_RECORDED_TRACE);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const TrafficTrace& trace = parsed.value();
+  EXPECT_TRUE(trace.is_file());
+  EXPECT_TRUE(trace.phases().empty());
+  ASSERT_EQ(trace.file_offsets().size(), 20u);
+  EXPECT_DOUBLE_EQ(trace.file_offsets().front(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 2.4);
+  EXPECT_DOUBLE_EQ(trace.expected_arrivals(), 20.0);
+  // Recorded traces report the average rate inside the span, zero outside.
+  EXPECT_NEAR(trace.rate_at(1.0), 20.0 / 2.4, 1e-12);
+  EXPECT_DOUBLE_EQ(trace.rate_at(3.0), 0.0);
+}
+
+TEST(TrafficTrace, RejectsMalformedTraceFiles) {
+  EXPECT_FALSE(TrafficTrace::parse("file:/nonexistent/arrivals.trace").ok());
+
+  const auto mixed = TrafficTrace::parse("const:100x1, file:whatever");
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_NE(mixed.error().message.find("single-phase"), std::string::npos);
+
+  const auto write_temp = [](const char* name, const char* body) {
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream(path) << body;
+    return path;
+  };
+  const auto decreasing =
+      TrafficTrace::from_file(write_temp("dec.trace", "0.5\n0.2\n"));
+  ASSERT_FALSE(decreasing.ok());
+  EXPECT_NE(decreasing.error().message.find("non-decreasing"),
+            std::string::npos);
+  const auto junk =
+      TrafficTrace::from_file(write_temp("junk.trace", "0.1\npotato\n"));
+  ASSERT_FALSE(junk.ok());
+  EXPECT_NE(junk.error().message.find(":2"), std::string::npos);
+  EXPECT_FALSE(
+      TrafficTrace::from_file(write_temp("empty.trace", "# comments\n\n"))
+          .ok());
+}
+
+TEST(TrafficEngine, ReplaysRecordedTraceFileAtExactOffsets) {
+  const auto parsed =
+      TrafficTrace::parse(std::string("file:") + SODA_RECORDED_TRACE);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+
+  const auto digest_of_run = [&] {
+    TrafficBed bed;
+    TrafficEngine traffic(bed.engine);
+    traffic.add_stream("web", bed.siege, parsed.value());
+    traffic.start();
+    bed.engine.run();
+    EXPECT_TRUE(traffic.finished());
+    // Every recorded arrival fires exactly once — no Poisson slack here.
+    EXPECT_EQ(traffic.scheduled("web"), parsed.value().file_offsets().size());
+    EXPECT_EQ(traffic.stats("web").completed(),
+              parsed.value().file_offsets().size());
+    return traffic.digest();
+  };
+  const std::uint64_t first = digest_of_run();
+  EXPECT_EQ(first, digest_of_run());
+  EXPECT_NE(first, 0u);
+}
+
+TEST(TrafficEngine, FileTraceCheckpointRoundTripContinuesBitIdentical) {
+  // Save mid-replay (6 of 20 recorded arrivals fired), restore into a fresh
+  // bed, re-arm, and finish both: the replay cursor is the stream's
+  // `scheduled` count, which the snapshot format already carries, so the
+  // restored run must land the remaining arrivals at the same offsets.
+  const auto parsed =
+      TrafficTrace::parse(std::string("file:") + SODA_RECORDED_TRACE);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+
+  TrafficBed original;
+  must(original.service_switch.set_backend_health(net::Ipv4Address(10, 0, 0, 1),
+                                                  false));
+  TrafficEngine original_traffic(original.engine);
+  original_traffic.add_stream("web", original.siege, parsed.value());
+  original_traffic.start();
+  original.engine.run_until(sim::SimTime::milliseconds(500));
+  EXPECT_EQ(original_traffic.scheduled("web"), 6u);
+
+  snapshot::Writer writer;
+  original_traffic.save_state(writer);
+  const std::string bytes = writer.finish();
+
+  TrafficBed restored;
+  must(restored.service_switch.set_backend_health(net::Ipv4Address(10, 0, 0, 1),
+                                                  false));
+  TrafficEngine restored_traffic(restored.engine);
+  restored_traffic.add_stream("web", restored.siege, parsed.value());
+  snapshot::Reader reader(bytes);
+  restored_traffic.load_state(reader);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  restored_traffic.rearm_arrivals();
+
+  original.engine.run();
+  restored.engine.run();
+  EXPECT_TRUE(original_traffic.finished());
+  EXPECT_TRUE(restored_traffic.finished());
+  EXPECT_EQ(restored_traffic.scheduled("web"),
+            parsed.value().file_offsets().size());
+  EXPECT_EQ(restored_traffic.digest(), original_traffic.digest());
 }
 
 TEST(TrafficEngine, RegistersGauges) {
